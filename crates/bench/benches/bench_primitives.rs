@@ -1,0 +1,66 @@
+//! Criterion micro-bench for the parallel substrate (the Kokkos
+//! substitute): prefix sums, radix sort, random permutation, SpMV and
+//! SpGEMM — the kernels behind Fig. 3's rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlcg_graph::generators;
+use mlcg_par::perm::random_permutation;
+use mlcg_par::rng::hash_index;
+use mlcg_par::scan::exclusive_scan;
+use mlcg_par::sort::par_radix_sort_pairs;
+use mlcg_par::ExecPolicy;
+use mlcg_sparse::{spgemm, spmv, CsrMatrix};
+
+fn bench_primitives(c: &mut Criterion) {
+    let n = 1 << 20;
+    for (pname, policy) in [
+        ("serial", ExecPolicy::serial()),
+        ("host", ExecPolicy::host()),
+        ("device", ExecPolicy::device_sim()),
+    ] {
+        let mut group = c.benchmark_group(format!("primitives/{pname}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::from_parameter("exclusive-scan-1M"), |b| {
+            let data: Vec<u64> = (0..n as u64).map(|i| i % 7).collect();
+            b.iter(|| {
+                let mut d = data.clone();
+                exclusive_scan(&policy, &mut d)
+            });
+        });
+        group.bench_function(BenchmarkId::from_parameter("radix-sort-1M"), |b| {
+            let keys: Vec<u64> = (0..n as u64).map(|i| hash_index(3, i)).collect();
+            let vals: Vec<u32> = (0..n as u32).collect();
+            b.iter(|| {
+                let mut k = keys.clone();
+                let mut v = vals.clone();
+                par_radix_sort_pairs(&policy, &mut k, &mut v);
+                k[0]
+            });
+        });
+        group.bench_function(BenchmarkId::from_parameter("random-permutation-1M"), |b| {
+            b.iter(|| random_permutation(&policy, n, 42));
+        });
+        group.finish();
+    }
+
+    let g = generators::grid2d(256, 256);
+    let a = CsrMatrix::from_graph(&g);
+    let policy = ExecPolicy::host();
+    let mut group = c.benchmark_group("sparse");
+    group.sample_size(10);
+    group.bench_function("spmv-grid-256", |b| {
+        let x = vec![1.0f64; a.n_cols];
+        let mut y = vec![0.0f64; a.n_rows];
+        b.iter(|| spmv(&policy, &a, &x, &mut y));
+    });
+    group.bench_function("spgemm-prolongation", |b| {
+        let mapping: Vec<u32> = (0..g.n()).map(|u| (u / 4) as u32).collect();
+        let p = CsrMatrix::prolongation(&mapping, g.n().div_ceil(4));
+        b.iter(|| spgemm(&policy, &p, &a));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

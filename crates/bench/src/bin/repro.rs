@@ -1,0 +1,30 @@
+//! The reproduction driver: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p mlcg-bench --bin repro -- table2 --scale 0 --runs 3
+//! cargo run --release -p mlcg-bench --bin repro -- all --fast
+//! ```
+
+use mlcg_bench::{exp, Ctx};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = args.first() else {
+        eprintln!("usage: repro <experiment> [--scale k] [--runs r] [--seed s] [--fast]");
+        eprintln!("experiments: {} all", exp::ALL.join(" "));
+        std::process::exit(2);
+    };
+    let ctx = Ctx::from_args(&args[1..]);
+    eprintln!(
+        "repro {name}: scale={} runs={} seed={} fast={} pool-workers={}",
+        ctx.scale,
+        ctx.runs,
+        ctx.seed,
+        ctx.fast,
+        mlcg_par::pool::global().workers()
+    );
+    if !exp::run(name, &ctx) {
+        eprintln!("unknown experiment '{name}'. known: {} all", exp::ALL.join(" "));
+        std::process::exit(2);
+    }
+}

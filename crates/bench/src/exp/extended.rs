@@ -1,0 +1,64 @@
+//! Extended method comparison — Table IV widened with the variants the
+//! paper describes but does not tabulate (HEC2, HEC3, GOSH+HEC) and the
+//! future-work methods this reproduction implements (Suitor, b-Suitor via
+//! `MapMethod::Suitor`).
+
+use crate::harness::{geo, header, median_time, ratio, row, Ctx};
+use mlcg_coarsen::{coarsen, CoarsenOptions, MapMethod};
+use mlcg_graph::suite::Group;
+
+const METHODS: [MapMethod; 6] = [
+    MapMethod::Hec2,
+    MapMethod::Hec3,
+    MapMethod::GoshHec,
+    MapMethod::Suitor,
+    MapMethod::Gosh,
+    MapMethod::Mis2,
+];
+
+/// Print the extended comparison (time ratios vs HEC + level counts).
+pub fn run(ctx: &Ctx) {
+    let policy = ctx.device();
+    let corpus = ctx.corpus();
+    println!("Extended methods: coarsening time ratios vs HEC and level counts");
+    let mut head = vec!["Graph"];
+    head.extend(METHODS.iter().map(|m| m.name()));
+    head.push("l HEC");
+    let lvl_names: Vec<String> = METHODS.iter().map(|m| format!("l {}", m.name())).collect();
+    head.extend(lvl_names.iter().map(|s| s.as_str()));
+    header(&head);
+
+    let mut geos: Vec<(Group, Vec<f64>)> = Vec::new();
+    for ng in &corpus {
+        let g = &ng.graph;
+        let (h_hec, t_hec) = median_time(ctx.runs, || {
+            coarsen(&policy, g, &CoarsenOptions { method: MapMethod::Hec, seed: ctx.seed, ..Default::default() })
+        });
+        let mut cells = vec![ng.name.to_string()];
+        let mut ratios = Vec::new();
+        let mut levels = Vec::new();
+        for &method in &METHODS {
+            let (h, t) = median_time(ctx.runs, || {
+                coarsen(&policy, g, &CoarsenOptions { method, seed: ctx.seed, ..Default::default() })
+            });
+            ratios.push(t / t_hec);
+            levels.push(h.num_levels());
+        }
+        cells.extend(ratios.iter().map(|&r| ratio(r)));
+        cells.push(h_hec.num_levels().to_string());
+        cells.extend(levels.iter().map(|l| l.to_string()));
+        row(&cells);
+        geos.push((ng.group, ratios));
+    }
+    for (group, label) in [(Group::Regular, "regular"), (Group::Skewed, "skewed")] {
+        let sel: Vec<&(Group, Vec<f64>)> = geos.iter().filter(|r| r.0 == group).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let mut cells = vec![format!("GeoMean ({label})")];
+        for i in 0..METHODS.len() {
+            cells.push(ratio(geo(&sel.iter().map(|r| r.1[i]).collect::<Vec<_>>())));
+        }
+        row(&cells);
+    }
+}

@@ -1,0 +1,76 @@
+//! Fig. 3 — HEC coarsening performance:
+//! *left*: per-graph performance rate (graph size `2m + n` divided by the
+//! coarsening time);
+//! *mid*: device-sim vs host speedup per graph (the paper's GPU vs 32-core
+//! CPU comparison — see DESIGN.md §3.1 for what this means here);
+//! *right*: weak scaling of the rgg / delaunay / kron families.
+
+use crate::harness::{geo, header, median_time, row, Ctx};
+use mlcg_coarsen::{coarsen, CoarsenOptions};
+use mlcg_graph::suite::by_name;
+use mlcg_par::ExecPolicy;
+
+fn coarsen_time(ctx: &Ctx, policy: &ExecPolicy, g: &mlcg_graph::Csr) -> f64 {
+    let opts = CoarsenOptions { seed: ctx.seed, ..Default::default() };
+    let (_, t) = median_time(ctx.runs, || coarsen(policy, g, &opts));
+    t
+}
+
+/// Fig. 3 left: performance rate per corpus graph.
+pub fn run_left(ctx: &Ctx) {
+    let policy = ctx.device();
+    println!("Fig 3 (left): HEC performance rate on device-sim (higher is better)");
+    header(&["Graph", "2m+n", "t_c (s)", "Medges/s"]);
+    for ng in &ctx.corpus() {
+        let g = &ng.graph;
+        let t = coarsen_time(ctx, &policy, g);
+        row(&[
+            ng.name.to_string(),
+            g.size().to_string(),
+            format!("{t:.3}"),
+            format!("{:.1}", g.size() as f64 / t / 1e6),
+        ]);
+    }
+}
+
+/// Fig. 3 mid: device-sim vs host speedup per graph.
+pub fn run_mid(ctx: &Ctx) {
+    let device = ctx.device();
+    let host = ctx.host();
+    println!(
+        "Fig 3 (mid): device-sim / host speedup (paper: GPU vs 32-core CPU, geomean 2.4x; \
+         here both policies run on the same silicon — see DESIGN.md §3.1)"
+    );
+    header(&["Graph", "t_host (s)", "t_device (s)", "speedup"]);
+    let mut speedups = Vec::new();
+    for ng in &ctx.corpus() {
+        let g = &ng.graph;
+        let th = coarsen_time(ctx, &host, g);
+        let td = coarsen_time(ctx, &device, g);
+        let s = th / td;
+        speedups.push(s);
+        row(&[ng.name.to_string(), format!("{th:.3}"), format!("{td:.3}"), format!("{s:.2}")]);
+    }
+    println!("geomean speedup: {:.2}", geo(&speedups));
+}
+
+/// Fig. 3 right: weak scaling on the synthetic families.
+pub fn run_right(ctx: &Ctx) {
+    let policy = ctx.device();
+    let max_scale = if ctx.fast { 1 } else { 2 };
+    println!("Fig 3 (right): weak scaling (rate in Medges/s per scale; n doubles per step)");
+    header(&["family", "scale", "2m+n", "t_c (s)", "Medges/s"]);
+    for family in ["rgg", "delaunay", "kron"] {
+        for scale in 0..=max_scale {
+            let g = by_name(family, scale, ctx.seed).expect("family name");
+            let t = coarsen_time(ctx, &policy, &g);
+            row(&[
+                family.to_string(),
+                scale.to_string(),
+                g.size().to_string(),
+                format!("{t:.3}"),
+                format!("{:.1}", g.size() as f64 / t / 1e6),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! One module per table/figure of the paper.
+
+pub mod ablate;
+pub mod extended;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod table1;
+pub mod table23;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+use crate::harness::Ctx;
+
+/// Every experiment name understood by the `repro` binary.
+pub const ALL: [&str; 13] = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig3-left",
+    "fig3-mid", "fig3-right", "ablate-dedup", "extended-methods",
+];
+
+/// Dispatch one experiment by name. Returns false for unknown names.
+pub fn run(name: &str, ctx: &Ctx) -> bool {
+    match name {
+        "table1" => table1::run(ctx),
+        "table2" => table23::run(ctx, true),
+        "table3" => table23::run(ctx, false),
+        "table4" => table4::run(ctx),
+        "table5" => table5::run(ctx),
+        "table6" => table6::run(ctx),
+        "fig1" => fig1::run(ctx),
+        "fig2" => fig2::run(ctx),
+        "fig3-left" => fig3::run_left(ctx),
+        "fig3-mid" => fig3::run_mid(ctx),
+        "fig3-right" => fig3::run_right(ctx),
+        "ablate-dedup" => ablate::run(ctx),
+        "extended-methods" => extended::run(ctx),
+        "all" => {
+            for name in ALL {
+                println!("\n===== {name} =====");
+                run(name, ctx);
+            }
+        }
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,51 @@
+//! Table I — the evaluation corpus: m, n, and degree-skew ratio per graph,
+//! split into the regular and skewed groups.
+
+use crate::harness::{header, row, Ctx};
+use mlcg_graph::suite::Group;
+use mlcg_graph::DegreeStats;
+
+/// Print the corpus table.
+pub fn run(ctx: &Ctx) {
+    let corpus = ctx.corpus();
+    println!("Table I: evaluation corpus (scale {}, preprocessed: LCC, relabeled)", ctx.scale);
+    header(&["Graph", "Domain", "m", "n", "Δ/(2m/n)", "group"]);
+    for ng in &corpus {
+        let s = DegreeStats::of(&ng.graph);
+        row(&[
+            ng.name.to_string(),
+            ng.domain.to_string(),
+            s.m.to_string(),
+            s.n.to_string(),
+            format!("{:.1}", s.skew),
+            match ng.group {
+                Group::Regular => "regular".into(),
+                Group::Skewed => "skewed".into(),
+            },
+        ]);
+        // The corpus must respect the paper's grouping property.
+        let consistent = match ng.group {
+            Group::Regular => !s.is_skewed(),
+            Group::Skewed => s.is_skewed(),
+        };
+        if !consistent {
+            eprintln!("warning: {} skew {:.1} does not match its group", ng.name, s.skew);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_runs_on_a_tiny_scale() {
+        // Smoke: the full corpus is exercised by `repro table1`; here just
+        // confirm the harness produces consistent stats for two entries.
+        let ctx = Ctx::default();
+        for ng in mlcg_graph::suite::mini_suite(ctx.seed) {
+            let s = DegreeStats::of(&ng.graph);
+            assert!(s.n > 0 && s.m > 0);
+        }
+    }
+}

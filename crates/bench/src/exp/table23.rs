@@ -1,0 +1,112 @@
+//! Tables II and III — HEC coarsening performance under the device-sim
+//! ("GPU") and host ("32-core CPU") policies: total coarsening time with
+//! sort-based construction, the fraction spent constructing, and the
+//! construction-time ratios of the hashing and SpGEMM alternatives.
+//!
+//! The paper's footnote comparisons are reproduced too: HEC vs HEC2/HEC3
+//! time and level ratios, and the fraction of vertices resolved within two
+//! passes of Algorithm 4.
+
+use crate::harness::{geo, header, median_time, ratio, row, secs, Ctx};
+use mlcg_coarsen::{coarsen, CoarsenOptions, ConstructMethod, ConstructOptions, MapMethod};
+use mlcg_graph::suite::Group;
+
+fn coarsen_opts(method: MapMethod, cm: ConstructMethod, seed: u64) -> CoarsenOptions {
+    CoarsenOptions {
+        method,
+        construction: ConstructOptions::with_method(cm),
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Run Table II (`device = true`) or Table III (`device = false`).
+pub fn run(ctx: &Ctx, device: bool) {
+    let policy = if device { ctx.device() } else { ctx.host() };
+    let corpus = ctx.corpus();
+    println!(
+        "Table {}: HEC coarsening on the {} policy ({policy}), median of {} runs",
+        if device { "II" } else { "III" },
+        if device { "device-sim" } else { "host" },
+        ctx.runs,
+    );
+    header(&["Graph", "t_c (s)", "% GrCo", "Hashing", "SpGEMM"]);
+
+    let mut group_rows: Vec<(Group, f64, f64, f64)> = Vec::new();
+    let mut hec_vs: Vec<(f64, f64, f64, f64)> = Vec::new(); // (t2/t, t3/t, lvl2/lvl, lvl3/lvl)
+    let mut two_pass_fracs: Vec<f64> = Vec::new();
+
+    for ng in &corpus {
+        let g = &ng.graph;
+        let run_with = |cm: ConstructMethod| {
+            median_time(ctx.runs, || coarsen(&policy, g, &coarsen_opts(MapMethod::Hec, cm, ctx.seed)))
+        };
+        let (h_sort, t_sort) = run_with(ConstructMethod::Sort);
+        let (_h_hash, _) = run_with(ConstructMethod::Hash);
+        let (_h_spg, _) = run_with(ConstructMethod::Spgemm);
+        // Construction-time ratios use the driver's per-phase timers from
+        // the *last* run of each method.
+        let con_sort: f64 = h_sort.stats.construct_seconds.iter().sum();
+        let con_hash: f64 = _h_hash.stats.construct_seconds.iter().sum();
+        let con_spg: f64 = _h_spg.stats.construct_seconds.iter().sum();
+        let grco = h_sort.stats.construction_fraction() * 100.0;
+        let r_hash = con_hash / con_sort;
+        let r_spg = con_spg / con_sort;
+        row(&[
+            ng.name.to_string(),
+            secs(t_sort),
+            format!("{grco:.0}"),
+            ratio(r_hash),
+            ratio(r_spg),
+        ]);
+        group_rows.push((ng.group, grco, r_hash, r_spg));
+
+        // HEC2 / HEC3 comparison (paper §IV.A text).
+        let (h2, t2) = median_time(ctx.runs, || {
+            coarsen(&policy, g, &coarsen_opts(MapMethod::Hec2, ConstructMethod::Sort, ctx.seed))
+        });
+        let (h3, t3) = median_time(ctx.runs, || {
+            coarsen(&policy, g, &coarsen_opts(MapMethod::Hec3, ConstructMethod::Sort, ctx.seed))
+        });
+        hec_vs.push((
+            t2 / t_sort,
+            t3 / t_sort,
+            h2.num_levels() as f64 / h_sort.num_levels().max(1) as f64,
+            h3.num_levels() as f64 / h_sort.num_levels().max(1) as f64,
+        ));
+        if let Some(level) = h_sort.levels.first() {
+            let total: usize = level.map_stats.resolved_per_pass.iter().sum();
+            let first2: usize = level.map_stats.resolved_per_pass.iter().take(2).sum();
+            if total > 0 {
+                two_pass_fracs.push(first2 as f64 / total as f64);
+            }
+        }
+    }
+    for (group, label) in [(Group::Regular, "regular"), (Group::Skewed, "skewed")] {
+        let rows: Vec<&(Group, f64, f64, f64)> =
+            group_rows.iter().filter(|r| r.0 == group).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        row(&[
+            format!("GeoMean ({label})"),
+            String::new(),
+            format!("{:.0}", geo(&rows.iter().map(|r| r.1).collect::<Vec<_>>())),
+            ratio(geo(&rows.iter().map(|r| r.2).collect::<Vec<_>>())),
+            ratio(geo(&rows.iter().map(|r| r.3).collect::<Vec<_>>())),
+        ]);
+    }
+    println!();
+    println!(
+        "HEC variants (geomean over corpus): t(HEC2)/t(HEC) = {:.2}, t(HEC3)/t(HEC) = {:.2}, \
+         levels(HEC2)/levels(HEC) = {:.2}, levels(HEC3)/levels(HEC) = {:.2}",
+        geo(&hec_vs.iter().map(|r| r.0).collect::<Vec<_>>()),
+        geo(&hec_vs.iter().map(|r| r.1).collect::<Vec<_>>()),
+        geo(&hec_vs.iter().map(|r| r.2).collect::<Vec<_>>()),
+        geo(&hec_vs.iter().map(|r| r.3).collect::<Vec<_>>()),
+    );
+    println!(
+        "Algorithm 4 first-level vertices resolved within two passes: {:.1}% (paper: 99.4%)",
+        100.0 * two_pass_fracs.iter().sum::<f64>() / two_pass_fracs.len().max(1) as f64
+    );
+}

@@ -1,0 +1,77 @@
+//! Table V — multilevel *spectral* bisection on the device-sim policy:
+//! total time and coarsening fraction with HEC coarsening, the median edge
+//! cut, and cut ratios when the coarsener is swapped for HEM or
+//! mt-Metis-style two-hop matching.
+
+use crate::harness::{geo, header, ratio, row, secs, Ctx};
+use mlcg_coarsen::{CoarsenOptions, MapMethod};
+use mlcg_graph::suite::Group;
+use mlcg_graph::Csr;
+use mlcg_par::ExecPolicy;
+use mlcg_partition::{spectral_bisect, PartitionResult, SpectralConfig};
+
+pub(crate) fn spectral_cfg(ctx: &Ctx) -> SpectralConfig {
+    if ctx.fast {
+        SpectralConfig { tol: 1e-10, coarse_max_iters: 500, refine_max_iters: 50 }
+    } else {
+        SpectralConfig { tol: 1e-10, coarse_max_iters: 5_000, refine_max_iters: 500 }
+    }
+}
+
+fn run_one(
+    ctx: &Ctx,
+    policy: &ExecPolicy,
+    g: &Csr,
+    method: MapMethod,
+) -> PartitionResult {
+    // The paper reports the median cut of 10 runs; we take the median-cut
+    // run of `ctx.runs` seeds.
+    let mut results: Vec<PartitionResult> = (0..ctx.runs as u64)
+        .map(|i| {
+            let opts = CoarsenOptions { method, seed: ctx.seed + i, ..Default::default() };
+            spectral_bisect(policy, g, &opts, &spectral_cfg(ctx), ctx.seed + i)
+        })
+        .collect();
+    results.sort_by_key(|r| r.cut);
+    results.swap_remove(results.len() / 2)
+}
+
+/// Print Table V.
+pub fn run(ctx: &Ctx) {
+    let policy = ctx.device();
+    let corpus = ctx.corpus();
+    println!("Table V: spectral bisection (device-sim policy, tol 1e-10, median of {} runs)", ctx.runs);
+    header(&["Graph", "Time (s)", "%Coa", "Edge cut", "HEM", "mtMetis"]);
+    let mut geos: Vec<(Group, f64, f64, f64)> = Vec::new();
+    for ng in &corpus {
+        let g = &ng.graph;
+        let hec = run_one(ctx, &policy, g, MapMethod::Hec);
+        let hem = run_one(ctx, &policy, g, MapMethod::Hem);
+        let mtm = run_one(ctx, &policy, g, MapMethod::MtMetis);
+        let r_hem = hem.cut as f64 / hec.cut.max(1) as f64;
+        let r_mtm = mtm.cut as f64 / hec.cut.max(1) as f64;
+        row(&[
+            ng.name.to_string(),
+            secs(hec.total_seconds()),
+            format!("{:.0}", hec.coarsen_fraction() * 100.0),
+            hec.cut.to_string(),
+            ratio(r_hem),
+            ratio(r_mtm),
+        ]);
+        geos.push((ng.group, hec.coarsen_fraction() * 100.0, r_hem, r_mtm));
+    }
+    for (group, label) in [(Group::Regular, "regular"), (Group::Skewed, "skewed")] {
+        let sel: Vec<&(Group, f64, f64, f64)> = geos.iter().filter(|r| r.0 == group).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        row(&[
+            format!("GeoMean ({label})"),
+            String::new(),
+            format!("{:.0}", geo(&sel.iter().map(|r| r.1).collect::<Vec<_>>())),
+            String::new(),
+            ratio(geo(&sel.iter().map(|r| r.2).collect::<Vec<_>>())),
+            ratio(geo(&sel.iter().map(|r| r.3).collect::<Vec<_>>())),
+        ]);
+    }
+}

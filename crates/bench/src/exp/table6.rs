@@ -1,0 +1,100 @@
+//! Table VI — multilevel bisection with FM refinement: the FM +
+//! device-HEC cut, cut ratios for FM + host-HEC, spectral, Metis-like and
+//! mt-Metis-like, and the running-time ratio of device spectral (HEC) to
+//! the mt-Metis-like partitioner.
+
+use crate::harness::{geo, header, ratio, row, Ctx};
+use mlcg_coarsen::{CoarsenOptions, MapMethod};
+use mlcg_graph::suite::Group;
+use mlcg_graph::Csr;
+use mlcg_par::ExecPolicy;
+use mlcg_partition::{fm_bisect, metis_like, mtmetis_like, spectral_bisect, FmConfig, PartitionResult};
+
+fn median_by_cut(mut results: Vec<PartitionResult>) -> PartitionResult {
+    results.sort_by_key(|r| r.cut);
+    let mid = results.len() / 2;
+    results.swap_remove(mid)
+}
+
+fn fm_runs(ctx: &Ctx, policy: &ExecPolicy, g: &Csr) -> PartitionResult {
+    median_by_cut(
+        (0..ctx.runs as u64)
+            .map(|i| {
+                let opts =
+                    CoarsenOptions { method: MapMethod::Hec, seed: ctx.seed + i, ..Default::default() };
+                fm_bisect(policy, g, &opts, &FmConfig::default(), ctx.seed + i)
+            })
+            .collect(),
+    )
+}
+
+/// Print Table VI.
+pub fn run(ctx: &Ctx) {
+    let device = ctx.device();
+    let host = ctx.host();
+    let corpus = ctx.corpus();
+    println!(
+        "Table VI: FM-refined bisection (median of {} runs); ratios are cut_alt / cut(FM+dev-HEC)",
+        ctx.runs
+    );
+    header(&[
+        "Graph",
+        "FM+devHEC cut",
+        "FM+host",
+        "Spectral",
+        "Metis-like",
+        "mtMetis-like",
+        "t_spec / t_mtM",
+    ]);
+    let mut geos: Vec<(Group, [f64; 5])> = Vec::new();
+    for ng in &corpus {
+        let g = &ng.graph;
+        let fm_dev = fm_runs(ctx, &device, g);
+        let fm_host = fm_runs(ctx, &host, g);
+        let spec = median_by_cut(
+            (0..ctx.runs as u64)
+                .map(|i| {
+                    let opts = CoarsenOptions {
+                        method: MapMethod::Hec,
+                        seed: ctx.seed + i,
+                        ..Default::default()
+                    };
+                    spectral_bisect(&device, g, &opts, &super::table5::spectral_cfg(ctx), ctx.seed + i)
+                })
+                .collect(),
+        );
+        let met = median_by_cut((0..ctx.runs as u64).map(|i| metis_like(g, ctx.seed + i)).collect());
+        let mtm = median_by_cut(
+            (0..ctx.runs as u64).map(|i| mtmetis_like(&host, g, ctx.seed + i)).collect(),
+        );
+        let base = fm_dev.cut.max(1) as f64;
+        let vals = [
+            fm_host.cut as f64 / base,
+            spec.cut as f64 / base,
+            met.cut as f64 / base,
+            mtm.cut as f64 / base,
+            spec.total_seconds() / mtm.total_seconds(),
+        ];
+        row(&[
+            ng.name.to_string(),
+            fm_dev.cut.to_string(),
+            ratio(vals[0]),
+            ratio(vals[1]),
+            ratio(vals[2]),
+            ratio(vals[3]),
+            ratio(vals[4]),
+        ]);
+        geos.push((ng.group, vals));
+    }
+    for (group, label) in [(Group::Regular, "regular"), (Group::Skewed, "skewed")] {
+        let sel: Vec<&(Group, [f64; 5])> = geos.iter().filter(|r| r.0 == group).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let mut cells = vec![format!("GeoMean ({label})"), String::new()];
+        for i in 0..5 {
+            cells.push(ratio(geo(&sel.iter().map(|r| r.1[i]).collect::<Vec<_>>())));
+        }
+        row(&cells);
+    }
+}

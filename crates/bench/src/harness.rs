@@ -1,0 +1,144 @@
+//! Shared harness utilities: run context, corpus caching, timing,
+//! table formatting.
+
+use mlcg_graph::suite::{self, NamedGraph};
+use mlcg_par::timer::{geomean, median};
+use mlcg_par::{ExecPolicy, Timer};
+
+/// Options common to every experiment.
+#[derive(Clone, Debug)]
+pub struct Ctx {
+    /// Corpus scale: 0 is the laptop default, each +1 doubles vertex counts.
+    pub scale: u32,
+    /// Timed repetitions; medians are reported (the paper uses 10 runs).
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Lower the power-iteration caps (smoke-test mode).
+    pub fast: bool,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx { scale: 0, runs: 3, seed: 42, fast: false }
+    }
+}
+
+impl Ctx {
+    /// Parse `--scale/--runs/--seed/--fast` style arguments.
+    pub fn from_args(args: &[String]) -> Ctx {
+        let mut ctx = Ctx::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => ctx.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+                "--runs" => ctx.runs = it.next().and_then(|v| v.parse().ok()).unwrap_or(3).max(1),
+                "--seed" => ctx.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+                "--fast" => ctx.fast = true,
+                other => eprintln!("warning: ignoring unknown option {other}"),
+            }
+        }
+        ctx
+    }
+
+    /// Generate the full 20-graph corpus at this context's scale.
+    pub fn corpus(&self) -> Vec<NamedGraph> {
+        eprintln!("generating corpus (scale {}) ...", self.scale);
+        let t = Timer::start();
+        let corpus = suite::suite(self.scale, self.seed);
+        eprintln!("corpus ready in {:.1}s", t.seconds());
+        corpus
+    }
+
+    /// The "GPU" execution policy of the reproduction (device-sim).
+    pub fn device(&self) -> ExecPolicy {
+        ExecPolicy::device_sim()
+    }
+
+    /// The multicore execution policy.
+    pub fn host(&self) -> ExecPolicy {
+        ExecPolicy::host()
+    }
+}
+
+/// Run `f` `runs` times and return `(last_result, median_seconds)`.
+pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(runs >= 1);
+    let mut samples = Vec::with_capacity(runs);
+    let mut out = None;
+    for _ in 0..runs {
+        let t = Timer::start();
+        out = Some(f());
+        samples.push(t.seconds());
+    }
+    (out.unwrap(), median(&mut samples))
+}
+
+/// Geometric mean helper re-exported for the experiment modules.
+pub fn geo(xs: &[f64]) -> f64 {
+    geomean(xs)
+}
+
+/// Print a markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Print a markdown-style header + separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Format seconds with 3 significant decimals (as the paper's tables do).
+pub fn secs(s: f64) -> String {
+    format!("{s:.3}")
+}
+
+/// Format a ratio with two decimals; `NaN` prints as `OOM`-style dash.
+pub fn ratio(r: f64) -> String {
+    if r.is_finite() {
+        format!("{r:.2}")
+    } else {
+        "-".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_parses_args() {
+        let args: Vec<String> =
+            ["--scale", "2", "--runs", "5", "--seed", "7", "--fast"].iter().map(|s| s.to_string()).collect();
+        let ctx = Ctx::from_args(&args);
+        assert_eq!(ctx.scale, 2);
+        assert_eq!(ctx.runs, 5);
+        assert_eq!(ctx.seed, 7);
+        assert!(ctx.fast);
+    }
+
+    #[test]
+    fn ctx_defaults() {
+        let ctx = Ctx::from_args(&[]);
+        assert_eq!(ctx.scale, 0);
+        assert_eq!(ctx.runs, 3);
+        assert!(!ctx.fast);
+    }
+
+    #[test]
+    fn median_time_returns_result() {
+        let (v, t) = median_time(3, || 21 * 2);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(secs(1.23456), "1.235");
+        assert_eq!(ratio(2.5), "2.50");
+        assert_eq!(ratio(f64::NAN), "-");
+        assert_eq!(ratio(f64::INFINITY), "-");
+    }
+}

@@ -1,0 +1,22 @@
+//! # mlcg-bench — reproduction harness
+//!
+//! One regeneration routine per table and figure of the paper (see
+//! DESIGN.md §2 for the experiment index and EXPERIMENTS.md for recorded
+//! outputs). The `repro` binary dispatches to [`exp`]:
+//!
+//! ```text
+//! cargo run --release -p mlcg-bench --bin repro -- <experiment> [options]
+//!
+//! experiments: table1 table2 table3 table4 table5 table6
+//!              fig1 fig2 fig3-left fig3-mid fig3-right
+//!              ablate-dedup all
+//! options:     --scale <k>   corpus size (default 0; +1 doubles n)
+//!              --runs <r>    timed repetitions, median reported (default 3)
+//!              --seed <s>    RNG seed (default 42)
+//!              --fast        lower power-iteration caps for quick smoke runs
+//! ```
+
+pub mod exp;
+pub mod harness;
+
+pub use harness::Ctx;

@@ -1,0 +1,47 @@
+//! Smoke tests for the reproduction harness: the corpus-free experiments
+//! run end-to-end, and every experiment name dispatches.
+
+use mlcg_bench::{exp, Ctx};
+
+#[test]
+fn fig1_and_fig2_run_without_a_corpus() {
+    let ctx = Ctx { runs: 1, ..Default::default() };
+    assert!(exp::run("fig1", &ctx));
+    assert!(exp::run("fig2", &ctx));
+    // The DOT outputs land under target/repro.
+    assert!(std::path::Path::new("target/repro/fig2-heavy-digraph.dot").exists()
+        || std::path::Path::new("../../target/repro/fig2-heavy-digraph.dot").exists());
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    let ctx = Ctx::default();
+    assert!(!exp::run("not-an-experiment", &ctx));
+}
+
+#[test]
+fn all_experiment_names_are_known() {
+    // Dispatch-table consistency: every name in ALL resolves (we don't run
+    // the heavy ones here, just verify fig/cheap entries and the parse).
+    for name in exp::ALL {
+        assert!(
+            [
+                "table1",
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "table6",
+                "fig1",
+                "fig2",
+                "fig3-left",
+                "fig3-mid",
+                "fig3-right",
+                "ablate-dedup",
+                "extended-methods",
+            ]
+            .contains(&name),
+            "unexpected experiment {name}"
+        );
+    }
+}

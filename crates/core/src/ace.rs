@@ -1,0 +1,263 @@
+//! ACE-style *weighted aggregation* coarsening.
+//!
+//! The paper implemented the ACE coarsening strategy (Koren, Carmel &
+//! Harel's algebraic-multigrid drawing scheme; Algorithm 8 of the
+//! extended report) but excluded it from results because "ACE coarsening
+//! quickly makes the coarse graphs dense, and changes to preserve
+//! sparsity are left for future work". This module provides both pieces:
+//! the weighted-aggregation coarsener *and* the sparsity controls
+//! (bounded interpolation fan-in plus a drop tolerance on the triple
+//! product).
+//!
+//! Unlike the strict aggregation schemes, ACE maps fine vertices to
+//! *several* coarse vertices with fractional weights: a coarse seed set
+//! `C` is selected greedily (a vertex is skipped if it is already
+//! strongly connected to the current seeds), the interpolation matrix
+//! `P[u, c] ∝ w(u, c)` distributes each non-seed vertex over its coarse
+//! neighbors (capped at `max_fanin` heaviest), and the coarse operator is
+//! `Pᵀ·A·P` with entries below `drop_tol · max_entry(row)` discarded.
+
+use mlcg_graph::{Csr, VId};
+use mlcg_par::perm::random_permutation;
+use mlcg_par::ExecPolicy;
+use mlcg_sparse::{spgemm, transpose, CsrMatrix};
+
+/// ACE coarsening parameters.
+#[derive(Clone, Debug)]
+pub struct AceOptions {
+    /// A visited vertex becomes a seed unless at least this fraction of
+    /// its weighted degree already points at seeds.
+    pub strong_threshold: f64,
+    /// Maximum number of coarse neighbors a fine vertex interpolates from
+    /// (sparsity control #1).
+    pub max_fanin: usize,
+    /// Relative drop tolerance applied per coarse row after the triple
+    /// product (sparsity control #2). 0.0 keeps everything.
+    pub drop_tol: f64,
+    /// Random seed for the visit order.
+    pub seed: u64,
+}
+
+impl Default for AceOptions {
+    fn default() -> Self {
+        AceOptions { strong_threshold: 0.5, max_fanin: 3, drop_tol: 0.01, seed: 0xace }
+    }
+}
+
+/// Result of one ACE coarsening level.
+#[derive(Clone, Debug)]
+pub struct AceLevel {
+    /// Interpolation matrix `P` (`n × n_c`), rows summing to 1.
+    pub p: CsrMatrix,
+    /// The coarse operator `Pᵀ·A·P` (symmetric, may carry a diagonal).
+    pub coarse: CsrMatrix,
+    /// Indices of the fine vertices chosen as coarse seeds.
+    pub seeds: Vec<u32>,
+}
+
+/// Run one level of ACE weighted aggregation.
+pub fn ace_coarsen(policy: &ExecPolicy, g: &Csr, opts: &AceOptions) -> AceLevel {
+    let n = g.n();
+    assert!(n > 0, "ACE requires a non-empty graph");
+    // --- seed selection (sequential greedy, as in ACE) ---
+    let order = random_permutation(&ExecPolicy::serial(), n, opts.seed);
+    let mut is_seed = vec![false; n];
+    let mut seeds: Vec<u32> = Vec::new();
+    for &u in &order {
+        let wd: f64 = g.weights(u).iter().map(|&w| w as f64).sum();
+        let to_seeds: f64 = g
+            .edges(u)
+            .filter(|&(v, _)| is_seed[v as usize])
+            .map(|(_, w)| w as f64)
+            .sum();
+        if wd == 0.0 || to_seeds < opts.strong_threshold * wd {
+            is_seed[u as usize] = true;
+            seeds.push(u);
+        }
+    }
+    seeds.sort_unstable();
+    let nc = seeds.len();
+    let mut seed_index = vec![u32::MAX; n];
+    for (i, &s) in seeds.iter().enumerate() {
+        seed_index[s as usize] = i as u32;
+    }
+
+    // --- interpolation matrix ---
+    let mut row_ptr = vec![0usize; n + 1];
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    for u in 0..n as VId {
+        if seed_index[u as usize] != u32::MAX {
+            col_idx.push(seed_index[u as usize]);
+            values.push(1.0);
+        } else {
+            // Heaviest `max_fanin` coarse neighbors, weights normalized.
+            let mut cands: Vec<(u64, u32)> = g
+                .edges(u)
+                .filter(|&(v, _)| seed_index[v as usize] != u32::MAX)
+                .map(|(v, w)| (w, seed_index[v as usize]))
+                .collect();
+            // Greedy seed selection guarantees strong connectivity to C,
+            // so cands is nonempty for threshold >= any positive value.
+            assert!(
+                !cands.is_empty(),
+                "non-seed vertex {u} has no coarse neighbor (disconnected input?)"
+            );
+            cands.sort_unstable_by(|a, b| b.cmp(a));
+            cands.truncate(opts.max_fanin);
+            cands.sort_unstable_by_key(|&(_, c)| c);
+            let total: f64 = cands.iter().map(|&(w, _)| w as f64).sum();
+            for (w, c) in cands {
+                col_idx.push(c);
+                values.push(w as f64 / total);
+            }
+        }
+        row_ptr[u as usize + 1] = col_idx.len();
+    }
+    let p = CsrMatrix { n_rows: n, n_cols: nc, row_ptr, col_idx, values };
+
+    // --- coarse operator with drop tolerance ---
+    let a = CsrMatrix::from_graph(g);
+    let pt = transpose(&p);
+    let pta = spgemm(policy, &pt, &a);
+    let mut coarse = spgemm(policy, &pta, &p);
+    if opts.drop_tol > 0.0 {
+        coarse = drop_small(&coarse, opts.drop_tol);
+    }
+    AceLevel { p, coarse, seeds }
+}
+
+/// Drop entries below `tol · row_max` (keeping the diagonal), rebuilding
+/// the CSR arrays.
+fn drop_small(a: &CsrMatrix, tol: f64) -> CsrMatrix {
+    let mut row_ptr = Vec::with_capacity(a.n_rows + 1);
+    let mut col_idx = Vec::with_capacity(a.nnz());
+    let mut values = Vec::with_capacity(a.nnz());
+    row_ptr.push(0);
+    for i in 0..a.n_rows {
+        let (cols, vals) = a.row(i);
+        let row_max = vals.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c as usize == i || v.abs() >= tol * row_max {
+                col_idx.push(c);
+                values.push(v);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix { n_rows: a.n_rows, n_cols: a.n_cols, row_ptr, col_idx, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcg_graph::generators as gen;
+
+    fn opts() -> AceOptions {
+        AceOptions::default()
+    }
+
+    #[test]
+    fn interpolation_rows_sum_to_one() {
+        let g = gen::grid2d(12, 12);
+        let lvl = ace_coarsen(&ExecPolicy::serial(), &g, &opts());
+        lvl.p.validate().unwrap();
+        for u in 0..g.n() {
+            let (_, vals) = lvl.p.row(u);
+            let s: f64 = vals.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {u} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn coarse_is_smaller_and_symmetric() {
+        let g = gen::grid2d(16, 16);
+        let lvl = ace_coarsen(&ExecPolicy::serial(), &g, &opts());
+        assert!(lvl.seeds.len() < g.n(), "no coarsening: {} seeds", lvl.seeds.len());
+        assert!(lvl.seeds.len() > g.n() / 20, "absurdly aggressive");
+        // Pᵀ A P with drop_tol 0 is exactly symmetric; with a tolerance it
+        // stays numerically symmetric because drops are row-relative on a
+        // symmetric matrix.
+        let c = &lvl.coarse;
+        let ct = transpose(c);
+        for i in 0..c.n_rows {
+            let (c1, v1) = c.row(i);
+            let (c2, v2) = ct.row(i);
+            assert_eq!(c1, c2, "row {i} pattern asymmetric");
+            for (a, b) in v1.iter().zip(v2) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fanin_cap_limits_p_density() {
+        let g = gen::complete(20);
+        let o = AceOptions { max_fanin: 2, ..opts() };
+        let lvl = ace_coarsen(&ExecPolicy::serial(), &g, &o);
+        for u in 0..g.n() {
+            assert!(lvl.p.row(u).0.len() <= 2, "fan-in exceeded at {u}");
+        }
+    }
+
+    #[test]
+    fn drop_tolerance_controls_density() {
+        let (g, _) = mlcg_graph::cc::largest_component(&gen::rmat(9, 8, 0.57, 0.19, 0.19, 3));
+        let dense = ace_coarsen(&ExecPolicy::serial(), &g, &AceOptions { drop_tol: 0.0, ..opts() });
+        let sparse =
+            ace_coarsen(&ExecPolicy::serial(), &g, &AceOptions { drop_tol: 0.05, ..opts() });
+        assert_eq!(dense.seeds, sparse.seeds, "same seeds, different drops");
+        assert!(
+            sparse.coarse.nnz() < dense.coarse.nnz(),
+            "drop tolerance must shed entries: {} vs {}",
+            sparse.coarse.nnz(),
+            dense.coarse.nnz()
+        );
+    }
+
+    #[test]
+    fn seeds_dominate_the_graph() {
+        // Every non-seed is strongly connected to the seed set by
+        // construction (at least `strong_threshold` of its weighted degree).
+        let g = gen::delaunay_like(15, 15, 3);
+        let lvl = ace_coarsen(&ExecPolicy::serial(), &g, &opts());
+        let mut is_seed = vec![false; g.n()];
+        for &s in &lvl.seeds {
+            is_seed[s as usize] = true;
+        }
+        for u in 0..g.n() as u32 {
+            if is_seed[u as usize] {
+                continue;
+            }
+            let wd: f64 = g.weights(u).iter().map(|&w| w as f64).sum();
+            let to_seeds: f64 = g
+                .edges(u)
+                .filter(|&(v, _)| is_seed[v as usize])
+                .map(|(_, w)| w as f64)
+                .sum();
+            assert!(
+                to_seeds >= 0.5 * wd - 1e-9,
+                "vertex {u} weakly connected to seeds ({to_seeds}/{wd})"
+            );
+        }
+    }
+
+    #[test]
+    fn every_non_seed_interpolates_from_a_neighbor_seed() {
+        // The threshold guarantees at least one coarse neighbor, so P has
+        // no zero rows and no chained interpolation.
+        let g = gen::path(20);
+        let lvl = ace_coarsen(&ExecPolicy::serial(), &g, &opts());
+        for u in 0..g.n() {
+            assert!(!lvl.p.row(u).0.is_empty(), "empty interpolation row {u}");
+        }
+        // And a path cannot go three consecutive non-seeds under 0.5.
+        let mut is_seed = vec![false; g.n()];
+        for &s in &lvl.seeds {
+            is_seed[s as usize] = true;
+        }
+        for w in is_seed.windows(3) {
+            assert!(w.iter().any(|&s| s), "three adjacent non-seeds");
+        }
+    }
+}

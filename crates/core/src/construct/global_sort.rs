@@ -1,0 +1,146 @@
+//! Global sort-based coarse-graph construction — the baseline the paper
+//! compares against (and finds uncompetitive): pack every inter-aggregate
+//! directed entry into a `(M[u], M[v])` key, sort all `2m'` triples
+//! globally, and reduce equal-key runs by summing weights.
+
+use crate::mapping::Mapping;
+use mlcg_graph::{Csr, VId, Weight};
+use mlcg_par::atomic::as_atomic_usize;
+use mlcg_par::scan::exclusive_scan;
+use mlcg_par::sort::par_radix_sort_pairs;
+use mlcg_par::{parallel_for, ExecPolicy};
+use std::sync::atomic::Ordering;
+
+/// Build the coarse graph by a global sort-and-reduce.
+pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
+    let n = g.n();
+    let nc = mapping.n_coarse;
+    let map = &mapping.map;
+    assert!(nc <= u32::MAX as usize);
+
+    // Count inter-aggregate directed entries per fine vertex, then scatter
+    // the packed triples.
+    let mut offsets = vec![0usize; n + 1];
+    {
+        let base = offsets.as_mut_ptr() as usize;
+        parallel_for(policy, n, move |u| {
+            let cu = map[u];
+            let c = g.neighbors(u as VId).iter().filter(|&&v| map[v as usize] != cu).count();
+            // SAFETY: disjoint writes per index.
+            unsafe {
+                (base as *mut usize).add(u).write(c);
+            }
+        });
+    }
+    let total = exclusive_scan(policy, &mut offsets);
+    let mut keys: Vec<u64> = vec![0; total];
+    let mut vals: Vec<Weight> = vec![0; total];
+    {
+        let k_base = keys.as_mut_ptr() as usize;
+        let v_base = vals.as_mut_ptr() as usize;
+        let off = &offsets;
+        parallel_for(policy, n, move |u| {
+            let cu = map[u];
+            let mut p = off[u];
+            for (v, w) in g.edges(u as VId) {
+                let cv = map[v as usize];
+                if cv != cu {
+                    // SAFETY: each vertex writes its own offset range.
+                    unsafe {
+                        (k_base as *mut u64).add(p).write(((cu as u64) << 32) | cv as u64);
+                        (v_base as *mut Weight).add(p).write(w);
+                    }
+                    p += 1;
+                }
+            }
+        });
+    }
+
+    par_radix_sort_pairs(policy, &mut keys, &mut vals);
+
+    // Head flags -> run index per entry -> unique-run count.
+    let mut head = vec![0usize; total + 1];
+    {
+        let base = head.as_mut_ptr() as usize;
+        let keys_ref = &keys;
+        parallel_for(policy, total, move |i| {
+            let h = usize::from(i == 0 || keys_ref[i] != keys_ref[i - 1]);
+            // SAFETY: disjoint writes per index.
+            unsafe {
+                (base as *mut usize).add(i).write(h);
+            }
+        });
+    }
+    // Inclusive scan: head[i] becomes (#heads in 0..=i), so the run index
+    // of entry i is head[i] - 1.
+    let m2 = mlcg_par::scan::inclusive_scan(policy, &mut head[..total]);
+    let run_of = head;
+
+    // Reduce weights per run and record each run's key.
+    let mut adj: Vec<u32> = vec![0; m2];
+    let mut wgt: Vec<Weight> = vec![0; m2];
+    let mut row_count = vec![0usize; nc + 1];
+    {
+        let adj_base = adj.as_mut_ptr() as usize;
+        let wgt_at = mlcg_par::atomic::as_atomic_u64(&mut wgt);
+        let rc = as_atomic_usize(&mut row_count[..nc]);
+        let (keys_ref, vals_ref, run_ref) = (&keys, &vals, &run_of);
+        parallel_for(policy, total, move |i| {
+            let r = run_ref[i] - 1;
+            wgt_at[r].fetch_add(vals_ref[i], Ordering::Relaxed);
+            if i == 0 || keys_ref[i] != keys_ref[i - 1] {
+                let cu = (keys_ref[i] >> 32) as usize;
+                let cv = (keys_ref[i] & 0xFFFF_FFFF) as u32;
+                rc[cu].fetch_add(1, Ordering::Relaxed);
+                // SAFETY: one head per run.
+                unsafe {
+                    (adj_base as *mut u32).add(r).write(cv);
+                }
+            }
+        });
+    }
+    // Runs are sorted by (cu, cv), so row offsets follow from run counts.
+    exclusive_scan(policy, &mut row_count);
+    let mut xadj = row_count;
+    xadj[nc] = m2;
+    Csr::from_parts(xadj, adj, wgt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{construct_coarse_graph, ConstructMethod, ConstructOptions};
+    use mlcg_graph::builder::from_edges_weighted;
+
+    #[test]
+    fn agrees_with_sort_construction() {
+        let g = from_edges_weighted(
+            6,
+            &[(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (4, 5, 6), (0, 5, 7), (1, 4, 8)],
+        );
+        let mapping = crate::mapping::Mapping { map: vec![0, 0, 1, 1, 2, 2], n_coarse: 3 };
+        let policy = ExecPolicy::serial();
+        let a = construct_coarse_graph(
+            &policy,
+            &g,
+            &mapping,
+            &ConstructOptions::with_method(ConstructMethod::GlobalSort),
+        );
+        let b = construct_coarse_graph(
+            &policy,
+            &g,
+            &mapping,
+            &ConstructOptions::with_method(ConstructMethod::Sort),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_coarse_edge_set() {
+        let g = from_edges_weighted(2, &[(0, 1, 3)]);
+        let mapping = crate::mapping::Mapping { map: vec![0, 0], n_coarse: 1 };
+        let c = construct(&ExecPolicy::serial(), &g, &mapping);
+        assert_eq!(c.n(), 1);
+        assert_eq!(c.m(), 0);
+    }
+}

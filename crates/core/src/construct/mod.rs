@@ -1,0 +1,205 @@
+//! Coarse-graph construction (`ConstructCoarseGraph` in Algorithm 1).
+//!
+//! Given the fine graph and a mapping, build the weighted coarse graph:
+//! coarse edge `{A, B}` carries the sum of fine edge weights between
+//! aggregates `A` and `B`; intra-aggregate edges disappear (no self-loops);
+//! coarse vertex weights are sums of member vertex weights.
+//!
+//! Three strategies, as in the paper:
+//! - [`ConstructMethod::Sort`] / [`ConstructMethod::Hash`]: the
+//!   vertex-centric Algorithm 6 with sort-based or hash-based per-vertex
+//!   deduplication, optionally using the degree-based deduplication
+//!   optimization for skewed graphs ([`vertex`]);
+//! - [`ConstructMethod::Spgemm`]: `P·A·Pᵀ` via two SpGEMM calls
+//!   ([`spgemm`]);
+//! - [`ConstructMethod::GlobalSort`]: the global sort-and-reduce baseline
+//!   ([`global_sort`]).
+//!
+//! All strategies produce identical graphs (asserted by the test suite).
+
+pub mod global_sort;
+pub mod spgemm;
+pub mod vertex;
+
+use crate::mapping::Mapping;
+use mlcg_graph::{Csr, VWeight};
+use mlcg_par::atomic::as_atomic_u64;
+use mlcg_par::{parallel_for, ExecPolicy};
+use std::sync::atomic::Ordering;
+
+/// Which construction strategy to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConstructMethod {
+    /// Vertex-centric with per-vertex sort-based dedup (the paper's GPU
+    /// default; bitonic sorts under the device-sim policy).
+    Sort,
+    /// Vertex-centric with per-vertex hash-table dedup (the paper's CPU
+    /// winner).
+    Hash,
+    /// `P·A·Pᵀ` through the SpGEMM substrate.
+    Spgemm,
+    /// Global sort of all edge triples (baseline).
+    GlobalSort,
+    /// Vertex-centric with a per-vertex *hybrid* dedup: hash for long,
+    /// duplication-heavy segments, sort otherwise — one of the paper's
+    /// stated future-work optimizations, implemented here.
+    Hybrid,
+}
+
+impl ConstructMethod {
+    /// All methods, in the order the paper's tables report them.
+    pub const ALL: [ConstructMethod; 5] = [
+        ConstructMethod::Sort,
+        ConstructMethod::Hash,
+        ConstructMethod::Spgemm,
+        ConstructMethod::GlobalSort,
+        ConstructMethod::Hybrid,
+    ];
+
+    /// Stable lowercase name used by the benchmark harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConstructMethod::Sort => "sort",
+            ConstructMethod::Hash => "hash",
+            ConstructMethod::Spgemm => "spgemm",
+            ConstructMethod::GlobalSort => "global-sort",
+            ConstructMethod::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parse a harness name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "sort" => ConstructMethod::Sort,
+            "hash" => ConstructMethod::Hash,
+            "spgemm" => ConstructMethod::Spgemm,
+            "global-sort" => ConstructMethod::GlobalSort,
+            "hybrid" => ConstructMethod::Hybrid,
+            _ => return None,
+        })
+    }
+}
+
+/// Construction tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ConstructOptions {
+    /// Strategy to use.
+    pub method: ConstructMethod,
+    /// Enable the degree-based deduplication optimization when the fine
+    /// graph's `Δ / avg-degree` exceeds this (the paper invokes it
+    /// selectively for skewed graphs). `f64::INFINITY` disables it.
+    pub degree_dedup_skew_threshold: f64,
+}
+
+impl Default for ConstructOptions {
+    fn default() -> Self {
+        ConstructOptions { method: ConstructMethod::Sort, degree_dedup_skew_threshold: 10.0 }
+    }
+}
+
+impl ConstructOptions {
+    /// Options for a specific method with default thresholds.
+    pub fn with_method(method: ConstructMethod) -> Self {
+        ConstructOptions { method, ..Default::default() }
+    }
+}
+
+/// Build the coarse graph. The mapping must be validated (contiguous
+/// labels) and the fine graph must satisfy the [`Csr`] invariants.
+///
+/// ```
+/// use mlcg_coarsen::{construct_coarse_graph, ConstructOptions, Mapping};
+/// use mlcg_par::ExecPolicy;
+///
+/// // Path 0-1-2-3 with aggregates {0,1} and {2,3}.
+/// let g = mlcg_graph::builder::from_edges_weighted(4, &[(0, 1, 5), (1, 2, 3), (2, 3, 7)]);
+/// let mapping = Mapping { map: vec![0, 0, 1, 1], n_coarse: 2 };
+/// let c = construct_coarse_graph(&ExecPolicy::serial(), &g, &mapping, &ConstructOptions::default());
+/// assert_eq!(c.find_edge(0, 1), Some(3)); // the 1-2 fine edge survives
+/// assert_eq!(c.vwgt(), &[2, 2]);          // aggregate sizes
+/// ```
+pub fn construct_coarse_graph(
+    policy: &ExecPolicy,
+    g: &Csr,
+    mapping: &Mapping,
+    opts: &ConstructOptions,
+) -> Csr {
+    debug_assert!(mapping.validate().is_ok());
+    let mut coarse = match opts.method {
+        ConstructMethod::Sort => vertex::construct(policy, g, mapping, vertex::Dedup::Sort, opts),
+        ConstructMethod::Hash => vertex::construct(policy, g, mapping, vertex::Dedup::Hash, opts),
+        ConstructMethod::Spgemm => spgemm::construct(policy, g, mapping),
+        ConstructMethod::GlobalSort => global_sort::construct(policy, g, mapping),
+        ConstructMethod::Hybrid => {
+            vertex::construct(policy, g, mapping, vertex::Dedup::Hybrid, opts)
+        }
+    };
+    coarse.set_vwgt(aggregate_vertex_weights(policy, g, mapping));
+    coarse
+}
+
+/// Coarse vertex weights: sums of member fine vertex weights.
+pub fn aggregate_vertex_weights(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Vec<VWeight> {
+    let mut vwgt = vec![0u64; mapping.n_coarse];
+    {
+        let view = as_atomic_u64(&mut vwgt);
+        let map = &mapping.map;
+        parallel_for(policy, g.n(), |u| {
+            view[map[u] as usize].fetch_add(g.vwgt()[u], Ordering::Relaxed);
+        });
+    }
+    vwgt
+}
+
+/// Total weight of intra-aggregate fine edges (dropped during coarsening);
+/// used by the conservation tests: coarse total + intra = fine total.
+pub fn intra_aggregate_weight(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> u64 {
+    mlcg_par::parallel_reduce_sum(policy, g.n(), |u| {
+        let mut acc = 0;
+        for (v, w) in g.edges(u as u32) {
+            if mapping.map[u] == mapping.map[v as usize] {
+                acc += w;
+            }
+        }
+        acc
+    }) / 2
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    use super::*;
+    use crate::mapping::{find_mapping, MapMethod};
+
+    /// Construct with every method and assert they agree exactly and
+    /// satisfy conservation + CSR invariants.
+    pub fn cross_check(g: &Csr, mapping: &Mapping) {
+        let policy = ExecPolicy::serial();
+        let mut results = Vec::new();
+        for method in ConstructMethod::ALL {
+            // Exercise both the optimized and plain dedup paths.
+            for threshold in [0.0, f64::INFINITY] {
+                let opts = ConstructOptions { method, degree_dedup_skew_threshold: threshold };
+                let c = construct_coarse_graph(&policy, g, mapping, &opts);
+                c.validate().unwrap_or_else(|e| {
+                    panic!("{:?} (thr {threshold}): invalid coarse graph: {e}", method)
+                });
+                assert_eq!(c.n(), mapping.n_coarse);
+                assert_eq!(
+                    c.total_edge_weight() + intra_aggregate_weight(&policy, g, mapping),
+                    g.total_edge_weight(),
+                    "{method:?}: weight not conserved"
+                );
+                assert_eq!(c.total_vwgt(), g.total_vwgt(), "{method:?}: vertex weight");
+                results.push((format!("{method:?}/{threshold}"), c));
+            }
+        }
+        for (name, c) in &results[1..] {
+            assert_eq!(c, &results[0].1, "{name} disagrees with {}", results[0].0);
+        }
+    }
+
+    /// A graph + mapping pair from a real mapping algorithm.
+    pub fn mapped(g: &Csr, seed: u64) -> Mapping {
+        find_mapping(&ExecPolicy::serial(), g, MapMethod::SeqHec, seed).0
+    }
+}

@@ -1,0 +1,502 @@
+//! Vertex-centric parallel coarse-graph construction — the paper's
+//! Algorithm 6.
+//!
+//! Six steps: (1) estimate coarse-degree upper bounds `C'`; (2) count the
+//! adjacency entries each coarse vertex will receive, optionally keeping
+//! each undirected fine edge only at the endpoint whose aggregate has the
+//! *smaller* upper-bound degree (the degree-based deduplication
+//! optimization for skewed graphs — ties broken by aggregate identifier so
+//! the choice is consistent per aggregate pair); (3) prefix-sum the counts
+//! into offsets `R`; (4) scatter adjacencies and weights into the
+//! intermediate CSR arrays `F`/`X`; (5) deduplicate each coarse vertex's
+//! segment (`DedupWithWts`) by sorting (bitonic under the device-sim
+//! policy, pdq/insertion on the host) or by per-vertex hash tables; (6)
+//! assemble the final CSR — directly when both edge copies were kept, or
+//! via the transpose expansion (`GraphConsWithTrans`) when the
+//! optimization kept a single copy.
+
+use super::ConstructOptions;
+use crate::mapping::Mapping;
+use mlcg_graph::{Csr, VId, Weight};
+use mlcg_par::atomic::as_atomic_usize;
+use mlcg_par::scan::exclusive_scan;
+use mlcg_par::sort::seg_sort_pairs;
+use mlcg_par::{parallel_for, parallel_for_chunks, ExecPolicy};
+use std::sync::atomic::Ordering;
+
+/// Per-vertex deduplication flavour (step 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dedup {
+    /// Sort the segment, then merge runs in place.
+    Sort,
+    /// Per-vertex open-addressing hash table accumulating weights.
+    Hash,
+    /// Per-vertex choice: hash long segments (where duplication dominates),
+    /// sort short ones — the paper's future-work hybrid.
+    Hybrid,
+}
+
+/// Segment length above which [`Dedup::Hybrid`] switches to hashing: long
+/// segments come from aggregates with many incident fine edges, exactly
+/// where the duplication factor grows.
+pub const HYBRID_HASH_CUTOFF: usize = 128;
+
+/// Run Algorithm 6.
+pub fn construct(
+    policy: &ExecPolicy,
+    g: &Csr,
+    mapping: &Mapping,
+    dedup: Dedup,
+    opts: &ConstructOptions,
+) -> Csr {
+    let n = g.n();
+    let nc = mapping.n_coarse;
+    let map = &mapping.map;
+    let use_opt = g.skew_ratio() > opts.degree_dedup_skew_threshold;
+
+    // Step 1: coarse-degree upper bounds C'.
+    let mut cprime = vec![0usize; nc];
+    {
+        let view = as_atomic_usize(&mut cprime);
+        parallel_for(policy, n, |u| {
+            let cu = map[u] as usize;
+            for &v in g.neighbors(u as VId) {
+                if map[v as usize] as usize != cu {
+                    view[cu].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+    // `keep`: with the optimization, store each fine edge only at the end
+    // whose aggregate has the smaller estimated degree (aggregate-id ties).
+    let cprime_ref = &cprime;
+    let keep = move |cu: usize, cv: usize| -> bool {
+        if !use_opt {
+            return true;
+        }
+        (cprime_ref[cu], cu) < (cprime_ref[cv], cv)
+    };
+
+    // Step 2: kept-entry counts per coarse vertex.
+    let mut cnt = vec![0usize; nc + 1];
+    {
+        let view = as_atomic_usize(&mut cnt[..nc]);
+        parallel_for(policy, n, |u| {
+            let cu = map[u] as usize;
+            for &v in g.neighbors(u as VId) {
+                let cv = map[v as usize] as usize;
+                if cu != cv && keep(cu, cv) {
+                    view[cu].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+    // Step 3: offsets R.
+    let total = exclusive_scan(policy, &mut cnt);
+    let r = cnt; // nc + 1 offsets
+
+    // Step 4: scatter adjacencies and weights into F and X.
+    let mut f: Vec<u32> = vec![0; total];
+    let mut x: Vec<Weight> = vec![0; total];
+    {
+        let mut cursors = r[..nc].to_vec();
+        let cur = as_atomic_usize(&mut cursors);
+        let f_base = f.as_mut_ptr() as usize;
+        let x_base = x.as_mut_ptr() as usize;
+        parallel_for(policy, n, move |u| {
+            let cu = map[u] as usize;
+            for (v, w) in g.edges(u as VId) {
+                let cv = map[v as usize] as usize;
+                if cu != cv && keep(cu, cv) {
+                    let l = cur[cu].fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: cursor slots are globally unique.
+                    unsafe {
+                        (f_base as *mut u32).add(l).write(cv as u32);
+                        (x_base as *mut Weight).add(l).write(w);
+                    }
+                }
+            }
+        });
+    }
+
+    // Step 5: per-coarse-vertex deduplication; deg[cu] = deduped count,
+    // with the survivors compacted to the front of each segment.
+    let mut deg = vec![0usize; nc + 1];
+    {
+        let f_base = f.as_mut_ptr() as usize;
+        let x_base = x.as_mut_ptr() as usize;
+        let deg_base = deg.as_mut_ptr() as usize;
+        let r_ref = &r;
+        let device = policy.is_device();
+        parallel_for_chunks(policy, nc, move |range| {
+            // Reusable per-chunk scratch (bitonic padding / hash tables).
+            let mut sk: Vec<u32> = Vec::new();
+            let mut sv: Vec<Weight> = Vec::new();
+            let mut table_k: Vec<u32> = Vec::new();
+            let mut table_v: Vec<Weight> = Vec::new();
+            for cu in range {
+                let (s, e) = (r_ref[cu], r_ref[cu + 1]);
+                // SAFETY: coarse-vertex segments are disjoint.
+                let (keys, vals) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut((f_base as *mut u32).add(s), e - s),
+                        std::slice::from_raw_parts_mut((x_base as *mut Weight).add(s), e - s),
+                    )
+                };
+                let k = match dedup {
+                    Dedup::Sort => dedup_sort(device, keys, vals, &mut sk, &mut sv),
+                    Dedup::Hash => dedup_hash(keys, vals, &mut table_k, &mut table_v),
+                    Dedup::Hybrid => {
+                        if keys.len() > HYBRID_HASH_CUTOFF {
+                            dedup_hash(keys, vals, &mut table_k, &mut table_v)
+                        } else {
+                            dedup_sort(device, keys, vals, &mut sk, &mut sv)
+                        }
+                    }
+                };
+                // SAFETY: one write per coarse vertex.
+                unsafe {
+                    (deg_base as *mut usize).add(cu).write(k);
+                }
+            }
+        });
+    }
+
+    // Step 6: final assembly.
+    if use_opt {
+        assemble_with_transpose(policy, nc, &r, &f, &x, deg)
+    } else {
+        assemble_direct(policy, nc, &r, &f, &x, deg)
+    }
+}
+
+/// Sort the segment and merge equal-neighbor runs; returns the deduped
+/// length. Weights of duplicates are summed.
+fn dedup_sort(
+    device: bool,
+    keys: &mut [u32],
+    vals: &mut [Weight],
+    sk: &mut Vec<u32>,
+    sv: &mut Vec<Weight>,
+) -> usize {
+    seg_sort_pairs(device, keys, vals, sk, sv);
+    let mut out = 0usize;
+    let mut i = 0usize;
+    while i < keys.len() {
+        let v = keys[i];
+        let mut w = vals[i];
+        i += 1;
+        while i < keys.len() && keys[i] == v {
+            w += vals[i];
+            i += 1;
+        }
+        keys[out] = v;
+        vals[out] = w;
+        out += 1;
+    }
+    out
+}
+
+/// Open-addressing accumulate-by-key; the compacted survivors are then
+/// sorted so the output CSR keeps sorted adjacency (the dominant cost —
+/// deduplicating the full segment — is still hashing).
+fn dedup_hash(
+    keys: &mut [u32],
+    vals: &mut [Weight],
+    table_k: &mut Vec<u32>,
+    table_v: &mut Vec<Weight>,
+) -> usize {
+    const EMPTY: u32 = u32::MAX;
+    let len = keys.len();
+    if len <= 1 {
+        return len;
+    }
+    let cap = (2 * len).next_power_of_two();
+    table_k.clear();
+    table_k.resize(cap, EMPTY);
+    table_v.clear();
+    table_v.resize(cap, 0);
+    let mask = cap - 1;
+    let mut distinct = 0usize;
+    for i in 0..len {
+        let key = keys[i];
+        let mut slot = (mlcg_par::rng::mix(key as u64) as usize) & mask;
+        loop {
+            if table_k[slot] == EMPTY {
+                table_k[slot] = key;
+                table_v[slot] = vals[i];
+                distinct += 1;
+                break;
+            }
+            if table_k[slot] == key {
+                table_v[slot] += vals[i];
+                break;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+    let mut out = 0usize;
+    for slot in 0..cap {
+        if table_k[slot] != EMPTY {
+            keys[out] = table_k[slot];
+            vals[out] = table_v[slot];
+            out += 1;
+        }
+    }
+    debug_assert_eq!(out, distinct);
+    mlcg_par::sort::insertion_or_std_sort(&mut keys[..out], &mut vals[..out]);
+    out
+}
+
+/// Both copies of every fine edge were kept: the deduped segments *are*
+/// the coarse rows; compact them.
+fn assemble_direct(
+    policy: &ExecPolicy,
+    nc: usize,
+    r: &[usize],
+    f: &[u32],
+    x: &[Weight],
+    mut deg: Vec<usize>,
+) -> Csr {
+    let m2 = exclusive_scan(policy, &mut deg);
+    let xadj = deg;
+    let mut adj: Vec<u32> = vec![0; m2];
+    let mut wgt: Vec<Weight> = vec![0; m2];
+    {
+        let adj_base = adj.as_mut_ptr() as usize;
+        let wgt_base = wgt.as_mut_ptr() as usize;
+        let xadj_ref = &xadj;
+        parallel_for(policy, nc, move |cu| {
+            let src = r[cu];
+            let dst = xadj_ref[cu];
+            let len = xadj_ref[cu + 1] - dst;
+            // SAFETY: destination rows are disjoint.
+            unsafe {
+                std::ptr::copy_nonoverlapping(f.as_ptr().add(src), (adj_base as *mut u32).add(dst), len);
+                std::ptr::copy_nonoverlapping(x.as_ptr().add(src), (wgt_base as *mut Weight).add(dst), len);
+            }
+        });
+    }
+    Csr::from_parts(xadj, adj, wgt)
+}
+
+/// The optimization kept each coarse edge exactly once; emit both `⟨u,v⟩`
+/// and `⟨v,u⟩` (`GraphConsWithTrans`), then sort each final row.
+fn assemble_with_transpose(
+    policy: &ExecPolicy,
+    nc: usize,
+    r: &[usize],
+    f: &[u32],
+    x: &[Weight],
+    deg: Vec<usize>,
+) -> Csr {
+    // Count both directions.
+    let mut deg2 = vec![0usize; nc + 1];
+    {
+        let view = as_atomic_usize(&mut deg2[..nc]);
+        let deg_ref = &deg;
+        parallel_for(policy, nc, |cu| {
+            let s = r[cu];
+            let k = deg_ref[cu];
+            view[cu].fetch_add(k, Ordering::Relaxed);
+            for &cv in &f[s..s + k] {
+                view[cv as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+    let m2 = exclusive_scan(policy, &mut deg2);
+    let xadj = deg2;
+    let mut adj: Vec<u32> = vec![0; m2];
+    let mut wgt: Vec<Weight> = vec![0; m2];
+    {
+        let mut cursors = xadj[..nc].to_vec();
+        let cur = as_atomic_usize(&mut cursors);
+        let adj_base = adj.as_mut_ptr() as usize;
+        let wgt_base = wgt.as_mut_ptr() as usize;
+        let deg_ref = &deg;
+        parallel_for(policy, nc, move |cu| {
+            let s = r[cu];
+            let k = deg_ref[cu];
+            for i in 0..k {
+                let (cv, w) = (f[s + i] as usize, x[s + i]);
+                // SAFETY: cursor slots are globally unique.
+                unsafe {
+                    let p = cur[cu].fetch_add(1, Ordering::Relaxed);
+                    (adj_base as *mut u32).add(p).write(cv as u32);
+                    (wgt_base as *mut Weight).add(p).write(w);
+                    let q = cur[cv].fetch_add(1, Ordering::Relaxed);
+                    (adj_base as *mut u32).add(q).write(cu as u32);
+                    (wgt_base as *mut Weight).add(q).write(w);
+                }
+            }
+        });
+    }
+    // Sort each final row (entries are unique by construction).
+    {
+        let adj_base = adj.as_mut_ptr() as usize;
+        let wgt_base = wgt.as_mut_ptr() as usize;
+        let xadj_ref = &xadj;
+        let device = policy.is_device();
+        parallel_for_chunks(policy, nc, move |range| {
+            let mut sk: Vec<u32> = Vec::new();
+            let mut sv: Vec<Weight> = Vec::new();
+            for cu in range {
+                let (s, e) = (xadj_ref[cu], xadj_ref[cu + 1]);
+                // SAFETY: rows are disjoint.
+                let (keys, vals) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut((adj_base as *mut u32).add(s), e - s),
+                        std::slice::from_raw_parts_mut((wgt_base as *mut Weight).add(s), e - s),
+                    )
+                };
+                seg_sort_pairs(device, keys, vals, &mut sk, &mut sv);
+            }
+        });
+    }
+    Csr::from_parts(xadj, adj, wgt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::testkit;
+    use crate::mapping::Mapping;
+    use mlcg_graph::builder::from_edges_weighted;
+    use mlcg_graph::generators as gen;
+
+    fn manual_mapping(map: Vec<u32>) -> Mapping {
+        let n_coarse = (*map.iter().max().unwrap() + 1) as usize;
+        let m = Mapping { map, n_coarse };
+        m.validate().unwrap();
+        m
+    }
+
+    #[test]
+    fn tiny_known_coarse_graph() {
+        // Path 0-1-2-3 with weights 5,3,7; aggregates {0,1} and {2,3}.
+        let g = from_edges_weighted(4, &[(0, 1, 5), (1, 2, 3), (2, 3, 7)]);
+        let mapping = manual_mapping(vec![0, 0, 1, 1]);
+        for dedup in [Dedup::Sort, Dedup::Hash] {
+            let c = construct(
+                &ExecPolicy::serial(),
+                &g,
+                &mapping,
+                dedup,
+                &ConstructOptions::default(),
+            );
+            assert_eq!(c.n(), 2);
+            assert_eq!(c.m(), 1);
+            assert_eq!(c.find_edge(0, 1), Some(3), "{dedup:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_weight_merge() {
+        // Two aggregates joined by multiple fine edges: weights must sum.
+        let g = from_edges_weighted(
+            6,
+            &[(0, 3, 1), (1, 4, 2), (2, 5, 4), (0, 1, 9), (1, 2, 9), (3, 4, 9), (4, 5, 9)],
+        );
+        let mapping = manual_mapping(vec![0, 0, 0, 1, 1, 1]);
+        let c = construct(
+            &ExecPolicy::serial(),
+            &g,
+            &mapping,
+            Dedup::Sort,
+            &ConstructOptions::default(),
+        );
+        assert_eq!(c.find_edge(0, 1), Some(7), "1+2+4 parallel fine edges");
+    }
+
+    #[test]
+    fn all_methods_agree_on_battery() {
+        for (name, g) in crate::mapping::testkit::battery() {
+            if g.n() < 2 {
+                continue;
+            }
+            let mapping = testkit::mapped(&g, 5);
+            if mapping.n_coarse < 1 {
+                continue;
+            }
+            testkit::cross_check(&g, &mapping);
+            let _ = name;
+        }
+    }
+
+    #[test]
+    fn identity_mapping_reproduces_graph() {
+        let g = gen::grid2d(8, 8);
+        let mapping = manual_mapping((0..g.n() as u32).collect());
+        for threshold in [0.0, f64::INFINITY] {
+            let c = construct(
+                &ExecPolicy::serial(),
+                &g,
+                &mapping,
+                Dedup::Sort,
+                &ConstructOptions { method: super::super::ConstructMethod::Sort, degree_dedup_skew_threshold: threshold },
+            );
+            assert_eq!(c.xadj(), g.xadj());
+            assert_eq!(c.adj(), g.adj());
+            assert_eq!(c.wgt(), g.wgt());
+        }
+    }
+
+    #[test]
+    fn collapse_to_single_vertex_yields_empty_graph() {
+        let g = gen::complete(6);
+        let mapping = manual_mapping(vec![0; 6]);
+        let c = construct(
+            &ExecPolicy::serial(),
+            &g,
+            &mapping,
+            Dedup::Hash,
+            &ConstructOptions::default(),
+        );
+        assert_eq!(c.n(), 1);
+        assert_eq!(c.m(), 0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn device_policy_produces_same_graph() {
+        let (g, _) = mlcg_graph::cc::largest_component(&gen::rmat(9, 8, 0.57, 0.19, 0.19, 3));
+        let mapping = testkit::mapped(&g, 7);
+        let serial = construct(
+            &ExecPolicy::serial(),
+            &g,
+            &mapping,
+            Dedup::Sort,
+            &ConstructOptions::default(),
+        );
+        for policy in ExecPolicy::all_test_policies() {
+            for dedup in [Dedup::Sort, Dedup::Hash] {
+                let c = construct(&policy, &g, &mapping, dedup, &ConstructOptions::default());
+                assert_eq!(c, serial, "{policy} {dedup:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_graph_triggers_opt_and_matches_plain() {
+        let g = gen::star(200); // skew >> 10 triggers the optimization
+        let mapping = manual_mapping(
+            (0..200u32).map(|u| if u == 0 { 0 } else { 1 + (u - 1) / 4 }).collect(),
+        );
+        let opt = construct(
+            &ExecPolicy::serial(),
+            &g,
+            &mapping,
+            Dedup::Sort,
+            &ConstructOptions { method: super::super::ConstructMethod::Sort, degree_dedup_skew_threshold: 10.0 },
+        );
+        let plain = construct(
+            &ExecPolicy::serial(),
+            &g,
+            &mapping,
+            Dedup::Sort,
+            &ConstructOptions { method: super::super::ConstructMethod::Sort, degree_dedup_skew_threshold: f64::INFINITY },
+        );
+        assert_eq!(opt, plain);
+        opt.validate().unwrap();
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared helpers for the mapping algorithms: heavy-neighbor computation
+//! and label relabeling (`FindUniqAndRelabel` in Algorithm 5).
+
+use super::{Mapping, UNMAPPED};
+use mlcg_graph::{Csr, VId};
+use mlcg_par::scan::exclusive_scan;
+use mlcg_par::{parallel_for, ExecPolicy};
+
+/// Compute the heavy-neighbor array `H[u]`: the first maximum-weight
+/// neighbor in adjacency order (adjacency is sorted by id, so ties resolve
+/// to the smallest id — which guarantees the directed graph `u → H[u]` has
+/// no cycles longer than two).
+pub fn heavy_neighbors(policy: &ExecPolicy, g: &Csr) -> Vec<u32> {
+    let n = g.n();
+    let mut h = vec![UNMAPPED; n];
+    let base = h.as_mut_ptr() as usize;
+    parallel_for(policy, n, move |u| {
+        let mut best_w = 0u64;
+        let mut best = UNMAPPED;
+        for (v, w) in g.edges(u as VId) {
+            if w > best_w {
+                best_w = w;
+                best = v;
+            }
+        }
+        // SAFETY: one write per index.
+        unsafe {
+            (base as *mut u32).add(u).write(best);
+        }
+    });
+    h
+}
+
+/// Heavy neighbor restricted by a per-vertex predicate on the *candidate*
+/// (used by HEM's unmatched-only selection and GOSH-HEC's high-degree skip).
+pub fn heavy_neighbor_where<F>(g: &Csr, u: VId, allow: F) -> Option<VId>
+where
+    F: Fn(VId) -> bool,
+{
+    let mut best_w = 0u64;
+    let mut best = None;
+    for (v, w) in g.edges(u) {
+        if w > best_w && allow(v) {
+            best_w = w;
+            best = Some(v);
+        }
+    }
+    best
+}
+
+/// Relabel arbitrary labels in `0..n` to contiguous coarse ids `0..n_c`
+/// (parallel flag + prefix sum). Consumes the raw label array.
+pub fn relabel(policy: &ExecPolicy, mut labels: Vec<u32>) -> Mapping {
+    let n = labels.len();
+    let mut flag = vec![0usize; n + 1];
+    {
+        let base = flag.as_mut_ptr() as usize;
+        let labels_ref = &labels;
+        parallel_for(policy, n, move |u| {
+            let l = labels_ref[u];
+            assert!(l != UNMAPPED, "relabel: vertex {u} unmapped");
+            assert!((l as usize) < n, "relabel: raw label out of range");
+            // SAFETY: idempotent writes of the same value; racing threads
+            // all write 1.
+            unsafe {
+                (base as *mut usize).add(l as usize).write(1);
+            }
+        });
+    }
+    let n_coarse = exclusive_scan(policy, &mut flag);
+    {
+        let base = labels.as_mut_ptr() as usize;
+        let flag_ref = &flag;
+        let labels_ptr = labels.as_ptr() as usize;
+        parallel_for(policy, n, move |u| {
+            // SAFETY: disjoint read/write per index.
+            unsafe {
+                let l = *(labels_ptr as *const u32).add(u);
+                (base as *mut u32).add(u).write(flag_ref[l as usize] as u32);
+            }
+        });
+    }
+    Mapping { map: labels, n_coarse }
+}
+
+/// Collect the indices of still-unmapped vertices (the `R`/`Q` requeue of
+/// Algorithm 4's lines 22–28).
+pub fn unmapped_vertices(m: &[u32], from: &[u32]) -> Vec<u32> {
+    from.iter().copied().filter(|&u| m[u as usize] == UNMAPPED).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcg_graph::builder::from_edges_weighted;
+    use mlcg_graph::generators::{complete, path};
+
+    #[test]
+    fn heavy_neighbor_prefers_weight_then_small_id() {
+        // 1 -(5)- 0 -(5)- 2, 0 -(9)- 3.
+        let g = from_edges_weighted(4, &[(0, 1, 5), (0, 2, 5), (0, 3, 9)]);
+        let h = heavy_neighbors(&ExecPolicy::serial(), &g);
+        assert_eq!(h[0], 3); // heaviest wins
+        assert_eq!(h[1], 0);
+        // Tie between 1 and 2 at vertex 0 would resolve to 1 (smaller id):
+        let g2 = from_edges_weighted(3, &[(0, 1, 5), (0, 2, 5)]);
+        let h2 = heavy_neighbors(&ExecPolicy::serial(), &g2);
+        assert_eq!(h2[0], 1);
+    }
+
+    #[test]
+    fn heavy_neighbor_digraph_has_no_long_cycles() {
+        // On an unweighted clique H[u] is the smallest other id, so the only
+        // cycle is 0 <-> 1.
+        let g = complete(6);
+        let h = heavy_neighbors(&ExecPolicy::serial(), &g);
+        assert_eq!(h[0], 1);
+        for &hu in &h[1..6] {
+            assert_eq!(hu, 0);
+        }
+    }
+
+    #[test]
+    fn relabel_compacts_labels() {
+        // Raw labels use vertex ids {0, 3, 4}.
+        let m = relabel(&ExecPolicy::serial(), vec![3, 0, 3, 4, 0]);
+        assert_eq!(m.n_coarse, 3);
+        m.validate().unwrap();
+        assert_eq!(m.map[1], m.map[4]);
+        assert_eq!(m.map[0], m.map[2]);
+        assert_ne!(m.map[0], m.map[3]);
+    }
+
+    #[test]
+    fn relabel_parallel_matches_serial() {
+        let raw: Vec<u32> = (0..10_000u32).map(|i| (i * 7919) % 500).collect();
+        let a = relabel(&ExecPolicy::serial(), raw.clone());
+        for policy in ExecPolicy::all_test_policies() {
+            let b = relabel(&policy, raw.clone());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn relabel_rejects_unmapped() {
+        relabel(&ExecPolicy::serial(), vec![0, UNMAPPED]);
+    }
+
+    #[test]
+    fn heavy_neighbor_where_respects_filter() {
+        let g = path(3); // 0-1-2 unit weights
+        let h = heavy_neighbor_where(&g, 1, |v| v != 0);
+        assert_eq!(h, Some(2));
+        let none = heavy_neighbor_where(&g, 1, |_| false);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn unmapped_collection() {
+        let m = vec![0, UNMAPPED, 2, UNMAPPED];
+        let q: Vec<u32> = (0..4).collect();
+        assert_eq!(unmapped_vertices(&m, &q), vec![1, 3]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Determinism and seed-sensitivity contracts for every mapping
+//! algorithm: identical seeds must reproduce identical mappings under the
+//! serial policy; different seeds must (for randomized methods on
+//! non-trivial graphs) explore different mappings; parallel policies must
+//! always produce *valid* mappings whose aggregate statistics stay close
+//! to the serial ones.
+
+use mlcg_coarsen::{find_mapping, MapMethod};
+use mlcg_graph::cc::largest_component;
+use mlcg_graph::generators as gen;
+use mlcg_graph::Csr;
+use mlcg_par::ExecPolicy;
+
+fn test_graphs() -> Vec<(&'static str, Csr)> {
+    vec![
+        ("grid", gen::grid2d(20, 20)),
+        ("rmat", largest_component(&gen::rmat(10, 8, 0.57, 0.19, 0.19, 5)).0),
+        ("delaunay", largest_component(&gen::delaunay_like(18, 18, 2)).0),
+    ]
+}
+
+fn all_methods() -> Vec<MapMethod> {
+    vec![
+        MapMethod::Hec,
+        MapMethod::Hec2,
+        MapMethod::Hec3,
+        MapMethod::Hem,
+        MapMethod::MtMetis,
+        MapMethod::Gosh,
+        MapMethod::GoshHec,
+        MapMethod::Mis2,
+        MapMethod::Suitor,
+        MapMethod::SeqHec,
+        MapMethod::SeqHem,
+    ]
+}
+
+#[test]
+fn serial_runs_are_reproducible() {
+    let policy = ExecPolicy::serial();
+    for (name, g) in test_graphs() {
+        for method in all_methods() {
+            let (a, _) = find_mapping(&policy, &g, method, 1234);
+            let (b, _) = find_mapping(&policy, &g, method, 1234);
+            assert_eq!(a, b, "{name}/{method:?}: serial run not reproducible");
+        }
+    }
+}
+
+#[test]
+fn seeds_change_randomized_mappings() {
+    let policy = ExecPolicy::serial();
+    let (_, g) = &test_graphs()[0];
+    // Methods whose visit order or priorities are seeded.
+    for method in [
+        MapMethod::Hec,
+        MapMethod::Hem,
+        MapMethod::Mis2,
+        MapMethod::SeqHec,
+        MapMethod::SeqHem,
+    ] {
+        let (a, _) = find_mapping(&policy, g, method, 1);
+        let mut any_differs = false;
+        for seed in 2..6 {
+            let (b, _) = find_mapping(&policy, g, method, seed);
+            if a != b {
+                any_differs = true;
+                break;
+            }
+        }
+        assert!(any_differs, "{method:?} ignored its seed");
+    }
+}
+
+#[test]
+fn parallel_policies_track_serial_statistics() {
+    for (name, g) in test_graphs() {
+        for method in all_methods() {
+            let (serial, _) = find_mapping(&ExecPolicy::serial(), &g, method, 5);
+            for policy in ExecPolicy::all_test_policies() {
+                let (m, _) = find_mapping(&policy, &g, method, 5);
+                m.validate().unwrap_or_else(|e| panic!("{name}/{method:?}/{policy}: {e}"));
+                let ratio = m.n_coarse as f64 / serial.n_coarse as f64;
+                assert!(
+                    (0.5..=2.0).contains(&ratio),
+                    "{name}/{method:?}/{policy}: coarse count {} vs serial {}",
+                    m.n_coarse,
+                    serial.n_coarse
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn matching_methods_never_break_the_pair_bound_under_any_policy() {
+    for (name, g) in test_graphs() {
+        for method in [MapMethod::Hem, MapMethod::MtMetis, MapMethod::Suitor, MapMethod::SeqHem] {
+            for policy in ExecPolicy::all_test_policies() {
+                let (m, _) = find_mapping(&policy, &g, method, 3);
+                let max = m.aggregate_sizes().into_iter().max().unwrap_or(0);
+                assert!(max <= 2, "{name}/{method:?}/{policy}: aggregate {max}");
+            }
+        }
+    }
+}
+
+#[test]
+fn multilevel_serial_hierarchies_are_reproducible() {
+    use mlcg_coarsen::{coarsen, CoarsenOptions};
+    let g = gen::grid2d(24, 24);
+    let policy = ExecPolicy::serial();
+    let opts = CoarsenOptions { seed: 99, ..Default::default() };
+    let a = coarsen(&policy, &g, &opts);
+    let b = coarsen(&policy, &g, &opts);
+    assert_eq!(a.num_levels(), b.num_levels());
+    for (la, lb) in a.levels.iter().zip(&b.levels) {
+        assert_eq!(la.graph, lb.graph);
+        assert_eq!(la.mapping, lb.mapping);
+    }
+}

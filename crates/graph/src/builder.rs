@@ -1,0 +1,254 @@
+//! Parallel edge-list → CSR construction.
+//!
+//! Generators and file readers produce each undirected edge once, possibly
+//! with duplicates and self-loops (RMAT in particular emits both). The
+//! builder symmetrizes, drops self-loops, merges duplicates, and sorts each
+//! adjacency — producing a graph that satisfies every [`Csr`] invariant.
+
+use crate::csr::{Csr, VId, Weight};
+use mlcg_par::atomic::as_atomic_usize;
+use mlcg_par::scan::exclusive_scan;
+use mlcg_par::sort::insertion_sort_pairs;
+use mlcg_par::{parallel_for, ExecPolicy};
+use std::sync::atomic::Ordering;
+
+/// Build an unweighted (all weights 1) undirected graph from an edge list.
+/// Duplicate edges collapse to a single unit-weight edge; self-loops drop.
+pub fn from_edges_unit(n: usize, edges: &[(VId, VId)]) -> Csr {
+    let weighted: Vec<(VId, VId, Weight)> = edges.iter().map(|&(u, v)| (u, v, 1)).collect();
+    build(&ExecPolicy::serial(), n, &weighted, MergeMode::Unit)
+}
+
+/// Build a weighted undirected graph; duplicate edges have weights summed.
+pub fn from_edges_weighted(n: usize, edges: &[(VId, VId, Weight)]) -> Csr {
+    build(&ExecPolicy::serial(), n, edges, MergeMode::Sum)
+}
+
+/// Parallel variant of [`from_edges_unit`].
+pub fn from_edges_unit_par(policy: &ExecPolicy, n: usize, edges: &[(VId, VId)]) -> Csr {
+    let weighted: Vec<(VId, VId, Weight)> = edges.iter().map(|&(u, v)| (u, v, 1)).collect();
+    build(policy, n, &weighted, MergeMode::Unit)
+}
+
+/// Parallel variant of [`from_edges_weighted`].
+pub fn from_edges_weighted_par(policy: &ExecPolicy, n: usize, edges: &[(VId, VId, Weight)]) -> Csr {
+    build(policy, n, edges, MergeMode::Sum)
+}
+
+/// How duplicate edges are merged.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MergeMode {
+    /// Keep weight 1 no matter how many copies appear (unweighted input).
+    Unit,
+    /// Sum the weights of all copies.
+    Sum,
+}
+
+fn build(policy: &ExecPolicy, n: usize, edges: &[(VId, VId, Weight)], mode: MergeMode) -> Csr {
+    assert!(n <= u32::MAX as usize, "vertex count exceeds u32 id space");
+    for &(u, v, w) in edges.iter().take(64) {
+        // Cheap spot check; full bounds are asserted during counting below.
+        debug_assert!(
+            (u as usize) < n && (v as usize) < n && w > 0,
+            "edge ({u},{v},{w}) out of range for n={n}"
+        );
+    }
+
+    // 1. Count directed entries per vertex (both endpoints, skip loops).
+    let mut counts = vec![0usize; n + 1];
+    {
+        let view = as_atomic_usize(&mut counts[..n]);
+        parallel_for(policy, edges.len(), |i| {
+            let (u, v, _) = edges[i];
+            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            if u != v {
+                view[u as usize].fetch_add(1, Ordering::Relaxed);
+                view[v as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+
+    // 2. Offsets.
+    let total = exclusive_scan(policy, &mut counts);
+    let mut xadj = counts; // counts is now the offset array (n+1 entries)
+    xadj[n] = total;
+
+    // 3. Scatter both directions using atomic per-vertex cursors.
+    let mut adj: Vec<VId> = vec![0; total];
+    let mut wgt: Vec<Weight> = vec![0; total];
+    {
+        let mut cursors = xadj[..n].to_vec();
+        let cur = as_atomic_usize(&mut cursors);
+        let adj_base = adj.as_mut_ptr() as usize;
+        let wgt_base = wgt.as_mut_ptr() as usize;
+        parallel_for(policy, edges.len(), move |i| {
+            let (u, v, w) = edges[i];
+            if u == v {
+                return;
+            }
+            // SAFETY: cursor slots are globally unique, so each write target
+            // is claimed exactly once.
+            unsafe {
+                let a = adj_base as *mut VId;
+                let x = wgt_base as *mut Weight;
+                let pu = cur[u as usize].fetch_add(1, Ordering::Relaxed);
+                a.add(pu).write(v);
+                x.add(pu).write(w);
+                let pv = cur[v as usize].fetch_add(1, Ordering::Relaxed);
+                a.add(pv).write(u);
+                x.add(pv).write(w);
+            }
+        });
+    }
+
+    // 4. Sort each adjacency and merge duplicates in place, recording the
+    //    deduplicated degree.
+    let mut new_deg = vec![0usize; n + 1];
+    {
+        let adj_base = adj.as_mut_ptr() as usize;
+        let wgt_base = wgt.as_mut_ptr() as usize;
+        let deg_base = new_deg.as_mut_ptr() as usize;
+        let xadj_ref = &xadj;
+        parallel_for(policy, n, move |u| {
+            let s = xadj_ref[u];
+            let e = xadj_ref[u + 1];
+            // SAFETY: vertex segments are disjoint.
+            let (a, x) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut((adj_base as *mut VId).add(s), e - s),
+                    std::slice::from_raw_parts_mut((wgt_base as *mut Weight).add(s), e - s),
+                )
+            };
+            sort_pairs(a, x);
+            let mut out = 0usize;
+            let mut i = 0usize;
+            while i < a.len() {
+                let v = a[i];
+                let mut w = x[i];
+                i += 1;
+                while i < a.len() && a[i] == v {
+                    if mode == MergeMode::Sum {
+                        w += x[i];
+                    }
+                    i += 1;
+                }
+                a[out] = v;
+                x[out] = w;
+                out += 1;
+            }
+            unsafe {
+                (deg_base as *mut usize).add(u).write(out);
+            }
+        });
+    }
+
+    // 5. Compact into the final arrays.
+    let new_total = exclusive_scan(policy, &mut new_deg);
+    let mut fadj: Vec<VId> = vec![0; new_total];
+    let mut fwgt: Vec<Weight> = vec![0; new_total];
+    {
+        let fadj_base = fadj.as_mut_ptr() as usize;
+        let fwgt_base = fwgt.as_mut_ptr() as usize;
+        let (xadj_ref, deg_ref, adj_ref, wgt_ref) = (&xadj, &new_deg, &adj, &wgt);
+        parallel_for(policy, n, move |u| {
+            let src = xadj_ref[u];
+            let dst = deg_ref[u];
+            let len = deg_ref[u + 1] - dst;
+            // SAFETY: destination segments are disjoint.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    adj_ref.as_ptr().add(src),
+                    (fadj_base as *mut VId).add(dst),
+                    len,
+                );
+                std::ptr::copy_nonoverlapping(
+                    wgt_ref.as_ptr().add(src),
+                    (fwgt_base as *mut Weight).add(dst),
+                    len,
+                );
+            }
+        });
+    }
+    let mut fxadj = new_deg;
+    fxadj[n] = new_total;
+    Csr::from_parts(fxadj, fadj, fwgt)
+}
+
+fn sort_pairs(a: &mut [VId], x: &mut [Weight]) {
+    if a.len() <= 24 {
+        insertion_sort_pairs(a, x);
+    } else {
+        let mut idx: Vec<u32> = (0..a.len() as u32).collect();
+        idx.sort_unstable_by_key(|&i| a[i as usize]);
+        let na: Vec<VId> = idx.iter().map(|&i| a[i as usize]).collect();
+        let nx: Vec<Weight> = idx.iter().map(|&i| x[i as usize]).collect();
+        a.copy_from_slice(&na);
+        x.copy_from_slice(&nx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_loop_removal() {
+        // Duplicates (0,1)x3, a reversed duplicate (1,0), and a self loop.
+        let g = from_edges_unit(3, &[(0, 1), (0, 1), (1, 0), (0, 1), (2, 2), (1, 2)]);
+        g.validate().unwrap();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.find_edge(0, 1), Some(1), "unit mode collapses duplicates");
+        assert_eq!(g.find_edge(1, 2), Some(1));
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn weighted_duplicates_sum() {
+        let g = from_edges_weighted(2, &[(0, 1, 3), (1, 0, 4)]);
+        g.validate().unwrap();
+        assert_eq!(g.find_edge(0, 1), Some(7));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = mlcg_par::rng::Xoshiro256pp::new(5);
+        let n = 2000usize;
+        let edges: Vec<(VId, VId)> = (0..30_000)
+            .map(|_| (rng.next_below(n as u64) as VId, rng.next_below(n as u64) as VId))
+            .collect();
+        let serial = from_edges_unit(n, &edges);
+        for policy in ExecPolicy::all_test_policies() {
+            let par = from_edges_unit_par(&policy, n, &edges);
+            assert_eq!(serial, par, "policy {policy}");
+        }
+        serial.validate().unwrap();
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let g = from_edges_unit(5, &[(0, 1)]);
+        g.validate().unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoint_panics() {
+        from_edges_unit(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let g = from_edges_unit(3, &[]);
+        g.validate().unwrap();
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.n(), 3);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let g = from_edges_unit(6, &[(0, 5), (0, 2), (0, 4), (0, 1), (0, 3)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+    }
+}

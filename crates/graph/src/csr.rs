@@ -1,0 +1,335 @@
+//! The compressed-sparse-row graph type.
+
+use std::fmt;
+
+/// Vertex identifier. `u32` bounds the workspace to 4.29 B vertices, which
+/// comfortably covers the paper's corpus while halving index memory traffic.
+pub type VId = u32;
+/// Edge weight. Coarse weights are exact integer sums of fine weights.
+pub type Weight = u64;
+/// Vertex weight (aggregate size in a multilevel hierarchy).
+pub type VWeight = u64;
+
+/// An undirected graph in CSR form.
+///
+/// Invariants (checked by [`Csr::validate`]):
+/// - `xadj` has `n + 1` monotone entries with `xadj[n] == adj.len()`;
+/// - every undirected edge `{u, v}` is stored twice (in `u`'s and `v`'s
+///   adjacency) with equal positive weight;
+/// - no self-loops, no duplicate entries within a vertex's adjacency;
+/// - `vwgt` has `n` positive entries.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Csr {
+    xadj: Vec<usize>,
+    adj: Vec<VId>,
+    wgt: Vec<Weight>,
+    vwgt: Vec<VWeight>,
+}
+
+impl Csr {
+    /// Assemble a graph from raw CSR arrays with unit vertex weights.
+    ///
+    /// Callers are expected to uphold the type's invariants; `debug_assert`s
+    /// and [`Csr::validate`] (used throughout the test suite) check them.
+    pub fn from_parts(xadj: Vec<usize>, adj: Vec<VId>, wgt: Vec<Weight>) -> Self {
+        let n = xadj.len().saturating_sub(1);
+        let vwgt = vec![1; n];
+        Self::from_parts_weighted(xadj, adj, wgt, vwgt)
+    }
+
+    /// Assemble a graph from raw CSR arrays with explicit vertex weights.
+    pub fn from_parts_weighted(
+        xadj: Vec<usize>,
+        adj: Vec<VId>,
+        wgt: Vec<Weight>,
+        vwgt: Vec<VWeight>,
+    ) -> Self {
+        debug_assert!(!xadj.is_empty(), "xadj must have n+1 entries");
+        debug_assert_eq!(*xadj.last().unwrap(), adj.len());
+        debug_assert_eq!(adj.len(), wgt.len());
+        debug_assert_eq!(vwgt.len(), xadj.len() - 1);
+        Csr { xadj, adj, wgt, vwgt }
+    }
+
+    /// The empty graph.
+    pub fn empty() -> Self {
+        Csr { xadj: vec![0], adj: vec![], wgt: vec![], vwgt: vec![] }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges `m` (each stored twice internally).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Number of directed adjacency entries (`2m`).
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Graph size measure `2m + n` used by the paper's Fig. 3 normalization.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.adj.len() + self.n()
+    }
+
+    /// Degree of vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: VId) -> usize {
+        self.xadj[u as usize + 1] - self.xadj[u as usize]
+    }
+
+    /// Neighbors of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: VId) -> &[VId] {
+        &self.adj[self.xadj[u as usize]..self.xadj[u as usize + 1]]
+    }
+
+    /// Edge weights aligned with [`Csr::neighbors`].
+    #[inline]
+    pub fn weights(&self, u: VId) -> &[Weight] {
+        &self.wgt[self.xadj[u as usize]..self.xadj[u as usize + 1]]
+    }
+
+    /// Iterate `(neighbor, weight)` pairs of `u`.
+    #[inline]
+    pub fn edges(&self, u: VId) -> impl Iterator<Item = (VId, Weight)> + '_ {
+        self.neighbors(u).iter().copied().zip(self.weights(u).iter().copied())
+    }
+
+    /// Row offset array (`n + 1` entries).
+    #[inline]
+    pub fn xadj(&self) -> &[usize] {
+        &self.xadj
+    }
+
+    /// Flat adjacency array (`2m` entries).
+    #[inline]
+    pub fn adj(&self) -> &[VId] {
+        &self.adj
+    }
+
+    /// Flat edge-weight array (`2m` entries).
+    #[inline]
+    pub fn wgt(&self) -> &[Weight] {
+        &self.wgt
+    }
+
+    /// Vertex weights (`n` entries).
+    #[inline]
+    pub fn vwgt(&self) -> &[VWeight] {
+        &self.vwgt
+    }
+
+    /// Replace the vertex weights (used when lifting aggregates).
+    pub fn set_vwgt(&mut self, vwgt: Vec<VWeight>) {
+        assert_eq!(vwgt.len(), self.n());
+        self.vwgt = vwgt;
+    }
+
+    /// Total vertex weight.
+    pub fn total_vwgt(&self) -> VWeight {
+        self.vwgt.iter().sum()
+    }
+
+    /// Sum of all edge weights, counting each undirected edge once.
+    pub fn total_edge_weight(&self) -> Weight {
+        self.wgt.iter().sum::<Weight>() / 2
+    }
+
+    /// Maximum vertex degree Δ.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as VId).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.adj.len() as f64 / self.n() as f64
+        }
+    }
+
+    /// Degree-skew ratio `Δ / (2m/n)` — the paper's regular/skewed split key.
+    pub fn skew_ratio(&self) -> f64 {
+        let avg = self.avg_degree();
+        if avg == 0.0 {
+            0.0
+        } else {
+            self.max_degree() as f64 / avg
+        }
+    }
+
+    /// Check all structural invariants; returns a description of the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n();
+        if *self.xadj.first().unwrap() != 0 {
+            return Err("xadj[0] != 0".into());
+        }
+        if self.xadj.windows(2).any(|w| w[0] > w[1]) {
+            return Err("xadj not monotone".into());
+        }
+        if *self.xadj.last().unwrap() != self.adj.len() {
+            return Err("xadj[n] != adj.len()".into());
+        }
+        if self.adj.len() != self.wgt.len() {
+            return Err("adj/wgt length mismatch".into());
+        }
+        if self.vwgt.len() != n {
+            return Err("vwgt length mismatch".into());
+        }
+        if !self.adj.len().is_multiple_of(2) {
+            return Err("odd number of directed entries".into());
+        }
+        for u in 0..n as VId {
+            let mut prev: Option<VId> = None;
+            for (v, w) in self.edges(u) {
+                if v as usize >= n {
+                    return Err(format!("edge target {v} out of range at vertex {u}"));
+                }
+                if v == u {
+                    return Err(format!("self-loop at vertex {u}"));
+                }
+                if w == 0 {
+                    return Err(format!("zero edge weight on ({u},{v})"));
+                }
+                if let Some(p) = prev {
+                    if v <= p {
+                        return Err(format!("adjacency of {u} not strictly sorted"));
+                    }
+                }
+                prev = Some(v);
+            }
+        }
+        if self.vwgt.contains(&0) {
+            return Err("zero vertex weight".into());
+        }
+        // Symmetry with matching weights: adjacency is sorted, so use binary
+        // search from the far endpoint.
+        for u in 0..n as VId {
+            for (v, w) in self.edges(u) {
+                match self.find_edge(v, u) {
+                    Some(w2) if w2 == w => {}
+                    Some(w2) => {
+                        return Err(format!("asymmetric weight on ({u},{v}): {w} vs {w2}"))
+                    }
+                    None => return Err(format!("missing reverse edge ({v},{u})")),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Weight of edge `(u, v)` if present. Adjacency must be sorted (it is
+    /// for all graphs built by this workspace).
+    pub fn find_edge(&self, u: VId, v: VId) -> Option<Weight> {
+        let nbrs = self.neighbors(u);
+        nbrs.binary_search(&v).ok().map(|i| self.weights(u)[i])
+    }
+
+    /// A human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} m={} avg_deg={:.1} max_deg={} skew={:.1}",
+            self.n(),
+            self.m(),
+            self.avg_degree(),
+            self.max_degree(),
+            self.skew_ratio()
+        )
+    }
+}
+
+impl fmt::Debug for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Csr({})", self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges_unit;
+
+    fn triangle() -> Csr {
+        from_edges_unit(3, &[(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.total_edge_weight(), 3);
+        assert_eq!(g.size(), 9);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn find_edge_present_and_absent() {
+        let g = triangle();
+        assert_eq!(g.find_edge(0, 1), Some(1));
+        assert_eq!(g.find_edge(1, 0), Some(1));
+        let g2 = from_edges_unit(4, &[(0, 1), (2, 3)]);
+        assert_eq!(g2.find_edge(0, 3), None);
+    }
+
+    #[test]
+    fn skew_ratio_star() {
+        // A star: hub degree n-1, leaves degree 1.
+        let n = 11u32;
+        let edges: Vec<(VId, VId)> = (1..n).map(|v| (0, v)).collect();
+        let g = from_edges_unit(n as usize, &edges);
+        assert_eq!(g.max_degree(), 10);
+        assert!((g.avg_degree() - 20.0 / 11.0).abs() < 1e-12);
+        assert!(g.skew_ratio() > 5.0);
+    }
+
+    #[test]
+    fn validate_catches_self_loop() {
+        let g = Csr::from_parts(vec![0, 1], vec![0], vec![1]);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_asymmetry() {
+        // Edge 0->1 present, 1->0 missing.
+        let g = Csr::from_parts(vec![0, 1, 1], vec![1], vec![1]);
+        assert!(g.validate().unwrap_err().contains("odd number"));
+    }
+
+    #[test]
+    fn validate_catches_weight_mismatch() {
+        let g = Csr::from_parts(vec![0, 1, 2], vec![1, 0], vec![2, 3]);
+        assert!(g.validate().unwrap_err().contains("asymmetric weight"));
+    }
+
+    #[test]
+    fn vertex_weights_roundtrip() {
+        let mut g = triangle();
+        assert_eq!(g.total_vwgt(), 3);
+        g.set_vwgt(vec![2, 3, 4]);
+        assert_eq!(g.total_vwgt(), 9);
+        g.validate().unwrap();
+    }
+}

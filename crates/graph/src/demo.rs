@@ -1,0 +1,80 @@
+//! The small weighted illustration graph used by the Fig. 1 / Fig. 2
+//! reproductions.
+//!
+//! The paper's Fig. 1 shows one level of coarsening by each method on a
+//! small weighted graph. We use a 16-vertex graph with two mesh-like
+//! clusters, a hub, and a pendant chain, with varied edge weights so HEC,
+//! HEM, two-hop, GOSH and MIS2 all produce visibly different aggregates,
+//! and so HEC's create/inherit/skip edge classification (Fig. 2) is
+//! non-trivial.
+
+use crate::builder::from_edges_weighted;
+use crate::csr::Csr;
+
+/// The 16-vertex illustration graph.
+pub fn fig1_graph() -> Csr {
+    // Cluster A (0..5): a weighted wheel. Cluster B (6..11): a grid patch.
+    // Vertex 12: hub bridging both. 13-14-15: pendant chain off vertex 12.
+    let edges = [
+        // cluster A
+        (0u32, 1u32, 9u64),
+        (1, 2, 7),
+        (2, 3, 8),
+        (3, 4, 6),
+        (4, 0, 5),
+        (0, 5, 4),
+        (1, 5, 3),
+        (2, 5, 2),
+        (3, 5, 2),
+        (4, 5, 3),
+        // cluster B
+        (6, 7, 8),
+        (7, 8, 9),
+        (6, 9, 7),
+        (7, 10, 6),
+        (8, 11, 8),
+        (9, 10, 9),
+        (10, 11, 7),
+        (6, 10, 2),
+        // hub 12 bridges the clusters with light edges
+        (12, 0, 1),
+        (12, 2, 1),
+        (12, 6, 1),
+        (12, 9, 1),
+        (12, 4, 1),
+        // pendant chain
+        (12, 13, 2),
+        (13, 14, 5),
+        (14, 15, 4),
+    ];
+    let g = from_edges_weighted(16, &edges);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::is_connected;
+
+    #[test]
+    fn fig1_graph_shape() {
+        let g = fig1_graph();
+        g.validate().unwrap();
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 26);
+        assert!(is_connected(&g));
+        // The hub has degree 6; the chain tail has degree 1.
+        assert_eq!(g.degree(12), 6);
+        assert_eq!(g.degree(15), 1);
+    }
+
+    #[test]
+    fn weights_are_varied() {
+        let g = fig1_graph();
+        let mut distinct: Vec<u64> = g.wgt().to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() >= 5, "need varied weights for interesting heavy edges");
+    }
+}

@@ -1,0 +1,138 @@
+//! Geometric generators: random geometric graphs (rgg24-like) and a
+//! Delaunay-style triangulated point set (delaunay24-like).
+
+use crate::builder::from_edges_unit;
+use crate::csr::{Csr, VId};
+use mlcg_par::rng::Xoshiro256pp;
+
+/// 2-D random geometric graph: `n` uniform points in the unit square,
+/// connecting pairs within radius `r` chosen to hit `target_avg_deg`.
+///
+/// Uses a uniform grid of cell size `r` so expected work is `O(n · deg)`.
+pub fn rgg(n: usize, target_avg_deg: f64, seed: u64) -> Csr {
+    assert!(n > 0);
+    let mut rng = Xoshiro256pp::new(seed);
+    // Expected neighbors within radius r: n * pi * r^2.
+    let r = (target_avg_deg / (std::f64::consts::PI * n as f64)).sqrt();
+    let px: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    let py: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+
+    let cells = ((1.0 / r).floor() as usize).max(1);
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    // Bucket points by cell via counting sort.
+    let mut count = vec![0usize; cells * cells + 1];
+    for i in 0..n {
+        count[cell_of(px[i]) * cells + cell_of(py[i]) + 1] += 1;
+    }
+    for i in 0..cells * cells {
+        count[i + 1] += count[i];
+    }
+    let mut bucket = vec![0u32; n];
+    let mut cursor = count.clone();
+    for i in 0..n {
+        let c = cell_of(px[i]) * cells + cell_of(py[i]);
+        bucket[cursor[c]] = i as u32;
+        cursor[c] += 1;
+    }
+
+    let r2 = r * r;
+    let mut edges: Vec<(VId, VId)> = Vec::with_capacity((n as f64 * target_avg_deg / 2.0) as usize);
+    for cx in 0..cells {
+        for cy in 0..cells {
+            let c = cx * cells + cy;
+            for bi in count[c]..count[c + 1] {
+                let i = bucket[bi] as usize;
+                // Scan the 3x3 cell neighborhood; dedupe by id ordering.
+                for dx in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        let (nx, ny) = (cx as i64 + dx, cy as i64 + dy);
+                        if nx < 0 || ny < 0 || nx >= cells as i64 || ny >= cells as i64 {
+                            continue;
+                        }
+                        let nc = nx as usize * cells + ny as usize;
+                        for &bv in &bucket[count[nc]..count[nc + 1]] {
+                            let j = bv as usize;
+                            if j <= i {
+                                continue;
+                            }
+                            let (ddx, ddy) = (px[i] - px[j], py[i] - py[j]);
+                            if ddx * ddx + ddy * ddy <= r2 {
+                                edges.push((i as VId, j as VId));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    from_edges_unit(n, &edges)
+}
+
+/// Delaunay-style planar triangulation of a jittered `w × h` point grid:
+/// each quad cell gets both rectangle sides and one randomly chosen
+/// diagonal. Degrees range 2–8 with skew like a true Delaunay mesh.
+pub fn delaunay_like(w: usize, h: usize, seed: u64) -> Csr {
+    assert!(w >= 2 && h >= 2);
+    let mut rng = Xoshiro256pp::new(seed);
+    let n = w * h;
+    let id = |x: usize, y: usize| (y * w + x) as VId;
+    let mut edges = Vec::with_capacity(3 * n);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < h {
+                edges.push((id(x, y), id(x, y + 1)));
+            }
+            if x + 1 < w && y + 1 < h {
+                // Triangulate the cell with one of its two diagonals.
+                if rng.next_f64() < 0.5 {
+                    edges.push((id(x, y), id(x + 1, y + 1)));
+                } else {
+                    edges.push((id(x + 1, y), id(x, y + 1)));
+                }
+            }
+        }
+    }
+    from_edges_unit(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::largest_component;
+
+    #[test]
+    fn rgg_hits_target_degree_roughly() {
+        let g = rgg(5000, 12.0, 11);
+        g.validate().unwrap();
+        let (lcc, _) = largest_component(&g);
+        let avg = lcc.avg_degree();
+        assert!(avg > 6.0 && avg < 20.0, "avg degree {avg} far from target 12");
+        // Geometric graphs are low-skew.
+        assert!(lcc.skew_ratio() < 5.0);
+    }
+
+    #[test]
+    fn rgg_deterministic() {
+        assert_eq!(rgg(1000, 8.0, 5), rgg(1000, 8.0, 5));
+        assert_ne!(rgg(1000, 8.0, 5), rgg(1000, 8.0, 6));
+    }
+
+    #[test]
+    fn delaunay_is_planar_scale_and_connected() {
+        let g = delaunay_like(40, 30, 3);
+        g.validate().unwrap();
+        assert!(crate::cc::is_connected(&g));
+        // Planar: m <= 3n - 6.
+        assert!(g.m() <= 3 * g.n() - 6);
+        assert!(g.avg_degree() > 3.0 && g.avg_degree() < 6.0);
+    }
+
+    #[test]
+    fn delaunay_degree_bounded() {
+        let g = delaunay_like(25, 25, 9);
+        assert!(g.max_degree() <= 8);
+    }
+}

@@ -1,0 +1,217 @@
+//! Mesh-like regular generators: 2-D/3-D grids with selectable stencils,
+//! road networks (subdivided perturbed grids), and banded matrices.
+//!
+//! These model the paper's *regular* group: FEM matrices (CubeCoup,
+//! Flan1565, MLGeer, HV15R), optimization stencils (nlpkkt160, channel050),
+//! road networks (europeOsm), and banded bio matrices (cage15).
+
+use crate::builder::from_edges_unit;
+use crate::csr::{Csr, VId};
+use mlcg_par::rng::Xoshiro256pp;
+
+/// Neighborhood shape for [`grid3d`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stencil {
+    /// 6 face neighbors (7-point stencil) — channel/MLGeer-like.
+    Star7,
+    /// 26 box neighbors (27-point stencil) — nlpkkt/CubeCoup/Flan-like.
+    Box27,
+    /// 124 radius-2 box neighbors — HV15R-like wide coupling (avg deg ≈ 120).
+    Box125,
+}
+
+/// 2-D grid with 4-point connectivity, `w × h` vertices.
+pub fn grid2d(w: usize, h: usize) -> Csr {
+    let n = w * h;
+    let mut edges = Vec::with_capacity(2 * n);
+    for y in 0..h {
+        for x in 0..w {
+            let u = (y * w + x) as VId;
+            if x + 1 < w {
+                edges.push((u, u + 1));
+            }
+            if y + 1 < h {
+                edges.push((u, u + w as VId));
+            }
+        }
+    }
+    from_edges_unit(n, &edges)
+}
+
+/// 3-D grid `nx × ny × nz` with the given stencil.
+pub fn grid3d(nx: usize, ny: usize, nz: usize, stencil: Stencil) -> Csr {
+    let n = nx * ny * nz;
+    let radius: isize = match stencil {
+        Stencil::Star7 | Stencil::Box27 => 1,
+        Stencil::Box125 => 2,
+    };
+    let star = stencil == Stencil::Star7;
+    let id = |x: usize, y: usize, z: usize| (z * ny * nx + y * nx + x) as VId;
+    let mut edges = Vec::new();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let u = id(x, y, z);
+                for dz in -radius..=radius {
+                    for dy in -radius..=radius {
+                        for dx in -radius..=radius {
+                            if (dx, dy, dz) == (0, 0, 0) {
+                                continue;
+                            }
+                            if star && (dx.abs() + dy.abs() + dz.abs()) != 1 {
+                                continue;
+                            }
+                            let (px, py, pz) =
+                                (x as isize + dx, y as isize + dy, z as isize + dz);
+                            if px < 0
+                                || py < 0
+                                || pz < 0
+                                || px >= nx as isize
+                                || py >= ny as isize
+                                || pz >= nz as isize
+                            {
+                                continue;
+                            }
+                            let v = id(px as usize, py as usize, pz as usize);
+                            if v > u {
+                                edges.push((u, v));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    from_edges_unit(n, &edges)
+}
+
+/// Road-network-like generator: a `w × h` grid whose edges are subdivided
+/// into chains of `subdiv` intermediate degree-2 vertices, with a fraction
+/// `drop` of grid edges removed. Average degree lands near 2.1 like
+/// europeOsm; the removed edges create irregular junction spacing.
+pub fn road(w: usize, h: usize, subdiv: usize, drop: f64, seed: u64) -> Csr {
+    let mut rng = Xoshiro256pp::new(seed);
+    let base = w * h;
+    let mut edges: Vec<(VId, VId)> = Vec::new();
+    let mut next = base as VId;
+    let mut grid_edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let u = (y * w + x) as VId;
+            if x + 1 < w {
+                grid_edges.push((u, u + 1));
+            }
+            if y + 1 < h {
+                grid_edges.push((u, u + w as VId));
+            }
+        }
+    }
+    for (u, v) in grid_edges {
+        if rng.next_f64() < drop {
+            continue;
+        }
+        // Subdivide u—v into a chain through `k` fresh vertices, where k
+        // varies so junction spacing is irregular.
+        let k = if subdiv == 0 { 0 } else { rng.next_below(2 * subdiv as u64 + 1) as usize };
+        let mut prev = u;
+        for _ in 0..k {
+            edges.push((prev, next));
+            prev = next;
+            next += 1;
+        }
+        edges.push((prev, v));
+    }
+    from_edges_unit(next as usize, &edges)
+}
+
+/// Banded graph: vertex `i` connects to `i ± d` for `deg/2` random distinct
+/// offsets `d ∈ 1..=band`. Models cage-like banded bio matrices.
+pub fn banded(n: usize, band: usize, deg: usize, seed: u64) -> Csr {
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut edges = Vec::with_capacity(n * deg / 2);
+    for i in 0..n {
+        // Always keep the chain so the graph stays connected.
+        if i + 1 < n {
+            edges.push((i as VId, (i + 1) as VId));
+        }
+        for _ in 0..deg / 2 {
+            let d = 1 + rng.next_below(band as u64) as usize;
+            if i + d < n {
+                edges.push((i as VId, (i + d) as VId));
+            }
+        }
+    }
+    from_edges_unit(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::is_connected;
+
+    #[test]
+    fn grid2d_counts() {
+        let g = grid2d(4, 3);
+        g.validate().unwrap();
+        assert_eq!(g.n(), 12);
+        // Horizontal: 3*3 = 9, vertical: 4*2 = 8.
+        assert_eq!(g.m(), 17);
+        assert!(is_connected(&g));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn grid3d_star7_interior_degree() {
+        let g = grid3d(5, 5, 5, Stencil::Star7);
+        g.validate().unwrap();
+        assert_eq!(g.n(), 125);
+        // Interior vertex (2,2,2) has all 6 face neighbors.
+        assert_eq!(g.max_degree(), 6);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid3d_box27_interior_degree() {
+        let g = grid3d(5, 5, 5, Stencil::Box27);
+        g.validate().unwrap();
+        assert_eq!(g.max_degree(), 26);
+        // Regular: skew near 1.
+        assert!(g.skew_ratio() < 2.0);
+    }
+
+    #[test]
+    fn grid3d_box125_is_wide() {
+        let g = grid3d(6, 6, 6, Stencil::Box125);
+        g.validate().unwrap();
+        assert_eq!(g.max_degree(), 124);
+    }
+
+    #[test]
+    fn road_is_sparse_and_mostly_degree_two() {
+        let g = road(20, 20, 3, 0.1, 7);
+        g.validate().unwrap();
+        let (lcc, _) = crate::cc::largest_component(&g);
+        assert!(lcc.avg_degree() < 2.6, "avg degree {}", lcc.avg_degree());
+        assert!(lcc.n() > 400, "chains should add many vertices");
+        assert!(lcc.max_degree() <= 4);
+    }
+
+    #[test]
+    fn banded_connected_and_banded() {
+        let g = banded(500, 20, 10, 3);
+        g.validate().unwrap();
+        assert!(is_connected(&g));
+        for u in 0..g.n() as VId {
+            for &v in g.neighbors(u) {
+                assert!((v as i64 - u as i64).unsigned_abs() <= 20);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(road(10, 10, 2, 0.1, 42), road(10, 10, 2, 0.1, 42));
+        assert_eq!(banded(100, 5, 4, 1), banded(100, 5, 4, 1));
+        assert_ne!(banded(100, 5, 4, 1), banded(100, 5, 4, 2));
+    }
+}

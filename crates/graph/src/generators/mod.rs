@@ -1,0 +1,21 @@
+//! Seeded synthetic graph generators.
+//!
+//! These stand in for the paper's SuiteSparse/OGB corpus (DESIGN.md §3.2):
+//! each generator reproduces the *structural role* of one or more corpus
+//! graphs — mesh-like regularity, road-network sparsity, power-law skew,
+//! near-clique overlap, exact Mycielski construction — at laptop scale.
+//!
+//! All generators are deterministic for a fixed seed and return a valid
+//! [`Csr`](crate::Csr) (symmetrized, deduplicated, loop-free). Callers that
+//! need connectivity apply [`cc::largest_component`](crate::cc) afterwards,
+//! as the paper's preprocessing does.
+
+pub mod geometric;
+pub mod mesh;
+pub mod powerlaw;
+pub mod special;
+
+pub use geometric::{delaunay_like, rgg};
+pub use mesh::{banded, grid2d, grid3d, road, Stencil};
+pub use powerlaw::{ba, cliques_overlay, copying, rmat, small_world, with_hubs};
+pub use special::{complete, cycle, kmer_paths, mycielskian, path, star};

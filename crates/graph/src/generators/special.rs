@@ -1,0 +1,153 @@
+//! Exact constructions and adversarial shapes: Mycielski graphs, k-mer
+//! path unions, and the usual utility graphs (path/cycle/star/complete).
+
+use crate::builder::from_edges_unit;
+use crate::csr::{Csr, VId};
+use mlcg_par::rng::Xoshiro256pp;
+
+/// Iterated Mycielski construction starting from `K2`. `mycielskian(2)` is
+/// `K2` itself; each further step maps `G(V, E)` with `|V| = n` to a graph
+/// on `2n + 1` vertices: copies `u_i` adjacent to `N(v_i)`, plus an apex
+/// `w` adjacent to every `u_i`. This reproduces the paper's mycielskian17
+/// family *exactly* (at lower iteration counts): triangle-free, extremely
+/// dense, skew ≈ 48.
+pub fn mycielskian(iterations: u32) -> Csr {
+    assert!(iterations >= 2, "mycielskian is defined from M2 = K2 upward");
+    let mut edges: Vec<(VId, VId)> = vec![(0, 1)];
+    let mut n: usize = 2;
+    for _ in 2..iterations {
+        let mut next_edges = Vec::with_capacity(3 * edges.len() + n);
+        // Original edges.
+        next_edges.extend_from_slice(&edges);
+        // u_i (ids n..2n) adjacent to N(v_i): for each edge (a, b) add
+        // (u_a, b) and (a, u_b).
+        for &(a, b) in &edges {
+            next_edges.push((a + n as VId, b));
+            next_edges.push((a, b + n as VId));
+        }
+        // Apex w (id 2n) adjacent to all u_i.
+        let w = 2 * n as VId;
+        for i in 0..n as VId {
+            next_edges.push((i + n as VId, w));
+        }
+        edges = next_edges;
+        n = 2 * n + 1;
+    }
+    from_edges_unit(n, &edges)
+}
+
+/// k-mer / assembly-graph stand-in: `n_paths` long simple paths of length
+/// around `path_len`, plus `n_merges` random cross links merging them.
+/// Reproduces kmer_U1a's signature: avg degree ≈ 2, enormous vertex count
+/// relative to edges, and rare higher-degree branch points.
+pub fn kmer_paths(n_paths: usize, path_len: usize, n_merges: usize, seed: u64) -> Csr {
+    let mut rng = Xoshiro256pp::new(seed);
+    let n = n_paths * path_len;
+    let mut edges: Vec<(VId, VId)> = Vec::with_capacity(n + n_merges);
+    for p in 0..n_paths {
+        let base = (p * path_len) as VId;
+        for i in 0..(path_len - 1) as VId {
+            edges.push((base + i, base + i + 1));
+        }
+    }
+    for _ in 0..n_merges {
+        let a = rng.next_below(n as u64) as VId;
+        let b = rng.next_below(n as u64) as VId;
+        edges.push((a, b));
+    }
+    from_edges_unit(n, &edges)
+}
+
+/// Simple path on `n` vertices.
+pub fn path(n: usize) -> Csr {
+    let edges: Vec<(VId, VId)> = (0..n.saturating_sub(1) as VId).map(|i| (i, i + 1)).collect();
+    from_edges_unit(n, &edges)
+}
+
+/// Cycle on `n` vertices.
+pub fn cycle(n: usize) -> Csr {
+    assert!(n >= 3);
+    let edges: Vec<(VId, VId)> = (0..n as VId).map(|i| (i, (i + 1) % n as VId)).collect();
+    from_edges_unit(n, &edges)
+}
+
+/// Star with `n - 1` leaves around hub 0 — the extreme leaf-matching case.
+pub fn star(n: usize) -> Csr {
+    assert!(n >= 2);
+    let edges: Vec<(VId, VId)> = (1..n as VId).map(|v| (0, v)).collect();
+    from_edges_unit(n, &edges)
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Csr {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n as VId {
+        for j in (i + 1)..n as VId {
+            edges.push((i, j));
+        }
+    }
+    from_edges_unit(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mycielskian_sizes() {
+        // n(k): 2, 5, 11, 23, 47 ... = 3*2^(k-1) - 1.
+        for (k, expect_n) in [(2u32, 2usize), (3, 5), (4, 11), (5, 23), (6, 47)] {
+            let g = mycielskian(k);
+            g.validate().unwrap();
+            assert_eq!(g.n(), expect_n, "k={k}");
+            assert!(crate::cc::is_connected(&g));
+        }
+        // m(k+1) = 3 m(k) + n(k): 1, 5, 20, 71, 236, ...
+        assert_eq!(mycielskian(3).m(), 5); // M3 is the 5-cycle
+        assert_eq!(mycielskian(4).m(), 20); // the Grötzsch graph
+        assert_eq!(mycielskian(5).m(), 71);
+    }
+
+    #[test]
+    fn mycielskian_is_triangle_free() {
+        let g = mycielskian(5);
+        for u in 0..g.n() as VId {
+            for &v in g.neighbors(u) {
+                for &w in g.neighbors(v) {
+                    if w != u {
+                        assert!(
+                            g.find_edge(w, u).is_none(),
+                            "triangle {u}-{v}-{w} in Mycielski graph"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kmer_is_sparse() {
+        let g = kmer_paths(50, 100, 30, 3);
+        g.validate().unwrap();
+        assert_eq!(g.n(), 5000);
+        assert!(g.avg_degree() < 2.2);
+    }
+
+    #[test]
+    fn utility_graphs() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(star(5).m(), 4);
+        assert_eq!(complete(5).m(), 10);
+        for g in [path(5), cycle(5), star(5), complete(5)] {
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn star_hub_degree() {
+        let g = star(100);
+        assert_eq!(g.degree(0), 99);
+        assert!(g.neighbors(1) == [0]);
+    }
+}

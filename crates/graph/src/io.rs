@@ -1,0 +1,368 @@
+//! Graph file I/O: Matrix Market, METIS, and DOT.
+//!
+//! The paper's corpus comes from the SuiteSparse collection (Matrix Market
+//! files) and OGB; these readers let a user of this library run the same
+//! pipelines on real downloaded data. DOT export is used by the Fig. 1/2
+//! reproductions.
+
+use crate::builder::from_edges_weighted;
+use crate::csr::{Csr, VId, Weight};
+use std::io::{self, BufRead, BufWriter, Write as _};
+use std::path::Path;
+
+/// Read an undirected graph from a Matrix Market file.
+///
+/// Accepts `matrix coordinate (pattern|integer|real) (general|symmetric)`.
+/// Real weights are rounded to positive integers (minimum 1); the matrix is
+/// symmetrized; diagonal entries are dropped.
+pub fn read_matrix_market(path: &Path) -> io::Result<Csr> {
+    let file = std::fs::File::open(path)?;
+    let mut lines = io::BufReader::new(file).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty file"))??;
+    let h = header.to_ascii_lowercase();
+    if !h.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported MatrixMarket header: {header}"),
+        ));
+    }
+    let pattern = h.contains("pattern");
+
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        if line.starts_with('%') || line.trim().is_empty() {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line =
+        size_line.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing size line"))?;
+    let mut it = size_line.split_whitespace();
+    let rows: usize = parse(it.next())?;
+    let cols: usize = parse(it.next())?;
+    let nnz: usize = parse(it.next())?;
+    let n = rows.max(cols);
+
+    let mut edges: Vec<(VId, VId, Weight)> = Vec::with_capacity(nnz);
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = parse(it.next())?;
+        let j: usize = parse(it.next())?;
+        if i == 0 || j == 0 || i > n || j > n {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad entry: {t}")));
+        }
+        let w: Weight = if pattern {
+            1
+        } else {
+            let raw: f64 = parse(it.next())?;
+            (raw.abs().round() as u64).max(1)
+        };
+        if i != j {
+            edges.push(((i - 1) as VId, (j - 1) as VId, w));
+        }
+    }
+    // Duplicate (i,j)+(j,i) pairs in `general` files collapse in the builder
+    // (weights summed); `symmetric` files store each edge once.
+    Ok(from_edges_weighted(n, &edges))
+}
+
+/// Write a graph as `matrix coordinate integer symmetric` Matrix Market.
+pub fn write_matrix_market(g: &Csr, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "%%MatrixMarket matrix coordinate integer symmetric")?;
+    writeln!(w, "{} {} {}", g.n(), g.n(), g.m())?;
+    for u in 0..g.n() as VId {
+        for (v, wt) in g.edges(u) {
+            if v < u {
+                // Lower triangle only (row >= col), 1-based.
+                writeln!(w, "{} {} {}", u + 1, v + 1, wt)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Read a METIS `.graph` file (optionally with edge weights, fmt `1` or
+/// `001`; vertex weights are not supported).
+pub fn read_metis(path: &Path) -> io::Result<Csr> {
+    let file = std::fs::File::open(path)?;
+    let mut lines = io::BufReader::new(file).lines();
+    let header = loop {
+        match lines.next() {
+            Some(Ok(l)) if l.trim().is_empty() || l.starts_with('%') => continue,
+            Some(Ok(l)) => break l,
+            Some(Err(e)) => return Err(e),
+            None => return Err(io::Error::new(io::ErrorKind::InvalidData, "empty file")),
+        }
+    };
+    let mut it = header.split_whitespace();
+    let n: usize = parse(it.next())?;
+    let _m: usize = parse(it.next())?;
+    let fmt = it.next().unwrap_or("0");
+    let has_ewgt = fmt.ends_with('1');
+
+    let mut edges: Vec<(VId, VId, Weight)> = Vec::new();
+    let mut u = 0usize;
+    for line in lines {
+        let line = line?;
+        if line.starts_with('%') {
+            continue;
+        }
+        if u >= n {
+            if !line.trim().is_empty() {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "too many vertex lines"));
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        while let Some(tok) = it.next() {
+            let v: usize = tok
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad adjacency"))?;
+            let w: Weight = if has_ewgt { parse(it.next())? } else { 1 };
+            if v == 0 || v > n {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "vertex id out of range"));
+            }
+            if v - 1 > u {
+                // Keep each undirected edge once; the builder symmetrizes.
+                edges.push((u as VId, (v - 1) as VId, w));
+            }
+        }
+        u += 1;
+    }
+    if u != n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected {n} vertex lines, found {u}"),
+        ));
+    }
+    Ok(from_edges_weighted(n, &edges))
+}
+
+/// Write a graph in METIS format with edge weights (`fmt 001`).
+pub fn write_metis(g: &Csr, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "{} {} 001", g.n(), g.m())?;
+    for u in 0..g.n() as VId {
+        let mut first = true;
+        for (v, wt) in g.edges(u) {
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{} {}", v + 1, wt)?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read a whitespace-separated edge list: one `u v [w]` triple per line,
+/// 0-based ids, `#` or `%` comments. The vertex count is one past the
+/// largest id seen.
+pub fn read_edge_list(path: &Path) -> io::Result<Csr> {
+    let file = std::fs::File::open(path)?;
+    let mut edges: Vec<(VId, VId, Weight)> = Vec::new();
+    let mut max_id = 0u32;
+    for line in io::BufReader::new(file).lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: u32 = parse(it.next())?;
+        let v: u32 = parse(it.next())?;
+        let w: Weight = match it.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad weight"))?,
+            None => 1,
+        };
+        max_id = max_id.max(u).max(v);
+        if u != v {
+            edges.push((u, v, w));
+        }
+    }
+    if edges.is_empty() {
+        return Ok(Csr::empty());
+    }
+    Ok(from_edges_weighted(max_id as usize + 1, &edges))
+}
+
+/// Write a graph as a `u v w` edge list (each undirected edge once).
+pub fn write_edge_list(g: &Csr, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# {} vertices, {} edges", g.n(), g.m())?;
+    for u in 0..g.n() as VId {
+        for (v, wt) in g.edges(u) {
+            if v > u {
+                writeln!(w, "{u} {v} {wt}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Infer a reader from the file extension: `.mtx` (Matrix Market),
+/// `.graph`/`.metis` (METIS), anything else as an edge list.
+pub fn read_auto(path: &Path) -> io::Result<Csr> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("mtx") => read_matrix_market(path),
+        Some("graph") | Some("metis") => read_metis(path),
+        _ => read_edge_list(path),
+    }
+}
+
+/// Render a graph in Graphviz DOT, optionally coloring vertices by an
+/// aggregate/partition label. Intended for small illustration graphs.
+pub fn to_dot(g: &Csr, labels: Option<&[u32]>) -> String {
+    const PALETTE: [&str; 10] = [
+        "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3", "#a6d854", "#ffd92f", "#e5c494", "#b3b3b3",
+        "#1f78b4", "#33a02c",
+    ];
+    let mut s = String::from("graph G {\n  node [style=filled];\n");
+    for u in 0..g.n() as VId {
+        if let Some(lab) = labels {
+            let color = PALETTE[lab[u as usize] as usize % PALETTE.len()];
+            s.push_str(&format!("  {u} [fillcolor=\"{color}\" label=\"{u}\\na{}\"];\n", lab[u as usize]));
+        } else {
+            s.push_str(&format!("  {u};\n"));
+        }
+    }
+    for u in 0..g.n() as VId {
+        for (v, w) in g.edges(u) {
+            if v > u {
+                s.push_str(&format!("  {u} -- {v} [label=\"{w}\"];\n"));
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>) -> io::Result<T> {
+    tok.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing field"))?
+        .parse::<T>()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "unparsable field"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{delaunay_like, rmat};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mlcg-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn matrix_market_roundtrip() {
+        let g = delaunay_like(12, 12, 3);
+        let p = tmp("mm.mtx");
+        write_matrix_market(&g, &p).unwrap();
+        let g2 = read_matrix_market(&p).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn metis_roundtrip_weighted() {
+        let g = crate::builder::from_edges_weighted(4, &[(0, 1, 5), (1, 2, 2), (2, 3, 9), (0, 3, 1)]);
+        let p = tmp("g.graph");
+        write_metis(&g, &p).unwrap();
+        let g2 = read_metis(&p).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn metis_roundtrip_large() {
+        let g = rmat(9, 6, 0.57, 0.19, 0.19, 4);
+        let p = tmp("rmat.graph");
+        write_metis(&g, &p).unwrap();
+        let g2 = read_metis(&p).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn mm_pattern_general_symmetrizes() {
+        let p = tmp("pat.mtx");
+        std::fs::write(
+            &p,
+            "%%MatrixMarket matrix coordinate pattern general\n% comment\n3 3 4\n1 2\n2 1\n2 3\n1 1\n",
+        )
+        .unwrap();
+        let g = read_matrix_market(&p).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2); // (1,2) dedup'd, (1,1) dropped
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let p = tmp("bad.mtx");
+        std::fs::write(&p, "%%MatrixMarket matrix array real general\n1 1\n1.0\n").unwrap();
+        assert!(read_matrix_market(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = crate::builder::from_edges_weighted(5, &[(0, 1, 3), (1, 2, 1), (3, 4, 9), (0, 4, 2)]);
+        let p = tmp("el.txt");
+        write_edge_list(&g, &p).unwrap();
+        let g2 = read_edge_list(&p).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn edge_list_default_weight_and_comments() {
+        let p = tmp("el2.txt");
+        std::fs::write(&p, "# comment\n0 1\n% another\n1 2 5\n2 2\n").unwrap();
+        let g = read_edge_list(&p).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.find_edge(0, 1), Some(1));
+        assert_eq!(g.find_edge(1, 2), Some(5));
+        assert_eq!(g.m(), 2); // self loop dropped
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn read_auto_dispatches_on_extension() {
+        let g = crate::generators::path(5);
+        let p1 = tmp("auto.graph");
+        write_metis(&g, &p1).unwrap();
+        assert_eq!(read_auto(&p1).unwrap(), g);
+        let p2 = tmp("auto.mtx");
+        write_matrix_market(&g, &p2).unwrap();
+        assert_eq!(read_auto(&p2).unwrap(), g);
+        let p3 = tmp("auto.txt");
+        write_edge_list(&g, &p3).unwrap();
+        assert_eq!(read_auto(&p3).unwrap(), g);
+        for p in [p1, p2, p3] { std::fs::remove_file(&p).ok(); }
+    }
+
+    #[test]
+    fn dot_contains_edges_and_colors() {
+        let g = crate::generators::path(3);
+        let dot = to_dot(&g, Some(&[0, 0, 1]));
+        assert!(dot.contains("0 -- 1"));
+        assert!(dot.contains("1 -- 2"));
+        assert!(dot.contains("fillcolor"));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # mlcg-graph — CSR graph substrate
+//!
+//! The paper evaluates on undirected, connected, positively-weighted graphs
+//! stored in compressed sparse row (CSR) format, preprocessed from
+//! SuiteSparse matrices and OGB networks (largest connected component
+//! extracted, identifiers relabeled). This crate provides the whole
+//! substrate:
+//!
+//! - [`Csr`]: the CSR graph type with vertex weights (aggregate sizes in the
+//!   multilevel hierarchy) and edge weights;
+//! - [`builder`]: parallel edge-list → CSR construction with symmetrization,
+//!   deduplication and self-loop removal;
+//! - [`cc`]: connected components, largest-component extraction, relabeling;
+//! - [`generators`] and [`suite`]: seeded synthetic generators standing in
+//!   for the paper's 20-graph corpus (see DESIGN.md §4);
+//! - [`io`]: Matrix Market / METIS / DOT readers and writers;
+//! - [`metrics`]: degree statistics, skew ratio, edge cut, balance.
+
+pub mod builder;
+pub mod cc;
+pub mod csr;
+pub mod demo;
+pub mod generators;
+pub mod io;
+pub mod metrics;
+pub mod suite;
+pub mod traverse;
+
+pub use csr::{Csr, VId, VWeight, Weight};
+pub use metrics::DegreeStats;

@@ -1,0 +1,181 @@
+//! Graph and partition metrics reported throughout the paper's tables.
+
+use crate::csr::{Csr, VId, Weight};
+use mlcg_par::{parallel_reduce_sum, ExecPolicy};
+
+/// Degree statistics matching the columns of the paper's Table I.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Vertex count `n`.
+    pub n: usize,
+    /// Undirected edge count `m`.
+    pub m: usize,
+    /// Maximum degree Δ.
+    pub max_degree: usize,
+    /// Average degree `2m / n`.
+    pub avg_degree: f64,
+    /// Skew ratio `Δ / (2m/n)` — the regular/skewed group split key.
+    pub skew: f64,
+}
+
+impl DegreeStats {
+    /// Compute the statistics for a graph.
+    pub fn of(g: &Csr) -> Self {
+        DegreeStats {
+            n: g.n(),
+            m: g.m(),
+            max_degree: g.max_degree(),
+            avg_degree: g.avg_degree(),
+            skew: g.skew_ratio(),
+        }
+    }
+
+    /// The paper classifies graphs with `skew > ~7` as skewed-degree; every
+    /// regular-group graph in Table I has skew ≤ 6.1 and every skewed-group
+    /// graph has skew ≥ 17.
+    pub fn is_skewed(&self) -> bool {
+        self.skew > 7.0
+    }
+}
+
+/// Sum of weights of edges whose endpoints lie in different parts.
+///
+/// `part[u]` is the part of vertex `u` (any integer labels).
+pub fn edge_cut(g: &Csr, part: &[u32]) -> Weight {
+    assert_eq!(part.len(), g.n(), "edge_cut: partition length mismatch");
+    let policy = ExecPolicy::host();
+    parallel_reduce_sum(&policy, g.n(), |u| {
+        let mut c = 0u64;
+        for (v, w) in g.edges(u as VId) {
+            if part[u] != part[v as usize] {
+                c += w;
+            }
+        }
+        c
+    }) / 2
+}
+
+/// Number of boundary vertices: vertices with at least one neighbor in a
+/// different part.
+pub fn boundary_size(g: &Csr, part: &[u32]) -> usize {
+    assert_eq!(part.len(), g.n());
+    (0..g.n())
+        .filter(|&u| g.neighbors(u as VId).iter().any(|&v| part[v as usize] != part[u]))
+        .count()
+}
+
+/// Total communication volume of a k-way partition: for each vertex, the
+/// number of *distinct remote parts* among its neighbors — the standard
+/// proxy for halo-exchange traffic in distributed graph computations.
+pub fn communication_volume(g: &Csr, part: &[u32]) -> usize {
+    assert_eq!(part.len(), g.n());
+    let policy = ExecPolicy::host();
+    parallel_reduce_sum(&policy, g.n(), |u| {
+        let mut remotes: Vec<u32> = g
+            .neighbors(u as VId)
+            .iter()
+            .map(|&v| part[v as usize])
+            .filter(|&p| p != part[u])
+            .collect();
+        remotes.sort_unstable();
+        remotes.dedup();
+        remotes.len() as u64
+    }) as usize
+}
+
+/// Vertex-weight totals per part for a 2-way partition: `(w0, w1)`.
+pub fn part_weights(g: &Csr, part: &[u32]) -> (u64, u64) {
+    assert_eq!(part.len(), g.n());
+    let mut w = [0u64; 2];
+    for (u, &p) in part.iter().enumerate() {
+        assert!(p < 2, "part_weights: bisection labels must be 0/1");
+        w[p as usize] += g.vwgt()[u];
+    }
+    (w[0], w[1])
+}
+
+/// Imbalance of a bisection: `max(w0, w1) / (total / 2)`. 1.0 is perfect.
+pub fn imbalance(g: &Csr, part: &[u32]) -> f64 {
+    let (w0, w1) = part_weights(g, part);
+    let total = (w0 + w1) as f64;
+    if total == 0.0 {
+        return 1.0;
+    }
+    w0.max(w1) as f64 / (total / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_edges_unit, from_edges_weighted};
+
+    #[test]
+    fn stats_of_cycle() {
+        let n = 10u32;
+        let edges: Vec<(VId, VId)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = from_edges_unit(n as usize, &edges);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.n, 10);
+        assert_eq!(s.m, 10);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.avg_degree - 2.0).abs() < 1e-12);
+        assert!((s.skew - 1.0).abs() < 1e-12);
+        assert!(!s.is_skewed());
+    }
+
+    #[test]
+    fn star_is_skewed() {
+        let edges: Vec<(VId, VId)> = (1..100).map(|v| (0, v)).collect();
+        let g = from_edges_unit(100, &edges);
+        assert!(DegreeStats::of(&g).is_skewed());
+    }
+
+    #[test]
+    fn cut_of_path_bisection() {
+        // Path 0-1-2-3 split in the middle: cut = 1.
+        let g = from_edges_unit(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(edge_cut(&g, &[0, 0, 1, 1]), 1);
+        assert_eq!(edge_cut(&g, &[0, 1, 0, 1]), 3);
+        assert_eq!(edge_cut(&g, &[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn weighted_cut() {
+        let g = from_edges_weighted(3, &[(0, 1, 5), (1, 2, 7)]);
+        assert_eq!(edge_cut(&g, &[0, 0, 1]), 7);
+        assert_eq!(edge_cut(&g, &[0, 1, 1]), 5);
+    }
+
+    #[test]
+    fn boundary_and_volume_on_split_path() {
+        // Path 0-1-2-3 split in the middle: vertices 1 and 2 are boundary,
+        // each with one distinct remote part.
+        let g = from_edges_unit(4, &[(0, 1), (1, 2), (2, 3)]);
+        let part = [0, 0, 1, 1];
+        assert_eq!(boundary_size(&g, &part), 2);
+        assert_eq!(communication_volume(&g, &part), 2);
+        assert_eq!(boundary_size(&g, &[0, 0, 0, 0]), 0);
+        assert_eq!(communication_volume(&g, &[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn volume_counts_distinct_parts_once() {
+        // Star hub with leaves in three different parts: hub contributes 3
+        // (not its degree), each leaf contributes 1.
+        let edges: Vec<(VId, VId)> = (1..7).map(|v| (0, v)).collect();
+        let g = from_edges_unit(7, &edges);
+        let part = [0, 1, 1, 2, 2, 3, 3];
+        assert_eq!(communication_volume(&g, &part), 3 + 6);
+        assert_eq!(boundary_size(&g, &part), 7);
+    }
+
+    #[test]
+    fn balance_metrics() {
+        let mut g = from_edges_unit(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(part_weights(&g, &[0, 0, 1, 1]), (2, 2));
+        assert!((imbalance(&g, &[0, 0, 1, 1]) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&g, &[0, 0, 0, 1]) - 1.5).abs() < 1e-12);
+        g.set_vwgt(vec![3, 1, 1, 3]);
+        assert_eq!(part_weights(&g, &[0, 0, 1, 1]), (4, 4));
+    }
+}

@@ -1,0 +1,232 @@
+//! The 20-graph evaluation corpus (Table I stand-ins).
+//!
+//! One synthetic stand-in per paper graph, preserving its structural role,
+//! application domain, and regular/skewed classification (DESIGN.md §4).
+//! Sizes default to laptop scale; `scale` doubles the vertex count per
+//! increment so the same corpus drives the weak-scaling experiment.
+//!
+//! As in the paper, every graph is preprocessed: symmetrized, deduplicated,
+//! self-loop-free, largest connected component extracted, ids relabeled.
+
+use crate::cc::largest_component;
+use crate::csr::Csr;
+use crate::generators as gen;
+
+/// Regular (low degree skew) vs skewed-degree group, per Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Group {
+    /// `Δ / (2m/n)` ≤ ~6: meshes, geometric graphs, roads.
+    Regular,
+    /// High skew: web, social, Kronecker, biology networks.
+    Skewed,
+}
+
+/// A corpus entry: preprocessed graph plus its Table I metadata.
+pub struct NamedGraph {
+    /// Corpus name (paper graph name with a `-sim` suffix where the
+    /// generator is a stand-in rather than the exact construction).
+    pub name: &'static str,
+    /// Application domain tag from Table I.
+    pub domain: &'static str,
+    /// Regular or skewed-degree group.
+    pub group: Group,
+    /// The preprocessed graph.
+    pub graph: Csr,
+}
+
+/// Names of the regular-group corpus graphs, in Table I order.
+pub const REGULAR: [&str; 10] = [
+    "hv15r-sim",
+    "rgg",
+    "nlpkkt-sim",
+    "europe-osm-sim",
+    "cubecoup-sim",
+    "delaunay",
+    "flan-sim",
+    "mlgeer-sim",
+    "cage-sim",
+    "channel-sim",
+];
+
+/// Names of the skewed-group corpus graphs, in Table I order.
+pub const SKEWED: [&str; 10] = [
+    "ic04-sim",
+    "orkut-sim",
+    "vas-stokes-sim",
+    "kmer-sim",
+    "kron",
+    "products-sim",
+    "hollywood-sim",
+    "mycielskian",
+    "citation-sim",
+    "ppa-sim",
+];
+
+fn dim2(base: usize, scale: u32) -> usize {
+    // Doubling n per scale increment means each 2-D side grows by sqrt(2).
+    ((base as f64) * 2f64.powf(scale as f64 / 2.0)).round() as usize
+}
+
+fn dim3(base: usize, scale: u32) -> usize {
+    ((base as f64) * 2f64.powf(scale as f64 / 3.0)).round() as usize
+}
+
+fn count(base: usize, scale: u32) -> usize {
+    base << scale
+}
+
+/// Generate one corpus graph by name (preprocessed). Returns `None` for
+/// unknown names. `scale = 0` is the default laptop size; each increment
+/// doubles the vertex count.
+pub fn by_name(name: &str, scale: u32, seed: u64) -> Option<Csr> {
+    let g = match name {
+        // ---- regular group ----
+        "hv15r-sim" => gen::grid3d(dim3(12, scale), dim3(12, scale), dim3(12, scale), gen::Stencil::Box125),
+        "rgg" => gen::rgg(count(60_000, scale), 15.0, seed ^ 0x1),
+        "nlpkkt-sim" => gen::grid3d(dim3(28, scale), dim3(28, scale), dim3(28, scale), gen::Stencil::Box27),
+        "europe-osm-sim" => gen::road(dim2(110, scale), dim2(110, scale), 4, 0.08, seed ^ 0x2),
+        "cubecoup-sim" => gen::grid3d(dim3(24, scale), dim3(24, scale), dim3(24, scale), gen::Stencil::Box27),
+        "delaunay" => gen::delaunay_like(dim2(220, scale), dim2(220, scale), seed ^ 0x3),
+        "flan-sim" => gen::grid3d(dim3(22, scale), dim3(22, scale), dim3(22, scale), gen::Stencil::Box27),
+        "mlgeer-sim" => gen::grid3d(dim3(16, scale), dim3(16, scale), dim3(16, scale), gen::Stencil::Box125),
+        "cage-sim" => gen::banded(count(40_000, scale), 30, 16, seed ^ 0x4),
+        "channel-sim" => gen::grid3d(dim3(36, scale), dim3(36, scale), dim3(36, scale), gen::Stencil::Star7),
+        // ---- skewed group ----
+        "ic04-sim" => gen::copying(count(40_000, scale), 12, 0.75, seed ^ 0x5),
+        "orkut-sim" => gen::rmat(16 + scale, 12, 0.45, 0.22, 0.22, seed ^ 0x6),
+        "vas-stokes-sim" => gen::with_hubs(
+            &gen::grid3d(dim3(24, scale), dim3(24, scale), dim3(24, scale), gen::Stencil::Box27),
+            60,
+            2000,
+            seed ^ 0x7,
+        ),
+        "kmer-sim" => gen::with_hubs(
+            &gen::kmer_paths(count(600, scale), 100, count(400, scale), seed ^ 0x8),
+            10,
+            60,
+            seed ^ 0x9,
+        ),
+        "kron" => gen::rmat(16 + scale, 14, 0.57, 0.19, 0.19, seed ^ 0xa),
+        "products-sim" => gen::ba(count(50_000, scale), 6, seed ^ 0xb),
+        "hollywood-sim" => {
+            gen::cliques_overlay(count(30_000, scale), count(8_000, scale), 20, seed ^ 0xc)
+        }
+        "mycielskian" => gen::mycielskian(12 + scale),
+        "citation-sim" => gen::copying(count(45_000, scale), 8, 0.6, seed ^ 0xd),
+        "ppa-sim" => gen::with_hubs(
+            &gen::small_world(count(20_000, scale), 18, 0.3, seed ^ 0xe),
+            40,
+            1500,
+            seed ^ 0xf,
+        ),
+        _ => return None,
+    };
+    let (lcc, _) = largest_component(&g);
+    Some(lcc)
+}
+
+fn domain_of(name: &str) -> &'static str {
+    match name {
+        "hv15r-sim" => "cfd",
+        "rgg" | "delaunay" | "kron" | "mycielskian" => "syn",
+        "nlpkkt-sim" => "opt",
+        "europe-osm-sim" => "road",
+        "cubecoup-sim" | "flan-sim" => "fem",
+        "mlgeer-sim" | "channel-sim" => "sim",
+        "cage-sim" | "kmer-sim" | "ppa-sim" => "bio",
+        "ic04-sim" => "www",
+        "orkut-sim" | "hollywood-sim" => "soc",
+        "vas-stokes-sim" => "vlsi",
+        "products-sim" => "ecom",
+        "citation-sim" => "cit",
+        _ => "?",
+    }
+}
+
+/// Generate the full 20-graph corpus.
+pub fn suite(scale: u32, seed: u64) -> Vec<NamedGraph> {
+    let mut out = Vec::with_capacity(20);
+    for (group, names) in [(Group::Regular, &REGULAR), (Group::Skewed, &SKEWED)] {
+        for &name in names.iter() {
+            let graph = by_name(name, scale, seed).expect("known corpus name");
+            out.push(NamedGraph { name, domain: domain_of(name), group, graph });
+        }
+    }
+    out
+}
+
+/// A small fast subset of the corpus (one regular, one skewed) for tests.
+pub fn mini_suite(seed: u64) -> Vec<NamedGraph> {
+    vec![
+        NamedGraph {
+            name: "delaunay",
+            domain: "syn",
+            group: Group::Regular,
+            graph: {
+                let (g, _) = largest_component(&gen::delaunay_like(40, 40, seed));
+                g
+            },
+        },
+        NamedGraph {
+            name: "kron",
+            domain: "syn",
+            group: Group::Skewed,
+            graph: {
+                let (g, _) = largest_component(&gen::rmat(10, 8, 0.57, 0.19, 0.19, seed));
+                g
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::is_connected;
+    use crate::metrics::DegreeStats;
+
+    #[test]
+    fn every_corpus_graph_is_valid_and_connected() {
+        // Scale 0 suite is a few million edges total; validate a cheap
+        // sample of entries here (the full suite runs in integration tests).
+        for name in ["rgg", "europe-osm-sim", "kron", "mycielskian", "kmer-sim"] {
+            let g = by_name(name, 0, 42).unwrap();
+            g.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(is_connected(&g), "{name} not connected");
+            assert!(g.n() > 1000, "{name} too small: {}", g.n());
+        }
+    }
+
+    #[test]
+    fn group_classification_matches_skew() {
+        for name in ["delaunay", "channel-sim"] {
+            let g = by_name(name, 0, 42).unwrap();
+            assert!(!DegreeStats::of(&g).is_skewed(), "{name} should be regular");
+        }
+        for name in ["kron", "ppa-sim", "hollywood-sim"] {
+            let g = by_name(name, 0, 42).unwrap();
+            assert!(DegreeStats::of(&g).is_skewed(), "{name} should be skewed");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("not-a-graph", 0, 1).is_none());
+    }
+
+    #[test]
+    fn mini_suite_valid() {
+        for ng in mini_suite(7) {
+            ng.graph.validate().unwrap();
+            assert!(is_connected(&ng.graph));
+        }
+    }
+
+    #[test]
+    fn scale_grows_vertex_count() {
+        let g0 = by_name("delaunay", 0, 1).unwrap();
+        let g1 = by_name("delaunay", 1, 1).unwrap();
+        let ratio = g1.n() as f64 / g0.n() as f64;
+        assert!(ratio > 1.6 && ratio < 2.4, "scale+1 should roughly double n: {ratio}");
+    }
+}

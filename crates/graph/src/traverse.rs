@@ -1,0 +1,109 @@
+//! Traversal utilities: BFS distances, eccentricity/diameter estimation,
+//! and degree histograms — used by the harness for corpus
+//! characterization and by tests as structural oracles.
+
+use crate::csr::{Csr, VId};
+use std::collections::VecDeque;
+
+/// BFS hop distances from `source` (`usize::MAX` for unreachable).
+pub fn bfs_distances(g: &Csr, source: VId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut q = VecDeque::new();
+    dist[source as usize] = 0;
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        let d = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = d + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of a vertex (max finite BFS distance).
+pub fn eccentricity(g: &Csr, source: VId) -> usize {
+    bfs_distances(g, source).into_iter().filter(|&d| d != usize::MAX).max().unwrap_or(0)
+}
+
+/// Lower bound on the diameter by the double-sweep heuristic: BFS from
+/// `seed`, then BFS again from the farthest vertex found. Exact on trees.
+pub fn diameter_lower_bound(g: &Csr, seed: VId) -> usize {
+    if g.n() == 0 {
+        return 0;
+    }
+    let d1 = bfs_distances(g, seed);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != usize::MAX)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(u, _)| u as VId)
+        .unwrap_or(seed);
+    eccentricity(g, far)
+}
+
+/// Degree histogram in power-of-two buckets: entry `i` counts vertices
+/// with degree in `[2^i, 2^(i+1))`; entry 0 also counts degree-0 and 1.
+pub fn degree_histogram(g: &Csr) -> Vec<usize> {
+    let mut hist: Vec<usize> = Vec::new();
+    for u in 0..g.n() as VId {
+        let d = g.degree(u);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        if bucket >= hist.len() {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators as gen;
+
+    #[test]
+    fn path_distances() {
+        let g = gen::path(6);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(bfs_distances(&g, 3), vec![3, 2, 1, 0, 1, 2]);
+        assert_eq!(eccentricity(&g, 0), 5);
+        assert_eq!(eccentricity(&g, 3), 3);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = crate::builder::from_edges_unit(4, &[(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+        assert_eq!(d[3], usize::MAX);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_path() {
+        let g = gen::path(40);
+        // Start from the middle: single BFS sees 20, double sweep sees 39.
+        assert_eq!(diameter_lower_bound(&g, 20), 39);
+    }
+
+    #[test]
+    fn grid_diameter_bound() {
+        let g = gen::grid2d(8, 5);
+        let lb = diameter_lower_bound(&g, 17);
+        assert!(lb >= 7 + 4, "grid diameter lb {lb}");
+        assert!(lb <= 11);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let g = gen::star(10); // hub degree 9, leaves degree 1
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 9, "nine degree-1 leaves");
+        assert_eq!(h[3], 1, "hub in bucket [8,16)");
+        assert_eq!(h.iter().sum::<usize>(), 10);
+    }
+}

@@ -1,0 +1,122 @@
+//! Atomic views over plain integer slices.
+//!
+//! The paper's lock-free kernels (Algorithm 4's CAS on `C`, the atomic
+//! degree counters of Algorithm 6) operate on ordinary device arrays. In
+//! Rust we obtain the same thing safely by reinterpreting an exclusively
+//! borrowed `&mut [u32]` as `&[AtomicU32]` for the duration of a parallel
+//! region: `AtomicU32` is guaranteed to have the same size and bit validity
+//! as `u32`, and the exclusive borrow guarantees no non-atomic access can
+//! race with the atomic one.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// View an exclusively borrowed `u32` slice as atomics.
+pub fn as_atomic_u32(s: &mut [u32]) -> &[AtomicU32] {
+    // SAFETY: AtomicU32 has the same size, alignment and bit validity as u32
+    // (documented std guarantee), and the &mut borrow makes this the only
+    // access path while the returned view is alive.
+    unsafe { &*(s as *mut [u32] as *const [AtomicU32]) }
+}
+
+/// View an exclusively borrowed `u64` slice as atomics.
+pub fn as_atomic_u64(s: &mut [u64]) -> &[AtomicU64] {
+    // SAFETY: as in `as_atomic_u32`.
+    unsafe { &*(s as *mut [u64] as *const [AtomicU64]) }
+}
+
+/// View an exclusively borrowed `usize` slice as atomics.
+pub fn as_atomic_usize(s: &mut [usize]) -> &[AtomicUsize] {
+    // SAFETY: as in `as_atomic_u32`.
+    unsafe { &*(s as *mut [usize] as *const [AtomicUsize]) }
+}
+
+/// `AtomicCAS(a, expected, desired)` as written in the paper's pseudocode:
+/// returns the *previous* value (so "== expected" means the CAS won).
+#[inline]
+pub fn cas_u32(a: &AtomicU32, expected: u32, desired: u32) -> u32 {
+    match a.compare_exchange(expected, desired, Ordering::AcqRel, Ordering::Acquire) {
+        Ok(prev) => prev,
+        Err(prev) => prev,
+    }
+}
+
+/// Atomic fetch-min on a `u64` cell; returns true if this call lowered it.
+#[inline]
+pub fn fetch_min_u64(a: &AtomicU64, v: u64) -> bool {
+    let mut cur = a.load(Ordering::Relaxed);
+    while v < cur {
+        match a.compare_exchange_weak(cur, v, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+    false
+}
+
+/// Atomic fetch-max on a `u64` cell; returns true if this call raised it.
+#[inline]
+pub fn fetch_max_u64(a: &AtomicU64, v: u64) -> bool {
+    let mut cur = a.load(Ordering::Relaxed);
+    while v > cur {
+        match a.compare_exchange_weak(cur, v, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parallel_for, ExecPolicy};
+
+    #[test]
+    fn atomic_view_increments() {
+        let mut v = vec![0u32; 64];
+        {
+            let a = as_atomic_u32(&mut v);
+            let policy = ExecPolicy::all_test_policies().pop().unwrap();
+            parallel_for(&policy, 64 * 100, |i| {
+                a[i % 64].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert!(v.iter().all(|&x| x == 100));
+    }
+
+    #[test]
+    fn cas_returns_previous_value() {
+        let a = AtomicU32::new(0);
+        assert_eq!(cas_u32(&a, 0, 5), 0); // won
+        assert_eq!(cas_u32(&a, 0, 9), 5); // lost, observes 5
+        assert_eq!(a.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn fetch_min_max() {
+        let a = AtomicU64::new(10);
+        assert!(fetch_min_u64(&a, 3));
+        assert!(!fetch_min_u64(&a, 7));
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+        assert!(fetch_max_u64(&a, 99));
+        assert!(!fetch_max_u64(&a, 4));
+        assert_eq!(a.load(Ordering::SeqCst), 99);
+    }
+
+    #[test]
+    fn concurrent_cas_only_one_winner_per_slot() {
+        let mut v = vec![0u32; 1];
+        let wins = std::sync::atomic::AtomicUsize::new(0);
+        {
+            let a = as_atomic_u32(&mut v);
+            let policy = ExecPolicy { backend: crate::Backend::Host, threads: 4, grain: 1 };
+            parallel_for(&policy, 1000, |i| {
+                if cas_u32(&a[0], 0, i as u32 + 1) == 0 {
+                    wins.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+        assert_ne!(v[0], 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Execution policies: the reproduction's stand-in for Kokkos execution
+//! spaces.
+//!
+//! The paper runs identical kernels on an NVIDIA Turing GPU (CUDA back-end)
+//! and a 32-core CPU (OpenMP back-end), choosing per-architecture kernel
+//! variants where it matters (bitonic vs radix deduplication sorts, chunked
+//! vs flat scheduling). We model that split with three backends that all
+//! execute on CPU threads:
+//!
+//! - [`Backend::Serial`] — reference sequential execution, no pool involved.
+//! - [`Backend::Host`] — multicore-style: coarse chunks claimed dynamically.
+//! - [`Backend::DeviceSim`] — GPU-style: many fine-grained chunks claimed
+//!   from a flat pool, emulating tens of thousands of lightweight threads.
+//!   Downstream crates additionally select GPU-flavoured kernels (bitonic
+//!   dedup sort) when they see this backend.
+
+use std::fmt;
+
+/// Which execution back-end a kernel runs on. See the module docs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// Sequential in the calling thread.
+    Serial,
+    /// Multicore CPU style: dynamic scheduling, coarse chunks.
+    Host,
+    /// Simulated GPU style: flat scheduling, fine chunks, GPU kernel variants.
+    DeviceSim,
+}
+
+/// A complete description of how parallel primitives should execute.
+#[derive(Clone, Debug)]
+pub struct ExecPolicy {
+    /// Scheduling/kernel-selection flavour.
+    pub backend: Backend,
+    /// Number of participating workers (including the calling thread).
+    pub threads: usize,
+    /// Minimum work per chunk; prevents tiny ranges from paying dispatch
+    /// overhead. A parallel region with fewer than `grain` items runs inline.
+    pub grain: usize,
+}
+
+impl ExecPolicy {
+    /// Sequential reference policy.
+    pub fn serial() -> Self {
+        ExecPolicy { backend: Backend::Serial, threads: 1, grain: usize::MAX }
+    }
+
+    /// Multicore policy using all pool workers.
+    pub fn host() -> Self {
+        ExecPolicy { backend: Backend::Host, threads: crate::pool::global().workers(), grain: 4096 }
+    }
+
+    /// Multicore policy with an explicit worker count.
+    pub fn host_with_threads(threads: usize) -> Self {
+        ExecPolicy { backend: Backend::Host, threads: threads.max(1), grain: 4096 }
+    }
+
+    /// Simulated-GPU policy: every pool worker participates and chunks are
+    /// fine-grained, so scheduling resembles a flat GPU grid.
+    pub fn device_sim() -> Self {
+        ExecPolicy {
+            backend: Backend::DeviceSim,
+            threads: crate::pool::global().workers(),
+            grain: 1024,
+        }
+    }
+
+    /// True when downstream code should pick GPU-flavoured kernel variants.
+    pub fn is_device(&self) -> bool {
+        self.backend == Backend::DeviceSim
+    }
+
+    /// Workers that will actually participate for a region of `n` items.
+    pub fn effective_threads(&self, n: usize) -> usize {
+        if self.backend == Backend::Serial || n < self.grain.saturating_mul(2) {
+            1
+        } else {
+            self.threads.max(1)
+        }
+    }
+
+    /// Chunk size used by the dynamic claimer for a region of `n` items.
+    pub fn chunk_size(&self, n: usize, threads: usize) -> usize {
+        let n = n.max(1);
+        match self.backend {
+            Backend::Serial => n,
+            // Coarse: aim for ~8 chunks per worker so dynamic scheduling can
+            // balance, but never below a cache-friendly floor.
+            Backend::Host => (n / (threads * 8).max(1)).clamp(1024.min(n), n),
+            // Fine: many small chunks, emulating a flat GPU grid. The floor
+            // keeps per-chunk dispatch overhead tolerable on real CPUs.
+            Backend::DeviceSim => (n / (threads * 64).max(1)).clamp(256.min(n), n),
+        }
+    }
+
+    /// The set of policies exercised by unit and property tests.
+    pub fn all_test_policies() -> Vec<ExecPolicy> {
+        vec![
+            ExecPolicy::serial(),
+            // Small grains force the parallel paths even on tiny test inputs.
+            ExecPolicy { backend: Backend::Host, threads: crate::pool::global().workers(), grain: 16 },
+            ExecPolicy { backend: Backend::DeviceSim, threads: crate::pool::global().workers(), grain: 16 },
+        ]
+    }
+}
+
+impl fmt::Display for ExecPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.backend {
+            Backend::Serial => write!(f, "serial"),
+            Backend::Host => write!(f, "host(t={})", self.threads),
+            Backend::DeviceSim => write!(f, "device-sim(t={})", self.threads),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_is_single_threaded() {
+        let p = ExecPolicy::serial();
+        assert_eq!(p.effective_threads(1 << 20), 1);
+    }
+
+    #[test]
+    fn small_ranges_run_inline() {
+        let p = ExecPolicy::host(); // grain 4096
+        assert_eq!(p.effective_threads(100), 1);
+        assert!(p.effective_threads(1 << 20) >= 1);
+    }
+
+    #[test]
+    fn chunk_sizes_are_sane() {
+        let host = ExecPolicy::host_with_threads(8);
+        let n = 1 << 20;
+        let c = host.chunk_size(n, 8);
+        assert!(c >= 1024 && c <= n);
+        let dev = ExecPolicy { backend: Backend::DeviceSim, threads: 8, grain: 16 };
+        let cd = dev.chunk_size(n, 8);
+        assert!(cd >= 256 && cd <= c, "device chunks should be finer: {cd} vs {c}");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", ExecPolicy::serial()), "serial");
+        assert!(format!("{}", ExecPolicy::host_with_threads(4)).starts_with("host"));
+        assert!(format!("{}", ExecPolicy::device_sim()).starts_with("device-sim"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Sort-based parallel random permutation (`ParGenPerm` in the paper's
+//! Algorithm 4): assign each index an independent pseudo-random key and sort
+//! by it. Deterministic for a fixed seed regardless of thread count.
+
+use crate::rng::hash_index;
+use crate::sort::par_radix_sort_pairs;
+use crate::{parallel_for, ExecPolicy};
+use std::sync::atomic::Ordering;
+
+/// A uniformly random permutation of `0..n` (as `u32` labels).
+pub fn random_permutation(policy: &ExecPolicy, n: usize, seed: u64) -> Vec<u32> {
+    assert!(n <= u32::MAX as usize, "random_permutation: n exceeds u32 range");
+    let mut keys: Vec<u64> = vec![0; n];
+    {
+        let base = keys.as_mut_ptr() as usize;
+        parallel_for(policy, n, move |i| {
+            // SAFETY: index-disjoint writes into the freshly allocated buffer.
+            unsafe {
+                (base as *mut u64).add(i).write(hash_index(seed, i as u64));
+            }
+        });
+    }
+    let mut vals: Vec<u32> = vec![0; n];
+    {
+        let base = vals.as_mut_ptr() as usize;
+        parallel_for(policy, n, move |i| {
+            // SAFETY: index-disjoint writes.
+            unsafe {
+                (base as *mut u32).add(i).write(i as u32);
+            }
+        });
+    }
+    par_radix_sort_pairs(policy, &mut keys, &mut vals);
+    vals
+}
+
+/// Inverse of a permutation: `out[p[i]] = i`.
+pub fn invert_permutation(policy: &ExecPolicy, p: &[u32]) -> Vec<u32> {
+    let n = p.len();
+    let mut out = vec![0u32; n];
+    {
+        let view = crate::atomic::as_atomic_u32(&mut out);
+        parallel_for(policy, n, |i| {
+            view[p[i] as usize].store(i as u32, Ordering::Relaxed);
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(p: &[u32]) -> bool {
+        let mut seen = vec![false; p.len()];
+        for &x in p {
+            if (x as usize) >= p.len() || seen[x as usize] {
+                return false;
+            }
+            seen[x as usize] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn produces_valid_permutations() {
+        for policy in ExecPolicy::all_test_policies() {
+            for n in [0usize, 1, 2, 100, 40_000] {
+                let p = random_permutation(&policy, n, 123);
+                assert_eq!(p.len(), n);
+                assert!(is_permutation(&p), "n={n} policy={policy}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_across_policies() {
+        let a = random_permutation(&ExecPolicy::serial(), 10_000, 99);
+        for policy in ExecPolicy::all_test_policies() {
+            let b = random_permutation(&policy, 10_000, 99);
+            assert_eq!(a, b, "permutation must not depend on the policy");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let a = random_permutation(&ExecPolicy::serial(), 1000, 1);
+        let b = random_permutation(&ExecPolicy::serial(), 1000, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn permutation_is_unbiased_at_position_zero() {
+        // Over many seeds, the first element should be roughly uniform.
+        let n = 16usize;
+        let trials = 4000;
+        let mut counts = vec![0usize; n];
+        for seed in 0..trials {
+            let p = random_permutation(&ExecPolicy::serial(), n, seed);
+            counts[p[0] as usize] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > expect * 0.5 && (c as f64) < expect * 1.5,
+                "position-0 value {i} count {c} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for policy in ExecPolicy::all_test_policies() {
+            let p = random_permutation(&policy, 5000, 7);
+            let inv = invert_permutation(&policy, &p);
+            for i in 0..p.len() {
+                assert_eq!(inv[p[i] as usize], i as u32);
+                assert_eq!(p[inv[i] as usize], i as u32);
+            }
+        }
+    }
+}

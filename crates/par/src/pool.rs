@@ -1,0 +1,201 @@
+//! A small persistent worker pool.
+//!
+//! The pool broadcasts one job to `k-1` workers; the calling thread is the
+//! `k`-th participant. Jobs pull work by claiming chunk start offsets from a
+//! shared atomic counter, so completion is detected per-job with a
+//! [`crossbeam::sync::WaitGroup`] — concurrent submissions from different
+//! threads simply interleave in each worker's queue.
+//!
+//! Nested parallelism from inside a worker is executed inline by the caller
+//! (see [`in_worker`]); this mirrors Kokkos, where a kernel body cannot
+//! launch another global kernel.
+
+use crossbeam::channel::{unbounded, Sender};
+use crossbeam::sync::WaitGroup;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when called from inside a pool worker executing a job.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// The work item given to each participant: `run(worker_id, claim)` where
+/// `claim(chunk)` atomically grabs the next chunk start offset.
+pub type JobFn<'a> = dyn Fn(usize, &dyn Fn(usize) -> usize) + Sync + 'a;
+
+struct Job {
+    // Type-erased pointer to the caller's `&JobFn`; valid until the caller's
+    // WaitGroup::wait() returns, which is before the borrow ends.
+    func: *const JobFn<'static>,
+    next: AtomicUsize,
+}
+// SAFETY: `func` points at a `Sync` closure and is only dereferenced while
+// the submitting stack frame (which owns the closure) is blocked in `wait()`.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct Msg {
+    job: Arc<Job>,
+    // Held only so its drop signals job completion to the submitter.
+    _wg: WaitGroup,
+}
+
+/// A persistent pool of worker threads executing broadcast jobs.
+pub struct ThreadPool {
+    senders: Vec<Sender<Msg>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `workers` total participants (including callers of
+    /// [`ThreadPool::dispatch`]); `workers - 1` OS threads are created.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers - 1);
+        for wid in 1..workers {
+            let (tx, rx) = unbounded::<Msg>();
+            senders.push(tx);
+            std::thread::Builder::new()
+                .name(format!("mlcg-worker-{wid}"))
+                .spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    while let Ok(msg) = rx.recv() {
+                        run_job(&msg.job, wid);
+                        drop(msg); // drops the WaitGroup clone, signalling done
+                    }
+                })
+                .expect("failed to spawn pool worker");
+        }
+        ThreadPool { senders }
+    }
+
+    /// Total participant count (worker threads + the calling thread).
+    pub fn workers(&self) -> usize {
+        self.senders.len() + 1
+    }
+
+    /// Run `f(worker_id, claim)` on `threads` participants and wait for all
+    /// of them. `claim(chunk)` returns monotonically increasing chunk start
+    /// offsets; participants stop when the returned offset passes their
+    /// range bound.
+    pub fn dispatch(&self, threads: usize, f: &JobFn<'_>) {
+        let threads = threads.clamp(1, self.workers());
+        // SAFETY: we erase the closure's lifetime; `wg.wait()` below blocks
+        // until every worker has dropped its message (and thus finished
+        // calling the closure), so the borrow outlives all uses.
+        let func: *const JobFn<'static> =
+            unsafe { std::mem::transmute::<*const JobFn<'_>, *const JobFn<'static>>(f as *const _) };
+        let job = Arc::new(Job { func, next: AtomicUsize::new(0) });
+        let wg = WaitGroup::new();
+        for tx in &self.senders[..threads - 1] {
+            tx.send(Msg { job: Arc::clone(&job), _wg: wg.clone() })
+                .expect("pool worker exited unexpectedly");
+        }
+        run_job(&job, 0); // the caller is participant 0
+        wg.wait();
+    }
+}
+
+fn run_job(job: &Job, wid: usize) {
+    // SAFETY: see `Job::func`.
+    let f = unsafe { &*job.func };
+    let claim = |chunk: usize| job.next.fetch_add(chunk.max(1), Ordering::Relaxed);
+    f(wid, &claim);
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The lazily-created global pool.
+///
+/// Its size is `MLCG_THREADS` if set, otherwise
+/// `max(available_parallelism, 4)` — the floor keeps the device-sim policy
+/// meaningfully multithreaded even on single-core CI machines, where extra
+/// workers are merely time-sliced.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        let n = std::env::var("MLCG_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(4)
+            });
+        ThreadPool::new(n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn dispatch_runs_all_participants() {
+        let pool = ThreadPool::new(4);
+        let ran = AtomicUsize::new(0);
+        pool.dispatch(4, &|_wid, _claim| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn claim_is_monotone_and_covers() {
+        let pool = ThreadPool::new(4);
+        let n = 100_000usize;
+        let seen = AtomicUsize::new(0);
+        pool.dispatch(4, &|_wid, claim| loop {
+            let s = claim(64);
+            if s >= n {
+                break;
+            }
+            let e = (s + 64).min(n);
+            seen.fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn sequential_dispatches_reuse_workers() {
+        let pool = ThreadPool::new(3);
+        for round in 0..50 {
+            let count = AtomicUsize::new(0);
+            pool.dispatch(3, &|_w, _c| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(count.load(Ordering::SeqCst), 3, "round {round}");
+        }
+    }
+
+    #[test]
+    fn concurrent_dispatch_from_many_threads() {
+        let pool = std::sync::Arc::new(ThreadPool::new(4));
+        let total = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let pool = std::sync::Arc::clone(&pool);
+            let total = std::sync::Arc::clone(&total);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    pool.dispatch(4, &|_w, _c| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 20 * 4);
+    }
+
+    #[test]
+    fn global_pool_has_at_least_four_workers() {
+        assert!(global().workers() >= 1);
+    }
+}

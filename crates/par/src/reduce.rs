@@ -1,0 +1,104 @@
+//! Parallel reductions.
+
+use crate::{parallel_for_chunks, ExecPolicy};
+use parking_lot::Mutex;
+
+/// Reduce `map(i)` over `0..n` with an associative, commutative `combine`
+/// and its `identity`.
+pub fn parallel_reduce<T, M, C>(policy: &ExecPolicy, n: usize, identity: T, map: M, combine: C) -> T
+where
+    T: Clone + Send + Sync,
+    M: Fn(usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync + Send,
+{
+    let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
+    parallel_for_chunks(policy, n, |r| {
+        let mut acc = identity.clone();
+        for i in r {
+            acc = combine(acc, map(i));
+        }
+        partials.lock().push(acc);
+    });
+    partials.into_inner().into_iter().fold(identity, combine)
+}
+
+/// Sum of `map(i)` over `0..n` as `u64`.
+pub fn parallel_reduce_sum<M>(policy: &ExecPolicy, n: usize, map: M) -> u64
+where
+    M: Fn(usize) -> u64 + Sync,
+{
+    parallel_reduce(policy, n, 0u64, map, |a, b| a + b)
+}
+
+/// Maximum of `map(i)` over `0..n` (`0` for the empty range).
+pub fn parallel_reduce_max<M>(policy: &ExecPolicy, n: usize, map: M) -> u64
+where
+    M: Fn(usize) -> u64 + Sync,
+{
+    parallel_reduce(policy, n, 0u64, map, u64::max)
+}
+
+/// Minimum of `map(i)` over `0..n` (`u64::MAX` for the empty range).
+pub fn parallel_reduce_min<M>(policy: &ExecPolicy, n: usize, map: M) -> u64
+where
+    M: Fn(usize) -> u64 + Sync,
+{
+    parallel_reduce(policy, n, u64::MAX, map, u64::min)
+}
+
+/// Count indices in `0..n` satisfying `pred`.
+pub fn parallel_count<P>(policy: &ExecPolicy, n: usize, pred: P) -> usize
+where
+    P: Fn(usize) -> bool + Sync,
+{
+    parallel_reduce(policy, n, 0usize, |i| usize::from(pred(i)), |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_formula() {
+        for policy in ExecPolicy::all_test_policies() {
+            let n = 100_001u64;
+            let s = parallel_reduce_sum(&policy, n as usize, |i| i as u64);
+            assert_eq!(s, n * (n - 1) / 2, "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn max_and_min() {
+        let v: Vec<u64> = (0..50_000).map(|i| (i * 2654435761u64) % 1_000_003).collect();
+        let expect_max = *v.iter().max().unwrap();
+        let expect_min = *v.iter().min().unwrap();
+        for policy in ExecPolicy::all_test_policies() {
+            assert_eq!(parallel_reduce_max(&policy, v.len(), |i| v[i]), expect_max);
+            assert_eq!(parallel_reduce_min(&policy, v.len(), |i| v[i]), expect_min);
+        }
+    }
+
+    #[test]
+    fn empty_reductions_yield_identity() {
+        let p = ExecPolicy::host();
+        assert_eq!(parallel_reduce_sum(&p, 0, |_| 1), 0);
+        assert_eq!(parallel_reduce_max(&p, 0, |_| 1), 0);
+        assert_eq!(parallel_reduce_min(&p, 0, |_| 1), u64::MAX);
+    }
+
+    #[test]
+    fn count_predicate() {
+        for policy in ExecPolicy::all_test_policies() {
+            let c = parallel_count(&policy, 30_000, |i| i % 3 == 0);
+            assert_eq!(c, 10_000);
+        }
+    }
+
+    #[test]
+    fn custom_monoid_f64_sum() {
+        let policy = ExecPolicy::host();
+        let s = parallel_reduce(&policy, 10_000, 0.0f64, |i| 1.0 / (1 + i) as f64, |a, b| a + b);
+        let seq: f64 = (0..10_000).map(|i| 1.0 / (1 + i) as f64).sum();
+        assert!((s - seq).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,179 @@
+//! Deterministic, seedable random number generation.
+//!
+//! Every randomized routine in the workspace threads an explicit `u64` seed
+//! through these generators so experiments are reproducible run-to-run.
+//! [`SplitMix64`] is used to key independent streams (one per index, as in
+//! the sort-based parallel permutation); [`Xoshiro256pp`] is the sequential
+//! workhorse generator.
+
+/// SplitMix64: tiny, statistically solid, and usable as a stateless hash
+/// (`splitmix64(seed ^ i)` yields an independent-looking stream per `i`).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        mix(self.state)
+    }
+}
+
+/// The SplitMix64 output function as a pure hash: good avalanche, cheap.
+#[inline]
+pub fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Hash an index into a pseudo-random u64 under a seed; the parallel
+/// permutation and all per-element random draws use this.
+#[inline]
+pub fn hash_index(seed: u64, i: u64) -> u64 {
+    mix(seed ^ i.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0x2545F4914F6CDD1D))
+}
+
+/// xoshiro256++ — fast general-purpose generator for sequential use.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seed via SplitMix64 as recommended by the xoshiro authors.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = sm.next_u64();
+        }
+        // Guard against the all-zero state (probability 2^-256, but cheap).
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        Xoshiro256pp { s }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. Uses Lemire's multiply-shift method
+    /// with rejection to remove modulo bias.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below: bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits scaled into [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, s: &mut [T]) {
+        for i in (1..s.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            s.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn hash_index_streams_do_not_collide_trivially() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(hash_index(7, i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut rng = Xoshiro256pp::new(3);
+        let mut hit = [false; 10];
+        for _ in 0..10_000 {
+            let v = rng.next_below(10);
+            assert!(v < 10);
+            hit[v as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "all residues should appear");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Xoshiro256pp::new(9);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256pp::new(11);
+        let mut v: Vec<u32> = (0..1000).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+        assert_ne!(v, (0..1000).collect::<Vec<_>>(), "astronomically unlikely identity");
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = Xoshiro256pp::new(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Wall-clock timing helpers used by the benchmark harness.
+
+use std::time::Instant;
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Timer { start: Instant::now() }
+    }
+
+    /// Seconds elapsed since start.
+    pub fn seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Reset the stopwatch and return the seconds elapsed before the reset.
+    pub fn lap(&mut self) -> f64 {
+        let s = self.seconds();
+        self.start = Instant::now();
+        s
+    }
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Timer::start();
+    let r = f();
+    (r, t.seconds())
+}
+
+/// Median of a sample (the paper reports medians of 10 runs).
+pub fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+/// Geometric mean of positive samples (used throughout the paper's tables).
+pub fn geomean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = samples.iter().map(|&x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / samples.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_measures_something() {
+        let (v, secs) = timed(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(v > 0);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&mut []).is_nan());
+    }
+
+    #[test]
+    fn geomean_basics() {
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn lap_resets() {
+        let mut t = Timer::start();
+        let first = t.lap();
+        let second = t.seconds();
+        assert!(first >= 0.0 && second >= 0.0);
+    }
+}

@@ -1,0 +1,370 @@
+//! Sequential Fiduccia–Mattheyses refinement and the FM-based multilevel
+//! bisection driver.
+//!
+//! The paper's FM implementation is sequential ("we are unaware of FM
+//! parallelizations for massively multithreaded architectures"); only the
+//! coarsening phase is parallel. Each pass greedily moves the
+//! best-gain balance-feasible vertex, locking moved vertices, and rolls
+//! back to the best prefix — the classic linear-time heuristic, here with
+//! a lazy max-heap over weighted gains.
+
+use crate::result::PartitionResult;
+use mlcg_coarsen::{coarsen, CoarsenOptions, Hierarchy};
+use mlcg_graph::metrics::edge_cut;
+use mlcg_graph::{Csr, VId};
+use mlcg_par::{ExecPolicy, Timer};
+use std::collections::BinaryHeap;
+
+/// FM tuning parameters.
+#[derive(Clone, Debug)]
+pub struct FmConfig {
+    /// Maximum refinement passes per level.
+    pub max_passes: usize,
+    /// Allowed imbalance: a move is feasible while the heavier side stays
+    /// at or below `(1 + epsilon) · total/2` (always at least `⌈total/2⌉`,
+    /// so unit-weight graphs can reach exact balance).
+    pub epsilon: f64,
+    /// Additionally allow the heavier side one maximum-vertex-weight of
+    /// slack. Exact balance is often unreachable on coarse graphs with
+    /// heavy aggregates, and forcing it can destroy the cut; the
+    /// multilevel driver enables this on every level except the finest
+    /// (Metis-style progressive tightening).
+    pub vertex_slack: bool,
+}
+
+impl Default for FmConfig {
+    fn default() -> Self {
+        FmConfig { max_passes: 8, epsilon: 0.02, vertex_slack: false }
+    }
+}
+
+impl FmConfig {
+    /// This configuration with [`FmConfig::vertex_slack`] enabled.
+    pub fn with_vertex_slack(&self) -> Self {
+        FmConfig { vertex_slack: true, ..self.clone() }
+    }
+}
+
+/// One FM refinement on a bisection; mutates `part`, returns the final cut.
+pub fn fm_refine(g: &Csr, part: &mut [u32], cfg: &FmConfig) -> u64 {
+    fm_refine_frac(g, part, cfg, 0.5)
+}
+
+/// FM refinement targeting part 0 holding `frac` of the total vertex
+/// weight (used by recursive k-way partitioning for odd splits).
+pub fn fm_refine_frac(g: &Csr, part: &mut [u32], cfg: &FmConfig, frac: f64) -> u64 {
+    let n = g.n();
+    assert_eq!(part.len(), n);
+    assert!((0.0..=1.0).contains(&frac), "frac must be in [0, 1]");
+    if n == 0 {
+        return 0;
+    }
+    let total: u64 = g.total_vwgt();
+    let max_vwgt = g.vwgt().iter().copied().max().unwrap_or(1);
+    // Final partitions must satisfy the strict per-side limits; during a
+    // pass, moves may wander one vertex beyond them (otherwise a perfectly
+    // balanced start could never move anything), and the best-prefix
+    // selection restores strict balance.
+    let t0 = ((total as f64 * frac).round() as u64).min(total);
+    let target = [t0, total - t0];
+    // Per-side cap: epsilon slack around the side's target, but never
+    // below the rounded-up share (so exact balance stays reachable on
+    // integer weights), plus one max-vertex of slack on coarse levels.
+    let strict_side = |t: u64, share: f64| {
+        let mut lim = (((t as f64) * (1.0 + cfg.epsilon)).floor() as u64)
+            .max((total as f64 * share).ceil() as u64);
+        if cfg.vertex_slack {
+            lim += max_vwgt;
+        }
+        lim
+    };
+    let strict = [strict_side(target[0], frac), strict_side(target[1], 1.0 - frac)];
+    let loose = [strict[0] + max_vwgt, strict[1] + max_vwgt];
+
+    let mut cut = edge_cut(g, part) as i64;
+    let mut wpart = [0u64; 2];
+    for (u, &p) in part.iter().enumerate() {
+        wpart[p as usize] += g.vwgt()[u];
+    }
+
+    let mut gain: Vec<i64> = vec![0; n];
+    let mut version: Vec<u32> = vec![0; n];
+    let mut locked: Vec<bool> = vec![false; n];
+
+    for _pass in 0..cfg.max_passes {
+        // (Re)compute gains: external minus internal weight.
+        for u in 0..n {
+            let mut gsum = 0i64;
+            for (v, w) in g.edges(u as VId) {
+                if part[u] == part[v as usize] {
+                    gsum -= w as i64;
+                } else {
+                    gsum += w as i64;
+                }
+            }
+            gain[u] = gsum;
+            version[u] = 0;
+            locked[u] = false;
+        }
+        let mut heap: BinaryHeap<(i64, u32, u32)> =
+            (0..n).map(|u| (gain[u], u as u32, 0u32)).collect();
+
+        let start_cut = cut;
+        // Prefix quality key: (how far either side exceeds its strict
+        // limit, cut). The empty prefix is the baseline, so an unbalanced
+        // start can also be repaired.
+        let excess = |wp: &[u64; 2]| {
+            wp[0].saturating_sub(strict[0]) + wp[1].saturating_sub(strict[1])
+        };
+        let mut best_key = (excess(&wpart), cut);
+        let mut best_len = 0usize;
+        let mut moves: Vec<u32> = Vec::new();
+
+        while let Some((gval, u, ver)) = heap.pop() {
+            let u = u as usize;
+            if locked[u] || ver != version[u] || gval != gain[u] {
+                continue; // stale entry
+            }
+            let from = part[u] as usize;
+            let to = 1 - from;
+            if wpart[to] + g.vwgt()[u] > loose[to] {
+                continue; // balance-infeasible right now
+            }
+            // Commit the move.
+            locked[u] = true;
+            part[u] = to as u32;
+            wpart[from] -= g.vwgt()[u];
+            wpart[to] += g.vwgt()[u];
+            cut -= gain[u];
+            moves.push(u as u32);
+            let key = (excess(&wpart), cut);
+            if key < best_key {
+                best_key = key;
+                best_len = moves.len();
+            }
+            // Update neighbor gains.
+            for (v, w) in g.edges(u as VId) {
+                let v = v as usize;
+                if locked[v] {
+                    continue;
+                }
+                if part[v] as usize == from {
+                    gain[v] += 2 * w as i64;
+                } else {
+                    gain[v] -= 2 * w as i64;
+                }
+                version[v] += 1;
+                heap.push((gain[v], v as u32, version[v]));
+            }
+        }
+        // Roll back past the best prefix.
+        for &u in &moves[best_len..] {
+            let u = u as usize;
+            let from = part[u] as usize;
+            let to = 1 - from;
+            part[u] = to as u32;
+            wpart[from] -= g.vwgt()[u];
+            wpart[to] += g.vwgt()[u];
+        }
+        cut = best_key.1;
+        debug_assert_eq!(cut, edge_cut(g, part) as i64, "incremental cut drifted");
+        if cut >= start_cut && best_len == 0 {
+            break; // no improvement this pass
+        }
+        if cut >= start_cut {
+            break; // balance repaired or equal cut; further passes won't help
+        }
+    }
+    cut as u64
+}
+
+/// Multilevel bisection with parallel coarsening, greedy-graph-growing
+/// initial partitioning, and sequential FM refinement at every level —
+/// the paper's Table VI partitioner.
+///
+/// ```
+/// use mlcg_partition::{fm_bisect, FmConfig};
+/// use mlcg_coarsen::CoarsenOptions;
+/// use mlcg_par::ExecPolicy;
+///
+/// let g = mlcg_graph::generators::grid2d(16, 8);
+/// let r = fm_bisect(&ExecPolicy::host(), &g, &CoarsenOptions::default(),
+///                   &FmConfig::default(), 42);
+/// assert!(r.cut >= 8);             // optimal balanced cut of a 16x8 grid
+/// assert!(r.imbalance <= 1.05);
+/// ```
+pub fn fm_bisect(
+    policy: &ExecPolicy,
+    g: &Csr,
+    coarsen_opts: &CoarsenOptions,
+    cfg: &FmConfig,
+    seed: u64,
+) -> PartitionResult {
+    fm_bisect_frac(policy, g, coarsen_opts, cfg, 0.5, seed)
+}
+
+/// [`fm_bisect`] with part 0 targeting `frac` of the vertex weight
+/// (recursive k-way partitioning uses 3:2-style splits for odd k).
+pub fn fm_bisect_frac(
+    policy: &ExecPolicy,
+    g: &Csr,
+    coarsen_opts: &CoarsenOptions,
+    cfg: &FmConfig,
+    frac: f64,
+    seed: u64,
+) -> PartitionResult {
+    let t = Timer::start();
+    let h = coarsen(policy, g, coarsen_opts);
+    let coarsen_seconds = t.seconds();
+    let t = Timer::start();
+    let part = fm_uncoarsen_frac(&h, cfg, frac, seed);
+    let refine_seconds = t.seconds();
+    PartitionResult::new(g, part, coarsen_seconds, refine_seconds, h.num_levels())
+}
+
+/// The uncoarsening half: initial partition on the coarsest graph, then
+/// project + FM-refine level by level.
+pub fn fm_uncoarsen(h: &Hierarchy, cfg: &FmConfig, seed: u64) -> Vec<u32> {
+    fm_uncoarsen_frac(h, cfg, 0.5, seed)
+}
+
+/// [`fm_uncoarsen`] with a fractional part-0 weight target.
+pub fn fm_uncoarsen_frac(h: &Hierarchy, cfg: &FmConfig, frac: f64, seed: u64) -> Vec<u32> {
+    let coarse_cfg = cfg.with_vertex_slack();
+    let coarsest = h.coarsest();
+    let mut part = crate::ggg::greedy_graph_growing_frac(coarsest, seed, frac);
+    fm_refine_frac(coarsest, &mut part, &coarse_cfg, frac);
+    for level in (0..h.num_levels()).rev() {
+        part = h.interpolate_level(level, &part);
+        // Tighten to the caller's balance on the finest level only.
+        let level_cfg = if level == 0 { cfg } else { &coarse_cfg };
+        fm_refine_frac(h.graph_above(level), &mut part, level_cfg, frac);
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcg_graph::generators as gen;
+    use mlcg_graph::metrics::{imbalance, part_weights};
+    use mlcg_par::rng::Xoshiro256pp;
+
+    #[test]
+    fn fm_never_worsens_and_greatly_improves_alternating_path() {
+        let g = gen::path(20);
+        // Worst-case alternating partition (cut 19). Flat FM is a local
+        // heuristic, so it need not reach the optimum of 1 from an
+        // adversarial start — but it must improve drastically and stay
+        // balanced.
+        let mut part: Vec<u32> = (0..20).map(|i| i % 2).collect();
+        let before = edge_cut(&g, &part);
+        let after = fm_refine(&g, &mut part, &FmConfig::default());
+        assert!(after <= before);
+        assert_eq!(after, edge_cut(&g, &part));
+        assert!(after <= 5, "cut {after} after refinement of {before}");
+        let (w0, w1) = part_weights(&g, &part);
+        assert_eq!(w0, w1);
+    }
+
+    #[test]
+    fn multilevel_fm_finds_the_optimal_path_cut() {
+        // The multilevel driver escapes flat FM's local optima: a balanced
+        // path bisection cuts exactly one edge.
+        let g = gen::path(64);
+        let r = fm_bisect(
+            &ExecPolicy::serial(),
+            &g,
+            &CoarsenOptions::default(),
+            &FmConfig::default(),
+            11,
+        );
+        assert_eq!(r.cut, 1);
+        let (w0, w1) = part_weights(&g, &r.part);
+        assert_eq!(w0, w1);
+    }
+
+    #[test]
+    fn fm_respects_balance_limit() {
+        let g = gen::complete(10);
+        // FM would love to move everything to one side (cut -> 0); the
+        // balance limit must prevent it.
+        let mut part: Vec<u32> = (0..10).map(|i| u32::from(i >= 5)).collect();
+        fm_refine(&g, &mut part, &FmConfig { max_passes: 4, epsilon: 0.0, vertex_slack: false });
+        let (w0, w1) = part_weights(&g, &part);
+        assert_eq!(w0.max(w1), 5, "epsilon 0 forbids any imbalance on even totals");
+    }
+
+    #[test]
+    fn fm_improves_random_partitions_on_grid() {
+        let g = gen::grid2d(16, 8);
+        let mut rng = Xoshiro256pp::new(3);
+        let mut part: Vec<u32> = (0..g.n()).map(|_| rng.next_below(2) as u32).collect();
+        // Make it balanced first (random may be off by a few).
+        let ones: i64 =
+            part.iter().map(|&p| p as i64).sum::<i64>() - (g.n() as i64 - part.iter().map(|&p| p as i64).sum::<i64>());
+        let mut excess = ones / 2;
+        for p in part.iter_mut() {
+            if excess > 0 && *p == 1 {
+                *p = 0;
+                excess -= 1;
+            } else if excess < 0 && *p == 0 {
+                *p = 1;
+                excess += 1;
+            }
+        }
+        let before = edge_cut(&g, &part);
+        let after = fm_refine(&g, &mut part, &FmConfig::default());
+        assert!(after < before / 2, "FM should drastically improve random cuts: {before} -> {after}");
+    }
+
+    #[test]
+    fn fm_bisect_grid_quality() {
+        // A 16x8 grid's optimal balanced bisection cuts 8 edges.
+        let g = gen::grid2d(16, 8);
+        let r = fm_bisect(
+            &ExecPolicy::serial(),
+            &g,
+            &CoarsenOptions::default(),
+            &FmConfig::default(),
+            7,
+        );
+        assert!(r.cut <= 16, "grid cut {} far from optimal 8", r.cut);
+        assert!(r.imbalance <= 1.05, "imbalance {}", r.imbalance);
+        assert_eq!(r.cut, edge_cut(&g, &r.part));
+    }
+
+    #[test]
+    fn fm_bisect_separates_barbell() {
+        // Two cliques joined by one edge: the optimal cut is 1.
+        let mut edges = Vec::new();
+        for i in 0..10u32 {
+            for j in (i + 1)..10 {
+                edges.push((i, j));
+                edges.push((i + 10, j + 10));
+            }
+        }
+        edges.push((0, 10));
+        let g = mlcg_graph::builder::from_edges_unit(20, &edges);
+        let r = fm_bisect(
+            &ExecPolicy::serial(),
+            &g,
+            &CoarsenOptions::default(),
+            &FmConfig::default(),
+            3,
+        );
+        assert_eq!(r.cut, 1, "FM must find the barbell bridge");
+        assert!((imbalance(&g, &r.part) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fm_handles_weighted_coarse_vertices() {
+        let mut g = gen::path(6);
+        g.set_vwgt(vec![5, 1, 1, 1, 1, 5]);
+        let mut part = vec![0, 0, 0, 1, 1, 1];
+        let cut = fm_refine(&g, &mut part, &FmConfig { max_passes: 4, epsilon: 0.1, vertex_slack: false });
+        assert_eq!(cut, edge_cut(&g, &part));
+        let (w0, w1) = part_weights(&g, &part);
+        assert!(w0.max(w1) <= 8, "weights {w0}/{w1} exceed the 10% slack");
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # mlcg-partition — multilevel graph bisection
+//!
+//! The paper's evaluation vehicle: multilevel bisection with either
+//! *spectral* refinement (power iteration on the graph Laplacian, stopping
+//! at a 1e-10 iterate difference) or sequential *Fiduccia–Mattheyses*
+//! refinement, on top of any `mlcg-coarsen` hierarchy.
+//!
+//! Also provides the *Metis-like* and *mt-Metis-like* baselines the
+//! reproduction compares against (DESIGN.md §3.3): the same multilevel
+//! driver assembled from HEM / HEM+two-hop coarsening, greedy graph
+//! growing initial partitioning, and FM refinement.
+
+pub mod fm;
+pub mod ggg;
+pub mod kway;
+pub mod metislike;
+pub mod parref;
+pub mod result;
+pub mod spectral;
+
+pub use fm::{fm_bisect, fm_bisect_frac, FmConfig};
+pub use kway::{kway_partition, KwayResult};
+pub use parref::{parallel_refine, parfm_bisect, ParRefConfig};
+pub use metislike::{metis_like, mtmetis_like};
+pub use result::PartitionResult;
+pub use spectral::{spectral_bisect, SpectralConfig};

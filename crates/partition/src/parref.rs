@@ -1,0 +1,273 @@
+//! Parallel boundary refinement — the paper's "fully parallel
+//! partitioning with FM-based refinement" future-work direction.
+//!
+//! Classic coarse-grained parallel refinement (in the spirit of
+//! mt-Metis): rounds alternate move direction, so every move in a round
+//! goes from the same source side. Boundary vertices whose FM gain is
+//! positive (computed against the round-start snapshot) move, subject to
+//! an atomically claimed weight budget that caps how far the target side
+//! may grow. Because simultaneous moves are unidirectional they cannot
+//! oscillate; a round whose *actual* cut delta turns out negative is
+//! rolled back wholesale. A final sequential FM polish (optional) removes
+//! the last few percent, mirroring how production partitioners combine
+//! the two.
+
+use crate::fm::{fm_refine, FmConfig};
+use crate::ggg::greedy_graph_growing;
+use crate::result::PartitionResult;
+use mlcg_coarsen::{coarsen, CoarsenOptions, Hierarchy};
+use mlcg_graph::metrics::edge_cut;
+use mlcg_graph::{Csr, VId};
+use mlcg_par::{parallel_for, ExecPolicy, Timer};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Parallel refinement tuning.
+#[derive(Clone, Debug)]
+pub struct ParRefConfig {
+    /// Maximum alternating-direction rounds per level.
+    pub max_rounds: usize,
+    /// Allowed imbalance of the heavier side vs `total/2`.
+    pub epsilon: f64,
+    /// Run one sequential FM pass per level after the parallel rounds.
+    pub sequential_polish: bool,
+}
+
+impl Default for ParRefConfig {
+    fn default() -> Self {
+        ParRefConfig { max_rounds: 12, epsilon: 0.02, sequential_polish: true }
+    }
+}
+
+/// One parallel refinement at a fixed level; returns the final cut.
+pub fn parallel_refine(policy: &ExecPolicy, g: &Csr, part: &mut [u32], cfg: &ParRefConfig) -> u64 {
+    let n = g.n();
+    assert_eq!(part.len(), n);
+    if n == 0 {
+        return 0;
+    }
+    let total: u64 = g.total_vwgt();
+    let max_vwgt = g.vwgt().iter().copied().max().unwrap_or(1);
+    let limit =
+        ((((total as f64) / 2.0) * (1.0 + cfg.epsilon)).floor() as u64).max(total.div_ceil(2));
+
+    let mut cut = edge_cut(g, part);
+    let mut wpart = [0u64; 2];
+    for (u, &p) in part.iter().enumerate() {
+        wpart[p as usize] += g.vwgt()[u];
+    }
+
+    for round in 0..cfg.max_rounds {
+        let from = (round % 2) as u32;
+        let to = 1 - from;
+        // Budget: how much weight the target side may still absorb. One
+        // extra max-vertex of slack lets perfectly balanced partitions
+        // trade (the opposite round direction restores them).
+        let budget = AtomicU64::new((limit + max_vwgt).saturating_sub(wpart[to as usize]));
+        let snapshot: Vec<u32> = part.to_vec();
+        let moved_flags: Vec<std::sync::atomic::AtomicBool> =
+            (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+        let gain_sum = AtomicI64::new(0);
+        {
+            let snap = &snapshot;
+            let flags = &moved_flags;
+            let budget_ref = &budget;
+            let gain_ref = &gain_sum;
+            parallel_for(policy, n, |u| {
+                if snap[u] != from {
+                    return;
+                }
+                // FM gain against the snapshot.
+                let mut gain = 0i64;
+                let mut boundary = false;
+                for (v, w) in g.edges(u as VId) {
+                    if snap[v as usize] == from {
+                        gain -= w as i64;
+                    } else {
+                        gain += w as i64;
+                        boundary = true;
+                    }
+                }
+                if !boundary || gain <= 0 {
+                    return;
+                }
+                // Claim weight from the budget.
+                let vw = g.vwgt()[u];
+                let mut cur = budget_ref.load(Ordering::Relaxed);
+                loop {
+                    if cur < vw {
+                        return;
+                    }
+                    match budget_ref.compare_exchange_weak(
+                        cur,
+                        cur - vw,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(now) => cur = now,
+                    }
+                }
+                flags[u].store(true, Ordering::Release);
+                gain_ref.fetch_add(gain, Ordering::Relaxed);
+            });
+        }
+        // Apply the round.
+        let mut moved_weight = 0u64;
+        let mut any = false;
+        for u in 0..n {
+            if moved_flags[u].load(Ordering::Acquire) {
+                part[u] = to;
+                moved_weight += g.vwgt()[u];
+                any = true;
+            }
+        }
+        if !any {
+            if round % 2 == 1 {
+                break; // neither direction has positive-gain moves left
+            }
+            continue;
+        }
+        wpart[from as usize] -= moved_weight;
+        wpart[to as usize] += moved_weight;
+        // Simultaneous same-direction moves can interfere (two adjacent
+        // movers each counted the other as an external neighbor); verify
+        // and roll back a bad round.
+        let new_cut = edge_cut(g, part);
+        if new_cut > cut || wpart[to as usize] > limit + max_vwgt {
+            for u in 0..n {
+                if moved_flags[u].load(Ordering::Relaxed) {
+                    part[u] = from;
+                }
+            }
+            wpart[from as usize] += moved_weight;
+            wpart[to as usize] -= moved_weight;
+        } else {
+            cut = new_cut;
+        }
+    }
+    if cfg.sequential_polish {
+        let fm = FmConfig { max_passes: 2, epsilon: cfg.epsilon, vertex_slack: false };
+        cut = fm_refine(g, part, &fm);
+    }
+    cut
+}
+
+/// Multilevel bisection where *both* coarsening and refinement run under
+/// the parallel policy (sequential work only in the optional polish).
+pub fn parfm_bisect(
+    policy: &ExecPolicy,
+    g: &Csr,
+    coarsen_opts: &CoarsenOptions,
+    cfg: &ParRefConfig,
+    seed: u64,
+) -> PartitionResult {
+    let t = Timer::start();
+    let h = coarsen(policy, g, coarsen_opts);
+    let coarsen_seconds = t.seconds();
+    let t = Timer::start();
+    let part = parref_uncoarsen(policy, &h, cfg, seed);
+    let refine_seconds = t.seconds();
+    PartitionResult::new(g, part, coarsen_seconds, refine_seconds, h.num_levels())
+}
+
+fn parref_uncoarsen(
+    policy: &ExecPolicy,
+    h: &Hierarchy,
+    cfg: &ParRefConfig,
+    seed: u64,
+) -> Vec<u32> {
+    let coarsest = h.coarsest();
+    let mut part = greedy_graph_growing(coarsest, seed);
+    let coarse_cfg = ParRefConfig { epsilon: cfg.epsilon.max(0.1), ..cfg.clone() };
+    parallel_refine(policy, coarsest, &mut part, &coarse_cfg);
+    for level in (0..h.num_levels()).rev() {
+        part = h.interpolate_level(level, &part);
+        let level_cfg = if level == 0 { cfg } else { &coarse_cfg };
+        parallel_refine(policy, h.graph_above(level), &mut part, level_cfg);
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcg_graph::generators as gen;
+    use mlcg_graph::metrics::part_weights;
+    use mlcg_par::rng::Xoshiro256pp;
+
+    #[test]
+    fn never_worsens_the_cut() {
+        let g = gen::grid2d(20, 20);
+        let mut rng = Xoshiro256pp::new(5);
+        for policy in ExecPolicy::all_test_policies() {
+            let mut part: Vec<u32> = (0..g.n()).map(|_| rng.next_below(2) as u32).collect();
+            // Balance roughly first.
+            let ones = part.iter().filter(|&&p| p == 1).count();
+            let mut fix = ones as i64 - (g.n() / 2) as i64;
+            for p in part.iter_mut() {
+                if fix > 0 && *p == 1 {
+                    *p = 0;
+                    fix -= 1;
+                } else if fix < 0 && *p == 0 {
+                    *p = 1;
+                    fix += 1;
+                }
+            }
+            let before = edge_cut(&g, &part);
+            let cfg = ParRefConfig { sequential_polish: false, ..Default::default() };
+            let after = parallel_refine(&policy, &g, &mut part, &cfg);
+            assert!(after <= before, "{policy}: {before} -> {after}");
+            assert_eq!(after, edge_cut(&g, &part));
+        }
+    }
+
+    #[test]
+    fn respects_balance_envelope() {
+        let g = gen::complete(16);
+        let mut part: Vec<u32> = (0..16).map(|i| u32::from(i >= 8)).collect();
+        let cfg = ParRefConfig { epsilon: 0.0, sequential_polish: true, ..Default::default() };
+        parallel_refine(&ExecPolicy::host(), &g, &mut part, &cfg);
+        let (w0, w1) = part_weights(&g, &part);
+        assert_eq!(w0.max(w1), 8, "eps 0 requires exact balance on even totals");
+    }
+
+    #[test]
+    fn parfm_matches_sequential_quality_class_on_grid() {
+        let g = gen::grid2d(24, 24);
+        let policy = ExecPolicy::host();
+        let seq = crate::fm::fm_bisect(
+            &policy,
+            &g,
+            &CoarsenOptions::default(),
+            &FmConfig::default(),
+            3,
+        );
+        let par = parfm_bisect(&policy, &g, &CoarsenOptions::default(), &Default::default(), 3);
+        assert!(
+            par.cut as f64 <= 2.0 * seq.cut as f64,
+            "parallel refinement too weak: {} vs {}",
+            par.cut,
+            seq.cut
+        );
+        assert!(par.imbalance <= 1.05, "imbalance {}", par.imbalance);
+    }
+
+    #[test]
+    fn pure_parallel_without_polish_still_reasonable() {
+        let g = gen::grid2d(24, 24);
+        let policy = ExecPolicy::host();
+        let cfg = ParRefConfig { sequential_polish: false, ..Default::default() };
+        let r = parfm_bisect(&policy, &g, &CoarsenOptions::default(), &cfg, 9);
+        // Optimal is 24; grant generous slack for the purely parallel path.
+        assert!(r.cut <= 96, "cut {}", r.cut);
+        assert_eq!(r.cut, edge_cut(&g, &r.part));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = mlcg_graph::Csr::empty();
+        let mut part: Vec<u32> = vec![];
+        let cut = parallel_refine(&ExecPolicy::host(), &g, &mut part, &Default::default());
+        assert_eq!(cut, 0);
+    }
+}

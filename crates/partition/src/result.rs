@@ -1,0 +1,122 @@
+//! The result record shared by every partitioner.
+
+use mlcg_graph::metrics::{edge_cut, imbalance};
+use mlcg_graph::Csr;
+
+/// Outcome of a bisection run, with the phase breakdown the paper's
+/// Table V reports.
+#[derive(Clone, Debug)]
+pub struct PartitionResult {
+    /// Part label (0/1) per vertex of the input graph.
+    pub part: Vec<u32>,
+    /// Weighted edge cut.
+    pub cut: u64,
+    /// `max(w0, w1) / (total/2)`; 1.0 is perfectly balanced.
+    pub imbalance: f64,
+    /// Seconds spent coarsening.
+    pub coarsen_seconds: f64,
+    /// Seconds spent in initial partitioning + refinement + projection.
+    pub refine_seconds: f64,
+    /// Coarsening levels used.
+    pub levels: usize,
+}
+
+impl PartitionResult {
+    /// Assemble from a final partition, measuring cut and balance.
+    pub fn new(
+        g: &Csr,
+        part: Vec<u32>,
+        coarsen_seconds: f64,
+        refine_seconds: f64,
+        levels: usize,
+    ) -> Self {
+        let cut = edge_cut(g, &part);
+        let imb = imbalance(g, &part);
+        PartitionResult { part, cut, imbalance: imb, coarsen_seconds, refine_seconds, levels }
+    }
+
+    /// Total wall time.
+    pub fn total_seconds(&self) -> f64 {
+        self.coarsen_seconds + self.refine_seconds
+    }
+
+    /// Fraction of time in coarsening (Table V's `%Coa`).
+    pub fn coarsen_fraction(&self) -> f64 {
+        let t = self.total_seconds();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.coarsen_seconds / t
+        }
+    }
+}
+
+/// Split vertices by the weighted median of a score vector: sort by score
+/// and assign the prefix holding half the total vertex weight to part 0.
+/// This is how the spectral method turns a Fiedler vector into a balanced
+/// bisection (the paper reports cuts with no imbalance allowed).
+pub fn split_weighted_median(g: &Csr, scores: &[f64]) -> Vec<u32> {
+    let n = g.n();
+    assert_eq!(scores.len(), n);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        scores[a as usize]
+            .partial_cmp(&scores[b as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let total: u64 = g.total_vwgt();
+    let mut part = vec![1u32; n];
+    let mut acc = 0u64;
+    for &u in &order {
+        if 2 * acc >= total {
+            break;
+        }
+        part[u as usize] = 0;
+        acc += g.vwgt()[u as usize];
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcg_graph::generators::{grid2d, path};
+
+    #[test]
+    fn median_split_is_balanced() {
+        let g = path(10);
+        let scores: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let part = split_weighted_median(&g, &scores);
+        assert_eq!(part.iter().filter(|&&p| p == 0).count(), 5);
+        // Prefix of the score order goes to part 0.
+        assert_eq!(&part[..5], &[0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn median_split_weighted() {
+        let mut g = path(4);
+        g.set_vwgt(vec![3, 1, 1, 3]);
+        let part = split_weighted_median(&g, &[0.0, 1.0, 2.0, 3.0]);
+        // Prefix {0} has weight 3 < 4; {0,1} reaches 4 = total/2.
+        assert_eq!(part, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn result_records_cut_and_balance() {
+        let g = grid2d(4, 4);
+        let part: Vec<u32> = (0..16).map(|i| u32::from(i % 4 >= 2)).collect();
+        let r = PartitionResult::new(&g, part, 0.1, 0.2, 3);
+        assert_eq!(r.cut, 4);
+        assert!((r.imbalance - 1.0).abs() < 1e-12);
+        assert!((r.total_seconds() - 0.3).abs() < 1e-12);
+        assert!((r.coarsen_fraction() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_split_handles_ties() {
+        let g = path(6);
+        let part = split_weighted_median(&g, &[1.0; 6]);
+        assert_eq!(part.iter().filter(|&&p| p == 0).count(), 3);
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! # mlcg-sparse — sparse linear-algebra substrate
+//!
+//! The reproduction's stand-in for the Kokkos Kernels routines the paper
+//! uses: parallel SpMV (the inner loop of spectral refinement's power
+//! iteration) and hash-accumulator SpGEMM (the `P·A·Pᵀ` coarse-graph
+//! construction path). Also provides graph↔matrix conversion, transpose,
+//! Laplacians, and the deflated power iteration that computes the Fiedler
+//! vector with the paper's 1e-10 iterate-difference stopping criterion.
+
+pub mod fiedler;
+pub mod matrix;
+pub mod ops;
+pub mod spgemm;
+
+pub use fiedler::{fiedler_vector, PowerIterResult};
+pub use matrix::CsrMatrix;
+pub use ops::{spmv, transpose};
+pub use spgemm::spgemm;

@@ -1,0 +1,129 @@
+//! Numerical-identity tests for the sparse substrate: algebraic laws that
+//! must hold exactly (structure) or to floating-point tolerance (values).
+
+use mlcg_graph::builder::from_edges_weighted;
+use mlcg_par::rng::Xoshiro256pp;
+use mlcg_par::ExecPolicy;
+use mlcg_sparse::{spgemm, spmv, transpose, CsrMatrix};
+
+fn random_matrix(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut row_ptr = vec![0usize];
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for _ in 0..rows {
+        let mut cs: Vec<u32> =
+            (0..nnz_per_row).map(|_| rng.next_below(cols as u64) as u32).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        for &c in &cs {
+            col_idx.push(c);
+            values.push(rng.next_f64() * 4.0 - 2.0);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix { n_rows: rows, n_cols: cols, row_ptr, col_idx, values }
+}
+
+fn assert_close(a: &CsrMatrix, b: &CsrMatrix, tol: f64) {
+    let (da, db) = (a.to_dense(), b.to_dense());
+    assert_eq!(da.len(), db.len());
+    for (ra, rb) in da.iter().zip(&db) {
+        for (x, y) in ra.iter().zip(rb) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn spgemm_is_associative() {
+    let policy = ExecPolicy::serial();
+    let a = random_matrix(18, 14, 4, 1);
+    let b = random_matrix(14, 16, 4, 2);
+    let c = random_matrix(16, 12, 4, 3);
+    let left = spgemm(&policy, &spgemm(&policy, &a, &b), &c);
+    let right = spgemm(&policy, &a, &spgemm(&policy, &b, &c));
+    assert_close(&left, &right, 1e-10);
+}
+
+#[test]
+fn transpose_reverses_products() {
+    // (A·B)ᵀ = Bᵀ·Aᵀ.
+    let policy = ExecPolicy::serial();
+    let a = random_matrix(15, 11, 3, 5);
+    let b = random_matrix(11, 13, 3, 6);
+    let lhs = transpose(&spgemm(&policy, &a, &b));
+    let rhs = spgemm(&policy, &transpose(&b), &transpose(&a));
+    assert_close(&lhs, &rhs, 1e-12);
+}
+
+#[test]
+fn spmv_agrees_with_spgemm_on_a_column() {
+    // A·x computed by SpMV equals A·X where X is x as an n×1 matrix.
+    let policy = ExecPolicy::serial();
+    let a = random_matrix(20, 17, 4, 7);
+    let mut rng = Xoshiro256pp::new(8);
+    let x: Vec<f64> = (0..17).map(|_| rng.next_f64()).collect();
+    let xm = CsrMatrix {
+        n_rows: 17,
+        n_cols: 1,
+        row_ptr: (0..=17).collect(),
+        col_idx: vec![0; 17],
+        values: x.clone(),
+    };
+    let prod = spgemm(&policy, &a, &xm);
+    let mut y = vec![0.0; 20];
+    spmv(&policy, &a, &x, &mut y);
+    for (i, &yi) in y.iter().enumerate() {
+        let (cols, vals) = prod.row(i);
+        let from_gemm = if cols.is_empty() { 0.0 } else { vals[0] };
+        assert!((yi - from_gemm).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn laplacian_quadratic_form_is_nonnegative() {
+    // xᵀ L x = Σ_{(u,v)∈E} w(u,v) (x_u − x_v)² ≥ 0 for arbitrary x.
+    let g = from_edges_weighted(8, &[(0, 1, 3), (1, 2, 1), (2, 3, 5), (3, 4, 2), (4, 5, 7), (5, 6, 1), (6, 7, 2), (0, 7, 4), (2, 6, 9)]);
+    let l = CsrMatrix::laplacian(&g);
+    let policy = ExecPolicy::serial();
+    let mut rng = Xoshiro256pp::new(11);
+    for _ in 0..20 {
+        let x: Vec<f64> = (0..8).map(|_| rng.next_f64() * 10.0 - 5.0).collect();
+        let mut lx = vec![0.0; 8];
+        spmv(&policy, &l, &x, &mut lx);
+        let quad: f64 = x.iter().zip(&lx).map(|(a, b)| a * b).sum();
+        assert!(quad >= -1e-9, "negative quadratic form {quad}");
+        // Cross-check against the edge-sum formula.
+        let mut edge_sum = 0.0;
+        for u in 0..8u32 {
+            for (v, w) in g.edges(u) {
+                if v > u {
+                    edge_sum += w as f64 * (x[u as usize] - x[v as usize]).powi(2);
+                }
+            }
+        }
+        assert!((quad - edge_sum).abs() < 1e-9, "{quad} vs {edge_sum}");
+    }
+}
+
+#[test]
+fn laplacian_annihilates_constants() {
+    let g = from_edges_weighted(6, &[(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (4, 5, 6)]);
+    let l = CsrMatrix::laplacian(&g);
+    let mut y = vec![0.0; 6];
+    spmv(&ExecPolicy::serial(), &l, &[3.5; 6], &mut y);
+    assert!(y.iter().all(|v| v.abs() < 1e-12), "L·1 must vanish: {y:?}");
+}
+
+#[test]
+fn prolongation_preserves_column_sums() {
+    // Each column of P has exactly one 1, so 1ᵀP = counts and P·1_c = 1_n.
+    let mapping = vec![0u32, 1, 0, 2, 1, 2, 2, 0];
+    let p = CsrMatrix::prolongation(&mapping, 3);
+    let mut ones = vec![0.0; 8];
+    // Pᵀ x with x = 1_{nc}: every fine vertex receives exactly 1.
+    let pt = transpose(&p);
+    spmv(&ExecPolicy::serial(), &pt, &[1.0; 3], &mut ones);
+    assert!(ones.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+}

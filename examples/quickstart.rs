@@ -1,0 +1,60 @@
+//! Quickstart: coarsen a graph, inspect the hierarchy, bisect it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use multilevel_coarsen::graph::generators;
+use multilevel_coarsen::prelude::*;
+
+fn main() {
+    // 1. Build (or load — see `mlcg_graph::io`) an undirected graph.
+    let g = generators::grid2d(64, 64);
+    println!("input graph: {}", g.summary());
+
+    // 2. Pick an execution policy: serial(), host() or device_sim().
+    let policy = ExecPolicy::host();
+
+    // 3. Coarsen with the paper's lock-free parallel HEC (Algorithm 4)
+    //    and sort-based construction, down to 50 vertices.
+    let opts = CoarsenOptions::default();
+    let h = coarsen(&policy, &g, &opts);
+    println!(
+        "hierarchy: {} levels, coarsest n = {}, avg coarsening ratio = {:.2}",
+        h.num_levels(),
+        h.coarsest().n(),
+        h.avg_coarsening_ratio()
+    );
+    for (i, level) in h.levels.iter().enumerate() {
+        println!(
+            "  level {:>2}: n = {:>6}, m = {:>7}, mapping passes = {}",
+            i + 1,
+            level.graph.n(),
+            level.graph.m(),
+            level.map_stats.passes
+        );
+    }
+    println!(
+        "coarsening time: {:.1} ms ({:.0}% in graph construction)",
+        h.stats.total_seconds() * 1e3,
+        h.stats.construction_fraction() * 100.0
+    );
+
+    // 4. Multilevel bisection, FM-refined.
+    let r = fm_bisect(&policy, &g, &opts, &FmConfig::default(), 42);
+    println!(
+        "FM bisection: cut = {}, imbalance = {:.3}, total {:.1} ms",
+        r.cut,
+        r.imbalance,
+        r.total_seconds() * 1e3
+    );
+
+    // 5. The same bisection with spectral refinement.
+    let r = spectral_bisect(&policy, &g, &opts, &SpectralConfig::default(), 42);
+    println!(
+        "spectral bisection: cut = {}, imbalance = {:.3}, total {:.1} ms",
+        r.cut,
+        r.imbalance,
+        r.total_seconds() * 1e3
+    );
+}

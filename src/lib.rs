@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+//! # multilevel-coarsen
+//!
+//! A performance-portable multilevel graph coarsening, construction, and
+//! partitioning library — a from-scratch Rust reproduction of
+//! *Performance-Portable Graph Coarsening for Efficient Multilevel Graph
+//! Analysis* (Gilbert, Acer, Boman, Madduri, Rajamanickam; IPDPS 2021).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! - [`par`] — execution policies and parallel primitives (the Kokkos
+//!   substitute): thread pool, `parallel_for`/`reduce`/`scan`, radix and
+//!   bitonic sorts, seeded RNG;
+//! - [`graph`] — CSR graphs, builders, generators (the paper's 20-graph
+//!   corpus as synthetic stand-ins), connectivity, Matrix Market / METIS /
+//!   DOT I/O, metrics;
+//! - [`sparse`] — SpMV, SpGEMM, Laplacians, Fiedler vectors (the Kokkos
+//!   Kernels substitute);
+//! - [`coarsen`] — the paper's contribution: HEC / HEC2 / HEC3 / HEM /
+//!   mt-Metis two-hop / GOSH / GOSH+HEC / MIS(2) mappings, sort- /
+//!   hash- / SpGEMM- / global-sort construction, the multilevel driver;
+//! - [`partition`] — multilevel spectral and Fiduccia–Mattheyses
+//!   bisection, plus Metis-like baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use multilevel_coarsen::prelude::*;
+//!
+//! // A small mesh-like graph (the corpus generators live in `graph`).
+//! let g = multilevel_coarsen::graph::generators::grid2d(32, 32);
+//!
+//! // Coarsen with lock-free parallel HEC to the 50-vertex cutoff.
+//! let policy = ExecPolicy::host();
+//! let hierarchy = coarsen(&policy, &g, &CoarsenOptions::default());
+//! assert!(hierarchy.coarsest().n() <= 50);
+//!
+//! // Multilevel bisection with FM refinement.
+//! let result = fm_bisect(&policy, &g, &CoarsenOptions::default(), &FmConfig::default(), 42);
+//! assert!(result.cut >= 32); // a 32x32 grid's optimal balanced cut
+//! assert!(result.imbalance <= 1.05);
+//! ```
+
+pub use mlcg_coarsen as coarsen;
+pub use mlcg_graph as graph;
+pub use mlcg_par as par;
+pub use mlcg_partition as partition;
+pub use mlcg_sparse as sparse;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use mlcg_coarsen::{
+        coarsen, construct_coarse_graph, find_mapping, CoarsenOptions, ConstructMethod,
+        ConstructOptions, Hierarchy, MapMethod, Mapping,
+    };
+    pub use mlcg_graph::{Csr, DegreeStats};
+    pub use mlcg_par::{Backend, ExecPolicy};
+    pub use mlcg_partition::{
+        fm_bisect, metis_like, mtmetis_like, spectral_bisect, FmConfig, PartitionResult,
+        SpectralConfig,
+    };
+}

@@ -1,0 +1,185 @@
+//! Failure-injection and adversarial-input tests: pathological graph
+//! shapes, extreme weights, degenerate sizes, and misuse that must be
+//! rejected loudly rather than silently corrupting results.
+
+use multilevel_coarsen::graph::builder::{from_edges_unit, from_edges_weighted};
+use multilevel_coarsen::graph::generators as gen;
+use multilevel_coarsen::graph::metrics::edge_cut;
+use multilevel_coarsen::graph::Csr;
+use multilevel_coarsen::prelude::*;
+
+fn all_parallel_methods() -> Vec<MapMethod> {
+    vec![
+        MapMethod::Hec,
+        MapMethod::Hec2,
+        MapMethod::Hec3,
+        MapMethod::Hem,
+        MapMethod::MtMetis,
+        MapMethod::Gosh,
+        MapMethod::GoshHec,
+        MapMethod::Mis2,
+        MapMethod::Suitor,
+    ]
+}
+
+#[test]
+fn extreme_weights_do_not_overflow() {
+    // Weights near u32::MAX summed across parallel edges between large
+    // aggregates: u64 coarse weights must hold exactly.
+    let big = u32::MAX as u64;
+    let mut edges = Vec::new();
+    for i in 0..20u32 {
+        edges.push((i, 20 + i, big)); // bipartite heavy band
+        if i > 0 {
+            edges.push((i - 1, i, 1));
+            edges.push((20 + i - 1, 20 + i, 1));
+        }
+    }
+    let g = from_edges_weighted(40, &edges);
+    g.validate().unwrap();
+    let policy = ExecPolicy::serial();
+    // Collapse each side to one aggregate: coarse edge = 20 * big.
+    let map: Vec<u32> = (0..40).map(|u| u32::from(u >= 20)).collect();
+    let mapping = multilevel_coarsen::coarsen::Mapping { map, n_coarse: 2 };
+    let c = construct_coarse_graph(&policy, &g, &mapping, &ConstructOptions::default());
+    assert_eq!(c.find_edge(0, 1), Some(20 * big));
+}
+
+#[test]
+fn every_method_handles_a_clique_of_two() {
+    let g = gen::path(2);
+    for method in all_parallel_methods() {
+        for policy in [ExecPolicy::serial(), ExecPolicy::host()] {
+            let (m, _) = find_mapping(&policy, &g, method, 1);
+            m.validate().unwrap();
+            assert_eq!(m.n_coarse, 1, "{method:?} must merge the only edge");
+        }
+    }
+}
+
+#[test]
+fn uniform_weight_ties_everywhere() {
+    // All-equal weights exercise every tie-break path; the complete
+    // bipartite graph adds massive heavy-neighbor contention.
+    let mut edges = Vec::new();
+    for i in 0..12u32 {
+        for j in 12..24u32 {
+            edges.push((i, j));
+        }
+    }
+    let g = from_edges_unit(24, &edges);
+    for method in all_parallel_methods() {
+        let (m, _) = find_mapping(&ExecPolicy::host(), &g, method, 7);
+        m.validate().unwrap_or_else(|e| panic!("{method:?}: {e}"));
+    }
+}
+
+#[test]
+fn long_path_worst_case_for_pointer_jumping() {
+    let g = gen::path(20_000);
+    for method in [MapMethod::Hec, MapMethod::Hec3, MapMethod::GoshHec] {
+        let (m, _) = find_mapping(&ExecPolicy::host(), &g, method, 3);
+        m.validate().unwrap();
+        assert!(m.n_coarse < 20_000);
+    }
+}
+
+#[test]
+fn caterpillar_stresses_leaf_matching() {
+    // A spine where every spine vertex carries many leaves.
+    let mut edges = Vec::new();
+    let spine = 50u32;
+    let mut next = spine;
+    for s in 0..spine {
+        if s + 1 < spine {
+            edges.push((s, s + 1));
+        }
+        for _ in 0..8 {
+            edges.push((s, next));
+            next += 1;
+        }
+    }
+    let g = from_edges_unit(next as usize, &edges);
+    let (hem, _) = find_mapping(&ExecPolicy::serial(), &g, MapMethod::Hem, 5);
+    let (two, _) = find_mapping(&ExecPolicy::serial(), &g, MapMethod::MtMetis, 5);
+    assert!(
+        two.n_coarse < hem.n_coarse,
+        "leaf matching must beat plain HEM on caterpillars: {} vs {}",
+        two.n_coarse,
+        hem.n_coarse
+    );
+    // Leaves pair up: ratio close to 2.
+    assert!(two.coarsening_ratio() > 1.7, "ratio {}", two.coarsening_ratio());
+}
+
+#[test]
+fn coarsening_a_star_of_stars() {
+    // Hub of hubs: two-level skew. HEC must collapse it in very few levels.
+    let mut edges = Vec::new();
+    let mut next = 1u32;
+    for _ in 0..12 {
+        let hub = next;
+        edges.push((0, hub));
+        next += 1;
+        for _ in 0..30 {
+            edges.push((hub, next));
+            next += 1;
+        }
+    }
+    let g = from_edges_unit(next as usize, &edges);
+    let h = coarsen(&ExecPolicy::host(), &g, &CoarsenOptions::default());
+    assert!(h.num_levels() <= 3, "{} levels on a star-of-stars", h.num_levels());
+    assert!(h.coarsest().n() <= 50);
+}
+
+#[test]
+fn partitioners_reject_or_survive_tiny_graphs() {
+    for n in [1usize, 2, 3] {
+        let g = gen::path(n.max(1));
+        let r = fm_bisect(
+            &ExecPolicy::serial(),
+            &g,
+            &CoarsenOptions::default(),
+            &FmConfig::default(),
+            1,
+        );
+        assert_eq!(r.part.len(), g.n());
+        assert_eq!(r.cut, edge_cut(&g, &r.part));
+    }
+}
+
+#[test]
+fn csr_invariant_violations_are_reported() {
+    // Each malformed structure must produce a distinct validation error.
+    let cases: Vec<(Csr, &str)> = vec![
+        // A self-loop on each of two vertices (even entry count).
+        (Csr::from_parts(vec![0, 1, 2], vec![0, 1], vec![1, 1]), "self-loop"),
+        (Csr::from_parts(vec![0, 1, 2], vec![1, 0], vec![0, 0]), "zero edge weight"),
+        (Csr::from_parts(vec![0, 2, 4], vec![1, 1, 0, 0], vec![1, 1, 1, 1]), "sorted"),
+    ];
+    for (g, needle) in cases {
+        let err = g.validate().unwrap_err();
+        assert!(err.contains(needle), "expected '{needle}' in '{err}'");
+    }
+}
+
+#[test]
+fn mapping_with_gap_labels_is_rejected() {
+    let m = multilevel_coarsen::coarsen::Mapping { map: vec![0, 2, 0], n_coarse: 3 };
+    assert!(m.validate().unwrap_err().contains("unused"));
+}
+
+#[test]
+fn weighted_coarse_levels_keep_heavy_edges_together() {
+    // After one level, a dominant fine edge becomes a dominant coarse
+    // edge; HEC on the coarse graph must contract it first.
+    let g = from_edges_weighted(
+        6,
+        &[(0, 1, 1), (1, 2, 1), (2, 3, 1000), (3, 4, 1), (4, 5, 1), (0, 5, 1)],
+    );
+    let policy = ExecPolicy::serial();
+    let (m, _) = find_mapping(&policy, &g, MapMethod::SeqHec, 9);
+    // Whatever the aggregates, vertices 2 and 3 share one (the heavy edge
+    // dominates every competing choice at both endpoints).
+    assert_eq!(m.map[2], m.map[3]);
+}

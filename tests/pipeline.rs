@@ -1,0 +1,142 @@
+//! End-to-end integration tests spanning every crate: generate →
+//! preprocess → coarsen → construct → partition → verify.
+
+use multilevel_coarsen::coarsen::construct::intra_aggregate_weight;
+use multilevel_coarsen::graph::cc::is_connected;
+use multilevel_coarsen::graph::metrics::edge_cut;
+use multilevel_coarsen::graph::suite;
+use multilevel_coarsen::prelude::*;
+
+#[test]
+fn mini_suite_full_pipeline_every_method() {
+    let policy = ExecPolicy::host();
+    for ng in suite::mini_suite(42) {
+        let g = &ng.graph;
+        assert!(is_connected(g), "{}", ng.name);
+        for method in MapMethod::TABLE4 {
+            let opts = CoarsenOptions { method, ..Default::default() };
+            let h = coarsen(&policy, g, &opts);
+            // Every level is a valid weighted graph with conserved totals.
+            let mut fine = g.clone();
+            for level in &h.levels {
+                level.graph.validate().unwrap_or_else(|e| panic!("{}/{method:?}: {e}", ng.name));
+                let intra = intra_aggregate_weight(&policy, &fine, &level.mapping);
+                assert_eq!(
+                    level.graph.total_edge_weight() + intra,
+                    fine.total_edge_weight(),
+                    "{}/{method:?}: weight conservation",
+                    ng.name
+                );
+                assert_eq!(level.graph.total_vwgt(), fine.total_vwgt());
+                fine = level.graph.clone();
+            }
+            // Partition via FM from this hierarchy's method.
+            let r = fm_bisect(&policy, g, &opts, &FmConfig::default(), 7);
+            assert_eq!(r.cut, edge_cut(g, &r.part), "{}/{method:?}", ng.name);
+            assert!(r.imbalance <= 1.05, "{}/{method:?}: imbalance {}", ng.name, r.imbalance);
+        }
+    }
+}
+
+#[test]
+fn construction_methods_identical_on_mini_suite() {
+    let policy = ExecPolicy::host();
+    for ng in suite::mini_suite(11) {
+        let g = &ng.graph;
+        let (mapping, _) = find_mapping(&policy, g, MapMethod::SeqHec, 3);
+        let mut graphs = Vec::new();
+        for cm in ConstructMethod::ALL {
+            let opts = ConstructOptions::with_method(cm);
+            graphs.push((cm, construct_coarse_graph(&policy, g, &mapping, &opts)));
+        }
+        for (cm, c) in &graphs[1..] {
+            assert_eq!(c, &graphs[0].1, "{}: {cm:?} differs from Sort", ng.name);
+        }
+    }
+}
+
+#[test]
+fn spectral_and_fm_agree_on_an_easy_instance() {
+    // Two well-separated communities: both refinements must find the
+    // 2-edge bottleneck.
+    let mut edges = Vec::new();
+    for c in 0..2u32 {
+        let base = c * 30;
+        for i in 0..30u32 {
+            for d in 1..=3u32 {
+                edges.push((base + i, base + (i + d) % 30));
+            }
+        }
+    }
+    edges.push((0, 30));
+    edges.push((15, 45));
+    let g = multilevel_coarsen::graph::builder::from_edges_unit(60, &edges);
+    let policy = ExecPolicy::host();
+    // The heuristics are randomized; the best of a few seeds must find the
+    // optimal bottleneck.
+    let fm_best = (0..5)
+        .map(|s| fm_bisect(&policy, &g, &CoarsenOptions::default(), &FmConfig::default(), s).cut)
+        .min()
+        .unwrap();
+    let sp_best = (0..3)
+        .map(|s| {
+            spectral_bisect(&policy, &g, &CoarsenOptions::default(), &SpectralConfig::default(), s)
+                .cut
+        })
+        .min()
+        .unwrap();
+    assert_eq!(fm_best, 2, "FM should find the 2-edge bottleneck");
+    assert_eq!(sp_best, 2, "spectral should find the 2-edge bottleneck");
+}
+
+#[test]
+fn hierarchy_projection_preserves_any_coarse_cut() {
+    let policy = ExecPolicy::host();
+    for ng in suite::mini_suite(5) {
+        let g = &ng.graph;
+        let h = coarsen(&policy, g, &CoarsenOptions::default());
+        let coarsest = h.coarsest();
+        for seed in 0..3u64 {
+            let part: Vec<u32> = (0..coarsest.n())
+                .map(|u| (mlcg(seed, u) % 2) as u32)
+                .collect();
+            let coarse_cut = edge_cut(coarsest, &part);
+            let fine = h.project_to_fine(&part);
+            assert_eq!(edge_cut(g, &fine), coarse_cut, "{} seed {seed}", ng.name);
+        }
+    }
+}
+
+fn mlcg(seed: u64, u: usize) -> u64 {
+    multilevel_coarsen::par::rng::hash_index(seed, u as u64)
+}
+
+#[test]
+fn device_and_host_policies_agree_on_quality_class() {
+    // Device-sim vs host must produce hierarchies of comparable depth and
+    // partitions of comparable cut on the same input.
+    let g = multilevel_coarsen::graph::generators::grid2d(48, 48);
+    let host = ExecPolicy::host();
+    let dev = ExecPolicy::device_sim();
+    let h1 = coarsen(&host, &g, &CoarsenOptions::default());
+    let h2 = coarsen(&dev, &g, &CoarsenOptions::default());
+    assert!((h1.num_levels() as i64 - h2.num_levels() as i64).abs() <= 2);
+    let r1 = fm_bisect(&host, &g, &CoarsenOptions::default(), &FmConfig::default(), 3);
+    let r2 = fm_bisect(&dev, &g, &CoarsenOptions::default(), &FmConfig::default(), 3);
+    let ratio = r1.cut.max(r2.cut) as f64 / r1.cut.min(r2.cut).max(1) as f64;
+    assert!(ratio < 2.0, "cut quality diverged: {} vs {}", r1.cut, r2.cut);
+}
+
+#[test]
+fn metis_like_baselines_complete_on_mini_suite() {
+    let policy = ExecPolicy::host();
+    for ng in suite::mini_suite(19) {
+        let g = &ng.graph;
+        let a = metis_like(g, 3);
+        let b = mtmetis_like(&policy, g, 3);
+        assert!(a.cut > 0 || g.m() == 0);
+        assert!(b.cut > 0 || g.m() == 0);
+        assert!(a.imbalance <= 1.1, "{}: metis-like imbalance {}", ng.name, a.imbalance);
+        assert!(b.imbalance <= 1.1, "{}: mtmetis-like imbalance {}", ng.name, b.imbalance);
+    }
+}

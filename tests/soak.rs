@@ -1,0 +1,44 @@
+//! Larger-scale soak tests, `#[ignore]`d by default (run with
+//! `cargo test --release -- --ignored` on a machine with time to spare).
+//! They exercise the same pipelines as the regular integration tests at
+//! `--scale 1` corpus sizes, watching for nonlinear blow-ups.
+
+use multilevel_coarsen::graph::suite;
+use multilevel_coarsen::prelude::*;
+
+#[test]
+#[ignore = "scale-1 corpus; several minutes on a laptop"]
+fn full_corpus_coarsens_at_scale_one() {
+    let policy = ExecPolicy::host();
+    for name in suite::REGULAR.iter().chain(suite::SKEWED.iter()) {
+        let g = suite::by_name(name, 1, 42).unwrap();
+        let h = coarsen(&policy, &g, &CoarsenOptions::default());
+        assert!(
+            h.coarsest().n() <= 50,
+            "{name}: stopped at {} vertices",
+            h.coarsest().n()
+        );
+        for level in &h.levels {
+            level.graph.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}
+
+#[test]
+#[ignore = "scale-1 partition sweep; several minutes"]
+fn fm_partition_quality_holds_at_scale_one() {
+    let policy = ExecPolicy::host();
+    for name in ["rgg", "delaunay", "kron", "hollywood-sim"] {
+        let g = suite::by_name(name, 1, 42).unwrap();
+        let r = fm_bisect(&policy, &g, &CoarsenOptions::default(), &FmConfig::default(), 7);
+        assert!(r.imbalance <= 1.05, "{name}: imbalance {}", r.imbalance);
+        assert!(r.cut > 0);
+        // The cut should be a small fraction of total edges on these graphs.
+        assert!(
+            (r.cut as f64) < 0.6 * g.total_edge_weight() as f64,
+            "{name}: cut {} of {}",
+            r.cut,
+            g.total_edge_weight()
+        );
+    }
+}
