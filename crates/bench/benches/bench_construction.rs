@@ -1,9 +1,12 @@
-//! Criterion micro-bench for coarse-graph construction (Tables II/III and
-//! the degree-based dedup ablation): sort vs hash vs SpGEMM vs global-sort
-//! on one regular and one skewed graph, under host and device-sim
-//! policies, with the optimization on and off.
+//! Micro-bench for coarse-graph construction (Tables II/III and the
+//! degree-based dedup ablation): sort vs hash vs SpGEMM vs global-sort on
+//! one regular and one skewed graph, under host and device-sim policies,
+//! with the optimization on and off.
+//!
+//! Plain `fn main()` harness:
+//! `cargo bench -p mlcg-bench --bench bench_construction`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcg_bench::harness::microbench;
 use mlcg_coarsen::{
     construct_coarse_graph, find_mapping, ConstructMethod, ConstructOptions, MapMethod,
 };
@@ -11,39 +14,34 @@ use mlcg_graph::cc::largest_component;
 use mlcg_graph::generators;
 use mlcg_par::ExecPolicy;
 
-fn bench_construction(c: &mut Criterion) {
+const RUNS: usize = 10;
+
+fn main() {
     let regular = generators::grid2d(120, 120);
     let (skewed, _) = largest_component(&generators::rmat(13, 10, 0.57, 0.19, 0.19, 7));
 
     for (gname, g) in [("grid-120x120", &regular), ("rmat-13", &skewed)] {
         let serial = ExecPolicy::serial();
         let (mapping, _) = find_mapping(&serial, g, MapMethod::Hec, 42);
-        for (pname, policy) in [("host", ExecPolicy::host()), ("device", ExecPolicy::device_sim())]
-        {
-            let mut group = c.benchmark_group(format!("construction/{gname}/{pname}"));
-            group.sample_size(10);
+        for (pname, policy) in [
+            ("host", ExecPolicy::host()),
+            ("device", ExecPolicy::device_sim()),
+        ] {
+            let group = format!("construction/{gname}/{pname}");
             for method in ConstructMethod::ALL {
-                group.bench_with_input(
-                    BenchmarkId::from_parameter(method.name()),
-                    g,
-                    |b, g| {
-                        let opts = ConstructOptions::with_method(method);
-                        b.iter(|| construct_coarse_graph(&policy, g, &mapping, &opts));
-                    },
-                );
+                let opts = ConstructOptions::with_method(method);
+                microbench(&group, method.name(), RUNS, || {
+                    construct_coarse_graph(&policy, g, &mapping, &opts)
+                });
             }
             // Ablation: sort-dedup with the degree optimization disabled.
-            group.bench_with_input(BenchmarkId::from_parameter("sort-no-opt"), g, |b, g| {
-                let opts = ConstructOptions {
-                    method: ConstructMethod::Sort,
-                    degree_dedup_skew_threshold: f64::INFINITY,
-                };
-                b.iter(|| construct_coarse_graph(&policy, g, &mapping, &opts));
+            let opts = ConstructOptions {
+                method: ConstructMethod::Sort,
+                degree_dedup_skew_threshold: f64::INFINITY,
+            };
+            microbench(&group, "sort-no-opt", RUNS, || {
+                construct_coarse_graph(&policy, g, &mapping, &opts)
             });
-            group.finish();
         }
     }
 }
-
-criterion_group!(benches, bench_construction);
-criterion_main!(benches);

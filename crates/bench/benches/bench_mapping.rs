@@ -1,20 +1,24 @@
-//! Criterion micro-bench for the mapping phase (Table IV's time column):
-//! every coarsening algorithm on one regular and one skewed graph.
+//! Micro-bench for the mapping phase (Table IV's time column): every
+//! coarsening algorithm on one regular and one skewed graph.
+//!
+//! Plain `fn main()` harness:
+//! `cargo bench -p mlcg-bench --bench bench_mapping`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcg_bench::harness::microbench;
 use mlcg_coarsen::{find_mapping, MapMethod};
 use mlcg_graph::cc::largest_component;
 use mlcg_graph::generators;
 use mlcg_par::ExecPolicy;
 
-fn bench_mapping(c: &mut Criterion) {
+const RUNS: usize = 10;
+
+fn main() {
     let regular = generators::grid2d(120, 120);
     let (skewed, _) = largest_component(&generators::rmat(13, 10, 0.57, 0.19, 0.19, 7));
     let policy = ExecPolicy::host();
 
     for (gname, g) in [("grid-120x120", &regular), ("rmat-13", &skewed)] {
-        let mut group = c.benchmark_group(format!("mapping/{gname}"));
-        group.sample_size(10);
+        let group = format!("mapping/{gname}");
         for method in [
             MapMethod::Hec,
             MapMethod::Hec2,
@@ -27,13 +31,9 @@ fn bench_mapping(c: &mut Criterion) {
             MapMethod::Suitor,
             MapMethod::SeqHec,
         ] {
-            group.bench_with_input(BenchmarkId::from_parameter(method.name()), g, |b, g| {
-                b.iter(|| find_mapping(&policy, g, method, 42));
+            microbench(&group, method.name(), RUNS, || {
+                find_mapping(&policy, g, method, 42)
             });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_mapping);
-criterion_main!(benches);

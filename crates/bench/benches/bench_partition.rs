@@ -1,39 +1,48 @@
-//! Criterion micro-bench for the partitioners (Tables V/VI): FM + HEC,
-//! spectral + HEC, and the Metis-like baselines on one regular and one
-//! skewed graph.
+//! Micro-bench for the partitioners (Tables V/VI): FM + HEC, spectral +
+//! HEC, and the Metis-like baselines on one regular and one skewed graph.
+//!
+//! Plain `fn main()` harness:
+//! `cargo bench -p mlcg-bench --bench bench_partition`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlcg_bench::harness::microbench;
 use mlcg_coarsen::CoarsenOptions;
 use mlcg_graph::cc::largest_component;
 use mlcg_graph::generators;
 use mlcg_par::ExecPolicy;
-use mlcg_partition::{fm_bisect, metis_like, mtmetis_like, spectral_bisect, FmConfig, SpectralConfig};
+use mlcg_partition::{
+    fm_bisect, metis_like, mtmetis_like, spectral_bisect, FmConfig, SpectralConfig,
+};
 
-fn bench_partition(c: &mut Criterion) {
+const RUNS: usize = 10;
+
+fn main() {
     let regular = generators::grid2d(90, 90);
     let (skewed, _) = largest_component(&generators::rmat(12, 8, 0.57, 0.19, 0.19, 7));
     let policy = ExecPolicy::host();
     // Smoke-scale caps so the spectral bench finishes quickly.
-    let spectral_cfg = SpectralConfig { tol: 1e-10, coarse_max_iters: 1000, refine_max_iters: 100 };
+    let spectral_cfg = SpectralConfig {
+        tol: 1e-10,
+        coarse_max_iters: 1000,
+        refine_max_iters: 100,
+    };
 
     for (gname, g) in [("grid-90x90", &regular), ("rmat-12", &skewed)] {
-        let mut group = c.benchmark_group(format!("partition/{gname}"));
-        group.sample_size(10);
-        group.bench_with_input(BenchmarkId::from_parameter("fm+hec"), g, |b, g| {
-            b.iter(|| fm_bisect(&policy, g, &CoarsenOptions::default(), &FmConfig::default(), 42));
+        let group = format!("partition/{gname}");
+        microbench(&group, "fm+hec", RUNS, || {
+            fm_bisect(
+                &policy,
+                g,
+                &CoarsenOptions::default(),
+                &FmConfig::default(),
+                42,
+            )
         });
-        group.bench_with_input(BenchmarkId::from_parameter("spectral+hec"), g, |b, g| {
-            b.iter(|| spectral_bisect(&policy, g, &CoarsenOptions::default(), &spectral_cfg, 42));
+        microbench(&group, "spectral+hec", RUNS, || {
+            spectral_bisect(&policy, g, &CoarsenOptions::default(), &spectral_cfg, 42)
         });
-        group.bench_with_input(BenchmarkId::from_parameter("metis-like"), g, |b, g| {
-            b.iter(|| metis_like(g, 42));
+        microbench(&group, "metis-like", RUNS, || metis_like(g, 42));
+        microbench(&group, "mtmetis-like", RUNS, || {
+            mtmetis_like(&policy, g, 42)
         });
-        group.bench_with_input(BenchmarkId::from_parameter("mtmetis-like"), g, |b, g| {
-            b.iter(|| mtmetis_like(&policy, g, 42));
-        });
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_partition);
-criterion_main!(benches);

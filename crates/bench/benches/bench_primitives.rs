@@ -1,66 +1,110 @@
-//! Criterion micro-bench for the parallel substrate (the Kokkos
-//! substitute): prefix sums, radix sort, random permutation, SpMV and
-//! SpGEMM — the kernels behind Fig. 3's rates.
+//! Micro-bench for the parallel substrate (the Kokkos substitute): prefix
+//! sums, radix sort, random permutation, SpMV and SpGEMM — the kernels
+//! behind Fig. 3's rates — plus the disabled-trace overhead check for the
+//! observability layer.
+//!
+//! Plain `fn main()` harness (no external bench framework):
+//! `cargo bench -p mlcg-bench --bench bench_primitives`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlcg_bench::harness::microbench;
 use mlcg_graph::generators;
 use mlcg_par::perm::random_permutation;
 use mlcg_par::rng::hash_index;
 use mlcg_par::scan::exclusive_scan;
 use mlcg_par::sort::par_radix_sort_pairs;
-use mlcg_par::ExecPolicy;
+use mlcg_par::{ExecPolicy, TraceCollector};
 use mlcg_sparse::{spgemm, spmv, CsrMatrix};
 
-fn bench_primitives(c: &mut Criterion) {
+const RUNS: usize = 10;
+
+fn main() {
     let n = 1 << 20;
     for (pname, policy) in [
         ("serial", ExecPolicy::serial()),
         ("host", ExecPolicy::host()),
         ("device", ExecPolicy::device_sim()),
     ] {
-        let mut group = c.benchmark_group(format!("primitives/{pname}"));
-        group.sample_size(10);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_function(BenchmarkId::from_parameter("exclusive-scan-1M"), |b| {
+        let group = format!("primitives/{pname}");
+        {
             let data: Vec<u64> = (0..n as u64).map(|i| i % 7).collect();
-            b.iter(|| {
+            microbench(&group, "exclusive-scan-1M", RUNS, || {
                 let mut d = data.clone();
                 exclusive_scan(&policy, &mut d)
             });
-        });
-        group.bench_function(BenchmarkId::from_parameter("radix-sort-1M"), |b| {
+        }
+        {
             let keys: Vec<u64> = (0..n as u64).map(|i| hash_index(3, i)).collect();
             let vals: Vec<u32> = (0..n as u32).collect();
-            b.iter(|| {
+            microbench(&group, "radix-sort-1M", RUNS, || {
                 let mut k = keys.clone();
                 let mut v = vals.clone();
                 par_radix_sort_pairs(&policy, &mut k, &mut v);
                 k[0]
             });
+        }
+        microbench(&group, "random-permutation-1M", RUNS, || {
+            random_permutation(&policy, n, 42)
         });
-        group.bench_function(BenchmarkId::from_parameter("random-permutation-1M"), |b| {
-            b.iter(|| random_permutation(&policy, n, 42));
-        });
-        group.finish();
     }
 
     let g = generators::grid2d(256, 256);
     let a = CsrMatrix::from_graph(&g);
     let policy = ExecPolicy::host();
-    let mut group = c.benchmark_group("sparse");
-    group.sample_size(10);
-    group.bench_function("spmv-grid-256", |b| {
+    {
         let x = vec![1.0f64; a.n_cols];
         let mut y = vec![0.0f64; a.n_rows];
-        b.iter(|| spmv(&policy, &a, &x, &mut y));
-    });
-    group.bench_function("spgemm-prolongation", |b| {
+        microbench("sparse", "spmv-grid-256", RUNS, || {
+            spmv(&policy, &a, &x, &mut y)
+        });
+    }
+    {
         let mapping: Vec<u32> = (0..g.n()).map(|u| (u / 4) as u32).collect();
         let p = CsrMatrix::prolongation(&mapping, g.n().div_ceil(4));
-        b.iter(|| spgemm(&policy, &p, &a));
-    });
-    group.finish();
+        microbench("sparse", "spgemm-prolongation", RUNS, || {
+            spgemm(&policy, &p, &a)
+        });
+    }
+
+    trace_overhead(n);
 }
 
-criterion_group!(benches, bench_primitives);
-criterion_main!(benches);
+/// Compare a scan loop bare against the same loop wrapped in disabled
+/// trace spans/counters, and report per-span cost of the disabled
+/// collector. The disabled path must stay within noise (<2%).
+fn trace_overhead(n: usize) {
+    let policy = ExecPolicy::host();
+    let data: Vec<u64> = (0..n as u64).map(|i| i % 7).collect();
+
+    let bare = microbench("trace-overhead", "scan-bare", RUNS, || {
+        let mut d = data.clone();
+        exclusive_scan(&policy, &mut d)
+    });
+
+    let trace = TraceCollector::disabled();
+    let wrapped = microbench("trace-overhead", "scan-disabled-span", RUNS, || {
+        let span = trace.span(|| "bench/scan".to_string());
+        let mut d = data.clone();
+        let total = exclusive_scan(&policy, &mut d);
+        trace.counter_add("bench/elements", d.len() as u64);
+        span.finish();
+        total
+    });
+    println!(
+        "trace-overhead/ratio: {:.4} (disabled-span / bare; must stay ~1.0)",
+        wrapped / bare
+    );
+
+    // Raw per-call cost of a disabled span (open + close in a tight loop).
+    let spans = 1_000_000u64;
+    let secs = microbench("trace-overhead", "disabled-span-1M", RUNS, || {
+        for _ in 0..spans {
+            trace
+                .span(|| unreachable!("disabled span must not build its path"))
+                .finish();
+        }
+    });
+    println!(
+        "trace-overhead/per-span: {:.2} ns",
+        secs / spans as f64 * 1e9
+    );
+}

@@ -34,7 +34,15 @@ pub fn run(ctx: &Ctx) {
         let off = time_with(f64::INFINITY); // never
         let r = off / on;
         ratios.push(r);
-        row(&[ng.name.to_string(), format!("{on:.3}"), format!("{off:.3}"), ratio(r)]);
+        row(&[
+            ng.name.to_string(),
+            format!("{on:.3}"),
+            format!("{off:.3}"),
+            ratio(r),
+        ]);
     }
-    println!("geomean off/on (skewed group): {:.2} (>1 means the optimization helps)", geo(&ratios));
+    println!(
+        "geomean off/on (skewed group): {:.2} (>1 means the optimization helps)",
+        geo(&ratios)
+    );
 }

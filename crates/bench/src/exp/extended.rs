@@ -32,14 +32,30 @@ pub fn run(ctx: &Ctx) {
     for ng in &corpus {
         let g = &ng.graph;
         let (h_hec, t_hec) = median_time(ctx.runs, || {
-            coarsen(&policy, g, &CoarsenOptions { method: MapMethod::Hec, seed: ctx.seed, ..Default::default() })
+            coarsen(
+                &policy,
+                g,
+                &CoarsenOptions {
+                    method: MapMethod::Hec,
+                    seed: ctx.seed,
+                    ..Default::default()
+                },
+            )
         });
         let mut cells = vec![ng.name.to_string()];
         let mut ratios = Vec::new();
         let mut levels = Vec::new();
         for &method in &METHODS {
             let (h, t) = median_time(ctx.runs, || {
-                coarsen(&policy, g, &CoarsenOptions { method, seed: ctx.seed, ..Default::default() })
+                coarsen(
+                    &policy,
+                    g,
+                    &CoarsenOptions {
+                        method,
+                        seed: ctx.seed,
+                        ..Default::default()
+                    },
+                )
             });
             ratios.push(t / t_hec);
             levels.push(h.num_levels());

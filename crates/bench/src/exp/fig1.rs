@@ -15,8 +15,14 @@ pub fn run(ctx: &Ctx) {
     let policy = ExecPolicy::serial();
     let dir = PathBuf::from("target/repro/fig1");
     std::fs::create_dir_all(&dir).expect("create output dir");
-    println!("Fig 1: one level of coarsening on the illustration graph ({})", g.summary());
-    println!("{:>8} | {:>8} | {:>8} | aggregate sizes", "method", "coarse n", "coarse m");
+    println!(
+        "Fig 1: one level of coarsening on the illustration graph ({})",
+        g.summary()
+    );
+    println!(
+        "{:>8} | {:>8} | {:>8} | aggregate sizes",
+        "method", "coarse n", "coarse m"
+    );
     for method in [
         MapMethod::SeqHec,
         MapMethod::Hec,
@@ -41,7 +47,11 @@ pub fn run(ctx: &Ctx) {
         let fine_dot = to_dot(&g, Some(&mapping.map));
         let coarse_dot = to_dot(&coarse, None);
         std::fs::write(dir.join(format!("{}-fine.dot", method.name())), fine_dot).unwrap();
-        std::fs::write(dir.join(format!("{}-coarse.dot", method.name())), coarse_dot).unwrap();
+        std::fs::write(
+            dir.join(format!("{}-coarse.dot", method.name())),
+            coarse_dot,
+        )
+        .unwrap();
     }
     println!("DOT files written to {}", dir.display());
 }

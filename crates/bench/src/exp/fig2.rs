@@ -40,5 +40,8 @@ pub fn run(ctx: &Ctx) {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("fig2-heavy-digraph.dot");
     std::fs::write(&path, dot).unwrap();
-    println!("Fig 2 (right): heavy-neighbor digraph written to {}", path.display());
+    println!(
+        "Fig 2 (right): heavy-neighbor digraph written to {}",
+        path.display()
+    );
 }

@@ -11,7 +11,10 @@ use mlcg_graph::suite::by_name;
 use mlcg_par::ExecPolicy;
 
 fn coarsen_time(ctx: &Ctx, policy: &ExecPolicy, g: &mlcg_graph::Csr) -> f64 {
-    let opts = CoarsenOptions { seed: ctx.seed, ..Default::default() };
+    let opts = CoarsenOptions {
+        seed: ctx.seed,
+        ..Default::default()
+    };
     let (_, t) = median_time(ctx.runs, || coarsen(policy, g, &opts));
     t
 }
@@ -49,7 +52,12 @@ pub fn run_mid(ctx: &Ctx) {
         let td = coarsen_time(ctx, &device, g);
         let s = th / td;
         speedups.push(s);
-        row(&[ng.name.to_string(), format!("{th:.3}"), format!("{td:.3}"), format!("{s:.2}")]);
+        row(&[
+            ng.name.to_string(),
+            format!("{th:.3}"),
+            format!("{td:.3}"),
+            format!("{s:.2}"),
+        ]);
     }
     println!("geomean speedup: {:.2}", geo(&speedups));
 }

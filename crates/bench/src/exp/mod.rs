@@ -10,13 +10,26 @@ pub mod table23;
 pub mod table4;
 pub mod table5;
 pub mod table6;
+pub mod trace;
 
 use crate::harness::Ctx;
 
 /// Every experiment name understood by the `repro` binary.
-pub const ALL: [&str; 13] = [
-    "table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig3-left",
-    "fig3-mid", "fig3-right", "ablate-dedup", "extended-methods",
+pub const ALL: [&str; 14] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig1",
+    "fig2",
+    "fig3-left",
+    "fig3-mid",
+    "fig3-right",
+    "ablate-dedup",
+    "extended-methods",
+    "trace",
 ];
 
 /// Dispatch one experiment by name. Returns false for unknown names.
@@ -35,6 +48,7 @@ pub fn run(name: &str, ctx: &Ctx) -> bool {
         "fig3-right" => fig3::run_right(ctx),
         "ablate-dedup" => ablate::run(ctx),
         "extended-methods" => extended::run(ctx),
+        "trace" => trace::run(ctx),
         "all" => {
             for name in ALL {
                 println!("\n===== {name} =====");

@@ -8,7 +8,10 @@ use mlcg_graph::DegreeStats;
 /// Print the corpus table.
 pub fn run(ctx: &Ctx) {
     let corpus = ctx.corpus();
-    println!("Table I: evaluation corpus (scale {}, preprocessed: LCC, relabeled)", ctx.scale);
+    println!(
+        "Table I: evaluation corpus (scale {}, preprocessed: LCC, relabeled)",
+        ctx.scale
+    );
     header(&["Graph", "Domain", "m", "n", "Δ/(2m/n)", "group"]);
     for ng in &corpus {
         let s = DegreeStats::of(&ng.graph);
@@ -29,7 +32,10 @@ pub fn run(ctx: &Ctx) {
             Group::Skewed => s.is_skewed(),
         };
         if !consistent {
-            eprintln!("warning: {} skew {:.1} does not match its group", ng.name, s.skew);
+            eprintln!(
+                "warning: {} skew {:.1} does not match its group",
+                ng.name, s.skew
+            );
         }
     }
 }

@@ -39,7 +39,9 @@ pub fn run(ctx: &Ctx, device: bool) {
     for ng in &corpus {
         let g = &ng.graph;
         let run_with = |cm: ConstructMethod| {
-            median_time(ctx.runs, || coarsen(&policy, g, &coarsen_opts(MapMethod::Hec, cm, ctx.seed)))
+            median_time(ctx.runs, || {
+                coarsen(&policy, g, &coarsen_opts(MapMethod::Hec, cm, ctx.seed))
+            })
         };
         let (h_sort, t_sort) = run_with(ConstructMethod::Sort);
         let (_h_hash, _) = run_with(ConstructMethod::Hash);
@@ -61,12 +63,27 @@ pub fn run(ctx: &Ctx, device: bool) {
         ]);
         group_rows.push((ng.group, grco, r_hash, r_spg));
 
+        if ctx.trace_enabled() {
+            let mut opts = coarsen_opts(MapMethod::Hec, ConstructMethod::Sort, ctx.seed);
+            opts.trace = ctx.trace_collector();
+            let h = coarsen(&policy, g, &opts);
+            ctx.emit_trace(&format!("coarsen/{}/{policy}", ng.name), &h.trace);
+        }
+
         // HEC2 / HEC3 comparison (paper §IV.A text).
         let (h2, t2) = median_time(ctx.runs, || {
-            coarsen(&policy, g, &coarsen_opts(MapMethod::Hec2, ConstructMethod::Sort, ctx.seed))
+            coarsen(
+                &policy,
+                g,
+                &coarsen_opts(MapMethod::Hec2, ConstructMethod::Sort, ctx.seed),
+            )
         });
         let (h3, t3) = median_time(ctx.runs, || {
-            coarsen(&policy, g, &coarsen_opts(MapMethod::Hec3, ConstructMethod::Sort, ctx.seed))
+            coarsen(
+                &policy,
+                g,
+                &coarsen_opts(MapMethod::Hec3, ConstructMethod::Sort, ctx.seed),
+            )
         });
         hec_vs.push((
             t2 / t_sort,

@@ -15,21 +15,42 @@ pub fn run(ctx: &Ctx) {
         "Graph", "HEM", "mtMetis", "GOSH", "MIS2", "l HEC", "l HEM", "l mtM", "l GOSH", "l MIS2",
         "cr HEC", "cr mtM",
     ]);
-    let methods = [MapMethod::Hem, MapMethod::MtMetis, MapMethod::Gosh, MapMethod::Mis2];
+    let methods = [
+        MapMethod::Hem,
+        MapMethod::MtMetis,
+        MapMethod::Gosh,
+        MapMethod::Mis2,
+    ];
     let mut ratios: Vec<(Group, [f64; 4])> = Vec::new();
     let mut crs: Vec<(Group, f64, f64)> = Vec::new();
 
     for ng in &corpus {
         let g = &ng.graph;
         let (h_hec, t_hec) = median_time(ctx.runs, || {
-            coarsen(&policy, g, &CoarsenOptions { method: MapMethod::Hec, seed: ctx.seed, ..Default::default() })
+            coarsen(
+                &policy,
+                g,
+                &CoarsenOptions {
+                    method: MapMethod::Hec,
+                    seed: ctx.seed,
+                    ..Default::default()
+                },
+            )
         });
         let mut cells = vec![ng.name.to_string()];
         let mut per_method = [0.0f64; 4];
         let mut hierarchies = Vec::new();
         for (i, &method) in methods.iter().enumerate() {
             let (h, t) = median_time(ctx.runs, || {
-                coarsen(&policy, g, &CoarsenOptions { method, seed: ctx.seed, ..Default::default() })
+                coarsen(
+                    &policy,
+                    g,
+                    &CoarsenOptions {
+                        method,
+                        seed: ctx.seed,
+                        ..Default::default()
+                    },
+                )
             });
             per_method[i] = t / t_hec;
             hierarchies.push(h);
@@ -59,8 +80,14 @@ pub fn run(ctx: &Ctx) {
             cells.push(String::new());
         }
         let crsel: Vec<&(Group, f64, f64)> = crs.iter().filter(|r| r.0 == group).collect();
-        cells.push(format!("{:.2}", geo(&crsel.iter().map(|r| r.1).collect::<Vec<_>>())));
-        cells.push(format!("{:.2}", geo(&crsel.iter().map(|r| r.2).collect::<Vec<_>>())));
+        cells.push(format!(
+            "{:.2}",
+            geo(&crsel.iter().map(|r| r.1).collect::<Vec<_>>())
+        ));
+        cells.push(format!(
+            "{:.2}",
+            geo(&crsel.iter().map(|r| r.2).collect::<Vec<_>>())
+        ));
         row(&cells);
     }
 }

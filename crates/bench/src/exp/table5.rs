@@ -12,23 +12,30 @@ use mlcg_partition::{spectral_bisect, PartitionResult, SpectralConfig};
 
 pub(crate) fn spectral_cfg(ctx: &Ctx) -> SpectralConfig {
     if ctx.fast {
-        SpectralConfig { tol: 1e-10, coarse_max_iters: 500, refine_max_iters: 50 }
+        SpectralConfig {
+            tol: 1e-10,
+            coarse_max_iters: 500,
+            refine_max_iters: 50,
+        }
     } else {
-        SpectralConfig { tol: 1e-10, coarse_max_iters: 5_000, refine_max_iters: 500 }
+        SpectralConfig {
+            tol: 1e-10,
+            coarse_max_iters: 5_000,
+            refine_max_iters: 500,
+        }
     }
 }
 
-fn run_one(
-    ctx: &Ctx,
-    policy: &ExecPolicy,
-    g: &Csr,
-    method: MapMethod,
-) -> PartitionResult {
+fn run_one(ctx: &Ctx, policy: &ExecPolicy, g: &Csr, method: MapMethod) -> PartitionResult {
     // The paper reports the median cut of 10 runs; we take the median-cut
     // run of `ctx.runs` seeds.
     let mut results: Vec<PartitionResult> = (0..ctx.runs as u64)
         .map(|i| {
-            let opts = CoarsenOptions { method, seed: ctx.seed + i, ..Default::default() };
+            let opts = CoarsenOptions {
+                method,
+                seed: ctx.seed + i,
+                ..Default::default()
+            };
             spectral_bisect(policy, g, &opts, &spectral_cfg(ctx), ctx.seed + i)
         })
         .collect();
@@ -40,7 +47,10 @@ fn run_one(
 pub fn run(ctx: &Ctx) {
     let policy = ctx.device();
     let corpus = ctx.corpus();
-    println!("Table V: spectral bisection (device-sim policy, tol 1e-10, median of {} runs)", ctx.runs);
+    println!(
+        "Table V: spectral bisection (device-sim policy, tol 1e-10, median of {} runs)",
+        ctx.runs
+    );
     header(&["Graph", "Time (s)", "%Coa", "Edge cut", "HEM", "mtMetis"]);
     let mut geos: Vec<(Group, f64, f64, f64)> = Vec::new();
     for ng in &corpus {

@@ -8,7 +8,9 @@ use mlcg_coarsen::{CoarsenOptions, MapMethod};
 use mlcg_graph::suite::Group;
 use mlcg_graph::Csr;
 use mlcg_par::ExecPolicy;
-use mlcg_partition::{fm_bisect, metis_like, mtmetis_like, spectral_bisect, FmConfig, PartitionResult};
+use mlcg_partition::{
+    fm_bisect, metis_like, mtmetis_like, spectral_bisect, FmConfig, PartitionResult,
+};
 
 fn median_by_cut(mut results: Vec<PartitionResult>) -> PartitionResult {
     results.sort_by_key(|r| r.cut);
@@ -20,8 +22,11 @@ fn fm_runs(ctx: &Ctx, policy: &ExecPolicy, g: &Csr) -> PartitionResult {
     median_by_cut(
         (0..ctx.runs as u64)
             .map(|i| {
-                let opts =
-                    CoarsenOptions { method: MapMethod::Hec, seed: ctx.seed + i, ..Default::default() };
+                let opts = CoarsenOptions {
+                    method: MapMethod::Hec,
+                    seed: ctx.seed + i,
+                    ..Default::default()
+                };
                 fm_bisect(policy, g, &opts, &FmConfig::default(), ctx.seed + i)
             })
             .collect(),
@@ -59,13 +64,25 @@ pub fn run(ctx: &Ctx) {
                         seed: ctx.seed + i,
                         ..Default::default()
                     };
-                    spectral_bisect(&device, g, &opts, &super::table5::spectral_cfg(ctx), ctx.seed + i)
+                    spectral_bisect(
+                        &device,
+                        g,
+                        &opts,
+                        &super::table5::spectral_cfg(ctx),
+                        ctx.seed + i,
+                    )
                 })
                 .collect(),
         );
-        let met = median_by_cut((0..ctx.runs as u64).map(|i| metis_like(g, ctx.seed + i)).collect());
+        let met = median_by_cut(
+            (0..ctx.runs as u64)
+                .map(|i| metis_like(g, ctx.seed + i))
+                .collect(),
+        );
         let mtm = median_by_cut(
-            (0..ctx.runs as u64).map(|i| mtmetis_like(&host, g, ctx.seed + i)).collect(),
+            (0..ctx.runs as u64)
+                .map(|i| mtmetis_like(&host, g, ctx.seed + i))
+                .collect(),
         );
         let base = fm_dev.cut.max(1) as f64;
         let vals = [

@@ -1,0 +1,49 @@
+//! `trace` — pipeline observability demo: run the full coarsen → partition
+//! pipeline on the mini corpus with tracing enabled and emit the JSON-lines
+//! trace plus the aggregated span tree for both refinement drivers.
+//!
+//! Tracing is always on for this experiment (it exists to show traces);
+//! `MLCG_VALIDATE=1` additionally records the invariant audits as trace
+//! events.
+
+use crate::harness::Ctx;
+use mlcg_coarsen::{CoarsenOptions, ConstructMethod, ConstructOptions, MapMethod};
+use mlcg_graph::suite;
+use mlcg_partition::{fm_bisect, FmConfig};
+use mlcg_partition::{spectral_bisect, SpectralConfig};
+
+/// Run the observability demo.
+pub fn run(ctx: &Ctx) {
+    let forced = Ctx {
+        trace: true,
+        ..ctx.clone()
+    };
+    let corpus = suite::mini_suite(ctx.seed);
+    let opts = |trace| CoarsenOptions {
+        method: MapMethod::Hec,
+        construction: ConstructOptions::with_method(ConstructMethod::Hash),
+        seed: ctx.seed,
+        trace,
+        ..Default::default()
+    };
+    for policy in [forced.host(), forced.device()] {
+        for ng in corpus.iter().take(2) {
+            let r = fm_bisect(
+                &policy,
+                &ng.graph,
+                &opts(forced.trace_collector()),
+                &FmConfig::default(),
+                ctx.seed,
+            );
+            forced.emit_trace(&format!("fm/{}/{policy}", ng.name), &r.trace);
+            let r = spectral_bisect(
+                &policy,
+                &ng.graph,
+                &opts(forced.trace_collector()),
+                &SpectralConfig::default(),
+                ctx.seed,
+            );
+            forced.emit_trace(&format!("spectral/{}/{policy}", ng.name), &r.trace);
+        }
+    }
+}

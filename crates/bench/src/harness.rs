@@ -3,7 +3,7 @@
 
 use mlcg_graph::suite::{self, NamedGraph};
 use mlcg_par::timer::{geomean, median};
-use mlcg_par::{ExecPolicy, Timer};
+use mlcg_par::{ExecPolicy, Timer, TraceCollector, TraceConfig, TraceReport};
 
 /// Options common to every experiment.
 #[derive(Clone, Debug)]
@@ -16,11 +16,20 @@ pub struct Ctx {
     pub seed: u64,
     /// Lower the power-iteration caps (smoke-test mode).
     pub fast: bool,
+    /// Collect and emit pipeline traces (spans/counters/gauges) as
+    /// JSON-lines plus a human-readable tree.
+    pub trace: bool,
 }
 
 impl Default for Ctx {
     fn default() -> Self {
-        Ctx { scale: 0, runs: 3, seed: 42, fast: false }
+        Ctx {
+            scale: 0,
+            runs: 3,
+            seed: 42,
+            fast: false,
+            trace: false,
+        }
     }
 }
 
@@ -35,6 +44,7 @@ impl Ctx {
                 "--runs" => ctx.runs = it.next().and_then(|v| v.parse().ok()).unwrap_or(3).max(1),
                 "--seed" => ctx.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
                 "--fast" => ctx.fast = true,
+                "--trace" => ctx.trace = true,
                 other => eprintln!("warning: ignoring unknown option {other}"),
             }
         }
@@ -59,6 +69,37 @@ impl Ctx {
     pub fn host(&self) -> ExecPolicy {
         ExecPolicy::host()
     }
+
+    /// A trace collector honoring `--trace` (and `MLCG_TRACE` /
+    /// `MLCG_VALIDATE` from the environment). With neither the flag nor
+    /// the env vars set, this is a disabled collector with zero recording
+    /// overhead.
+    pub fn trace_collector(&self) -> TraceCollector {
+        let mut cfg = TraceConfig::from_env();
+        cfg.enabled |= self.trace;
+        TraceCollector::with_config(cfg)
+    }
+
+    /// Whether trace output is in effect, via `--trace`, `MLCG_TRACE=1`,
+    /// or `MLCG_VALIDATE=1` (audit results are reported through the same
+    /// channel, so validation alone also turns emission on).
+    pub fn trace_enabled(&self) -> bool {
+        let env = TraceConfig::from_env();
+        self.trace || env.enabled || env.validate
+    }
+
+    /// Emit a non-empty trace report: JSON-lines on stdout (prefixed by a
+    /// `# trace <label>` comment line) followed by the aggregated span
+    /// tree. No output when the report is empty or tracing is off (neither
+    /// `--trace` nor `MLCG_TRACE=1`).
+    pub fn emit_trace(&self, label: &str, report: &TraceReport) {
+        if !self.trace_enabled() || report.is_empty() {
+            return;
+        }
+        println!("# trace {label}");
+        print!("{}", report.to_jsonl_string());
+        println!("{}", report.render_tree());
+    }
 }
 
 /// Run `f` `runs` times and return `(last_result, median_seconds)`.
@@ -79,6 +120,16 @@ pub fn geo(xs: &[f64]) -> f64 {
     geomean(xs)
 }
 
+/// Micro-bench runner for the plain-`main` bench binaries: one warm-up
+/// call, then `runs` timed iterations; prints and returns the median
+/// seconds.
+pub fn microbench<T>(group: &str, name: &str, runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    let _ = f(); // warm-up (pool spin-up, allocator, caches)
+    let (_, med) = median_time(runs.max(1), &mut f);
+    println!("{group}/{name}: {:.3} ms (median of {runs})", med * 1e3);
+    med
+}
+
 /// Print a markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));
@@ -87,7 +138,10 @@ pub fn row(cells: &[String]) {
 /// Print a markdown-style header + separator.
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Format seconds with 3 significant decimals (as the paper's tables do).
@@ -110,8 +164,10 @@ mod tests {
 
     #[test]
     fn ctx_parses_args() {
-        let args: Vec<String> =
-            ["--scale", "2", "--runs", "5", "--seed", "7", "--fast"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--scale", "2", "--runs", "5", "--seed", "7", "--fast"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let ctx = Ctx::from_args(&args);
         assert_eq!(ctx.scale, 2);
         assert_eq!(ctx.runs, 5);

@@ -9,12 +9,17 @@
 //!
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig1 fig2 fig3-left fig3-mid fig3-right
-//!              ablate-dedup all
+//!              ablate-dedup extended-methods trace all
 //! options:     --scale <k>   corpus size (default 0; +1 doubles n)
 //!              --runs <r>    timed repetitions, median reported (default 3)
 //!              --seed <s>    RNG seed (default 42)
 //!              --fast        lower power-iteration caps for quick smoke runs
+//!              --trace       emit pipeline traces (JSON-lines + span tree)
 //! ```
+//!
+//! Environment: `MLCG_TRACE=1` enables tracing without the flag;
+//! `MLCG_VALIDATE=1` additionally runs opt-in invariant audits between
+//! pipeline phases and records them as trace events.
 
 pub mod exp;
 pub mod harness;

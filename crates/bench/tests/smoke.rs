@@ -5,12 +5,17 @@ use mlcg_bench::{exp, Ctx};
 
 #[test]
 fn fig1_and_fig2_run_without_a_corpus() {
-    let ctx = Ctx { runs: 1, ..Default::default() };
+    let ctx = Ctx {
+        runs: 1,
+        ..Default::default()
+    };
     assert!(exp::run("fig1", &ctx));
     assert!(exp::run("fig2", &ctx));
     // The DOT outputs land under target/repro.
-    assert!(std::path::Path::new("target/repro/fig2-heavy-digraph.dot").exists()
-        || std::path::Path::new("../../target/repro/fig2-heavy-digraph.dot").exists());
+    assert!(
+        std::path::Path::new("target/repro/fig2-heavy-digraph.dot").exists()
+            || std::path::Path::new("../../target/repro/fig2-heavy-digraph.dot").exists()
+    );
 }
 
 #[test]
@@ -39,6 +44,7 @@ fn all_experiment_names_are_known() {
                 "fig3-right",
                 "ablate-dedup",
                 "extended-methods",
+                "trace",
             ]
             .contains(&name),
             "unexpected experiment {name}"

@@ -40,7 +40,12 @@ pub struct AceOptions {
 
 impl Default for AceOptions {
     fn default() -> Self {
-        AceOptions { strong_threshold: 0.5, max_fanin: 3, drop_tol: 0.01, seed: 0xace }
+        AceOptions {
+            strong_threshold: 0.5,
+            max_fanin: 3,
+            drop_tol: 0.01,
+            seed: 0xace,
+        }
     }
 }
 
@@ -114,7 +119,13 @@ pub fn ace_coarsen(policy: &ExecPolicy, g: &Csr, opts: &AceOptions) -> AceLevel 
         }
         row_ptr[u as usize + 1] = col_idx.len();
     }
-    let p = CsrMatrix { n_rows: n, n_cols: nc, row_ptr, col_idx, values };
+    let p = CsrMatrix {
+        n_rows: n,
+        n_cols: nc,
+        row_ptr,
+        col_idx,
+        values,
+    };
 
     // --- coarse operator with drop tolerance ---
     let a = CsrMatrix::from_graph(g);
@@ -145,7 +156,13 @@ fn drop_small(a: &CsrMatrix, tol: f64) -> CsrMatrix {
         }
         row_ptr.push(col_idx.len());
     }
-    CsrMatrix { n_rows: a.n_rows, n_cols: a.n_cols, row_ptr, col_idx, values }
+    CsrMatrix {
+        n_rows: a.n_rows,
+        n_cols: a.n_cols,
+        row_ptr,
+        col_idx,
+        values,
+    }
 }
 
 #[cfg(test)]
@@ -173,7 +190,11 @@ mod tests {
     fn coarse_is_smaller_and_symmetric() {
         let g = gen::grid2d(16, 16);
         let lvl = ace_coarsen(&ExecPolicy::serial(), &g, &opts());
-        assert!(lvl.seeds.len() < g.n(), "no coarsening: {} seeds", lvl.seeds.len());
+        assert!(
+            lvl.seeds.len() < g.n(),
+            "no coarsening: {} seeds",
+            lvl.seeds.len()
+        );
         assert!(lvl.seeds.len() > g.n() / 20, "absurdly aggressive");
         // Pᵀ A P with drop_tol 0 is exactly symmetric; with a tolerance it
         // stays numerically symmetric because drops are row-relative on a
@@ -193,7 +214,10 @@ mod tests {
     #[test]
     fn fanin_cap_limits_p_density() {
         let g = gen::complete(20);
-        let o = AceOptions { max_fanin: 2, ..opts() };
+        let o = AceOptions {
+            max_fanin: 2,
+            ..opts()
+        };
         let lvl = ace_coarsen(&ExecPolicy::serial(), &g, &o);
         for u in 0..g.n() {
             assert!(lvl.p.row(u).0.len() <= 2, "fan-in exceeded at {u}");
@@ -203,9 +227,22 @@ mod tests {
     #[test]
     fn drop_tolerance_controls_density() {
         let (g, _) = mlcg_graph::cc::largest_component(&gen::rmat(9, 8, 0.57, 0.19, 0.19, 3));
-        let dense = ace_coarsen(&ExecPolicy::serial(), &g, &AceOptions { drop_tol: 0.0, ..opts() });
-        let sparse =
-            ace_coarsen(&ExecPolicy::serial(), &g, &AceOptions { drop_tol: 0.05, ..opts() });
+        let dense = ace_coarsen(
+            &ExecPolicy::serial(),
+            &g,
+            &AceOptions {
+                drop_tol: 0.0,
+                ..opts()
+            },
+        );
+        let sparse = ace_coarsen(
+            &ExecPolicy::serial(),
+            &g,
+            &AceOptions {
+                drop_tol: 0.05,
+                ..opts()
+            },
+        );
         assert_eq!(dense.seeds, sparse.seeds, "same seeds, different drops");
         assert!(
             sparse.coarse.nnz() < dense.coarse.nnz(),

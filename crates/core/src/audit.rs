@@ -1,0 +1,180 @@
+//! Opt-in invariant audits for the coarsening pipeline.
+//!
+//! When validation is on (`MLCG_VALIDATE=1` or
+//! [`TraceConfig::validate`](mlcg_par::TraceConfig)), the multilevel
+//! driver runs these cheap structural checks between phases and records
+//! their outcomes as trace events, so a corrupted artifact is attributed
+//! to the phase that produced it — `mapping/level3` vs
+//! `construct/level3` — instead of surfacing as a confusing failure many
+//! phases later.
+//!
+//! Checks:
+//! - **`mapping-complete`** — mapping length matches the fine graph, no
+//!   `UNMAPPED` entries, labels in bounds and surjective onto
+//!   `0..n_coarse` ([`Mapping::validate`]);
+//! - **`csr-wellformed`** — coarse CSR invariants: monotone `xadj`,
+//!   neighbor ids in range, symmetry, no self-loops
+//!   ([`Csr::validate`]);
+//! - **`vertex-weight-conservation`** — coarse total vertex weight equals
+//!   the fine total (aggregation only moves weight);
+//! - **`edge-weight-conservation`** — coarse total edge weight plus the
+//!   dropped intra-aggregate weight equals the fine total.
+//!
+//! [`audit_hierarchy`] re-runs the full set over an existing
+//! [`Hierarchy`], which is how corruption introduced *after* coarsening
+//! (or a hierarchy loaded from elsewhere) is pinned to a phase name.
+
+use crate::construct::intra_aggregate_weight;
+use crate::mapping::Mapping;
+use crate::multilevel::Hierarchy;
+use mlcg_graph::Csr;
+use mlcg_par::{ExecPolicy, TraceCollector};
+
+/// Audit one mapping phase: completeness, bounds and surjectivity.
+/// Records one `mapping-complete` event under `phase`; no-op unless the
+/// collector has validation on.
+pub fn audit_mapping(trace: &TraceCollector, phase: &str, fine_n: usize, mapping: &Mapping) {
+    if !trace.validate_enabled() {
+        return;
+    }
+    let result = if mapping.map.len() != fine_n {
+        Err(format!(
+            "mapping length {} != fine n {}",
+            mapping.map.len(),
+            fine_n
+        ))
+    } else {
+        mapping.validate()
+    };
+    trace.audit(phase, "mapping-complete", result);
+}
+
+/// Audit one construction phase: CSR well-formedness plus vertex- and
+/// edge-weight conservation against the fine graph. Records up to three
+/// events under `phase`; no-op unless the collector has validation on.
+pub fn audit_coarse_graph(
+    policy: &ExecPolicy,
+    trace: &TraceCollector,
+    phase: &str,
+    fine: &Csr,
+    mapping: &Mapping,
+    coarse: &Csr,
+) {
+    if !trace.validate_enabled() {
+        return;
+    }
+    trace.audit(phase, "csr-wellformed", coarse.validate());
+
+    let (cv, fv) = (coarse.total_vwgt(), fine.total_vwgt());
+    trace.audit(
+        phase,
+        "vertex-weight-conservation",
+        if cv == fv {
+            Ok(())
+        } else {
+            Err(format!("coarse vwgt {cv} != fine vwgt {fv}"))
+        },
+    );
+
+    // Only meaningful when the mapping and the fine graph are themselves
+    // sound; a broken mapping (or, in [`audit_hierarchy`] re-runs, a
+    // corrupted fine graph) already failed its own audit and would make
+    // intra_aggregate_weight panic on out-of-range labels or offsets.
+    if mapping.validate().is_ok() && mapping.map.len() == fine.n() && fine.validate().is_ok() {
+        let intra = intra_aggregate_weight(policy, fine, mapping);
+        let (ce, fe) = (coarse.total_edge_weight(), fine.total_edge_weight());
+        trace.audit(
+            phase,
+            "edge-weight-conservation",
+            if ce + intra == fe {
+                Ok(())
+            } else {
+                Err(format!("coarse {ce} + intra {intra} != fine {fe}"))
+            },
+        );
+    }
+}
+
+/// Re-run every per-phase audit over an existing hierarchy, pinning any
+/// corruption to `mapping/level{i}` or `construct/level{i}`. No-op unless
+/// the collector has validation on.
+pub fn audit_hierarchy(policy: &ExecPolicy, trace: &TraceCollector, h: &Hierarchy) {
+    if !trace.validate_enabled() {
+        return;
+    }
+    let mut fine = &h.fine;
+    for (i, level) in h.levels.iter().enumerate() {
+        audit_mapping(
+            trace,
+            &format!("mapping/level{i}"),
+            fine.n(),
+            &level.mapping,
+        );
+        audit_coarse_graph(
+            policy,
+            trace,
+            &format!("construct/level{i}"),
+            fine,
+            &level.mapping,
+            &level.graph,
+        );
+        fine = &level.graph;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multilevel::{coarsen, CoarsenOptions};
+    use mlcg_graph::generators as gen;
+
+    fn validating() -> TraceCollector {
+        TraceCollector::with_config(mlcg_par::TraceConfig {
+            enabled: false,
+            validate: true,
+        })
+    }
+
+    #[test]
+    fn healthy_hierarchy_passes_every_audit() {
+        let g = gen::grid2d(20, 20);
+        let policy = ExecPolicy::serial();
+        let h = coarsen(&policy, &g, &CoarsenOptions::default());
+        let trace = validating();
+        audit_hierarchy(&policy, &trace, &h);
+        let report = trace.report();
+        assert!(!report.audits.is_empty());
+        assert!(
+            report.failed_audits().is_empty(),
+            "{:?}",
+            report.failed_audits()
+        );
+    }
+
+    #[test]
+    fn corrupted_mapping_is_pinned_to_its_level() {
+        let g = gen::grid2d(16, 16);
+        let policy = ExecPolicy::serial();
+        let mut h = coarsen(&policy, &g, &CoarsenOptions::default());
+        assert!(h.num_levels() >= 2);
+        h.levels[1].mapping.map[0] = u32::MAX; // UNMAPPED sentinel
+        let trace = validating();
+        audit_hierarchy(&policy, &trace, &h);
+        let failed = trace.report().first_failed_audit().cloned().unwrap();
+        assert_eq!(failed.phase, "mapping/level1");
+        assert_eq!(failed.check, "mapping-complete");
+    }
+
+    #[test]
+    fn disabled_collector_skips_audits() {
+        let g = gen::grid2d(8, 8);
+        let policy = ExecPolicy::serial();
+        let mut h = coarsen(&policy, &g, &CoarsenOptions::default());
+        if !h.levels.is_empty() {
+            h.levels[0].mapping.map[0] = u32::MAX;
+        }
+        let trace = TraceCollector::disabled();
+        audit_hierarchy(&policy, &trace, &h);
+        assert!(trace.report().is_empty());
+    }
+}

@@ -25,7 +25,11 @@ pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
         let base = offsets.as_mut_ptr() as usize;
         parallel_for(policy, n, move |u| {
             let cu = map[u];
-            let c = g.neighbors(u as VId).iter().filter(|&&v| map[v as usize] != cu).count();
+            let c = g
+                .neighbors(u as VId)
+                .iter()
+                .filter(|&&v| map[v as usize] != cu)
+                .count();
             // SAFETY: disjoint writes per index.
             unsafe {
                 (base as *mut usize).add(u).write(c);
@@ -47,7 +51,9 @@ pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
                 if cv != cu {
                     // SAFETY: each vertex writes its own offset range.
                     unsafe {
-                        (k_base as *mut u64).add(p).write(((cu as u64) << 32) | cv as u64);
+                        (k_base as *mut u64)
+                            .add(p)
+                            .write(((cu as u64) << 32) | cv as u64);
                         (v_base as *mut Weight).add(p).write(w);
                     }
                     p += 1;
@@ -116,9 +122,20 @@ mod tests {
     fn agrees_with_sort_construction() {
         let g = from_edges_weighted(
             6,
-            &[(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (4, 5, 6), (0, 5, 7), (1, 4, 8)],
+            &[
+                (0, 1, 2),
+                (1, 2, 3),
+                (2, 3, 4),
+                (3, 4, 5),
+                (4, 5, 6),
+                (0, 5, 7),
+                (1, 4, 8),
+            ],
         );
-        let mapping = crate::mapping::Mapping { map: vec![0, 0, 1, 1, 2, 2], n_coarse: 3 };
+        let mapping = crate::mapping::Mapping {
+            map: vec![0, 0, 1, 1, 2, 2],
+            n_coarse: 3,
+        };
         let policy = ExecPolicy::serial();
         let a = construct_coarse_graph(
             &policy,
@@ -138,7 +155,10 @@ mod tests {
     #[test]
     fn empty_coarse_edge_set() {
         let g = from_edges_weighted(2, &[(0, 1, 3)]);
-        let mapping = crate::mapping::Mapping { map: vec![0, 0], n_coarse: 1 };
+        let mapping = crate::mapping::Mapping {
+            map: vec![0, 0],
+            n_coarse: 1,
+        };
         let c = construct(&ExecPolicy::serial(), &g, &mapping);
         assert_eq!(c.n(), 1);
         assert_eq!(c.m(), 0);

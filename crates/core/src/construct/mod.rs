@@ -24,7 +24,7 @@ pub mod vertex;
 use crate::mapping::Mapping;
 use mlcg_graph::{Csr, VWeight};
 use mlcg_par::atomic::as_atomic_u64;
-use mlcg_par::{parallel_for, ExecPolicy};
+use mlcg_par::{parallel_for, ExecPolicy, TraceCollector};
 use std::sync::atomic::Ordering;
 
 /// Which construction strategy to run.
@@ -93,14 +93,20 @@ pub struct ConstructOptions {
 
 impl Default for ConstructOptions {
     fn default() -> Self {
-        ConstructOptions { method: ConstructMethod::Sort, degree_dedup_skew_threshold: 10.0 }
+        ConstructOptions {
+            method: ConstructMethod::Sort,
+            degree_dedup_skew_threshold: 10.0,
+        }
     }
 }
 
 impl ConstructOptions {
     /// Options for a specific method with default thresholds.
     pub fn with_method(method: ConstructMethod) -> Self {
-        ConstructOptions { method, ..Default::default() }
+        ConstructOptions {
+            method,
+            ..Default::default()
+        }
     }
 }
 
@@ -124,16 +130,35 @@ pub fn construct_coarse_graph(
     mapping: &Mapping,
     opts: &ConstructOptions,
 ) -> Csr {
+    construct_coarse_graph_traced(policy, g, mapping, opts, &TraceCollector::disabled())
+}
+
+/// [`construct_coarse_graph`] with a trace sink: the vertex-centric paths
+/// report hash-probe collisions and edges scanned as pipeline counters.
+/// With a disabled collector this is exactly `construct_coarse_graph`.
+pub fn construct_coarse_graph_traced(
+    policy: &ExecPolicy,
+    g: &Csr,
+    mapping: &Mapping,
+    opts: &ConstructOptions,
+    trace: &TraceCollector,
+) -> Csr {
     debug_assert!(mapping.validate().is_ok());
     let mut coarse = match opts.method {
-        ConstructMethod::Sort => vertex::construct(policy, g, mapping, vertex::Dedup::Sort, opts),
-        ConstructMethod::Hash => vertex::construct(policy, g, mapping, vertex::Dedup::Hash, opts),
+        ConstructMethod::Sort => {
+            vertex::construct(policy, g, mapping, vertex::Dedup::Sort, opts, trace)
+        }
+        ConstructMethod::Hash => {
+            vertex::construct(policy, g, mapping, vertex::Dedup::Hash, opts, trace)
+        }
         ConstructMethod::Spgemm => spgemm::construct(policy, g, mapping),
         ConstructMethod::GlobalSort => global_sort::construct(policy, g, mapping),
         ConstructMethod::Hybrid => {
-            vertex::construct(policy, g, mapping, vertex::Dedup::Hybrid, opts)
+            vertex::construct(policy, g, mapping, vertex::Dedup::Hybrid, opts, trace)
         }
     };
+    // Every strategy reads the full fine adjacency at least once.
+    trace.counter_add("construct/edges_scanned", g.adj().len() as u64);
     coarse.set_vwgt(aggregate_vertex_weights(policy, g, mapping));
     coarse
 }
@@ -178,7 +203,10 @@ pub(crate) mod testkit {
         for method in ConstructMethod::ALL {
             // Exercise both the optimized and plain dedup paths.
             for threshold in [0.0, f64::INFINITY] {
-                let opts = ConstructOptions { method, degree_dedup_skew_threshold: threshold };
+                let opts = ConstructOptions {
+                    method,
+                    degree_dedup_skew_threshold: threshold,
+                };
                 let c = construct_coarse_graph(&policy, g, mapping, &opts);
                 c.validate().unwrap_or_else(|e| {
                     panic!("{:?} (thr {threshold}): invalid coarse graph: {e}", method)

@@ -45,7 +45,10 @@ mod tests {
     #[test]
     fn matches_vertex_centric_on_small_case() {
         let g = from_edges_weighted(5, &[(0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (0, 4, 6)]);
-        let mapping = Mapping { map: vec![0, 0, 1, 1, 2], n_coarse: 3 };
+        let mapping = Mapping {
+            map: vec![0, 0, 1, 1, 2],
+            n_coarse: 3,
+        };
         let policy = ExecPolicy::serial();
         let via_spgemm = construct_coarse_graph(
             &policy,
@@ -70,7 +73,10 @@ mod tests {
     #[test]
     fn diagonal_is_dropped() {
         let g = from_edges_weighted(3, &[(0, 1, 4), (1, 2, 1)]);
-        let mapping = Mapping { map: vec![0, 0, 1], n_coarse: 2 };
+        let mapping = Mapping {
+            map: vec![0, 0, 1],
+            n_coarse: 2,
+        };
         let c = construct(&ExecPolicy::serial(), &g, &mapping);
         c.validate().unwrap(); // validate() rejects self-loops
         assert_eq!(c.find_edge(0, 1), Some(1));

@@ -21,7 +21,7 @@ use mlcg_graph::{Csr, VId, Weight};
 use mlcg_par::atomic::as_atomic_usize;
 use mlcg_par::scan::exclusive_scan;
 use mlcg_par::sort::seg_sort_pairs;
-use mlcg_par::{parallel_for, parallel_for_chunks, ExecPolicy};
+use mlcg_par::{parallel_for, parallel_for_chunks, ExecPolicy, TraceCollector};
 use std::sync::atomic::Ordering;
 
 /// Per-vertex deduplication flavour (step 5).
@@ -41,13 +41,16 @@ pub enum Dedup {
 /// where the duplication factor grows.
 pub const HYBRID_HASH_CUTOFF: usize = 128;
 
-/// Run Algorithm 6.
+/// Run Algorithm 6. The trace sink receives the `construct/hash_collisions`
+/// counter from the hash-dedup paths (aggregated per worker chunk, so the
+/// probing loop itself stays free of shared-state traffic).
 pub fn construct(
     policy: &ExecPolicy,
     g: &Csr,
     mapping: &Mapping,
     dedup: Dedup,
     opts: &ConstructOptions,
+    trace: &TraceCollector,
 ) -> Csr {
     let n = g.n();
     let nc = mapping.n_coarse;
@@ -134,6 +137,9 @@ pub fn construct(
             let mut sv: Vec<Weight> = Vec::new();
             let mut table_k: Vec<u32> = Vec::new();
             let mut table_v: Vec<Weight> = Vec::new();
+            // Collisions are accumulated locally and flushed once per chunk
+            // so the probe loop has no shared-state traffic.
+            let mut collisions = 0u64;
             for cu in range {
                 let (s, e) = (r_ref[cu], r_ref[cu + 1]);
                 // SAFETY: coarse-vertex segments are disjoint.
@@ -145,10 +151,12 @@ pub fn construct(
                 };
                 let k = match dedup {
                     Dedup::Sort => dedup_sort(device, keys, vals, &mut sk, &mut sv),
-                    Dedup::Hash => dedup_hash(keys, vals, &mut table_k, &mut table_v),
+                    Dedup::Hash => {
+                        dedup_hash(keys, vals, &mut table_k, &mut table_v, &mut collisions)
+                    }
                     Dedup::Hybrid => {
                         if keys.len() > HYBRID_HASH_CUTOFF {
-                            dedup_hash(keys, vals, &mut table_k, &mut table_v)
+                            dedup_hash(keys, vals, &mut table_k, &mut table_v, &mut collisions)
                         } else {
                             dedup_sort(device, keys, vals, &mut sk, &mut sv)
                         }
@@ -159,6 +167,7 @@ pub fn construct(
                     (deg_base as *mut usize).add(cu).write(k);
                 }
             }
+            trace.counter_add("construct/hash_collisions", collisions);
         });
     }
 
@@ -199,12 +208,14 @@ fn dedup_sort(
 
 /// Open-addressing accumulate-by-key; the compacted survivors are then
 /// sorted so the output CSR keeps sorted adjacency (the dominant cost —
-/// deduplicating the full segment — is still hashing).
+/// deduplicating the full segment — is still hashing). `collisions` counts
+/// probe steps past an occupied slot holding a *different* key.
 fn dedup_hash(
     keys: &mut [u32],
     vals: &mut [Weight],
     table_k: &mut Vec<u32>,
     table_v: &mut Vec<Weight>,
+    collisions: &mut u64,
 ) -> usize {
     const EMPTY: u32 = u32::MAX;
     let len = keys.len();
@@ -232,6 +243,7 @@ fn dedup_hash(
                 table_v[slot] += vals[i];
                 break;
             }
+            *collisions += 1;
             slot = (slot + 1) & mask;
         }
     }
@@ -272,8 +284,16 @@ fn assemble_direct(
             let len = xadj_ref[cu + 1] - dst;
             // SAFETY: destination rows are disjoint.
             unsafe {
-                std::ptr::copy_nonoverlapping(f.as_ptr().add(src), (adj_base as *mut u32).add(dst), len);
-                std::ptr::copy_nonoverlapping(x.as_ptr().add(src), (wgt_base as *mut Weight).add(dst), len);
+                std::ptr::copy_nonoverlapping(
+                    f.as_ptr().add(src),
+                    (adj_base as *mut u32).add(dst),
+                    len,
+                );
+                std::ptr::copy_nonoverlapping(
+                    x.as_ptr().add(src),
+                    (wgt_base as *mut Weight).add(dst),
+                    len,
+                );
             }
         });
     }
@@ -371,6 +391,17 @@ mod tests {
         m
     }
 
+    /// Shadows `super::construct` with the untraced form the tests use.
+    fn construct(
+        policy: &ExecPolicy,
+        g: &Csr,
+        mapping: &Mapping,
+        dedup: Dedup,
+        opts: &ConstructOptions,
+    ) -> Csr {
+        super::construct(policy, g, mapping, dedup, opts, &TraceCollector::disabled())
+    }
+
     #[test]
     fn tiny_known_coarse_graph() {
         // Path 0-1-2-3 with weights 5,3,7; aggregates {0,1} and {2,3}.
@@ -395,7 +426,15 @@ mod tests {
         // Two aggregates joined by multiple fine edges: weights must sum.
         let g = from_edges_weighted(
             6,
-            &[(0, 3, 1), (1, 4, 2), (2, 5, 4), (0, 1, 9), (1, 2, 9), (3, 4, 9), (4, 5, 9)],
+            &[
+                (0, 3, 1),
+                (1, 4, 2),
+                (2, 5, 4),
+                (0, 1, 9),
+                (1, 2, 9),
+                (3, 4, 9),
+                (4, 5, 9),
+            ],
         );
         let mapping = manual_mapping(vec![0, 0, 0, 1, 1, 1]);
         let c = construct(
@@ -433,7 +472,10 @@ mod tests {
                 &g,
                 &mapping,
                 Dedup::Sort,
-                &ConstructOptions { method: super::super::ConstructMethod::Sort, degree_dedup_skew_threshold: threshold },
+                &ConstructOptions {
+                    method: super::super::ConstructMethod::Sort,
+                    degree_dedup_skew_threshold: threshold,
+                },
             );
             assert_eq!(c.xadj(), g.xadj());
             assert_eq!(c.adj(), g.adj());
@@ -480,21 +522,29 @@ mod tests {
     fn skewed_graph_triggers_opt_and_matches_plain() {
         let g = gen::star(200); // skew >> 10 triggers the optimization
         let mapping = manual_mapping(
-            (0..200u32).map(|u| if u == 0 { 0 } else { 1 + (u - 1) / 4 }).collect(),
+            (0..200u32)
+                .map(|u| if u == 0 { 0 } else { 1 + (u - 1) / 4 })
+                .collect(),
         );
         let opt = construct(
             &ExecPolicy::serial(),
             &g,
             &mapping,
             Dedup::Sort,
-            &ConstructOptions { method: super::super::ConstructMethod::Sort, degree_dedup_skew_threshold: 10.0 },
+            &ConstructOptions {
+                method: super::super::ConstructMethod::Sort,
+                degree_dedup_skew_threshold: 10.0,
+            },
         );
         let plain = construct(
             &ExecPolicy::serial(),
             &g,
             &mapping,
             Dedup::Sort,
-            &ConstructOptions { method: super::super::ConstructMethod::Sort, degree_dedup_skew_threshold: f64::INFINITY },
+            &ConstructOptions {
+                method: super::super::ConstructMethod::Sort,
+                degree_dedup_skew_threshold: f64::INFINITY,
+            },
         );
         assert_eq!(opt, plain);
         opt.validate().unwrap();

@@ -33,11 +33,13 @@
 //! that collapses below 10 vertices, recording per-level phase timings.
 
 pub mod ace;
+pub mod audit;
 pub mod construct;
 pub mod mapping;
 pub mod multilevel;
 
 pub use ace::{ace_coarsen, AceLevel, AceOptions};
+pub use audit::audit_hierarchy;
 pub use construct::{construct_coarse_graph, ConstructMethod, ConstructOptions};
 pub use mapping::{find_mapping, MapMethod, MapStats, Mapping};
 pub use multilevel::{coarsen, CoarsenOptions, CoarsenStats, Hierarchy, Level};

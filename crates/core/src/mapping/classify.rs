@@ -88,10 +88,20 @@ mod tests {
     fn first_edge_is_create_and_counts_are_consistent() {
         let g = fig1_graph();
         let (edges, _) = classify_heavy_edges(&g, 7);
-        assert_eq!(edges[0].class, EdgeClass::Create, "first visit always creates");
-        let creates = edges.iter().filter(|e| e.class == EdgeClass::Create).count();
+        assert_eq!(
+            edges[0].class,
+            EdgeClass::Create,
+            "first visit always creates"
+        );
+        let creates = edges
+            .iter()
+            .filter(|e| e.class == EdgeClass::Create)
+            .count();
         let skips = edges.iter().filter(|e| e.class == EdgeClass::Skip).count();
-        let inherits = edges.iter().filter(|e| e.class == EdgeClass::Inherit).count();
+        let inherits = edges
+            .iter()
+            .filter(|e| e.class == EdgeClass::Inherit)
+            .count();
         assert_eq!(creates + skips + inherits, g.n());
         // Every create maps two vertices; every inherit maps one; skips map
         // none. Total mapped = n.

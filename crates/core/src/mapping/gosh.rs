@@ -49,7 +49,13 @@ fn priority(g: &Csr, seed: u64, u: usize) -> (usize, u64, usize) {
 pub fn gosh(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
-        return (Mapping { map: vec![0; n.min(1)], n_coarse: n.min(1) }, MapStats::default());
+        return (
+            Mapping {
+                map: vec![0; n.min(1)],
+                n_coarse: n.min(1),
+            },
+            MapStats::default(),
+        );
     }
     let tau = high_degree_threshold(g);
     let mut m = vec![UNMAPPED; n];
@@ -71,9 +77,10 @@ pub fn gosh(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
                     return;
                 }
                 let p = priority(g, seed, u);
-                let beaten = g.neighbors(u as VId).iter().any(|&v| {
-                    snap[v as usize] == UNMAPPED && priority(g, seed, v as usize) > p
-                });
+                let beaten = g
+                    .neighbors(u as VId)
+                    .iter()
+                    .any(|&v| snap[v as usize] == UNMAPPED && priority(g, seed, v as usize) > p);
                 if !beaten {
                     m_at[u].store(u as u32, Ordering::Release);
                 }
@@ -129,7 +136,13 @@ pub fn gosh(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
 pub fn gosh_hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
-        return (Mapping { map: vec![0; n.min(1)], n_coarse: n.min(1) }, MapStats::default());
+        return (
+            Mapping {
+                map: vec![0; n.min(1)],
+                n_coarse: n.min(1),
+            },
+            MapStats::default(),
+        );
     }
     let tau = high_degree_threshold(g);
     // Heavy neighbor, skipping high-degree/high-degree adjacencies.
@@ -210,7 +223,13 @@ pub fn gosh_hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) 
             }
         });
     }
-    (relabel(policy, m), MapStats { passes: 4, resolved_per_pass: vec![n] })
+    (
+        relabel(policy, m),
+        MapStats {
+            passes: 4,
+            resolved_per_pass: vec![n],
+        },
+    )
 }
 
 #[cfg(test)]
@@ -261,7 +280,10 @@ mod tests {
         }
         let g = mlcg_graph::builder::from_edges_unit(30, &edges);
         let (m, _) = gosh(&ExecPolicy::serial(), &g, 9);
-        assert_ne!(m.map[0], m.map[1], "high-degree hubs must not contract together");
+        assert_ne!(
+            m.map[0], m.map[1],
+            "high-degree hubs must not contract together"
+        );
     }
 
     #[test]
@@ -291,6 +313,10 @@ mod tests {
         let p = ExecPolicy::serial();
         let (mg, _) = gosh(&p, &g, 3);
         mg.validate().unwrap();
-        assert!(mg.coarsening_ratio() >= 1.5, "ratio {}", mg.coarsening_ratio());
+        assert!(
+            mg.coarsening_ratio() >= 1.5,
+            "ratio {}",
+            mg.coarsening_ratio()
+        );
     }
 }

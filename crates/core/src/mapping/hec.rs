@@ -34,10 +34,19 @@ const FREE: u32 = u32::MAX;
 pub fn hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
-        return (Mapping { map: vec![0; n.min(1)], n_coarse: n.min(1) }, MapStats::default());
+        return (
+            Mapping {
+                map: vec![0; n.min(1)],
+                n_coarse: n.min(1),
+            },
+            MapStats::default(),
+        );
     }
     let h = heavy_neighbors(policy, g);
-    debug_assert!(h.iter().all(|&x| x != UNMAPPED), "graph must have no isolated vertices");
+    debug_assert!(
+        h.iter().all(|&x| x != UNMAPPED),
+        "graph must have no isolated vertices"
+    );
 
     let mut m = vec![UNMAPPED; n];
     let mut c = vec![FREE; n];
@@ -107,7 +116,10 @@ pub fn hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
         stats.passes += 1;
         stats.resolved_per_pass.push(before - queue.len());
     }
-    assert!(queue.is_empty(), "HEC failed to converge within {max_passes} passes");
+    assert!(
+        queue.is_empty(),
+        "HEC failed to converge within {max_passes} passes"
+    );
 
     let n_coarse = next_id.load(Ordering::Relaxed) as usize;
     // Labels are already contiguous (atomic counter), but relabel defends

@@ -30,7 +30,13 @@ use std::sync::atomic::Ordering;
 pub fn hec3(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
-        return (Mapping { map: vec![0; n.min(1)], n_coarse: n.min(1) }, MapStats::default());
+        return (
+            Mapping {
+                map: vec![0; n.min(1)],
+                n_coarse: n.min(1),
+            },
+            MapStats::default(),
+        );
     }
     let h = heavy_neighbors(policy, g);
     let p = random_permutation(policy, n, seed);
@@ -109,7 +115,13 @@ pub fn hec3(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
         });
     }
     let mapping = relabel(policy, m); // FindUniqAndRelabel (line 22)
-    (mapping, MapStats { passes: 4, resolved_per_pass: vec![n] })
+    (
+        mapping,
+        MapStats {
+            passes: 4,
+            resolved_per_pass: vec![n],
+        },
+    )
 }
 
 /// HEC2 — the intermediate variant. Two arrays make the id assignment
@@ -123,7 +135,13 @@ pub fn hec3(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
 pub fn hec2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
-        return (Mapping { map: vec![0; n.min(1)], n_coarse: n.min(1) }, MapStats::default());
+        return (
+            Mapping {
+                map: vec![0; n.min(1)],
+                n_coarse: n.min(1),
+            },
+            MapStats::default(),
+        );
     }
     let h = heavy_neighbors(policy, g);
     let p = random_permutation(policy, n, seed);
@@ -163,7 +181,13 @@ pub fn hec2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
         });
     }
     let mapping = relabel(policy, y);
-    (mapping, MapStats { passes: 2, resolved_per_pass: vec![n] })
+    (
+        mapping,
+        MapStats {
+            passes: 2,
+            resolved_per_pass: vec![n],
+        },
+    )
 }
 
 #[cfg(test)]
@@ -186,7 +210,10 @@ mod tests {
     #[test]
     fn aggregates_connected_both_variants() {
         for (name, g) in testkit::battery() {
-            for f in [hec2 as fn(&ExecPolicy, &Csr, u64) -> (Mapping, MapStats), hec3] {
+            for f in [
+                hec2 as fn(&ExecPolicy, &Csr, u64) -> (Mapping, MapStats),
+                hec3,
+            ] {
                 let (m, _) = f(&ExecPolicy::serial(), &g, 13);
                 testkit::check_mapping(name, &g, &m);
                 testkit::check_aggregates_connected(&g, &m);
@@ -202,7 +229,10 @@ mod tests {
         for seed in 0..10 {
             let g = from_edges_weighted(4, &[(0, 1, 9), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
             let (m3, _) = hec3(&ExecPolicy::serial(), &g, seed);
-            assert_eq!(m3.map[0], m3.map[1], "HEC3 collapses 2-cycles (seed {seed})");
+            assert_eq!(
+                m3.map[0], m3.map[1],
+                "HEC3 collapses 2-cycles (seed {seed})"
+            );
             let (m2, _) = hec2(&ExecPolicy::serial(), &g, seed);
             m2.validate().unwrap();
         }
@@ -225,8 +255,18 @@ mod tests {
         let (mh, _) = crate::mapping::hec::hec(&p, &g, 3);
         let (m3, _) = hec3(&p, &g, 3);
         let (m2, _) = hec2(&p, &g, 3);
-        assert!(mh.n_coarse as f64 <= m3.n_coarse as f64 * 1.05, "{} vs {}", mh.n_coarse, m3.n_coarse);
-        assert!(m3.n_coarse as f64 <= m2.n_coarse as f64 * 1.05, "{} vs {}", m3.n_coarse, m2.n_coarse);
+        assert!(
+            mh.n_coarse as f64 <= m3.n_coarse as f64 * 1.05,
+            "{} vs {}",
+            mh.n_coarse,
+            m3.n_coarse
+        );
+        assert!(
+            m3.n_coarse as f64 <= m2.n_coarse as f64 * 1.05,
+            "{} vs {}",
+            m3.n_coarse,
+            m2.n_coarse
+        );
     }
 
     #[test]
@@ -241,7 +281,10 @@ mod tests {
         let g = gen::grid2d(25, 25);
         let (a, _) = hec2(&ExecPolicy::serial(), &g, 7);
         let (b, _) = hec2(&ExecPolicy::serial(), &g, 7);
-        assert_eq!(a, b, "serial HEC2 resolves proposal races in permutation order");
+        assert_eq!(
+            a, b,
+            "serial HEC2 resolves proposal races in permutation order"
+        );
         for policy in ExecPolicy::all_test_policies() {
             let (c, _) = hec2(&policy, &g, 7);
             c.validate().unwrap();

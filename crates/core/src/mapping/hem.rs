@@ -135,7 +135,10 @@ mod tests {
                 let (m, _) = hem(&policy, &g, 17);
                 testkit::check_mapping(name, &g, &m);
                 let max = m.aggregate_sizes().into_iter().max().unwrap_or(0);
-                assert!(max <= 2, "{name}: aggregate of size {max} breaks matching bound");
+                assert!(
+                    max <= 2,
+                    "{name}: aggregate of size {max} breaks matching bound"
+                );
             }
         }
     }

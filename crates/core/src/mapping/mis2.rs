@@ -22,13 +22,20 @@ const REMOVED: u32 = 2;
 pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
-        return (Mapping { map: vec![0; n.min(1)], n_coarse: n.min(1) }, MapStats::default());
+        return (
+            Mapping {
+                map: vec![0; n.min(1)],
+                n_coarse: n.min(1),
+            },
+            MapStats::default(),
+        );
     }
     let mut stats = MapStats::default();
     // Unique random priorities: (hash, id) packed into u64 (id in the low
     // bits breaks hash collisions).
-    let prio: Vec<u64> =
-        (0..n).map(|u| (hash_index(seed, u as u64) & !0xFFFF_FFFF) | u as u64).collect();
+    let prio: Vec<u64> = (0..n)
+        .map(|u| (hash_index(seed, u as u64) & !0xFFFF_FFFF) | u as u64)
+        .collect();
     let mut state = vec![UNDECIDED; n];
 
     let mut t1 = vec![0u64; n];
@@ -43,7 +50,11 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             let base = t1.as_mut_ptr() as usize;
             let (state_ref, prio_ref) = (&state, &prio);
             parallel_for(policy, n, move |u| {
-                let mut best = if state_ref[u] == UNDECIDED { prio_ref[u] } else { 0 };
+                let mut best = if state_ref[u] == UNDECIDED {
+                    prio_ref[u]
+                } else {
+                    0
+                };
                 for &v in g.neighbors(u as VId) {
                     if state_ref[v as usize] == UNDECIDED {
                         best = best.max(prio_ref[v as usize]);
@@ -92,7 +103,9 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             let state_ref = &state;
             parallel_for(policy, n, move |u| {
                 let hit = state_ref[u] == IN_MIS
-                    || g.neighbors(u as VId).iter().any(|&v| state_ref[v as usize] == IN_MIS);
+                    || g.neighbors(u as VId)
+                        .iter()
+                        .any(|&v| state_ref[v as usize] == IN_MIS);
                 // SAFETY: disjoint writes per index.
                 unsafe {
                     (base as *mut u8).add(u).write(u8::from(hit));
@@ -105,7 +118,9 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             parallel_for(policy, n, move |u| {
                 if state_ref[u] == UNDECIDED
                     && (near_ref[u] == 1
-                        || g.neighbors(u as VId).iter().any(|&v| near_ref[v as usize] == 1))
+                        || g.neighbors(u as VId)
+                            .iter()
+                            .any(|&v| near_ref[v as usize] == 1))
                 {
                     // SAFETY: disjoint writes per index.
                     unsafe {
@@ -188,7 +203,10 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             });
         }
         let now = parallel_count(policy, n, |u| m[u] == UNMAPPED);
-        assert!(now < remaining, "MIS(2) aggregation stalled (disconnected input?)");
+        assert!(
+            now < remaining,
+            "MIS(2) aggregation stalled (disconnected input?)"
+        );
     }
     (relabel(policy, m), stats)
 }

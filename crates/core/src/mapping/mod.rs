@@ -107,8 +107,13 @@ pub enum MapMethod {
 
 impl MapMethod {
     /// All parallel methods evaluated by the paper's Table IV.
-    pub const TABLE4: [MapMethod; 5] =
-        [MapMethod::Hec, MapMethod::Hem, MapMethod::MtMetis, MapMethod::Gosh, MapMethod::Mis2];
+    pub const TABLE4: [MapMethod; 5] = [
+        MapMethod::Hec,
+        MapMethod::Hem,
+        MapMethod::MtMetis,
+        MapMethod::Gosh,
+        MapMethod::Mis2,
+    ];
 
     /// Stable lowercase name used by the benchmark harness.
     pub fn name(&self) -> &'static str {
@@ -214,7 +219,10 @@ pub(crate) mod testkit {
         assert_eq!(m.map.len(), g.n(), "{name}: map length");
         m.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(m.n_coarse >= 1, "{name}: empty coarse set");
-        assert!(m.n_coarse < g.n() || g.n() <= 1, "{name}: no coarsening progress");
+        assert!(
+            m.n_coarse < g.n() || g.n() <= 1,
+            "{name}: no coarsening progress"
+        );
     }
 
     /// Run a method over the battery under every test policy.

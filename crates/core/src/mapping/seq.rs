@@ -36,7 +36,13 @@ pub fn seq_hem(g: &Csr, seed: u64) -> (Mapping, MapStats) {
         next += 1;
     }
     let n_coarse = next as usize;
-    (Mapping { map: m, n_coarse }, MapStats { passes: 1, resolved_per_pass: vec![n] })
+    (
+        Mapping { map: m, n_coarse },
+        MapStats {
+            passes: 1,
+            resolved_per_pass: vec![n],
+        },
+    )
 }
 
 /// Sequential Heavy Edge Coarsening (Algorithm 3): visit vertices in random
@@ -46,7 +52,13 @@ pub fn seq_hem(g: &Csr, seed: u64) -> (Mapping, MapStats) {
 pub fn seq_hec(g: &Csr, seed: u64) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
-        return (Mapping { map: vec![0; n.min(1)], n_coarse: n.min(1) }, MapStats::default());
+        return (
+            Mapping {
+                map: vec![0; n.min(1)],
+                n_coarse: n.min(1),
+            },
+            MapStats::default(),
+        );
     }
     let serial = ExecPolicy::serial();
     let p = random_permutation(&serial, n, seed);
@@ -73,7 +85,13 @@ pub fn seq_hec(g: &Csr, seed: u64) -> (Mapping, MapStats) {
         raw[u as usize] = m[x as usize];
     }
     let mapping = relabel(&serial, raw);
-    (mapping, MapStats { passes: 1, resolved_per_pass: vec![n] })
+    (
+        mapping,
+        MapStats {
+            passes: 1,
+            resolved_per_pass: vec![n],
+        },
+    )
 }
 
 #[cfg(test)]
@@ -159,6 +177,11 @@ mod tests {
         let (seq, _) = seq_hec(&g, 3);
         let (par, _) = crate::mapping::hec::hec(&ExecPolicy::serial(), &g, 3);
         let ratio = par.n_coarse as f64 / seq.n_coarse as f64;
-        assert!((0.5..2.0).contains(&ratio), "par {} vs seq {}", par.n_coarse, seq.n_coarse);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "par {} vs seq {}",
+            par.n_coarse,
+            seq.n_coarse
+        );
     }
 }

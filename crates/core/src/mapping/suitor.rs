@@ -38,7 +38,13 @@ fn edge_prio(seed: u64, u: u32, v: u32) -> u64 {
 pub fn suitor(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
-        return (Mapping { map: vec![0; n.min(1)], n_coarse: n.min(1) }, MapStats::default());
+        return (
+            Mapping {
+                map: vec![0; n.min(1)],
+                n_coarse: n.min(1),
+            },
+            MapStats::default(),
+        );
     }
     // suitor[v] = current best proposer of v; offer[v] = its
     // (weight, priority) key.
@@ -88,7 +94,13 @@ pub fn suitor(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
         }
     }
     let mapping = relabel(policy, finalize_singletons(m));
-    (mapping, MapStats { passes: 1, resolved_per_pass: vec![n] })
+    (
+        mapping,
+        MapStats {
+            passes: 1,
+            resolved_per_pass: vec![n],
+        },
+    )
 }
 
 /// b-Suitor approximate weighted *b-matching* coarsening (Khan et al.) —
@@ -104,7 +116,13 @@ pub fn b_suitor(policy: &ExecPolicy, g: &Csr, b: usize, seed: u64) -> (Mapping, 
     assert!(b >= 1, "b must be positive");
     let n = g.n();
     if n <= 1 {
-        return (Mapping { map: vec![0; n.min(1)], n_coarse: n.min(1) }, MapStats::default());
+        return (
+            Mapping {
+                map: vec![0; n.min(1)],
+                n_coarse: n.min(1),
+            },
+            MapStats::default(),
+        );
     }
     // offers[v]: up to b retained (weight, priority, proposer) triples,
     // ascending, so offers[v][0] is the weakest retained offer. Priorities
@@ -168,7 +186,13 @@ pub fn b_suitor(policy: &ExecPolicy, g: &Csr, b: usize, seed: u64) -> (Mapping, 
         raw[u as usize] = dsu.find(u);
     }
     let mapping = relabel(policy, raw);
-    (mapping, MapStats { passes: 1, resolved_per_pass: vec![n] })
+    (
+        mapping,
+        MapStats {
+            passes: 1,
+            resolved_per_pass: vec![n],
+        },
+    )
 }
 
 /// Total weight of the matching encoded in a (pair-sized) mapping.
@@ -180,7 +204,10 @@ pub fn matching_weight(g: &Csr, mapping: &Mapping) -> u64 {
     members
         .iter()
         .filter(|p| p.len() == 2)
-        .map(|p| g.find_edge(p[0], p[1]).expect("matched pair must be adjacent"))
+        .map(|p| {
+            g.find_edge(p[0], p[1])
+                .expect("matched pair must be adjacent")
+        })
         .sum()
 }
 
@@ -278,7 +305,10 @@ mod tests {
         // 2-matching components are paths/cycles: ratio in (1, 3+] but the
         // coarse count must be well below HEM's (more merges allowed).
         let (mh, _) = crate::mapping::hem::hem(&ExecPolicy::serial(), &g, 5);
-        assert!(m.n_coarse <= mh.n_coarse, "b=2 should merge at least as much");
+        assert!(
+            m.n_coarse <= mh.n_coarse,
+            "b=2 should merge at least as much"
+        );
     }
 
     #[test]
@@ -299,9 +329,8 @@ mod tests {
         let g = mlcg_graph::cc::largest_component(&from_edges_weighted(n, &edges)).0;
         let p = ExecPolicy::serial();
         // More matching slots -> more intra-aggregate weight contracted.
-        let intra = |m: &crate::mapping::Mapping| {
-            crate::construct::intra_aggregate_weight(&p, &g, m)
-        };
+        let intra =
+            |m: &crate::mapping::Mapping| crate::construct::intra_aggregate_weight(&p, &g, m);
         let (m1, _) = b_suitor(&p, &g, 1, 3);
         let (m2, _) = b_suitor(&p, &g, 2, 3);
         assert!(

@@ -36,7 +36,11 @@ pub struct TwoHopConfig {
 
 impl Default for TwoHopConfig {
     fn default() -> Self {
-        TwoHopConfig { unmatched_ratio: 0.25, twin_degree_cap: 64, relative_degree_cap: 1024 }
+        TwoHopConfig {
+            unmatched_ratio: 0.25,
+            twin_degree_cap: 64,
+            relative_degree_cap: 1024,
+        }
     }
 }
 
@@ -235,7 +239,10 @@ mod tests {
         for (name, g) in testkit::battery() {
             let (m, _) = mtmetis(&ExecPolicy::serial(), &g, 5);
             let max = m.aggregate_sizes().into_iter().max().unwrap_or(0);
-            assert!(max <= 2, "{name}: two-hop matching still pairs, got size {max}");
+            assert!(
+                max <= 2,
+                "{name}: two-hop matching still pairs, got size {max}"
+            );
         }
     }
 
@@ -273,7 +280,10 @@ mod tests {
             assert_eq!(c, 2);
             pair_count += 1;
         }
-        assert!(pair_count >= 9, "19 leaves should form 9 pairs, got {pair_count}");
+        assert!(
+            pair_count >= 9,
+            "19 leaves should form 9 pairs, got {pair_count}"
+        );
     }
 
     #[test]

@@ -80,13 +80,19 @@ pub fn relabel(policy: &ExecPolicy, mut labels: Vec<u32>) -> Mapping {
             }
         });
     }
-    Mapping { map: labels, n_coarse }
+    Mapping {
+        map: labels,
+        n_coarse,
+    }
 }
 
 /// Collect the indices of still-unmapped vertices (the `R`/`Q` requeue of
 /// Algorithm 4's lines 22–28).
 pub fn unmapped_vertices(m: &[u32], from: &[u32]) -> Vec<u32> {
-    from.iter().copied().filter(|&u| m[u as usize] == UNMAPPED).collect()
+    from.iter()
+        .copied()
+        .filter(|&u| m[u as usize] == UNMAPPED)
+        .collect()
 }
 
 #[cfg(test)]

@@ -6,10 +6,11 @@
 //! coarsest graph is discarded; a level cap (mt-Metis-style 200) bounds
 //! stalled coarseners such as plain HEM on star-heavy graphs.
 
-use crate::construct::{construct_coarse_graph, ConstructOptions};
+use crate::audit::{audit_coarse_graph, audit_mapping};
+use crate::construct::{construct_coarse_graph_traced, ConstructOptions};
 use crate::mapping::{find_mapping, MapMethod, MapStats, Mapping};
 use mlcg_graph::Csr;
-use mlcg_par::{ExecPolicy, Timer};
+use mlcg_par::{ExecPolicy, TraceCollector, TraceReport};
 
 /// Options controlling a multilevel coarsening run.
 #[derive(Clone, Debug)]
@@ -27,6 +28,11 @@ pub struct CoarsenOptions {
     pub max_levels: usize,
     /// Seed for the randomized visit orders (level `i` uses `seed + i`).
     pub seed: u64,
+    /// Trace sink for phase spans, per-level gauges, pipeline counters and
+    /// opt-in invariant audits. The default reads `MLCG_TRACE` /
+    /// `MLCG_VALIDATE` from the environment; when both are off this is the
+    /// no-op collector with negligible overhead.
+    pub trace: TraceCollector,
 }
 
 impl Default for CoarsenOptions {
@@ -38,6 +44,7 @@ impl Default for CoarsenOptions {
             min_accept: 10,
             max_levels: 200,
             seed: 0x5eed,
+            trace: TraceCollector::from_env(),
         }
     }
 }
@@ -89,6 +96,10 @@ pub struct Hierarchy {
     pub levels: Vec<Level>,
     /// Phase timings.
     pub stats: CoarsenStats,
+    /// Trace snapshot from the run's collector: phase spans, per-level
+    /// gauges, pipeline counters and audit outcomes. Empty when tracing
+    /// was disabled.
+    pub trace: TraceReport,
 }
 
 impl Hierarchy {
@@ -117,7 +128,11 @@ impl Hierarchy {
     /// Project per-vertex values on the coarsest graph back to the finest:
     /// `out[u] = values[M_l(...M_1(u))]`.
     pub fn project_to_fine<T: Copy>(&self, values: &[T]) -> Vec<T> {
-        assert_eq!(values.len(), self.coarsest().n(), "project: length mismatch");
+        assert_eq!(
+            values.len(),
+            self.coarsest().n(),
+            "project: length mismatch"
+        );
         let mut cur: Vec<T> = values.to_vec();
         for level in self.levels.iter().rev() {
             cur = level.mapping.map.iter().map(|&m| cur[m as usize]).collect();
@@ -156,18 +171,43 @@ impl Hierarchy {
 /// assert_eq!(h.coarsest().total_vwgt(), g.n() as u64);
 /// ```
 pub fn coarsen(policy: &ExecPolicy, g: &Csr, opts: &CoarsenOptions) -> Hierarchy {
+    let trace = &opts.trace;
     let mut levels: Vec<Level> = Vec::new();
     let mut stats = CoarsenStats::default();
     let mut current = g.clone();
     let mut i = 0u64;
     while current.n() > opts.cutoff && levels.len() < opts.max_levels {
-        let t = Timer::start();
+        let lvl = levels.len();
+        let span = trace.timed_span(|| format!("mapping/{}/level{lvl}", opts.method.name()));
         let (mapping, map_stats) =
             find_mapping(policy, &current, opts.method, opts.seed.wrapping_add(i));
-        let t_map = t.seconds();
-        let t = Timer::start();
-        let coarse = construct_coarse_graph(policy, &current, &mapping, &opts.construction);
-        let t_con = t.seconds();
+        let t_map = span.finish();
+        audit_mapping(trace, &format!("mapping/level{lvl}"), current.n(), &mapping);
+
+        let span = trace
+            .timed_span(|| format!("construct/{}/level{lvl}", opts.construction.method.name()));
+        let coarse =
+            construct_coarse_graph_traced(policy, &current, &mapping, &opts.construction, trace);
+        let t_con = span.finish();
+        audit_coarse_graph(
+            policy,
+            trace,
+            &format!("construct/level{lvl}"),
+            &current,
+            &mapping,
+            &coarse,
+        );
+
+        if trace.is_enabled() {
+            // The heavy-neighbor / matching phase scans every fine edge at
+            // least once; conflicts re-matched are the vertices the
+            // HEC-family pass loop resolved after its first pass.
+            trace.counter_add("mapping/edges_scanned", current.adj().len() as u64);
+            trace.counter_add("mapping/passes", map_stats.passes as u64);
+            let rematched: usize = map_stats.resolved_per_pass.iter().skip(1).sum();
+            trace.counter_add("mapping/conflicts_rematched", rematched as u64);
+            record_level_gauges(trace, lvl, &current, &mapping, &coarse);
+        }
 
         // Stall guard: no progress means the method cannot coarsen further.
         if mapping.n_coarse >= current.n() {
@@ -181,10 +221,50 @@ pub fn coarsen(policy: &ExecPolicy, g: &Csr, opts: &CoarsenOptions) -> Hierarchy
         stats.map_seconds.push(t_map);
         stats.construct_seconds.push(t_con);
         current = coarse.clone();
-        levels.push(Level { mapping, graph: coarse, map_stats });
+        levels.push(Level {
+            mapping,
+            graph: coarse,
+            map_stats,
+        });
         i += 1;
     }
-    Hierarchy { fine: g.clone(), levels, stats }
+    Hierarchy {
+        fine: g.clone(),
+        levels,
+        stats,
+        trace: trace.report(),
+    }
+}
+
+/// Per-level gauges: size, compression, matched fraction, degree extremes.
+fn record_level_gauges(
+    trace: &TraceCollector,
+    lvl: usize,
+    fine: &Csr,
+    mapping: &Mapping,
+    coarse: &Csr,
+) {
+    trace.gauge(|| format!("level/{lvl}/nv"), coarse.n() as f64);
+    trace.gauge(|| format!("level/{lvl}/ne"), coarse.m() as f64);
+    let compression = if coarse.n() > 0 {
+        fine.n() as f64 / coarse.n() as f64
+    } else {
+        f64::INFINITY
+    };
+    trace.gauge(|| format!("level/{lvl}/compression"), compression);
+    let merged: usize = mapping
+        .aggregate_sizes()
+        .into_iter()
+        .filter(|&s| s >= 2)
+        .sum();
+    trace.gauge(
+        || format!("level/{lvl}/matched_frac"),
+        merged as f64 / fine.n().max(1) as f64,
+    );
+    trace.gauge(
+        || format!("level/{lvl}/max_coarse_degree"),
+        coarse.max_degree() as f64,
+    );
 }
 
 #[cfg(test)]
@@ -195,7 +275,10 @@ mod tests {
     use mlcg_graph::metrics::edge_cut;
 
     fn opts(method: MapMethod) -> CoarsenOptions {
-        CoarsenOptions { method, ..Default::default() }
+        CoarsenOptions {
+            method,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -240,7 +323,12 @@ mod tests {
         // Every fine vertex lands on the label of its coarsest aggregate.
         let mut compound: Vec<u32> = (0..nc as u32).collect();
         for level in h.levels.iter().rev() {
-            compound = level.mapping.map.iter().map(|&m| compound[m as usize]).collect();
+            compound = level
+                .mapping
+                .map
+                .iter()
+                .map(|&m| compound[m as usize])
+                .collect();
         }
         assert_eq!(fine_labels, compound);
     }
@@ -286,7 +374,10 @@ mod tests {
         // rule must leave the coarsest graph at >= min_accept vertices (or
         // just above the cutoff if the last step was discarded).
         let g = gen::complete(60);
-        let o = CoarsenOptions { method: MapMethod::Mis2, ..Default::default() };
+        let o = CoarsenOptions {
+            method: MapMethod::Mis2,
+            ..Default::default()
+        };
         let h = coarsen(&ExecPolicy::serial(), &g, &o);
         assert!(
             h.coarsest().n() >= o.min_accept || h.coarsest().n() == g.n(),
@@ -301,7 +392,10 @@ mod tests {
         for method in MapMethod::TABLE4 {
             let h = coarsen(&ExecPolicy::serial(), &g, &opts(method));
             for level in &h.levels {
-                level.graph.validate().unwrap_or_else(|e| panic!("{method:?}: {e}"));
+                level
+                    .graph
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{method:?}: {e}"));
             }
             assert!(
                 h.coarsest().n() <= 200,

@@ -14,8 +14,14 @@ use mlcg_par::ExecPolicy;
 fn test_graphs() -> Vec<(&'static str, Csr)> {
     vec![
         ("grid", gen::grid2d(20, 20)),
-        ("rmat", largest_component(&gen::rmat(10, 8, 0.57, 0.19, 0.19, 5)).0),
-        ("delaunay", largest_component(&gen::delaunay_like(18, 18, 2)).0),
+        (
+            "rmat",
+            largest_component(&gen::rmat(10, 8, 0.57, 0.19, 0.19, 5)).0,
+        ),
+        (
+            "delaunay",
+            largest_component(&gen::delaunay_like(18, 18, 2)).0,
+        ),
     ]
 }
 
@@ -79,7 +85,8 @@ fn parallel_policies_track_serial_statistics() {
             let (serial, _) = find_mapping(&ExecPolicy::serial(), &g, method, 5);
             for policy in ExecPolicy::all_test_policies() {
                 let (m, _) = find_mapping(&policy, &g, method, 5);
-                m.validate().unwrap_or_else(|e| panic!("{name}/{method:?}/{policy}: {e}"));
+                m.validate()
+                    .unwrap_or_else(|e| panic!("{name}/{method:?}/{policy}: {e}"));
                 let ratio = m.n_coarse as f64 / serial.n_coarse as f64;
                 assert!(
                     (0.5..=2.0).contains(&ratio),
@@ -95,7 +102,12 @@ fn parallel_policies_track_serial_statistics() {
 #[test]
 fn matching_methods_never_break_the_pair_bound_under_any_policy() {
     for (name, g) in test_graphs() {
-        for method in [MapMethod::Hem, MapMethod::MtMetis, MapMethod::Suitor, MapMethod::SeqHem] {
+        for method in [
+            MapMethod::Hem,
+            MapMethod::MtMetis,
+            MapMethod::Suitor,
+            MapMethod::SeqHem,
+        ] {
             for policy in ExecPolicy::all_test_policies() {
                 let (m, _) = find_mapping(&policy, &g, method, 3);
                 let max = m.aggregate_sizes().into_iter().max().unwrap_or(0);
@@ -110,7 +122,10 @@ fn multilevel_serial_hierarchies_are_reproducible() {
     use mlcg_coarsen::{coarsen, CoarsenOptions};
     let g = gen::grid2d(24, 24);
     let policy = ExecPolicy::serial();
-    let opts = CoarsenOptions { seed: 99, ..Default::default() };
+    let opts = CoarsenOptions {
+        seed: 99,
+        ..Default::default()
+    };
     let a = coarsen(&policy, &g, &opts);
     let b = coarsen(&policy, &g, &opts);
     assert_eq!(a.num_levels(), b.num_levels());

@@ -60,7 +60,10 @@ fn build(policy: &ExecPolicy, n: usize, edges: &[(VId, VId, Weight)], mode: Merg
         let view = as_atomic_usize(&mut counts[..n]);
         parallel_for(policy, edges.len(), |i| {
             let (u, v, _) = edges[i];
-            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge endpoint out of range"
+            );
             if u != v {
                 view[u as usize].fetch_add(1, Ordering::Relaxed);
                 view[v as usize].fetch_add(1, Ordering::Relaxed);
@@ -214,7 +217,12 @@ mod tests {
         let mut rng = mlcg_par::rng::Xoshiro256pp::new(5);
         let n = 2000usize;
         let edges: Vec<(VId, VId)> = (0..30_000)
-            .map(|_| (rng.next_below(n as u64) as VId, rng.next_below(n as u64) as VId))
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as VId,
+                    rng.next_below(n as u64) as VId,
+                )
+            })
             .collect();
         let serial = from_edges_unit(n, &edges);
         for policy in ExecPolicy::all_test_policies() {

@@ -17,7 +17,10 @@ pub struct Dsu {
 impl Dsu {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Dsu { parent: (0..n as u32).collect(), size: vec![1; n] }
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Representative of `x`'s set (path halving).
@@ -159,7 +162,10 @@ pub fn is_connected(g: &Csr) -> bool {
 /// Vertex and edge weights carry over. Returns the subgraph and the
 /// old→new id map (`u32::MAX` for dropped vertices).
 pub fn induced_subgraph(g: &Csr, ids: &[u32]) -> (Csr, Vec<u32>) {
-    assert!(ids.windows(2).all(|w| w[0] < w[1]), "induced_subgraph: ids must be ascending");
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "induced_subgraph: ids must be ascending"
+    );
     let mut newid = vec![u32::MAX; g.n()];
     for (i, &u) in ids.iter().enumerate() {
         newid[u as usize] = i as u32;
@@ -167,7 +173,11 @@ pub fn induced_subgraph(g: &Csr, ids: &[u32]) -> (Csr, Vec<u32>) {
     let nc = ids.len();
     let mut xadj = vec![0usize; nc + 1];
     for (i, &u) in ids.iter().enumerate() {
-        xadj[i + 1] = g.neighbors(u).iter().filter(|&&v| newid[v as usize] != u32::MAX).count();
+        xadj[i + 1] = g
+            .neighbors(u)
+            .iter()
+            .filter(|&&v| newid[v as usize] != u32::MAX)
+            .count();
     }
     for i in 0..nc {
         xadj[i + 1] += xadj[i];
@@ -211,7 +221,9 @@ pub fn largest_component(g: &Csr) -> (Csr, Vec<u32>) {
         .map(|(i, _)| i as u32)
         .unwrap();
 
-    let ids: Vec<u32> = (0..n as u32).filter(|&u| label[u as usize] == biggest).collect();
+    let ids: Vec<u32> = (0..n as u32)
+        .filter(|&u| label[u as usize] == biggest)
+        .collect();
     induced_subgraph(g, &ids)
 }
 

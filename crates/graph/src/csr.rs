@@ -48,12 +48,22 @@ impl Csr {
         debug_assert_eq!(*xadj.last().unwrap(), adj.len());
         debug_assert_eq!(adj.len(), wgt.len());
         debug_assert_eq!(vwgt.len(), xadj.len() - 1);
-        Csr { xadj, adj, wgt, vwgt }
+        Csr {
+            xadj,
+            adj,
+            wgt,
+            vwgt,
+        }
     }
 
     /// The empty graph.
     pub fn empty() -> Self {
-        Csr { xadj: vec![0], adj: vec![], wgt: vec![], vwgt: vec![] }
+        Csr {
+            xadj: vec![0],
+            adj: vec![],
+            wgt: vec![],
+            vwgt: vec![],
+        }
     }
 
     /// Number of vertices.
@@ -101,7 +111,10 @@ impl Csr {
     /// Iterate `(neighbor, weight)` pairs of `u`.
     #[inline]
     pub fn edges(&self, u: VId) -> impl Iterator<Item = (VId, Weight)> + '_ {
-        self.neighbors(u).iter().copied().zip(self.weights(u).iter().copied())
+        self.neighbors(u)
+            .iter()
+            .copied()
+            .zip(self.weights(u).iter().copied())
     }
 
     /// Row offset array (`n + 1` entries).
@@ -146,7 +159,10 @@ impl Csr {
 
     /// Maximum vertex degree Δ.
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as VId).map(|u| self.degree(u)).max().unwrap_or(0)
+        (0..self.n() as VId)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree `2m / n`.
@@ -219,9 +235,7 @@ impl Csr {
             for (v, w) in self.edges(u) {
                 match self.find_edge(v, u) {
                     Some(w2) if w2 == w => {}
-                    Some(w2) => {
-                        return Err(format!("asymmetric weight on ({u},{v}): {w} vs {w2}"))
-                    }
+                    Some(w2) => return Err(format!("asymmetric weight on ({u},{v}): {w} vs {w2}")),
                     None => return Err(format!("missing reverse edge ({v},{u})")),
                 }
             }

@@ -75,6 +75,9 @@ mod tests {
         let mut distinct: Vec<u64> = g.wgt().to_vec();
         distinct.sort_unstable();
         distinct.dedup();
-        assert!(distinct.len() >= 5, "need varied weights for interesting heavy edges");
+        assert!(
+            distinct.len() >= 5,
+            "need varied weights for interesting heavy edges"
+        );
     }
 }

@@ -109,7 +109,10 @@ mod tests {
         g.validate().unwrap();
         let (lcc, _) = largest_component(&g);
         let avg = lcc.avg_degree();
-        assert!(avg > 6.0 && avg < 20.0, "avg degree {avg} far from target 12");
+        assert!(
+            avg > 6.0 && avg < 20.0,
+            "avg degree {avg} far from target 12"
+        );
         // Geometric graphs are low-skew.
         assert!(lcc.skew_ratio() < 5.0);
     }

@@ -61,8 +61,7 @@ pub fn grid3d(nx: usize, ny: usize, nz: usize, stencil: Stencil) -> Csr {
                             if star && (dx.abs() + dy.abs() + dz.abs()) != 1 {
                                 continue;
                             }
-                            let (px, py, pz) =
-                                (x as isize + dx, y as isize + dy, z as isize + dz);
+                            let (px, py, pz) = (x as isize + dx, y as isize + dy, z as isize + dz);
                             if px < 0
                                 || py < 0
                                 || pz < 0
@@ -112,7 +111,11 @@ pub fn road(w: usize, h: usize, subdiv: usize, drop: f64, seed: u64) -> Csr {
         }
         // Subdivide u—v into a chain through `k` fresh vertices, where k
         // varies so junction spacing is irregular.
-        let k = if subdiv == 0 { 0 } else { rng.next_below(2 * subdiv as u64 + 1) as usize };
+        let k = if subdiv == 0 {
+            0
+        } else {
+            rng.next_below(2 * subdiv as u64 + 1) as usize
+        };
         let mut prev = u;
         for _ in 0..k {
             edges.push((prev, next));

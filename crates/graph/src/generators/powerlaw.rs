@@ -197,7 +197,11 @@ mod tests {
         let (lcc, _) = largest_component(&g);
         let s = DegreeStats::of(&lcc);
         assert!(s.is_skewed(), "rmat skew ratio {}", s.skew);
-        assert!(s.skew > 15.0, "kron-like graphs should be strongly skewed: {}", s.skew);
+        assert!(
+            s.skew > 15.0,
+            "kron-like graphs should be strongly skewed: {}",
+            s.skew
+        );
     }
 
     #[test]
@@ -205,9 +209,17 @@ mod tests {
         let g = ba(3000, 4, 7);
         g.validate().unwrap();
         assert!(crate::cc::is_connected(&g));
-        assert!(g.max_degree() > 40, "BA should grow hubs: {}", g.max_degree());
+        assert!(
+            g.max_degree() > 40,
+            "BA should grow hubs: {}",
+            g.max_degree()
+        );
         // m is close to n * m_attach (a few duplicate samples collapse).
-        assert!(g.m() >= 3000 * 4 - 300 && g.m() <= 3000 * 4 + 10, "m = {}", g.m());
+        assert!(
+            g.m() >= 3000 * 4 - 300 && g.m() <= 3000 * 4 + 10,
+            "m = {}",
+            g.m()
+        );
     }
 
     #[test]
@@ -247,7 +259,10 @@ mod tests {
 
     #[test]
     fn generators_deterministic() {
-        assert_eq!(rmat(8, 4, 0.57, 0.19, 0.19, 1), rmat(8, 4, 0.57, 0.19, 0.19, 1));
+        assert_eq!(
+            rmat(8, 4, 0.57, 0.19, 0.19, 1),
+            rmat(8, 4, 0.57, 0.19, 0.19, 1)
+        );
         assert_eq!(ba(500, 3, 2), ba(500, 3, 2));
         assert_eq!(copying(500, 4, 0.5, 3), copying(500, 4, 0.5, 3));
     }

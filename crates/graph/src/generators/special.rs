@@ -12,7 +12,10 @@ use mlcg_par::rng::Xoshiro256pp;
 /// family *exactly* (at lower iteration counts): triangle-free, extremely
 /// dense, skew ≈ 48.
 pub fn mycielskian(iterations: u32) -> Csr {
-    assert!(iterations >= 2, "mycielskian is defined from M2 = K2 upward");
+    assert!(
+        iterations >= 2,
+        "mycielskian is defined from M2 = K2 upward"
+    );
     let mut edges: Vec<(VId, VId)> = vec![(0, 1)];
     let mut n: usize = 2;
     for _ in 2..iterations {
@@ -60,7 +63,9 @@ pub fn kmer_paths(n_paths: usize, path_len: usize, n_merges: usize, seed: u64) -
 
 /// Simple path on `n` vertices.
 pub fn path(n: usize) -> Csr {
-    let edges: Vec<(VId, VId)> = (0..n.saturating_sub(1) as VId).map(|i| (i, i + 1)).collect();
+    let edges: Vec<(VId, VId)> = (0..n.saturating_sub(1) as VId)
+        .map(|i| (i, i + 1))
+        .collect();
     from_edges_unit(n, &edges)
 }
 

@@ -58,7 +58,10 @@ pub fn read_matrix_market(path: &Path) -> io::Result<Csr> {
         let i: usize = parse(it.next())?;
         let j: usize = parse(it.next())?;
         if i == 0 || j == 0 || i > n || j > n {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad entry: {t}")));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad entry: {t}"),
+            ));
         }
         let w: Weight = if pattern {
             1
@@ -119,7 +122,10 @@ pub fn read_metis(path: &Path) -> io::Result<Csr> {
         }
         if u >= n {
             if !line.trim().is_empty() {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "too many vertex lines"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "too many vertex lines",
+                ));
             }
             continue;
         }
@@ -130,7 +136,10 @@ pub fn read_metis(path: &Path) -> io::Result<Csr> {
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad adjacency"))?;
             let w: Weight = if has_ewgt { parse(it.next())? } else { 1 };
             if v == 0 || v > n {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "vertex id out of range"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "vertex id out of range",
+                ));
             }
             if v - 1 > u {
                 // Keep each undirected edge once; the builder symmetrizes.
@@ -234,7 +243,10 @@ pub fn to_dot(g: &Csr, labels: Option<&[u32]>) -> String {
     for u in 0..g.n() as VId {
         if let Some(lab) = labels {
             let color = PALETTE[lab[u as usize] as usize % PALETTE.len()];
-            s.push_str(&format!("  {u} [fillcolor=\"{color}\" label=\"{u}\\na{}\"];\n", lab[u as usize]));
+            s.push_str(&format!(
+                "  {u} [fillcolor=\"{color}\" label=\"{u}\\na{}\"];\n",
+                lab[u as usize]
+            ));
         } else {
             s.push_str(&format!("  {u};\n"));
         }
@@ -279,7 +291,8 @@ mod tests {
 
     #[test]
     fn metis_roundtrip_weighted() {
-        let g = crate::builder::from_edges_weighted(4, &[(0, 1, 5), (1, 2, 2), (2, 3, 9), (0, 3, 1)]);
+        let g =
+            crate::builder::from_edges_weighted(4, &[(0, 1, 5), (1, 2, 2), (2, 3, 9), (0, 3, 1)]);
         let p = tmp("g.graph");
         write_metis(&g, &p).unwrap();
         let g2 = read_metis(&p).unwrap();
@@ -322,7 +335,8 @@ mod tests {
 
     #[test]
     fn edge_list_roundtrip() {
-        let g = crate::builder::from_edges_weighted(5, &[(0, 1, 3), (1, 2, 1), (3, 4, 9), (0, 4, 2)]);
+        let g =
+            crate::builder::from_edges_weighted(5, &[(0, 1, 3), (1, 2, 1), (3, 4, 9), (0, 4, 2)]);
         let p = tmp("el.txt");
         write_edge_list(&g, &p).unwrap();
         let g2 = read_edge_list(&p).unwrap();
@@ -354,7 +368,9 @@ mod tests {
         let p3 = tmp("auto.txt");
         write_edge_list(&g, &p3).unwrap();
         assert_eq!(read_auto(&p3).unwrap(), g);
-        for p in [p1, p2, p3] { std::fs::remove_file(&p).ok(); }
+        for p in [p1, p2, p3] {
+            std::fs::remove_file(&p).ok();
+        }
     }
 
     #[test]

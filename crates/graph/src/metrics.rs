@@ -60,7 +60,11 @@ pub fn edge_cut(g: &Csr, part: &[u32]) -> Weight {
 pub fn boundary_size(g: &Csr, part: &[u32]) -> usize {
     assert_eq!(part.len(), g.n());
     (0..g.n())
-        .filter(|&u| g.neighbors(u as VId).iter().any(|&v| part[v as usize] != part[u]))
+        .filter(|&u| {
+            g.neighbors(u as VId)
+                .iter()
+                .any(|&v| part[v as usize] != part[u])
+        })
         .count()
 }
 

@@ -81,21 +81,56 @@ fn count(base: usize, scale: u32) -> usize {
 pub fn by_name(name: &str, scale: u32, seed: u64) -> Option<Csr> {
     let g = match name {
         // ---- regular group ----
-        "hv15r-sim" => gen::grid3d(dim3(12, scale), dim3(12, scale), dim3(12, scale), gen::Stencil::Box125),
+        "hv15r-sim" => gen::grid3d(
+            dim3(12, scale),
+            dim3(12, scale),
+            dim3(12, scale),
+            gen::Stencil::Box125,
+        ),
         "rgg" => gen::rgg(count(60_000, scale), 15.0, seed ^ 0x1),
-        "nlpkkt-sim" => gen::grid3d(dim3(28, scale), dim3(28, scale), dim3(28, scale), gen::Stencil::Box27),
+        "nlpkkt-sim" => gen::grid3d(
+            dim3(28, scale),
+            dim3(28, scale),
+            dim3(28, scale),
+            gen::Stencil::Box27,
+        ),
         "europe-osm-sim" => gen::road(dim2(110, scale), dim2(110, scale), 4, 0.08, seed ^ 0x2),
-        "cubecoup-sim" => gen::grid3d(dim3(24, scale), dim3(24, scale), dim3(24, scale), gen::Stencil::Box27),
+        "cubecoup-sim" => gen::grid3d(
+            dim3(24, scale),
+            dim3(24, scale),
+            dim3(24, scale),
+            gen::Stencil::Box27,
+        ),
         "delaunay" => gen::delaunay_like(dim2(220, scale), dim2(220, scale), seed ^ 0x3),
-        "flan-sim" => gen::grid3d(dim3(22, scale), dim3(22, scale), dim3(22, scale), gen::Stencil::Box27),
-        "mlgeer-sim" => gen::grid3d(dim3(16, scale), dim3(16, scale), dim3(16, scale), gen::Stencil::Box125),
+        "flan-sim" => gen::grid3d(
+            dim3(22, scale),
+            dim3(22, scale),
+            dim3(22, scale),
+            gen::Stencil::Box27,
+        ),
+        "mlgeer-sim" => gen::grid3d(
+            dim3(16, scale),
+            dim3(16, scale),
+            dim3(16, scale),
+            gen::Stencil::Box125,
+        ),
         "cage-sim" => gen::banded(count(40_000, scale), 30, 16, seed ^ 0x4),
-        "channel-sim" => gen::grid3d(dim3(36, scale), dim3(36, scale), dim3(36, scale), gen::Stencil::Star7),
+        "channel-sim" => gen::grid3d(
+            dim3(36, scale),
+            dim3(36, scale),
+            dim3(36, scale),
+            gen::Stencil::Star7,
+        ),
         // ---- skewed group ----
         "ic04-sim" => gen::copying(count(40_000, scale), 12, 0.75, seed ^ 0x5),
         "orkut-sim" => gen::rmat(16 + scale, 12, 0.45, 0.22, 0.22, seed ^ 0x6),
         "vas-stokes-sim" => gen::with_hubs(
-            &gen::grid3d(dim3(24, scale), dim3(24, scale), dim3(24, scale), gen::Stencil::Box27),
+            &gen::grid3d(
+                dim3(24, scale),
+                dim3(24, scale),
+                dim3(24, scale),
+                gen::Stencil::Box27,
+            ),
             60,
             2000,
             seed ^ 0x7,
@@ -149,7 +184,12 @@ pub fn suite(scale: u32, seed: u64) -> Vec<NamedGraph> {
     for (group, names) in [(Group::Regular, &REGULAR), (Group::Skewed, &SKEWED)] {
         for &name in names.iter() {
             let graph = by_name(name, scale, seed).expect("known corpus name");
-            out.push(NamedGraph { name, domain: domain_of(name), group, graph });
+            out.push(NamedGraph {
+                name,
+                domain: domain_of(name),
+                group,
+                graph,
+            });
         }
     }
     out
@@ -227,6 +267,9 @@ mod tests {
         let g0 = by_name("delaunay", 0, 1).unwrap();
         let g1 = by_name("delaunay", 1, 1).unwrap();
         let ratio = g1.n() as f64 / g0.n() as f64;
-        assert!(ratio > 1.6 && ratio < 2.4, "scale+1 should roughly double n: {ratio}");
+        assert!(
+            ratio > 1.6 && ratio < 2.4,
+            "scale+1 should roughly double n: {ratio}"
+        );
     }
 }

@@ -25,7 +25,11 @@ pub fn bfs_distances(g: &Csr, source: VId) -> Vec<usize> {
 
 /// Eccentricity of a vertex (max finite BFS distance).
 pub fn eccentricity(g: &Csr, source: VId) -> usize {
-    bfs_distances(g, source).into_iter().filter(|&d| d != usize::MAX).max().unwrap_or(0)
+    bfs_distances(g, source)
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Lower bound on the diameter by the double-sweep heuristic: BFS from
@@ -51,7 +55,11 @@ pub fn degree_histogram(g: &Csr) -> Vec<usize> {
     let mut hist: Vec<usize> = Vec::new();
     for u in 0..g.n() as VId {
         let d = g.degree(u);
-        let bucket = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize - 1
+        };
         if bucket >= hist.len() {
             hist.resize(bucket + 1, 0);
         }

@@ -12,7 +12,10 @@ fn road_networks_have_large_diameter() {
     // europeOsm's signature: avg degree ~2, diameter in the hundreds.
     let (g, _) = largest_component(&gen::road(40, 40, 4, 0.08, 7));
     let d = diameter_lower_bound(&g, 0);
-    assert!(d > 80, "road diameter lower bound {d} too small for a chain-subdivided grid");
+    assert!(
+        d > 80,
+        "road diameter lower bound {d} too small for a chain-subdivided grid"
+    );
     assert!(g.avg_degree() < 2.6);
 }
 
@@ -32,7 +35,10 @@ fn rmat_degree_distribution_is_heavy_tailed() {
     assert!(hist.len() >= 8, "only {} degree octaves", hist.len());
     // Monotone-ish decay from the mode: the top octave holds hubs only.
     let top_total: usize = hist[hist.len().saturating_sub(2)..].iter().sum();
-    assert!(top_total < g.n() / 100, "too many hub-degree vertices: {top_total}");
+    assert!(
+        top_total < g.n() / 100,
+        "too many hub-degree vertices: {top_total}"
+    );
 }
 
 #[test]
@@ -41,7 +47,10 @@ fn meshes_are_degree_concentrated() {
     let hist = degree_histogram(&g);
     // Interior degree 26 dominates => almost everything in one octave.
     let modal = *hist.iter().max().unwrap();
-    assert!(modal as f64 > 0.5 * g.n() as f64, "mesh degrees too spread: {hist:?}");
+    assert!(
+        modal as f64 > 0.5 * g.n() as f64,
+        "mesh degrees too spread: {hist:?}"
+    );
     assert!(!DegreeStats::of(&g).is_skewed());
 }
 
@@ -70,7 +79,10 @@ fn clique_overlays_have_high_clustering_signature() {
         }
     }
     let closure = closed as f64 / wedges.max(1) as f64;
-    assert!(closure > 0.25, "clique overlay closure {closure:.3} too low");
+    assert!(
+        closure > 0.25,
+        "clique overlay closure {closure:.3} too low"
+    );
 }
 
 #[test]
@@ -79,7 +91,11 @@ fn ba_tail_exceeds_poisson() {
     let stats = DegreeStats::of(&g);
     // A Poisson graph with the same mean would have max degree ~30;
     // preferential attachment grows hubs an order beyond.
-    assert!(stats.max_degree > 100, "BA max degree {} too small", stats.max_degree);
+    assert!(
+        stats.max_degree > 100,
+        "BA max degree {} too small",
+        stats.max_degree
+    );
 }
 
 #[test]

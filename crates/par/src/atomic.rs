@@ -109,7 +109,11 @@ mod tests {
         let wins = std::sync::atomic::AtomicUsize::new(0);
         {
             let a = as_atomic_u32(&mut v);
-            let policy = ExecPolicy { backend: crate::Backend::Host, threads: 4, grain: 1 };
+            let policy = ExecPolicy {
+                backend: crate::Backend::Host,
+                threads: 4,
+                grain: 1,
+            };
             parallel_for(&policy, 1000, |i| {
                 if cas_u32(&a[0], 0, i as u32 + 1) == 0 {
                     wins.fetch_add(1, Ordering::Relaxed);

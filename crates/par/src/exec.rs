@@ -42,17 +42,29 @@ pub struct ExecPolicy {
 impl ExecPolicy {
     /// Sequential reference policy.
     pub fn serial() -> Self {
-        ExecPolicy { backend: Backend::Serial, threads: 1, grain: usize::MAX }
+        ExecPolicy {
+            backend: Backend::Serial,
+            threads: 1,
+            grain: usize::MAX,
+        }
     }
 
     /// Multicore policy using all pool workers.
     pub fn host() -> Self {
-        ExecPolicy { backend: Backend::Host, threads: crate::pool::global().workers(), grain: 4096 }
+        ExecPolicy {
+            backend: Backend::Host,
+            threads: crate::pool::global().workers(),
+            grain: 4096,
+        }
     }
 
     /// Multicore policy with an explicit worker count.
     pub fn host_with_threads(threads: usize) -> Self {
-        ExecPolicy { backend: Backend::Host, threads: threads.max(1), grain: 4096 }
+        ExecPolicy {
+            backend: Backend::Host,
+            threads: threads.max(1),
+            grain: 4096,
+        }
     }
 
     /// Simulated-GPU policy: every pool worker participates and chunks are
@@ -98,8 +110,16 @@ impl ExecPolicy {
         vec![
             ExecPolicy::serial(),
             // Small grains force the parallel paths even on tiny test inputs.
-            ExecPolicy { backend: Backend::Host, threads: crate::pool::global().workers(), grain: 16 },
-            ExecPolicy { backend: Backend::DeviceSim, threads: crate::pool::global().workers(), grain: 16 },
+            ExecPolicy {
+                backend: Backend::Host,
+                threads: crate::pool::global().workers(),
+                grain: 16,
+            },
+            ExecPolicy {
+                backend: Backend::DeviceSim,
+                threads: crate::pool::global().workers(),
+                grain: 16,
+            },
         ]
     }
 }
@@ -137,9 +157,16 @@ mod tests {
         let n = 1 << 20;
         let c = host.chunk_size(n, 8);
         assert!(c >= 1024 && c <= n);
-        let dev = ExecPolicy { backend: Backend::DeviceSim, threads: 8, grain: 16 };
+        let dev = ExecPolicy {
+            backend: Backend::DeviceSim,
+            threads: 8,
+            grain: 16,
+        };
         let cd = dev.chunk_size(n, 8);
-        assert!(cd >= 256 && cd <= c, "device chunks should be finer: {cd} vs {c}");
+        assert!(
+            cd >= 256 && cd <= c,
+            "device chunks should be finer: {cd} vs {c}"
+        );
     }
 
     #[test]

@@ -27,11 +27,13 @@ pub mod atomic;
 pub mod exec;
 pub mod perm;
 pub mod pool;
+pub mod proplite;
 pub mod reduce;
 pub mod rng;
 pub mod scan;
 pub mod sort;
 pub mod timer;
+pub mod trace;
 
 pub use exec::{Backend, ExecPolicy};
 pub use pool::ThreadPool;
@@ -39,6 +41,7 @@ pub use reduce::{
     parallel_count, parallel_reduce, parallel_reduce_max, parallel_reduce_min, parallel_reduce_sum,
 };
 pub use timer::Timer;
+pub use trace::{TraceCollector, TraceConfig, TraceReport};
 
 use std::ops::Range;
 

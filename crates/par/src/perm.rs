@@ -9,7 +9,10 @@ use std::sync::atomic::Ordering;
 
 /// A uniformly random permutation of `0..n` (as `u32` labels).
 pub fn random_permutation(policy: &ExecPolicy, n: usize, seed: u64) -> Vec<u32> {
-    assert!(n <= u32::MAX as usize, "random_permutation: n exceeds u32 range");
+    assert!(
+        n <= u32::MAX as usize,
+        "random_permutation: n exceeds u32 range"
+    );
     let mut keys: Vec<u64> = vec![0; n];
     {
         let base = keys.as_mut_ptr() as usize;

@@ -3,18 +3,64 @@
 //! The pool broadcasts one job to `k-1` workers; the calling thread is the
 //! `k`-th participant. Jobs pull work by claiming chunk start offsets from a
 //! shared atomic counter, so completion is detected per-job with a
-//! [`crossbeam::sync::WaitGroup`] — concurrent submissions from different
-//! threads simply interleave in each worker's queue.
+//! [`WaitGroup`] — concurrent submissions from different threads simply
+//! interleave in each worker's queue.
 //!
 //! Nested parallelism from inside a worker is executed inline by the caller
 //! (see [`in_worker`]); this mirrors Kokkos, where a kernel body cannot
 //! launch another global kernel.
 
-use crossbeam::channel::{unbounded, Sender};
-use crossbeam::sync::WaitGroup;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A dependency-free waitgroup: every clone registers a participant, every
+/// drop deregisters one, and [`WaitGroup::wait`] blocks until all *other*
+/// clones are dropped (the crossbeam `WaitGroup` contract the pool was
+/// originally written against).
+struct WgInner {
+    count: Mutex<usize>,
+    done: Condvar,
+}
+
+pub(crate) struct WaitGroup(Arc<WgInner>);
+
+impl WaitGroup {
+    pub(crate) fn new() -> Self {
+        WaitGroup(Arc::new(WgInner {
+            count: Mutex::new(1),
+            done: Condvar::new(),
+        }))
+    }
+
+    /// Drop this handle and block until every other clone is dropped.
+    pub(crate) fn wait(self) {
+        let inner = Arc::clone(&self.0);
+        drop(self); // deregister ourselves first
+        let mut count = inner.count.lock().unwrap();
+        while *count > 0 {
+            count = inner.done.wait(count).unwrap();
+        }
+    }
+}
+
+impl Clone for WaitGroup {
+    fn clone(&self) -> Self {
+        *self.0.count.lock().unwrap() += 1;
+        WaitGroup(Arc::clone(&self.0))
+    }
+}
+
+impl Drop for WaitGroup {
+    fn drop(&mut self) {
+        let mut count = self.0.count.lock().unwrap();
+        *count -= 1;
+        if *count == 0 {
+            self.0.done.notify_all();
+        }
+    }
+}
 
 thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -58,7 +104,7 @@ impl ThreadPool {
         let workers = workers.max(1);
         let mut senders = Vec::with_capacity(workers - 1);
         for wid in 1..workers {
-            let (tx, rx) = unbounded::<Msg>();
+            let (tx, rx) = channel::<Msg>();
             senders.push(tx);
             std::thread::Builder::new()
                 .name(format!("mlcg-worker-{wid}"))
@@ -88,13 +134,20 @@ impl ThreadPool {
         // SAFETY: we erase the closure's lifetime; `wg.wait()` below blocks
         // until every worker has dropped its message (and thus finished
         // calling the closure), so the borrow outlives all uses.
-        let func: *const JobFn<'static> =
-            unsafe { std::mem::transmute::<*const JobFn<'_>, *const JobFn<'static>>(f as *const _) };
-        let job = Arc::new(Job { func, next: AtomicUsize::new(0) });
+        let func: *const JobFn<'static> = unsafe {
+            std::mem::transmute::<*const JobFn<'_>, *const JobFn<'static>>(f as *const _)
+        };
+        let job = Arc::new(Job {
+            func,
+            next: AtomicUsize::new(0),
+        });
         let wg = WaitGroup::new();
         for tx in &self.senders[..threads - 1] {
-            tx.send(Msg { job: Arc::clone(&job), _wg: wg.clone() })
-                .expect("pool worker exited unexpectedly");
+            tx.send(Msg {
+                job: Arc::clone(&job),
+                _wg: wg.clone(),
+            })
+            .expect("pool worker exited unexpectedly");
         }
         run_job(&job, 0); // the caller is participant 0
         wg.wait();
@@ -123,7 +176,10 @@ pub fn global() -> &'static ThreadPool {
             .and_then(|s| s.parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(4)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .max(4)
             });
         ThreadPool::new(n)
     })

@@ -1,7 +1,7 @@
 //! Parallel reductions.
 
 use crate::{parallel_for_chunks, ExecPolicy};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Reduce `map(i)` over `0..n` with an associative, commutative `combine`
 /// and its `identity`.
@@ -17,9 +17,13 @@ where
         for i in r {
             acc = combine(acc, map(i));
         }
-        partials.lock().push(acc);
+        partials.lock().unwrap().push(acc);
     });
-    partials.into_inner().into_iter().fold(identity, combine)
+    partials
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .fold(identity, combine)
 }
 
 /// Sum of `map(i)` over `0..n` as `u64`.
@@ -69,7 +73,9 @@ mod tests {
 
     #[test]
     fn max_and_min() {
-        let v: Vec<u64> = (0..50_000).map(|i| (i * 2654435761u64) % 1_000_003).collect();
+        let v: Vec<u64> = (0..50_000)
+            .map(|i| (i * 2654435761u64) % 1_000_003)
+            .collect();
         let expect_max = *v.iter().max().unwrap();
         let expect_min = *v.iter().min().unwrap();
         for policy in ExecPolicy::all_test_policies() {
@@ -97,7 +103,13 @@ mod tests {
     #[test]
     fn custom_monoid_f64_sum() {
         let policy = ExecPolicy::host();
-        let s = parallel_reduce(&policy, 10_000, 0.0f64, |i| 1.0 / (1 + i) as f64, |a, b| a + b);
+        let s = parallel_reduce(
+            &policy,
+            10_000,
+            0.0f64,
+            |i| 1.0 / (1 + i) as f64,
+            |a, b| a + b,
+        );
         let seq: f64 = (0..10_000).map(|i| 1.0 / (1 + i) as f64).sum();
         assert!((s - seq).abs() < 1e-9);
     }

@@ -39,7 +39,9 @@ pub fn mix(mut z: u64) -> u64 {
 /// permutation and all per-element random draws use this.
 #[inline]
 pub fn hash_index(seed: u64, i: u64) -> u64 {
-    mix(seed ^ i.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0x2545F4914F6CDD1D))
+    mix(seed
+        ^ i.wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(0x2545F4914F6CDD1D))
 }
 
 /// xoshiro256++ — fast general-purpose generator for sequential use.
@@ -66,7 +68,10 @@ impl Xoshiro256pp {
     /// Next 64 random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -165,7 +170,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
-        assert_ne!(v, (0..1000).collect::<Vec<_>>(), "astronomically unlikely identity");
+        assert_ne!(
+            v,
+            (0..1000).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
     }
 
     #[test]

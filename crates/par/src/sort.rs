@@ -269,7 +269,11 @@ mod tests {
         }
         let mut seen: Vec<u32> = vals.to_vec();
         seen.sort_unstable();
-        assert_eq!(seen, (0..vals.len() as u32).collect::<Vec<_>>(), "vals not a permutation");
+        assert_eq!(
+            seen,
+            (0..vals.len() as u32).collect::<Vec<_>>(),
+            "vals not a permutation"
+        );
     }
 
     #[test]
@@ -288,7 +292,11 @@ mod tests {
     #[test]
     fn radix_sort_is_stable() {
         // Many duplicate keys; payload carries the original index.
-        let policy = ExecPolicy { backend: crate::Backend::Host, threads: 4, grain: 16 };
+        let policy = ExecPolicy {
+            backend: crate::Backend::Host,
+            threads: 4,
+            grain: 16,
+        };
         let n = 50_000;
         let mut rng = Xoshiro256pp::new(7);
         let mut keys: Vec<u64> = (0..n).map(|_| rng.next_below(8)).collect();
@@ -333,7 +341,10 @@ mod tests {
             expect.sort_unstable();
             bitonic_sort_pairs(&mut keys, &mut vals, &mut sk, &mut sv);
             assert_eq!(keys, expect, "n={n}");
-            assert!(keys.iter().zip(&vals).all(|(&k, &v)| v == k as u64 * 10), "n={n}");
+            assert!(
+                keys.iter().zip(&vals).all(|(&k, &v)| v == k as u64 * 10),
+                "n={n}"
+            );
         }
     }
 

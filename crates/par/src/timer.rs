@@ -11,7 +11,9 @@ pub struct Timer {
 impl Timer {
     /// Start timing now.
     pub fn start() -> Self {
-        Timer { start: Instant::now() }
+        Timer {
+            start: Instant::now(),
+        }
     }
 
     /// Seconds elapsed since start.

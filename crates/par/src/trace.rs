@@ -1,0 +1,704 @@
+//! Structured tracing and metrics — the pipeline observability layer.
+//!
+//! This module grows [`crate::timer`] into a thread-safe, hierarchical
+//! trace subsystem used by every phase of the coarsening / construction /
+//! refinement pipeline:
+//!
+//! - **spans** — named, slash-separated phase timings such as
+//!   `mapping/hec/level3` or `construct/hash/level3`, recorded with their
+//!   start offset so a timeline can be reconstructed;
+//! - **counters** — monotonically aggregated event counts (edges scanned,
+//!   hash collisions, conflicts re-matched, FM moves rolled back,
+//!   power-iteration steps);
+//! - **gauges** — point-in-time values, one record per observation
+//!   (per-level `nv`, `ne`, compression ratio, matched fraction, maximum
+//!   coarse degree);
+//! - **audits** — pass/fail records from the opt-in invariant-audit mode
+//!   (see [`TraceConfig::validate`] / `MLCG_VALIDATE`), so a corrupted
+//!   level is attributed to the phase that produced it.
+//!
+//! A [`TraceCollector`] is cheap to clone (an `Arc`) and cheap when
+//! disabled: every recording entry point starts with a single branch on an
+//! `Option` and allocates nothing. Span paths are built lazily through
+//! closures so disabled runs never pay for `format!`.
+//!
+//! Snapshots are taken as [`TraceReport`]s, which render either as
+//! JSON-lines (one object per record, for machine consumption) or as a
+//! human-readable aggregated tree table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Configuration for a [`TraceCollector`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Record spans, counters and gauges.
+    pub enabled: bool,
+    /// Run the opt-in invariant audits between phases and record their
+    /// outcomes (audit records are kept even when `enabled` is false).
+    pub validate: bool,
+}
+
+impl TraceConfig {
+    /// Read `MLCG_TRACE` / `MLCG_VALIDATE` from the environment (any
+    /// non-empty value other than `0` turns a flag on). Read freshly on
+    /// every call so tests can toggle the variables.
+    pub fn from_env() -> Self {
+        fn on(var: &str) -> bool {
+            std::env::var(var)
+                .map(|v| !v.is_empty() && v != "0")
+                .unwrap_or(false)
+        }
+        TraceConfig {
+            enabled: on("MLCG_TRACE"),
+            validate: on("MLCG_VALIDATE"),
+        }
+    }
+}
+
+/// One completed span: a named phase with start offset and duration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Slash-separated phase path, e.g. `mapping/hec/level3`.
+    pub path: String,
+    /// Seconds from the collector's creation to the span's start.
+    pub start_seconds: f64,
+    /// Span duration in seconds.
+    pub seconds: f64,
+}
+
+/// One gauge observation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GaugeRecord {
+    /// Slash-separated gauge path, e.g. `level/3/nv`.
+    pub path: String,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// One invariant-audit outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// The pipeline phase the audited artifact came from, e.g.
+    /// `construct/level1`.
+    pub phase: String,
+    /// Which invariant was checked, e.g. `csr-wellformed`.
+    pub check: String,
+    /// Whether the invariant held.
+    pub passed: bool,
+    /// Failure description (empty on success).
+    pub detail: String,
+}
+
+#[derive(Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    gauges: Vec<GaugeRecord>,
+    audits: Vec<AuditRecord>,
+}
+
+struct Inner {
+    epoch: Instant,
+    trace_enabled: bool,
+    validate: bool,
+    state: Mutex<State>,
+}
+
+/// A thread-safe trace sink. Clones share the same underlying buffer.
+///
+/// The disabled collector ([`TraceCollector::disabled`], also the
+/// `Default`) is a `None` — every operation on it is one branch and no
+/// allocation, so it can be threaded through hot paths unconditionally.
+#[derive(Clone, Default)]
+pub struct TraceCollector {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for TraceCollector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "TraceCollector(disabled)"),
+            Some(i) => write!(
+                f,
+                "TraceCollector(enabled={}, validate={})",
+                i.trace_enabled, i.validate
+            ),
+        }
+    }
+}
+
+impl TraceCollector {
+    /// The no-op collector.
+    pub fn disabled() -> Self {
+        TraceCollector { inner: None }
+    }
+
+    /// A collector recording spans/counters/gauges (audits off).
+    pub fn enabled() -> Self {
+        Self::with_config(TraceConfig {
+            enabled: true,
+            validate: false,
+        })
+    }
+
+    /// A collector recording everything, audits included.
+    pub fn enabled_with_validation() -> Self {
+        Self::with_config(TraceConfig {
+            enabled: true,
+            validate: true,
+        })
+    }
+
+    /// Build from an explicit configuration. A fully-off configuration
+    /// yields the disabled collector.
+    pub fn with_config(cfg: TraceConfig) -> Self {
+        if !cfg.enabled && !cfg.validate {
+            return Self::disabled();
+        }
+        TraceCollector {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                trace_enabled: cfg.enabled,
+                validate: cfg.validate,
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// Build from `MLCG_TRACE` / `MLCG_VALIDATE` (see
+    /// [`TraceConfig::from_env`]).
+    pub fn from_env() -> Self {
+        Self::with_config(TraceConfig::from_env())
+    }
+
+    /// True when spans/counters/gauges are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        matches!(&self.inner, Some(i) if i.trace_enabled)
+    }
+
+    /// True when the invariant-audit mode is on.
+    #[inline]
+    pub fn validate_enabled(&self) -> bool {
+        matches!(&self.inner, Some(i) if i.validate)
+    }
+
+    /// Open a span; the path closure is only invoked when recording. The
+    /// span records itself when [`Span::finish`]ed (or dropped).
+    #[inline]
+    pub fn span(&self, path: impl FnOnce() -> String) -> Span {
+        match &self.inner {
+            Some(i) if i.trace_enabled => Span {
+                rec: Some((Arc::clone(i), path(), Instant::now())),
+            },
+            _ => Span { rec: None },
+        }
+    }
+
+    /// Open a span that *always* measures wall time: [`TimedSpan::finish`]
+    /// returns the elapsed seconds even on a disabled collector (used by
+    /// drivers that report phase seconds through their own result structs).
+    #[inline]
+    pub fn timed_span(&self, path: impl FnOnce() -> String) -> TimedSpan {
+        TimedSpan {
+            start: Instant::now(),
+            rec: match &self.inner {
+                Some(i) if i.trace_enabled => Some((Arc::clone(i), path())),
+                _ => None,
+            },
+        }
+    }
+
+    /// Add `delta` to the monotonically aggregated counter at `path`.
+    #[inline]
+    pub fn counter_add(&self, path: &str, delta: u64) {
+        if let Some(i) = &self.inner {
+            if i.trace_enabled && delta > 0 {
+                let mut st = i.state.lock().unwrap();
+                *st.counters.entry(path.to_string()).or_insert(0) += delta;
+            }
+        }
+    }
+
+    /// Record a gauge observation; the path closure is only invoked when
+    /// recording.
+    #[inline]
+    pub fn gauge(&self, path: impl FnOnce() -> String, value: f64) {
+        if let Some(i) = &self.inner {
+            if i.trace_enabled {
+                let mut st = i.state.lock().unwrap();
+                st.gauges.push(GaugeRecord {
+                    path: path(),
+                    value,
+                });
+            }
+        }
+    }
+
+    /// Record an invariant-audit outcome (kept whenever `validate` is on,
+    /// independent of `enabled`).
+    pub fn audit(&self, phase: &str, check: &str, result: Result<(), String>) {
+        if let Some(i) = &self.inner {
+            if i.validate {
+                let (passed, detail) = match result {
+                    Ok(()) => (true, String::new()),
+                    Err(e) => (false, e),
+                };
+                if !passed {
+                    eprintln!("mlcg audit FAILED [{phase}] {check}: {detail}");
+                }
+                let mut st = i.state.lock().unwrap();
+                st.audits.push(AuditRecord {
+                    phase: phase.to_string(),
+                    check: check.to_string(),
+                    passed,
+                    detail,
+                });
+            }
+        }
+    }
+
+    /// Snapshot everything recorded so far.
+    pub fn report(&self) -> TraceReport {
+        match &self.inner {
+            None => TraceReport::default(),
+            Some(i) => {
+                let st = i.state.lock().unwrap();
+                TraceReport {
+                    spans: st.spans.clone(),
+                    counters: st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+                    gauges: st.gauges.clone(),
+                    audits: st.audits.clone(),
+                }
+            }
+        }
+    }
+}
+
+/// Guard for a recorded phase; see [`TraceCollector::span`].
+#[must_use = "a span records on finish/drop; binding to _ ends it immediately"]
+pub struct Span {
+    rec: Option<(Arc<Inner>, String, Instant)>,
+}
+
+impl Span {
+    /// End the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((inner, path, started)) = self.rec.take() {
+            let seconds = started.elapsed().as_secs_f64();
+            let start_seconds = started.duration_since(inner.epoch).as_secs_f64();
+            let mut st = inner.state.lock().unwrap();
+            st.spans.push(SpanRecord {
+                path,
+                start_seconds,
+                seconds,
+            });
+        }
+    }
+}
+
+/// Guard for a phase whose duration the caller also wants; see
+/// [`TraceCollector::timed_span`].
+#[must_use = "a timed span records on finish; binding to _ ends it immediately"]
+pub struct TimedSpan {
+    start: Instant,
+    rec: Option<(Arc<Inner>, String)>,
+}
+
+impl TimedSpan {
+    /// End the span, record it if tracing is on, and return elapsed seconds.
+    pub fn finish(mut self) -> f64 {
+        let seconds = self.start.elapsed().as_secs_f64();
+        if let Some((inner, path)) = self.rec.take() {
+            let start_seconds = self.start.duration_since(inner.epoch).as_secs_f64();
+            let mut st = inner.state.lock().unwrap();
+            st.spans.push(SpanRecord {
+                path,
+                start_seconds,
+                seconds,
+            });
+        }
+        seconds
+    }
+}
+
+impl Drop for TimedSpan {
+    fn drop(&mut self) {
+        if let Some((inner, path)) = self.rec.take() {
+            let seconds = self.start.elapsed().as_secs_f64();
+            let start_seconds = self.start.duration_since(inner.epoch).as_secs_f64();
+            let mut st = inner.state.lock().unwrap();
+            st.spans.push(SpanRecord {
+                path,
+                start_seconds,
+                seconds,
+            });
+        }
+    }
+}
+
+/// An immutable snapshot of a [`TraceCollector`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceReport {
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Aggregated counters, sorted by path.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge observations, in recording order.
+    pub gauges: Vec<GaugeRecord>,
+    /// Invariant-audit outcomes, in recording order.
+    pub audits: Vec<AuditRecord>,
+}
+
+impl TraceReport {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.audits.is_empty()
+    }
+
+    /// Total seconds of spans whose path equals `prefix` or starts with
+    /// `prefix` followed by `/`.
+    pub fn span_seconds(&self, prefix: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| {
+                s.path == prefix
+                    || (s.path.starts_with(prefix)
+                        && s.path.as_bytes().get(prefix.len()) == Some(&b'/'))
+            })
+            .map(|s| s.seconds)
+            .sum()
+    }
+
+    /// Value of the counter at `path` (0 when absent).
+    pub fn counter(&self, path: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// The last gauge observation at `path`, if any.
+    pub fn gauge(&self, path: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .rev()
+            .find(|g| g.path == path)
+            .map(|g| g.value)
+    }
+
+    /// Audit records that failed.
+    pub fn failed_audits(&self) -> Vec<&AuditRecord> {
+        self.audits.iter().filter(|a| !a.passed).collect()
+    }
+
+    /// The first failed audit, if any — the phase that produced the first
+    /// corrupted artifact.
+    pub fn first_failed_audit(&self) -> Option<&AuditRecord> {
+        self.audits.iter().find(|a| !a.passed)
+    }
+
+    /// Serialize as JSON-lines: one object per span, counter, gauge and
+    /// audit record.
+    pub fn write_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        for s in &self.spans {
+            writeln!(
+                w,
+                r#"{{"type":"span","path":{},"start_seconds":{},"seconds":{}}}"#,
+                json_str(&s.path),
+                json_f64(s.start_seconds),
+                json_f64(s.seconds)
+            )?;
+        }
+        for (path, value) in &self.counters {
+            writeln!(
+                w,
+                r#"{{"type":"counter","path":{},"value":{value}}}"#,
+                json_str(path)
+            )?;
+        }
+        for g in &self.gauges {
+            writeln!(
+                w,
+                r#"{{"type":"gauge","path":{},"value":{}}}"#,
+                json_str(&g.path),
+                json_f64(g.value)
+            )?;
+        }
+        for a in &self.audits {
+            writeln!(
+                w,
+                r#"{{"type":"audit","phase":{},"check":{},"passed":{},"detail":{}}}"#,
+                json_str(&a.phase),
+                json_str(&a.check),
+                a.passed,
+                json_str(&a.detail)
+            )?;
+        }
+        Ok(())
+    }
+
+    /// [`TraceReport::write_jsonl`] into a `String`.
+    pub fn to_jsonl_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_jsonl(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("jsonl output is ASCII-escaped UTF-8")
+    }
+
+    /// Render an aggregated, human-readable tree table: spans grouped by
+    /// path (summing durations over repeats such as per-pass spans), then
+    /// counters, gauges and audit outcomes.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans (path, calls, total seconds):\n");
+            // Aggregate per full path, then roll subtree totals up into
+            // every ancestor prefix so interior nodes get their own rows.
+            // (direct calls, direct seconds, subtree seconds) per node;
+            // BTreeMap order is lexicographic, which is tree order.
+            let mut nodes: BTreeMap<String, (usize, f64, f64)> = BTreeMap::new();
+            for s in &self.spans {
+                let mut pos = 0;
+                while let Some(i) = s.path[pos..].find('/') {
+                    let e = nodes
+                        .entry(s.path[..pos + i].to_string())
+                        .or_insert((0, 0.0, 0.0));
+                    e.2 += s.seconds;
+                    pos += i + 1;
+                }
+                let e = nodes.entry(s.path.clone()).or_insert((0, 0.0, 0.0));
+                e.0 += 1;
+                e.1 += s.seconds;
+                e.2 += s.seconds;
+            }
+            for (path, &(calls, _, total)) in &nodes {
+                let depth = path.matches('/').count();
+                let leaf = path.rsplit('/').next().unwrap_or(path);
+                let name = format!("{}{leaf}", "  ".repeat(depth));
+                if calls > 0 {
+                    out.push_str(&format!("  {name: <30} x{calls: <4} {total:.6}s\n"));
+                } else {
+                    out.push_str(&format!("  {name: <30}       {total:.6}s\n"));
+                }
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (path, value) in &self.counters {
+                out.push_str(&format!("  {path: <40} {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for g in &self.gauges {
+                out.push_str(&format!("  {: <40} {}\n", g.path, g.value));
+            }
+        }
+        if !self.audits.is_empty() {
+            let failed = self.failed_audits().len();
+            out.push_str(&format!(
+                "audits: {} run, {} failed\n",
+                self.audits.len(),
+                failed
+            ));
+            for a in self.audits.iter().filter(|a| !a.passed) {
+                out.push_str(&format!("  FAIL [{}] {}: {}\n", a.phase, a.check, a.detail));
+            }
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON has no NaN/Infinity; map them to null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Keep full round-trip precision.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let t = TraceCollector::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.validate_enabled());
+        let sp = t.span(|| panic!("path closure must not run when disabled"));
+        sp.finish();
+        t.counter_add("x", 3);
+        t.gauge(|| panic!("gauge path must not run when disabled"), 1.0);
+        t.audit("phase", "check", Err("ignored".into()));
+        assert!(t.report().is_empty());
+    }
+
+    #[test]
+    fn timed_span_measures_even_when_disabled() {
+        let t = TraceCollector::disabled();
+        let sp = t.timed_span(|| unreachable!());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let secs = sp.finish();
+        assert!(secs >= 0.001);
+        assert!(t.report().spans.is_empty());
+    }
+
+    #[test]
+    fn spans_counters_gauges_round_trip() {
+        let t = TraceCollector::enabled();
+        {
+            let sp = t.span(|| "mapping/hec/level0".to_string());
+            t.counter_add("mapping/conflicts_rematched", 2);
+            t.counter_add("mapping/conflicts_rematched", 3);
+            t.gauge(|| "level/0/nv".to_string(), 128.0);
+            sp.finish();
+        }
+        let secs = t
+            .timed_span(|| "construct/hash/level0".to_string())
+            .finish();
+        assert!(secs >= 0.0);
+        let r = t.report();
+        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.counter("mapping/conflicts_rematched"), 5);
+        assert_eq!(r.gauge("level/0/nv"), Some(128.0));
+        assert!(r.span_seconds("mapping") >= 0.0);
+        assert_eq!(
+            r.span_seconds("mapp"),
+            0.0,
+            "prefix must match path segments"
+        );
+        assert!(r.span_seconds("construct") > 0.0 || r.span_seconds("construct") == 0.0);
+    }
+
+    #[test]
+    fn audits_recorded_without_tracing() {
+        let t = TraceCollector::with_config(TraceConfig {
+            enabled: false,
+            validate: true,
+        });
+        assert!(!t.is_enabled());
+        assert!(t.validate_enabled());
+        t.audit("mapping/level1", "surjective", Ok(()));
+        t.audit(
+            "construct/level2",
+            "csr-wellformed",
+            Err("xadj not monotone".into()),
+        );
+        let r = t.report();
+        assert_eq!(r.audits.len(), 2);
+        let failed = r.first_failed_audit().unwrap();
+        assert_eq!(failed.phase, "construct/level2");
+        assert_eq!(failed.check, "csr-wellformed");
+        // Spans are not recorded in validate-only mode.
+        t.span(|| "x".to_string()).finish();
+        assert!(t.report().spans.is_empty());
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let t = TraceCollector::enabled_with_validation();
+        t.span(|| "mapping/hec/level0".to_string()).finish();
+        t.counter_add("edges_scanned", 42);
+        t.gauge(|| "level/0/compression".to_string(), 2.5);
+        t.audit("construct/level0", "conservation", Ok(()));
+        let text = t.report().to_jsonl_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains(r#""type":"#), "{line}");
+        }
+        assert!(text.contains(r#""type":"span""#));
+        assert!(text.contains(r#""type":"counter""#));
+        assert!(text.contains(r#""type":"gauge""#));
+        assert!(text.contains(r#""type":"audit""#));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn tree_rendering_mentions_phases_and_failures() {
+        let t = TraceCollector::enabled_with_validation();
+        t.span(|| "mapping/hec/level0".to_string()).finish();
+        t.span(|| "mapping/hec/level1".to_string()).finish();
+        t.counter_add("fm/moves_rolled_back", 7);
+        t.audit(
+            "mapping/level1",
+            "bounds",
+            Err("label 9 out of range".into()),
+        );
+        let tree = t.report().render_tree();
+        assert!(tree.contains("level0"));
+        assert!(tree.contains("fm/moves_rolled_back"));
+        assert!(tree.contains("FAIL [mapping/level1] bounds"));
+    }
+
+    #[test]
+    fn clones_share_state_across_threads() {
+        let t = TraceCollector::enabled();
+        let mut handles = Vec::new();
+        for k in 0..4 {
+            let tc = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    tc.counter_add("shared", 1);
+                }
+                tc.span(move || format!("thread/{k}")).finish();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = t.report();
+        assert_eq!(r.counter("shared"), 400);
+        assert_eq!(r.spans.len(), 4);
+    }
+
+    #[test]
+    fn config_from_env_reads_fresh() {
+        // Neither variable is set by default in the test environment; the
+        // env-driven negative tests in the integration suite exercise the
+        // set path.
+        let cfg = TraceConfig::from_env();
+        let _ = cfg.enabled;
+    }
+}

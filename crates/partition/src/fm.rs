@@ -8,11 +8,11 @@
 //! back to the best prefix — the classic linear-time heuristic, here with
 //! a lazy max-heap over weighted gains.
 
-use crate::result::PartitionResult;
+use crate::result::{audit_partition, PartitionResult};
 use mlcg_coarsen::{coarsen, CoarsenOptions, Hierarchy};
 use mlcg_graph::metrics::edge_cut;
 use mlcg_graph::{Csr, VId};
-use mlcg_par::{ExecPolicy, Timer};
+use mlcg_par::{ExecPolicy, TraceCollector};
 use std::collections::BinaryHeap;
 
 /// FM tuning parameters.
@@ -34,14 +34,21 @@ pub struct FmConfig {
 
 impl Default for FmConfig {
     fn default() -> Self {
-        FmConfig { max_passes: 8, epsilon: 0.02, vertex_slack: false }
+        FmConfig {
+            max_passes: 8,
+            epsilon: 0.02,
+            vertex_slack: false,
+        }
     }
 }
 
 impl FmConfig {
     /// This configuration with [`FmConfig::vertex_slack`] enabled.
     pub fn with_vertex_slack(&self) -> Self {
-        FmConfig { vertex_slack: true, ..self.clone() }
+        FmConfig {
+            vertex_slack: true,
+            ..self.clone()
+        }
     }
 }
 
@@ -53,6 +60,19 @@ pub fn fm_refine(g: &Csr, part: &mut [u32], cfg: &FmConfig) -> u64 {
 /// FM refinement targeting part 0 holding `frac` of the total vertex
 /// weight (used by recursive k-way partitioning for odd splits).
 pub fn fm_refine_frac(g: &Csr, part: &mut [u32], cfg: &FmConfig, frac: f64) -> u64 {
+    fm_refine_frac_traced(g, part, cfg, frac, &TraceCollector::disabled())
+}
+
+/// [`fm_refine_frac`] with a trace sink: each pass records an `fm/pass{N}`
+/// span, and prefix rollbacks feed the `fm/moves_rolled_back` counter.
+/// With a disabled collector this is exactly `fm_refine_frac`.
+pub fn fm_refine_frac_traced(
+    g: &Csr,
+    part: &mut [u32],
+    cfg: &FmConfig,
+    frac: f64,
+    trace: &TraceCollector,
+) -> u64 {
     let n = g.n();
     assert_eq!(part.len(), n);
     assert!((0.0..=1.0).contains(&frac), "frac must be in [0, 1]");
@@ -78,7 +98,10 @@ pub fn fm_refine_frac(g: &Csr, part: &mut [u32], cfg: &FmConfig, frac: f64) -> u
         }
         lim
     };
-    let strict = [strict_side(target[0], frac), strict_side(target[1], 1.0 - frac)];
+    let strict = [
+        strict_side(target[0], frac),
+        strict_side(target[1], 1.0 - frac),
+    ];
     let loose = [strict[0] + max_vwgt, strict[1] + max_vwgt];
 
     let mut cut = edge_cut(g, part) as i64;
@@ -91,7 +114,8 @@ pub fn fm_refine_frac(g: &Csr, part: &mut [u32], cfg: &FmConfig, frac: f64) -> u
     let mut version: Vec<u32> = vec![0; n];
     let mut locked: Vec<bool> = vec![false; n];
 
-    for _pass in 0..cfg.max_passes {
+    for pass in 0..cfg.max_passes {
+        let span = trace.span(|| format!("fm/pass{pass}"));
         // (Re)compute gains: external minus internal weight.
         for u in 0..n {
             let mut gsum = 0i64;
@@ -113,9 +137,8 @@ pub fn fm_refine_frac(g: &Csr, part: &mut [u32], cfg: &FmConfig, frac: f64) -> u
         // Prefix quality key: (how far either side exceeds its strict
         // limit, cut). The empty prefix is the baseline, so an unbalanced
         // start can also be repaired.
-        let excess = |wp: &[u64; 2]| {
-            wp[0].saturating_sub(strict[0]) + wp[1].saturating_sub(strict[1])
-        };
+        let excess =
+            |wp: &[u64; 2]| wp[0].saturating_sub(strict[0]) + wp[1].saturating_sub(strict[1]);
         let mut best_key = (excess(&wpart), cut);
         let mut best_len = 0usize;
         let mut moves: Vec<u32> = Vec::new();
@@ -158,6 +181,7 @@ pub fn fm_refine_frac(g: &Csr, part: &mut [u32], cfg: &FmConfig, frac: f64) -> u
             }
         }
         // Roll back past the best prefix.
+        trace.counter_add("fm/moves_rolled_back", (moves.len() - best_len) as u64);
         for &u in &moves[best_len..] {
             let u = u as usize;
             let from = part[u] as usize;
@@ -168,6 +192,7 @@ pub fn fm_refine_frac(g: &Csr, part: &mut [u32], cfg: &FmConfig, frac: f64) -> u
         }
         cut = best_key.1;
         debug_assert_eq!(cut, edge_cut(g, part) as i64, "incremental cut drifted");
+        span.finish();
         if cut >= start_cut && best_len == 0 {
             break; // no improvement this pass
         }
@@ -213,13 +238,21 @@ pub fn fm_bisect_frac(
     frac: f64,
     seed: u64,
 ) -> PartitionResult {
-    let t = Timer::start();
+    let trace = coarsen_opts.trace.clone();
+    let span = trace.timed_span(|| "partition/fm/coarsen".to_string());
     let h = coarsen(policy, g, coarsen_opts);
-    let coarsen_seconds = t.seconds();
-    let t = Timer::start();
-    let part = fm_uncoarsen_frac(&h, cfg, frac, seed);
-    let refine_seconds = t.seconds();
+    let coarsen_seconds = span.finish();
+    let span = trace.timed_span(|| "partition/fm/refine".to_string());
+    let part = fm_uncoarsen_frac_traced(&h, cfg, frac, seed, &trace);
+    let refine_seconds = span.finish();
+    // Allowed imbalance on the finest level: the target share plus the
+    // epsilon slack and at most one vertex of rounding, relative to total/2.
+    let total = g.total_vwgt().max(1) as f64;
+    let max_vwgt = g.vwgt().iter().copied().max().unwrap_or(1) as f64;
+    let cap = 2.0 * frac.max(1.0 - frac) * (1.0 + cfg.epsilon) + 2.0 * max_vwgt / total + 1e-9;
+    audit_partition(&trace, "partition/fm", g, &part, cap);
     PartitionResult::new(g, part, coarsen_seconds, refine_seconds, h.num_levels())
+        .with_trace(trace.report())
 }
 
 /// The uncoarsening half: initial partition on the coarsest graph, then
@@ -230,15 +263,27 @@ pub fn fm_uncoarsen(h: &Hierarchy, cfg: &FmConfig, seed: u64) -> Vec<u32> {
 
 /// [`fm_uncoarsen`] with a fractional part-0 weight target.
 pub fn fm_uncoarsen_frac(h: &Hierarchy, cfg: &FmConfig, frac: f64, seed: u64) -> Vec<u32> {
+    fm_uncoarsen_frac_traced(h, cfg, frac, seed, &TraceCollector::disabled())
+}
+
+/// [`fm_uncoarsen_frac`] with a trace sink threaded into every per-level
+/// FM refinement (see [`fm_refine_frac_traced`]).
+pub fn fm_uncoarsen_frac_traced(
+    h: &Hierarchy,
+    cfg: &FmConfig,
+    frac: f64,
+    seed: u64,
+    trace: &TraceCollector,
+) -> Vec<u32> {
     let coarse_cfg = cfg.with_vertex_slack();
     let coarsest = h.coarsest();
     let mut part = crate::ggg::greedy_graph_growing_frac(coarsest, seed, frac);
-    fm_refine_frac(coarsest, &mut part, &coarse_cfg, frac);
+    fm_refine_frac_traced(coarsest, &mut part, &coarse_cfg, frac, trace);
     for level in (0..h.num_levels()).rev() {
         part = h.interpolate_level(level, &part);
         // Tighten to the caller's balance on the finest level only.
         let level_cfg = if level == 0 { cfg } else { &coarse_cfg };
-        fm_refine_frac(h.graph_above(level), &mut part, level_cfg, frac);
+        fm_refine_frac_traced(h.graph_above(level), &mut part, level_cfg, frac, trace);
     }
     part
 }
@@ -290,9 +335,21 @@ mod tests {
         // FM would love to move everything to one side (cut -> 0); the
         // balance limit must prevent it.
         let mut part: Vec<u32> = (0..10).map(|i| u32::from(i >= 5)).collect();
-        fm_refine(&g, &mut part, &FmConfig { max_passes: 4, epsilon: 0.0, vertex_slack: false });
+        fm_refine(
+            &g,
+            &mut part,
+            &FmConfig {
+                max_passes: 4,
+                epsilon: 0.0,
+                vertex_slack: false,
+            },
+        );
         let (w0, w1) = part_weights(&g, &part);
-        assert_eq!(w0.max(w1), 5, "epsilon 0 forbids any imbalance on even totals");
+        assert_eq!(
+            w0.max(w1),
+            5,
+            "epsilon 0 forbids any imbalance on even totals"
+        );
     }
 
     #[test]
@@ -301,8 +358,8 @@ mod tests {
         let mut rng = Xoshiro256pp::new(3);
         let mut part: Vec<u32> = (0..g.n()).map(|_| rng.next_below(2) as u32).collect();
         // Make it balanced first (random may be off by a few).
-        let ones: i64 =
-            part.iter().map(|&p| p as i64).sum::<i64>() - (g.n() as i64 - part.iter().map(|&p| p as i64).sum::<i64>());
+        let ones: i64 = part.iter().map(|&p| p as i64).sum::<i64>()
+            - (g.n() as i64 - part.iter().map(|&p| p as i64).sum::<i64>());
         let mut excess = ones / 2;
         for p in part.iter_mut() {
             if excess > 0 && *p == 1 {
@@ -315,7 +372,10 @@ mod tests {
         }
         let before = edge_cut(&g, &part);
         let after = fm_refine(&g, &mut part, &FmConfig::default());
-        assert!(after < before / 2, "FM should drastically improve random cuts: {before} -> {after}");
+        assert!(
+            after < before / 2,
+            "FM should drastically improve random cuts: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -362,7 +422,15 @@ mod tests {
         let mut g = gen::path(6);
         g.set_vwgt(vec![5, 1, 1, 1, 1, 5]);
         let mut part = vec![0, 0, 0, 1, 1, 1];
-        let cut = fm_refine(&g, &mut part, &FmConfig { max_passes: 4, epsilon: 0.1, vertex_slack: false });
+        let cut = fm_refine(
+            &g,
+            &mut part,
+            &FmConfig {
+                max_passes: 4,
+                epsilon: 0.1,
+                vertex_slack: false,
+            },
+        );
         assert_eq!(cut, edge_cut(&g, &part));
         let (w0, w1) = part_weights(&g, &part);
         assert!(w0.max(w1) <= 8, "weights {w0}/{w1} exceed the 10% slack");

@@ -40,7 +40,10 @@ pub fn greedy_graph_growing_frac(g: &Csr, seed: u64, frac: f64) -> Vec<u32> {
         let part = grow_from(g, start, t0);
         let cut = edge_cut(g, &part);
         let (w0, w1) = mlcg_graph::metrics::part_weights(g, &part);
-        let key = (w0.saturating_sub(t0).max(w1.saturating_sub(total - t0)), cut);
+        let key = (
+            w0.saturating_sub(t0).max(w1.saturating_sub(total - t0)),
+            cut,
+        );
         if best.as_ref().is_none_or(|(bk, _)| key < *bk) {
             best = Some((key, part));
         }
@@ -58,12 +61,12 @@ fn grow_from(g: &Csr, start: u32, target: u64) -> Vec<u32> {
     let mut weight = 0u64;
 
     let add = |u: u32,
-                   part: &mut Vec<u32>,
-                   in_region: &mut Vec<bool>,
-                   gain: &mut Vec<i64>,
-                   version: &mut Vec<u32>,
-                   heap: &mut BinaryHeap<(i64, u32, u32)>,
-                   weight: &mut u64| {
+               part: &mut Vec<u32>,
+               in_region: &mut Vec<bool>,
+               gain: &mut Vec<i64>,
+               version: &mut Vec<u32>,
+               heap: &mut BinaryHeap<(i64, u32, u32)>,
+               weight: &mut u64| {
         part[u as usize] = 0;
         in_region[u as usize] = true;
         *weight += g.vwgt()[u as usize];
@@ -84,14 +87,30 @@ fn grow_from(g: &Csr, start: u32, target: u64) -> Vec<u32> {
     for (u, gslot) in gain.iter_mut().enumerate() {
         *gslot = -(g.weights(u as VId).iter().sum::<u64>() as i64);
     }
-    add(start, &mut part, &mut in_region, &mut gain, &mut version, &mut heap, &mut weight);
+    add(
+        start,
+        &mut part,
+        &mut in_region,
+        &mut gain,
+        &mut version,
+        &mut heap,
+        &mut weight,
+    );
 
     while weight < target {
         let Some((gval, u, ver)) = heap.pop() else {
             // Frontier exhausted (should not happen on connected graphs
             // before reaching half weight); absorb any remaining vertex.
             if let Some(u) = (0..n as u32).find(|&u| !in_region[u as usize]) {
-                add(u, &mut part, &mut in_region, &mut gain, &mut version, &mut heap, &mut weight);
+                add(
+                    u,
+                    &mut part,
+                    &mut in_region,
+                    &mut gain,
+                    &mut version,
+                    &mut heap,
+                    &mut weight,
+                );
                 continue;
             }
             break;
@@ -102,7 +121,15 @@ fn grow_from(g: &Csr, start: u32, target: u64) -> Vec<u32> {
         }
         // Classic GGG: absorb the best-gain frontier vertex outright; the
         // final overshoot is at most one vertex weight and FM repairs it.
-        add(u as u32, &mut part, &mut in_region, &mut gain, &mut version, &mut heap, &mut weight);
+        add(
+            u as u32,
+            &mut part,
+            &mut in_region,
+            &mut gain,
+            &mut version,
+            &mut heap,
+            &mut weight,
+        );
     }
     part
 }

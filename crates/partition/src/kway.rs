@@ -37,10 +37,25 @@ pub fn kway_partition(
     assert!(k >= 1, "k must be positive");
     let t = Timer::start();
     let mut part = vec![0u32; g.n()];
-    recurse(policy, g, k, 0, coarsen_opts, fm, seed, &mut part, &(0..g.n() as u32).collect::<Vec<_>>());
+    recurse(
+        policy,
+        g,
+        k,
+        0,
+        coarsen_opts,
+        fm,
+        seed,
+        &mut part,
+        &(0..g.n() as u32).collect::<Vec<_>>(),
+    );
     let cut = edge_cut(g, &part);
     let imbalance = kway_imbalance(g, &part, k);
-    KwayResult { part, cut, imbalance, seconds: t.seconds() }
+    KwayResult {
+        part,
+        cut,
+        imbalance,
+        seconds: t.seconds(),
+    }
 }
 
 /// `max_p w(p) / (total/k)` for a k-way partition.
@@ -84,11 +99,16 @@ fn recurse(
 
     for side in 0..2u32 {
         let sub_k = if side == 0 { k0 } else { k1 };
-        let label = if side == 0 { base_label } else { base_label + k0 as u32 };
+        let label = if side == 0 {
+            base_label
+        } else {
+            base_label + k0 as u32
+        };
         // Extract the side's induced subgraph (largest component plus any
         // stragglers, which are labeled directly).
-        let side_ids: Vec<u32> =
-            (0..g.n() as u32).filter(|&u| r.part[u as usize] == side).collect();
+        let side_ids: Vec<u32> = (0..g.n() as u32)
+            .filter(|&u| r.part[u as usize] == side)
+            .collect();
         if side_ids.is_empty() {
             continue;
         }
@@ -112,7 +132,8 @@ fn recurse(
                 label,
                 coarsen_opts,
                 fm,
-                seed.wrapping_mul(6364136223846793005).wrapping_add(side as u64 + 1),
+                seed.wrapping_mul(6364136223846793005)
+                    .wrapping_add(side as u64 + 1),
                 out,
                 &sub_ids,
             );
@@ -128,8 +149,7 @@ fn recurse(
             let mut order: Vec<usize> = (0..ncomp).collect();
             order.sort_by_key(|&c| std::cmp::Reverse(comp_weight[c]));
             for c in order {
-                let target =
-                    (0..sub_k).min_by_key(|&p| loads[p]).expect("sub_k >= 1");
+                let target = (0..sub_k).min_by_key(|&p| loads[p]).expect("sub_k >= 1");
                 comp_part[c] = target as u32;
                 loads[target] += comp_weight[c];
             }

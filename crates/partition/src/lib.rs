@@ -21,7 +21,8 @@ pub mod spectral;
 
 pub use fm::{fm_bisect, fm_bisect_frac, FmConfig};
 pub use kway::{kway_partition, KwayResult};
-pub use parref::{parallel_refine, parfm_bisect, ParRefConfig};
 pub use metislike::{metis_like, mtmetis_like};
+pub use parref::{parallel_refine, parfm_bisect, ParRefConfig};
+pub use result::audit_partition;
 pub use result::PartitionResult;
 pub use spectral::{spectral_bisect, SpectralConfig};

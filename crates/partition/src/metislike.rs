@@ -19,13 +19,21 @@ use mlcg_par::ExecPolicy;
 
 /// Metis-like baseline (sequential HEM + GGG + FM).
 pub fn metis_like(g: &Csr, seed: u64) -> PartitionResult {
-    let opts = CoarsenOptions { method: MapMethod::SeqHem, seed, ..Default::default() };
+    let opts = CoarsenOptions {
+        method: MapMethod::SeqHem,
+        seed,
+        ..Default::default()
+    };
     fm_bisect(&ExecPolicy::serial(), g, &opts, &FmConfig::default(), seed)
 }
 
 /// mt-Metis-like baseline (parallel HEM + two-hop matching + GGG + FM).
 pub fn mtmetis_like(policy: &ExecPolicy, g: &Csr, seed: u64) -> PartitionResult {
-    let opts = CoarsenOptions { method: MapMethod::MtMetis, seed, ..Default::default() };
+    let opts = CoarsenOptions {
+        method: MapMethod::MtMetis,
+        seed,
+        ..Default::default()
+    };
     fm_bisect(policy, g, &opts, &FmConfig::default(), seed)
 }
 

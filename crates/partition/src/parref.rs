@@ -34,7 +34,11 @@ pub struct ParRefConfig {
 
 impl Default for ParRefConfig {
     fn default() -> Self {
-        ParRefConfig { max_rounds: 12, epsilon: 0.02, sequential_polish: true }
+        ParRefConfig {
+            max_rounds: 12,
+            epsilon: 0.02,
+            sequential_polish: true,
+        }
     }
 }
 
@@ -64,8 +68,9 @@ pub fn parallel_refine(policy: &ExecPolicy, g: &Csr, part: &mut [u32], cfg: &Par
         // trade (the opposite round direction restores them).
         let budget = AtomicU64::new((limit + max_vwgt).saturating_sub(wpart[to as usize]));
         let snapshot: Vec<u32> = part.to_vec();
-        let moved_flags: Vec<std::sync::atomic::AtomicBool> =
-            (0..n).map(|_| std::sync::atomic::AtomicBool::new(false)).collect();
+        let moved_flags: Vec<std::sync::atomic::AtomicBool> = (0..n)
+            .map(|_| std::sync::atomic::AtomicBool::new(false))
+            .collect();
         let gain_sum = AtomicI64::new(0);
         {
             let snap = &snapshot;
@@ -146,7 +151,11 @@ pub fn parallel_refine(policy: &ExecPolicy, g: &Csr, part: &mut [u32], cfg: &Par
         }
     }
     if cfg.sequential_polish {
-        let fm = FmConfig { max_passes: 2, epsilon: cfg.epsilon, vertex_slack: false };
+        let fm = FmConfig {
+            max_passes: 2,
+            epsilon: cfg.epsilon,
+            vertex_slack: false,
+        };
         cut = fm_refine(g, part, &fm);
     }
     cut
@@ -170,15 +179,13 @@ pub fn parfm_bisect(
     PartitionResult::new(g, part, coarsen_seconds, refine_seconds, h.num_levels())
 }
 
-fn parref_uncoarsen(
-    policy: &ExecPolicy,
-    h: &Hierarchy,
-    cfg: &ParRefConfig,
-    seed: u64,
-) -> Vec<u32> {
+fn parref_uncoarsen(policy: &ExecPolicy, h: &Hierarchy, cfg: &ParRefConfig, seed: u64) -> Vec<u32> {
     let coarsest = h.coarsest();
     let mut part = greedy_graph_growing(coarsest, seed);
-    let coarse_cfg = ParRefConfig { epsilon: cfg.epsilon.max(0.1), ..cfg.clone() };
+    let coarse_cfg = ParRefConfig {
+        epsilon: cfg.epsilon.max(0.1),
+        ..cfg.clone()
+    };
     parallel_refine(policy, coarsest, &mut part, &coarse_cfg);
     for level in (0..h.num_levels()).rev() {
         part = h.interpolate_level(level, &part);
@@ -214,7 +221,10 @@ mod tests {
                 }
             }
             let before = edge_cut(&g, &part);
-            let cfg = ParRefConfig { sequential_polish: false, ..Default::default() };
+            let cfg = ParRefConfig {
+                sequential_polish: false,
+                ..Default::default()
+            };
             let after = parallel_refine(&policy, &g, &mut part, &cfg);
             assert!(after <= before, "{policy}: {before} -> {after}");
             assert_eq!(after, edge_cut(&g, &part));
@@ -225,7 +235,11 @@ mod tests {
     fn respects_balance_envelope() {
         let g = gen::complete(16);
         let mut part: Vec<u32> = (0..16).map(|i| u32::from(i >= 8)).collect();
-        let cfg = ParRefConfig { epsilon: 0.0, sequential_polish: true, ..Default::default() };
+        let cfg = ParRefConfig {
+            epsilon: 0.0,
+            sequential_polish: true,
+            ..Default::default()
+        };
         parallel_refine(&ExecPolicy::host(), &g, &mut part, &cfg);
         let (w0, w1) = part_weights(&g, &part);
         assert_eq!(w0.max(w1), 8, "eps 0 requires exact balance on even totals");
@@ -242,7 +256,13 @@ mod tests {
             &FmConfig::default(),
             3,
         );
-        let par = parfm_bisect(&policy, &g, &CoarsenOptions::default(), &Default::default(), 3);
+        let par = parfm_bisect(
+            &policy,
+            &g,
+            &CoarsenOptions::default(),
+            &Default::default(),
+            3,
+        );
         assert!(
             par.cut as f64 <= 2.0 * seq.cut as f64,
             "parallel refinement too weak: {} vs {}",
@@ -256,7 +276,10 @@ mod tests {
     fn pure_parallel_without_polish_still_reasonable() {
         let g = gen::grid2d(24, 24);
         let policy = ExecPolicy::host();
-        let cfg = ParRefConfig { sequential_polish: false, ..Default::default() };
+        let cfg = ParRefConfig {
+            sequential_polish: false,
+            ..Default::default()
+        };
         let r = parfm_bisect(&policy, &g, &CoarsenOptions::default(), &cfg, 9);
         // Optimal is 24; grant generous slack for the purely parallel path.
         assert!(r.cut <= 96, "cut {}", r.cut);

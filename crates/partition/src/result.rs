@@ -2,6 +2,7 @@
 
 use mlcg_graph::metrics::{edge_cut, imbalance};
 use mlcg_graph::Csr;
+use mlcg_par::{TraceCollector, TraceReport};
 
 /// Outcome of a bisection run, with the phase breakdown the paper's
 /// Table V reports.
@@ -19,6 +20,9 @@ pub struct PartitionResult {
     pub refine_seconds: f64,
     /// Coarsening levels used.
     pub levels: usize,
+    /// Pipeline trace (spans/counters/gauges/audits); empty unless the run
+    /// was driven with an enabled [`mlcg_par::TraceCollector`].
+    pub trace: TraceReport,
 }
 
 impl PartitionResult {
@@ -32,7 +36,21 @@ impl PartitionResult {
     ) -> Self {
         let cut = edge_cut(g, &part);
         let imb = imbalance(g, &part);
-        PartitionResult { part, cut, imbalance: imb, coarsen_seconds, refine_seconds, levels }
+        PartitionResult {
+            part,
+            cut,
+            imbalance: imb,
+            coarsen_seconds,
+            refine_seconds,
+            levels,
+            trace: TraceReport::default(),
+        }
+    }
+
+    /// Attach a pipeline trace snapshot (builder style).
+    pub fn with_trace(mut self, trace: TraceReport) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Total wall time.
@@ -48,6 +66,42 @@ impl PartitionResult {
         } else {
             self.coarsen_seconds / t
         }
+    }
+}
+
+/// Opt-in partition audit: records `partition-valid` (labels cover every
+/// vertex and are 0/1) and `partition-balance` (imbalance within
+/// `max_imbalance`) under `phase`. No-op unless the collector has
+/// validation enabled (`MLCG_VALIDATE=1` or `TraceConfig::validate`).
+pub fn audit_partition(
+    trace: &TraceCollector,
+    phase: &str,
+    g: &Csr,
+    part: &[u32],
+    max_imbalance: f64,
+) {
+    if !trace.validate_enabled() {
+        return;
+    }
+    let valid = if part.len() != g.n() {
+        Err(format!("part length {} != n {}", part.len(), g.n()))
+    } else if let Some(u) = part.iter().position(|&p| p > 1) {
+        Err(format!("vertex {u} has label {} (want 0/1)", part[u]))
+    } else {
+        Ok(())
+    };
+    let structurally_ok = valid.is_ok();
+    trace.audit(phase, "partition-valid", valid);
+    if structurally_ok && g.n() > 0 {
+        let imb = imbalance(g, part);
+        let res = if imb <= max_imbalance {
+            Ok(())
+        } else {
+            Err(format!(
+                "imbalance {imb:.4} exceeds allowed {max_imbalance:.4}"
+            ))
+        };
+        trace.audit(phase, "partition-balance", res);
     }
 }
 

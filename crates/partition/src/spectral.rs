@@ -8,11 +8,11 @@
 //! cuts allow no imbalance — matching the paper's protocol. The stopping
 //! criterion is the iterate 2-norm difference falling below 1e-10.
 
-use crate::result::{split_weighted_median, PartitionResult};
+use crate::result::{audit_partition, split_weighted_median, PartitionResult};
 use mlcg_coarsen::{coarsen, CoarsenOptions};
 use mlcg_graph::Csr;
-use mlcg_par::{ExecPolicy, Timer};
-use mlcg_sparse::fiedler::{fiedler_from, fiedler_vector};
+use mlcg_par::ExecPolicy;
+use mlcg_sparse::fiedler::{fiedler_from_traced, fiedler_vector_traced};
 
 /// Spectral bisection tuning.
 #[derive(Clone, Debug)]
@@ -28,7 +28,11 @@ pub struct SpectralConfig {
 
 impl Default for SpectralConfig {
     fn default() -> Self {
-        SpectralConfig { tol: 1e-10, coarse_max_iters: 20_000, refine_max_iters: 2_000 }
+        SpectralConfig {
+            tol: 1e-10,
+            coarse_max_iters: 20_000,
+            refine_max_iters: 2_000,
+        }
     }
 }
 
@@ -40,20 +44,44 @@ pub fn spectral_bisect(
     cfg: &SpectralConfig,
     seed: u64,
 ) -> PartitionResult {
-    let t = Timer::start();
+    let trace = coarsen_opts.trace.clone();
+    let span = trace.timed_span(|| "partition/spectral/coarsen".to_string());
     let h = coarsen(policy, g, coarsen_opts);
-    let coarsen_seconds = t.seconds();
+    let coarsen_seconds = span.finish();
 
-    let t = Timer::start();
+    let span = trace.timed_span(|| "partition/spectral/refine".to_string());
     let coarsest = h.coarsest();
-    let mut x = fiedler_vector(policy, coarsest, cfg.tol, cfg.coarse_max_iters, seed).vector;
+    let mut x = fiedler_vector_traced(
+        policy,
+        coarsest,
+        cfg.tol,
+        cfg.coarse_max_iters,
+        seed,
+        &trace,
+        "fiedler/coarsest",
+    )
+    .vector;
     for level in (0..h.num_levels()).rev() {
         x = h.interpolate_level(level, &x);
-        x = fiedler_from(policy, h.graph_above(level), x, cfg.tol, cfg.refine_max_iters).vector;
+        x = fiedler_from_traced(
+            policy,
+            h.graph_above(level),
+            x,
+            cfg.tol,
+            cfg.refine_max_iters,
+            &trace,
+            &format!("fiedler/level{level}"),
+        )
+        .vector;
     }
     let part = split_weighted_median(g, &x);
-    let refine_seconds = t.seconds();
+    let refine_seconds = span.finish();
+    // The weighted-median split overshoots total/2 by at most one vertex.
+    let max_vwgt = g.vwgt().iter().copied().max().unwrap_or(1) as f64;
+    let cap = 1.0 + 2.0 * max_vwgt / g.total_vwgt().max(1) as f64 + 1e-9;
+    audit_partition(&trace, "partition/spectral", g, &part, cap);
     PartitionResult::new(g, part, coarsen_seconds, refine_seconds, h.num_levels())
+        .with_trace(trace.report())
 }
 
 #[cfg(test)]
@@ -64,7 +92,10 @@ mod tests {
     use mlcg_graph::metrics::part_weights;
 
     fn opts(method: MapMethod) -> CoarsenOptions {
-        CoarsenOptions { method, ..Default::default() }
+        CoarsenOptions {
+            method,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -108,7 +139,12 @@ mod tests {
     #[test]
     fn different_coarseners_give_valid_results() {
         let g = gen::grid2d(12, 12);
-        for method in [MapMethod::Hec, MapMethod::Hem, MapMethod::MtMetis, MapMethod::Mis2] {
+        for method in [
+            MapMethod::Hec,
+            MapMethod::Hem,
+            MapMethod::MtMetis,
+            MapMethod::Mis2,
+        ] {
             let r = spectral_bisect(
                 &ExecPolicy::serial(),
                 &g,

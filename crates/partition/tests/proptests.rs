@@ -1,36 +1,39 @@
 //! Property-based tests for the partitioners: refinement invariants,
 //! balance envelopes, and k-way label well-formedness on random connected
 //! weighted graphs.
+//!
+//! Randomized via the dependency-free [`mlcg_par::proplite`] harness; a
+//! failing case prints the seed that reproduces it.
 
 use mlcg_coarsen::CoarsenOptions;
 use mlcg_graph::builder::from_edges_weighted;
 use mlcg_graph::cc::largest_component;
 use mlcg_graph::metrics::{edge_cut, part_weights};
 use mlcg_graph::Csr;
+use mlcg_par::proplite::{run_cases, Gen};
 use mlcg_par::ExecPolicy;
 use mlcg_partition::fm::{fm_refine_frac, FmConfig};
 use mlcg_partition::ggg::greedy_graph_growing_frac;
 use mlcg_partition::kway::{kway_imbalance, kway_partition};
 use mlcg_partition::parref::{parallel_refine, ParRefConfig};
-use proptest::prelude::*;
 
-fn connected_graph() -> impl Strategy<Value = Csr> {
-    (4usize..50, any::<u64>()).prop_map(|(n, seed)| {
-        let mut rng = mlcg_par::rng::Xoshiro256pp::new(seed);
-        let mut edges: Vec<(u32, u32, u64)> = Vec::new();
-        for v in 1..n as u32 {
-            let u = rng.next_below(v as u64) as u32;
-            edges.push((u, v, 1 + rng.next_below(20)));
+fn connected_graph(g: &mut Gen) -> Csr {
+    let n = g.usize_in(4, 50);
+    let seed = g.u64();
+    let mut rng = mlcg_par::rng::Xoshiro256pp::new(seed);
+    let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+    for v in 1..n as u32 {
+        let u = rng.next_below(v as u64) as u32;
+        edges.push((u, v, 1 + rng.next_below(20)));
+    }
+    for _ in 0..2 * n {
+        let a = rng.next_below(n as u64) as u32;
+        let b = rng.next_below(n as u64) as u32;
+        if a != b {
+            edges.push((a, b, 1 + rng.next_below(20)));
         }
-        for _ in 0..2 * n {
-            let a = rng.next_below(n as u64) as u32;
-            let b = rng.next_below(n as u64) as u32;
-            if a != b {
-                edges.push((a, b, 1 + rng.next_below(20)));
-            }
-        }
-        largest_component(&from_edges_weighted(n, &edges)).0
-    })
+    }
+    largest_component(&from_edges_weighted(n, &edges)).0
 }
 
 fn balanced_random_part(n: usize, seed: u64) -> Vec<u32> {
@@ -48,69 +51,72 @@ fn balanced_random_part(n: usize, seed: u64) -> Vec<u32> {
     part
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn fractional_fm_respects_its_target(
-        g in connected_graph(),
-        seed in any::<u64>(),
-        frac_pct in 30u64..=70,
-    ) {
-        let frac = frac_pct as f64 / 100.0;
+#[test]
+fn fractional_fm_respects_its_target() {
+    run_cases(32, 0xB1, |gen| {
+        let g = connected_graph(gen);
+        let seed = gen.u64();
+        let frac = gen.usize_in(30, 71) as f64 / 100.0;
         let mut part = balanced_random_part(g.n(), seed);
         let cfg = FmConfig::default();
         let cut = fm_refine_frac(&g, &mut part, &cfg, frac);
-        prop_assert_eq!(cut, edge_cut(&g, &part));
+        assert_eq!(cut, edge_cut(&g, &part));
         let total = g.total_vwgt();
         let (w0, w1) = part_weights(&g, &part);
         let max_vwgt = g.vwgt().iter().copied().max().unwrap_or(1);
         // Each side stays within epsilon + rounding + one vertex of its share.
         let bound0 = ((total as f64 * frac * 1.02).ceil() as u64) + max_vwgt;
         let bound1 = ((total as f64 * (1.0 - frac) * 1.02).ceil() as u64) + max_vwgt;
-        prop_assert!(w0 <= bound0, "w0 {w0} > {bound0} (frac {frac})");
-        prop_assert!(w1 <= bound1, "w1 {w1} > {bound1} (frac {frac})");
-    }
+        assert!(w0 <= bound0, "w0 {w0} > {bound0} (frac {frac})");
+        assert!(w1 <= bound1, "w1 {w1} > {bound1} (frac {frac})");
+    });
+}
 
-    #[test]
-    fn ggg_frac_hits_the_target_within_one_vertex(
-        g in connected_graph(),
-        seed in any::<u64>(),
-        frac_pct in 25u64..=75,
-    ) {
-        let frac = frac_pct as f64 / 100.0;
+#[test]
+fn ggg_frac_hits_the_target_within_one_vertex() {
+    run_cases(32, 0xB2, |gen| {
+        let g = connected_graph(gen);
+        let seed = gen.u64();
+        let frac = gen.usize_in(25, 76) as f64 / 100.0;
         let part = greedy_graph_growing_frac(&g, seed, frac);
         let total = g.total_vwgt();
         let t0 = (total as f64 * frac).round() as u64;
         let (w0, _) = part_weights(&g, &part);
         let max_vwgt = g.vwgt().iter().copied().max().unwrap_or(1);
-        prop_assert!(w0 >= t0.min(total), "region under target: {w0} < {t0}");
-        prop_assert!(w0 <= t0 + max_vwgt, "region overshoot: {w0} > {t0} + {max_vwgt}");
-    }
+        assert!(w0 >= t0.min(total), "region under target: {w0} < {t0}");
+        assert!(
+            w0 <= t0 + max_vwgt,
+            "region overshoot: {w0} > {t0} + {max_vwgt}"
+        );
+    });
+}
 
-    #[test]
-    fn parallel_refine_is_sound(
-        g in connected_graph(),
-        seed in any::<u64>(),
-    ) {
-        let mut part = balanced_random_part(g.n(), seed);
+#[test]
+fn parallel_refine_is_sound() {
+    run_cases(32, 0xB3, |gen| {
+        let g = connected_graph(gen);
+        let seed = gen.u64();
+        let part = balanced_random_part(g.n(), seed);
         let before = edge_cut(&g, &part);
-        let cfg = ParRefConfig { sequential_polish: false, ..Default::default() };
+        let cfg = ParRefConfig {
+            sequential_polish: false,
+            ..Default::default()
+        };
         for policy in ExecPolicy::all_test_policies() {
             let mut p = part.clone();
             let after = parallel_refine(&policy, &g, &mut p, &cfg);
-            prop_assert!(after <= before);
-            prop_assert_eq!(after, edge_cut(&g, &p));
+            assert!(after <= before, "refinement worsened {before} -> {after}");
+            assert_eq!(after, edge_cut(&g, &p));
         }
-        let _ = &mut part;
-    }
+    });
+}
 
-    #[test]
-    fn kway_labels_are_complete_and_bounded(
-        g in connected_graph(),
-        k in 2usize..6,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn kway_labels_are_complete_and_bounded() {
+    run_cases(32, 0xB4, |gen| {
+        let g = connected_graph(gen);
+        let k = gen.usize_in(2, 6);
+        let seed = gen.u64();
         let r = kway_partition(
             &ExecPolicy::serial(),
             &g,
@@ -119,17 +125,17 @@ proptest! {
             &FmConfig::default(),
             seed,
         );
-        prop_assert_eq!(r.part.len(), g.n());
-        prop_assert!(r.part.iter().all(|&p| (p as usize) < k));
-        prop_assert_eq!(r.cut, edge_cut(&g, &r.part));
-        prop_assert_eq!(r.imbalance, kway_imbalance(&g, &r.part, k));
+        assert_eq!(r.part.len(), g.n());
+        assert!(r.part.iter().all(|&p| (p as usize) < k));
+        assert_eq!(r.cut, edge_cut(&g, &r.part));
+        assert_eq!(r.imbalance, kway_imbalance(&g, &r.part, k));
         // Tiny graphs cannot always fill every label; require it only when
         // there is room.
         if g.n() >= 4 * k {
             let mut used: Vec<u32> = r.part.clone();
             used.sort_unstable();
             used.dedup();
-            prop_assert!(used.len() > k / 2, "only {} of {k} labels used", used.len());
+            assert!(used.len() > k / 2, "only {} of {k} labels used", used.len());
         }
-    }
+    });
 }

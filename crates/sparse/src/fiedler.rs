@@ -12,7 +12,7 @@ use crate::matrix::CsrMatrix;
 use crate::ops::{deflate_constant, norm2, normalize, spmv};
 use mlcg_graph::Csr;
 use mlcg_par::rng::Xoshiro256pp;
-use mlcg_par::ExecPolicy;
+use mlcg_par::{ExecPolicy, TraceCollector};
 
 /// Outcome of a power iteration run.
 #[derive(Clone, Debug)]
@@ -54,7 +54,12 @@ pub fn fiedler_from(
     let n = g.n();
     assert_eq!(x.len(), n);
     if n == 0 {
-        return PowerIterResult { vector: x, iterations: 0, converged: true, lambda2: 0.0 };
+        return PowerIterResult {
+            vector: x,
+            iterations: 0,
+            converged: true,
+            lambda2: 0.0,
+        };
     }
     let (b, sigma) = CsrMatrix::shifted_laplacian(g);
     deflate_constant(&mut x);
@@ -80,8 +85,16 @@ pub fn fiedler_from(
         }
         iterations += 1;
         // Eigenvectors are sign-ambiguous; compare up to sign.
-        let diff_pos: f64 = x.iter().zip(&y).map(|(a, c)| (a - c) * (a - c)).sum::<f64>();
-        let diff_neg: f64 = x.iter().zip(&y).map(|(a, c)| (a + c) * (a + c)).sum::<f64>();
+        let diff_pos: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(a, c)| (a - c) * (a - c))
+            .sum::<f64>();
+        let diff_neg: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(a, c)| (a + c) * (a + c))
+            .sum::<f64>();
         let diff = diff_pos.min(diff_neg).sqrt();
         std::mem::swap(&mut x, &mut y);
         if diff < tol {
@@ -89,7 +102,48 @@ pub fn fiedler_from(
             break;
         }
     }
-    PowerIterResult { vector: x, iterations, converged, lambda2: sigma - mu }
+    PowerIterResult {
+        vector: x,
+        iterations,
+        converged,
+        lambda2: sigma - mu,
+    }
+}
+
+/// [`fiedler_vector`] with a trace sink: records a span named `phase` plus
+/// the `fiedler/power_iterations` counter. With a disabled collector this
+/// is exactly [`fiedler_vector`].
+pub fn fiedler_vector_traced(
+    policy: &ExecPolicy,
+    g: &Csr,
+    tol: f64,
+    max_iters: usize,
+    seed: u64,
+    trace: &TraceCollector,
+    phase: &str,
+) -> PowerIterResult {
+    let span = trace.span(|| phase.to_string());
+    let r = fiedler_vector(policy, g, tol, max_iters, seed);
+    trace.counter_add("fiedler/power_iterations", r.iterations as u64);
+    span.finish();
+    r
+}
+
+/// [`fiedler_from`] with a trace sink; see [`fiedler_vector_traced`].
+pub fn fiedler_from_traced(
+    policy: &ExecPolicy,
+    g: &Csr,
+    x: Vec<f64>,
+    tol: f64,
+    max_iters: usize,
+    trace: &TraceCollector,
+    phase: &str,
+) -> PowerIterResult {
+    let span = trace.span(|| phase.to_string());
+    let r = fiedler_from(policy, g, x, tol, max_iters);
+    trace.counter_add("fiedler/power_iterations", r.iterations as u64);
+    span.finish();
+    r
 }
 
 /// Residual `‖L·x − λ₂·x‖₂` — a convergence quality check used in tests and
@@ -134,7 +188,11 @@ mod tests {
         let r = fiedler_vector(&ExecPolicy::serial(), &g, TOL, 50_000, 3);
         let expect = 2.0 * (1.0 - (std::f64::consts::PI / n as f64).cos());
         assert!(r.converged);
-        assert!((r.lambda2 - expect).abs() < 1e-6, "λ₂ {} vs {expect}", r.lambda2);
+        assert!(
+            (r.lambda2 - expect).abs() < 1e-6,
+            "λ₂ {} vs {expect}",
+            r.lambda2
+        );
     }
 
     #[test]
@@ -144,7 +202,11 @@ mod tests {
         let g = cycle(n);
         let r = fiedler_vector(&ExecPolicy::serial(), &g, TOL, 50_000, 5);
         let expect = 2.0 * (1.0 - (2.0 * std::f64::consts::PI / n as f64).cos());
-        assert!((r.lambda2 - expect).abs() < 1e-5, "λ₂ {} vs {expect}", r.lambda2);
+        assert!(
+            (r.lambda2 - expect).abs() < 1e-5,
+            "λ₂ {} vs {expect}",
+            r.lambda2
+        );
     }
 
     #[test]
@@ -174,7 +236,11 @@ mod tests {
         let p = ExecPolicy::serial();
         let r = fiedler_vector(&p, &g, TOL, 100_000, 13);
         assert!(r.converged);
-        assert!(residual(&p, &g, &r) < 1e-6, "residual {}", residual(&p, &g, &r));
+        assert!(
+            residual(&p, &g, &r) < 1e-6,
+            "residual {}",
+            residual(&p, &g, &r)
+        );
     }
 
     #[test]

@@ -77,7 +77,13 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        CsrMatrix { n_rows: n, n_cols: n, row_ptr, col_idx, values }
+        CsrMatrix {
+            n_rows: n,
+            n_cols: n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// The shifted operator `σI − L` whose dominant eigenvector (after
@@ -121,7 +127,13 @@ impl CsrMatrix {
             col_idx[cursor[m as usize]] = u as u32;
             cursor[m as usize] += 1;
         }
-        CsrMatrix { n_rows: n_coarse, n_cols: n, row_ptr, col_idx, values: vec![1.0; n] }
+        CsrMatrix {
+            n_rows: n_coarse,
+            n_cols: n,
+            row_ptr,
+            col_idx,
+            values: vec![1.0; n],
+        }
     }
 
     /// Dense form, for small test matrices.
@@ -166,7 +178,14 @@ mod tests {
     fn identity_dense() {
         let i3 = CsrMatrix::identity(3);
         i3.validate().unwrap();
-        assert_eq!(i3.to_dense(), vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0], vec![0.0, 0.0, 1.0]]);
+        assert_eq!(
+            i3.to_dense(),
+            vec![
+                vec![1.0, 0.0, 0.0],
+                vec![0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 1.0]
+            ]
+        );
     }
 
     #[test]
@@ -191,8 +210,16 @@ mod tests {
         let (m, sigma) = CsrMatrix::shifted_laplacian(&g);
         let d = m.to_dense();
         for (i, row) in d.iter().enumerate() {
-            let off: f64 = row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v.abs()).sum();
-            assert!(row[i] >= off, "row {i} not diagonally dominant (sigma {sigma})");
+            let off: f64 = row
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &v)| v.abs())
+                .sum();
+            assert!(
+                row[i] >= off,
+                "row {i} not diagonally dominant (sigma {sigma})"
+            );
             assert!(row[i] > 0.0);
         }
     }

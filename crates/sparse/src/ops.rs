@@ -44,7 +44,13 @@ pub fn transpose(a: &CsrMatrix) -> CsrMatrix {
             cursor[c as usize] += 1;
         }
     }
-    CsrMatrix { n_rows: a.n_cols, n_cols: a.n_rows, row_ptr, col_idx, values }
+    CsrMatrix {
+        n_rows: a.n_cols,
+        n_cols: a.n_rows,
+        row_ptr,
+        col_idx,
+        values,
+    }
 }
 
 /// Euclidean norm.

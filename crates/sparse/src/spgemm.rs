@@ -98,7 +98,13 @@ pub fn spgemm(policy: &ExecPolicy, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
             }
         });
     }
-    CsrMatrix { n_rows: n, n_cols: m, row_ptr, col_idx, values }
+    CsrMatrix {
+        n_rows: n,
+        n_cols: m,
+        row_ptr,
+        col_idx,
+        values,
+    }
 }
 
 fn sort_row(cols: &mut [u32], vals: &mut [f64]) {
@@ -143,8 +149,9 @@ mod tests {
         let mut col_idx = Vec::new();
         let mut values = Vec::new();
         for _ in 0..rows {
-            let mut cs: Vec<u32> =
-                (0..nnz_per_row).map(|_| rng.next_below(cols as u64) as u32).collect();
+            let mut cs: Vec<u32> = (0..nnz_per_row)
+                .map(|_| rng.next_below(cols as u64) as u32)
+                .collect();
             cs.sort_unstable();
             cs.dedup();
             for &c in &cs {
@@ -153,7 +160,13 @@ mod tests {
             }
             row_ptr.push(col_idx.len());
         }
-        CsrMatrix { n_rows: rows, n_cols: cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            n_rows: rows,
+            n_cols: cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     #[test]
@@ -184,7 +197,10 @@ mod tests {
         let c = spgemm(&policy, &a, &transpose(&a));
         for i in 0..c.n_rows {
             let (cols, _) = c.row(i);
-            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted or duplicated");
+            assert!(
+                cols.windows(2).all(|w| w[0] < w[1]),
+                "row {i} unsorted or duplicated"
+            );
         }
     }
 
@@ -217,6 +233,9 @@ mod tests {
         let papt = spgemm(&policy, &pa, &transpose(&p));
         let total_in: f64 = a.values.iter().sum();
         let total_out: f64 = papt.values.iter().sum();
-        assert!((total_in - total_out).abs() < 1e-9, "PAP^T must conserve total weight");
+        assert!(
+            (total_in - total_out).abs() < 1e-9,
+            "PAP^T must conserve total weight"
+        );
     }
 }

@@ -12,8 +12,9 @@ fn random_matrix(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> Csr
     let mut col_idx = Vec::new();
     let mut values = Vec::new();
     for _ in 0..rows {
-        let mut cs: Vec<u32> =
-            (0..nnz_per_row).map(|_| rng.next_below(cols as u64) as u32).collect();
+        let mut cs: Vec<u32> = (0..nnz_per_row)
+            .map(|_| rng.next_below(cols as u64) as u32)
+            .collect();
         cs.sort_unstable();
         cs.dedup();
         for &c in &cs {
@@ -22,7 +23,13 @@ fn random_matrix(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> Csr
         }
         row_ptr.push(col_idx.len());
     }
-    CsrMatrix { n_rows: rows, n_cols: cols, row_ptr, col_idx, values }
+    CsrMatrix {
+        n_rows: rows,
+        n_cols: cols,
+        row_ptr,
+        col_idx,
+        values,
+    }
 }
 
 fn assert_close(a: &CsrMatrix, b: &CsrMatrix, tol: f64) {
@@ -84,7 +91,20 @@ fn spmv_agrees_with_spgemm_on_a_column() {
 #[test]
 fn laplacian_quadratic_form_is_nonnegative() {
     // xᵀ L x = Σ_{(u,v)∈E} w(u,v) (x_u − x_v)² ≥ 0 for arbitrary x.
-    let g = from_edges_weighted(8, &[(0, 1, 3), (1, 2, 1), (2, 3, 5), (3, 4, 2), (4, 5, 7), (5, 6, 1), (6, 7, 2), (0, 7, 4), (2, 6, 9)]);
+    let g = from_edges_weighted(
+        8,
+        &[
+            (0, 1, 3),
+            (1, 2, 1),
+            (2, 3, 5),
+            (3, 4, 2),
+            (4, 5, 7),
+            (5, 6, 1),
+            (6, 7, 2),
+            (0, 7, 4),
+            (2, 6, 9),
+        ],
+    );
     let l = CsrMatrix::laplacian(&g);
     let policy = ExecPolicy::serial();
     let mut rng = Xoshiro256pp::new(11);

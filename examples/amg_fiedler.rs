@@ -31,7 +31,11 @@ fn operator_to_graph(op: &CsrMatrix) -> Csr {
             }
         }
     }
-    let scale = if min_mag.is_finite() && min_mag < 1.0 { 1.0 / min_mag } else { 1.0 };
+    let scale = if min_mag.is_finite() && min_mag < 1.0 {
+        1.0 / min_mag
+    } else {
+        1.0
+    };
     let mut edges = Vec::new();
     for i in 0..op.n_rows {
         let (cols, vals) = op.row(i);
@@ -58,7 +62,10 @@ fn main() {
             break;
         }
         // No drop tolerance here: this use case wants the exact operator.
-        let opts = AceOptions { drop_tol: 0.0, ..Default::default() };
+        let opts = AceOptions {
+            drop_tol: 0.0,
+            ..Default::default()
+        };
         let lvl = ace_coarsen(&policy, &current, &opts);
         let coarse_graph = operator_to_graph(&lvl.coarse);
         let next = mlcg_graph_connected(coarse_graph);
@@ -97,7 +104,11 @@ fn main() {
         // x_fine = P x_coarse (P is n_fine x n_coarse).
         let mut xf = vec![0.0; lvl.p.n_rows];
         spmv(&policy, &lvl.p, &x, &mut xf);
-        let level_tol = if i + 1 == levels.len() { tol } else { loose_tol };
+        let level_tol = if i + 1 == levels.len() {
+            tol
+        } else {
+            loose_tol
+        };
         let refined = fiedler_from(&policy, fine_graph, xf, level_tol, 100_000);
         work += refined.iterations * fine_graph.size();
         x = refined.vector;

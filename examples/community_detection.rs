@@ -46,18 +46,32 @@ fn planted_partition(seed: u64) -> (Csr, Vec<u32>) {
 
 /// Recursive spectral bisection into k clusters (balance relaxed: each
 /// split just takes the Fiedler sign, no median balancing).
-fn spectral_clusters(policy: &ExecPolicy, g: &Csr, k: usize, labels: &mut [u32], base: u32, ids: &[u32]) {
+fn spectral_clusters(
+    policy: &ExecPolicy,
+    g: &Csr,
+    k: usize,
+    labels: &mut [u32],
+    base: u32,
+    ids: &[u32],
+) {
     if k <= 1 || g.n() < 8 {
         for &u in ids {
             labels[u as usize] = base;
         }
         return;
     }
-    let r = spectral_bisect(policy, g, &CoarsenOptions::default(), &SpectralConfig::default(), 7);
+    let r = spectral_bisect(
+        policy,
+        g,
+        &CoarsenOptions::default(),
+        &SpectralConfig::default(),
+        7,
+    );
     let k0 = k.div_ceil(2);
     for side in 0..2u32 {
-        let side_local: Vec<u32> =
-            (0..g.n() as u32).filter(|&u| r.part[u as usize] == side).collect();
+        let side_local: Vec<u32> = (0..g.n() as u32)
+            .filter(|&u| r.part[u as usize] == side)
+            .collect();
         if side_local.is_empty() {
             continue;
         }
@@ -126,6 +140,9 @@ fn main() {
         sizes[(l as usize).min(COMMUNITIES)] += 1;
     }
     println!("cluster sizes: {:?}", &sizes[..COMMUNITIES]);
-    assert!(f1 > 0.8, "clustering failed to recover the planted structure (F1 {f1:.3})");
+    assert!(
+        f1 > 0.8,
+        "clustering failed to recover the planted structure (F1 {f1:.3})"
+    );
     println!("recovered the planted communities ✔");
 }

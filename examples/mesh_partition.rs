@@ -19,11 +19,19 @@ fn recursive_bisect(policy: &ExecPolicy, g: &Csr, depth: u32, seed: u64) -> Vec<
     if depth == 0 || g.n() < 4 {
         return vec![0; g.n()];
     }
-    let r = fm_bisect(policy, g, &CoarsenOptions::default(), &FmConfig::default(), seed);
+    let r = fm_bisect(
+        policy,
+        g,
+        &CoarsenOptions::default(),
+        &FmConfig::default(),
+        seed,
+    );
     // Split into subgraphs and recurse.
     let mut labels = vec![0u32; g.n()];
     for side in 0..2u32 {
-        let ids: Vec<u32> = (0..g.n() as u32).filter(|&u| r.part[u as usize] == side).collect();
+        let ids: Vec<u32> = (0..g.n() as u32)
+            .filter(|&u| r.part[u as usize] == side)
+            .collect();
         let mut newid = vec![u32::MAX; g.n()];
         for (i, &u) in ids.iter().enumerate() {
             newid[u as usize] = i as u32;
@@ -40,13 +48,21 @@ fn recursive_bisect(policy: &ExecPolicy, g: &Csr, depth: u32, seed: u64) -> Vec<
         let (lcc, map) = multilevel_coarsen::graph::cc::largest_component(&sub);
         // Recurse only on the largest component; stragglers stay put.
         let sub_labels = if lcc.n() > 4 {
-            recursive_bisect(policy, &lcc, depth - 1, seed.wrapping_mul(31).wrapping_add(7))
+            recursive_bisect(
+                policy,
+                &lcc,
+                depth - 1,
+                seed.wrapping_mul(31).wrapping_add(7),
+            )
         } else {
             vec![0; lcc.n()]
         };
         for (i, &u) in ids.iter().enumerate() {
-            let sub_label =
-                if map[i] != u32::MAX { sub_labels[map[i] as usize] } else { 0 };
+            let sub_label = if map[i] != u32::MAX {
+                sub_labels[map[i] as usize]
+            } else {
+                0
+            };
             labels[u as usize] = side * (1 << (depth - 1)) + sub_label;
         }
     }
@@ -60,10 +76,25 @@ fn main() {
 
     // Head-to-head bisection.
     for (name, r) in [
-        ("FM + HEC", fm_bisect(&policy, &g, &CoarsenOptions::default(), &FmConfig::default(), 1)),
+        (
+            "FM + HEC",
+            fm_bisect(
+                &policy,
+                &g,
+                &CoarsenOptions::default(),
+                &FmConfig::default(),
+                1,
+            ),
+        ),
         (
             "spectral + HEC",
-            spectral_bisect(&policy, &g, &CoarsenOptions::default(), &SpectralConfig::default(), 1),
+            spectral_bisect(
+                &policy,
+                &g,
+                &CoarsenOptions::default(),
+                &SpectralConfig::default(),
+                1,
+            ),
         ),
         ("Metis-like", metis_like(&g, 1)),
         ("mt-Metis-like", mtmetis_like(&policy, &g, 1)),

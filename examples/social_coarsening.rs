@@ -10,15 +10,23 @@
 
 use multilevel_coarsen::graph::cc::largest_component;
 use multilevel_coarsen::graph::generators;
-use multilevel_coarsen::prelude::*;
 use multilevel_coarsen::par::Timer;
+use multilevel_coarsen::prelude::*;
 
 fn main() {
     // A hub-heavy social network stand-in (RMAT with Graph500 parameters).
     let (g, _) = largest_component(&generators::rmat(15, 12, 0.57, 0.19, 0.19, 7));
     println!("social network: {}", g.summary());
     let stats = DegreeStats::of(&g);
-    println!("degree skew Δ/avg = {:.1} -> {}", stats.skew, if stats.is_skewed() { "skewed group" } else { "regular group" });
+    println!(
+        "degree skew Δ/avg = {:.1} -> {}",
+        stats.skew,
+        if stats.is_skewed() {
+            "skewed group"
+        } else {
+            "regular group"
+        }
+    );
 
     let policy = ExecPolicy::host();
     println!(
@@ -36,7 +44,10 @@ fn main() {
         MapMethod::Mis2,
         MapMethod::Suitor,
     ] {
-        let opts = CoarsenOptions { method, ..Default::default() };
+        let opts = CoarsenOptions {
+            method,
+            ..Default::default()
+        };
         let t = Timer::start();
         let h = coarsen(&policy, &g, &opts);
         let ms = t.seconds() * 1e3;

@@ -9,8 +9,8 @@
 //! # -> writes target/spectral_drawing.svg
 //! ```
 
-use multilevel_coarsen::graph::generators::delaunay_like;
 use multilevel_coarsen::graph::cc::largest_component;
+use multilevel_coarsen::graph::generators::delaunay_like;
 use multilevel_coarsen::prelude::*;
 use multilevel_coarsen::sparse::fiedler::{fiedler_from, fiedler_vector};
 use multilevel_coarsen::sparse::ops::{dot, normalize};
@@ -40,13 +40,16 @@ fn main() {
 
     // Render.
     let (w, hgt) = (800.0, 800.0);
-    let (min_x, max_x) = x.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
-    let (min_y, max_y) = y.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (min_x, max_x) = x
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (min_y, max_y) = y
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     let sx = |v: f64| 20.0 + (v - min_x) / (max_x - min_x).max(1e-12) * (w - 40.0);
     let sy = |v: f64| 20.0 + (v - min_y) / (max_y - min_y).max(1e-12) * (hgt - 40.0);
-    let mut svg = format!(
-        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{hgt}\">\n"
-    );
+    let mut svg =
+        format!("<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{hgt}\">\n");
     for u in 0..g.n() as u32 {
         for (v, _) in g.edges(u) {
             if v > u {
@@ -71,5 +74,10 @@ fn main() {
     let path = std::path::Path::new("target/spectral_drawing.svg");
     std::fs::create_dir_all("target").ok();
     std::fs::write(path, svg).expect("write svg");
-    println!("wrote {} ({} vertices, {} edges)", path.display(), g.n(), g.m());
+    println!(
+        "wrote {} ({} vertices, {} edges)",
+        path.display(),
+        g.n(),
+        g.m()
+    );
 }

@@ -52,7 +52,11 @@ struct Opts {
 }
 
 fn parse_opts(args: &[String]) -> Opts {
-    let mut o = Opts { seed: 42, k: 2, ..Default::default() };
+    let mut o = Opts {
+        seed: 42,
+        k: 2,
+        ..Default::default()
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |what: &str| {
@@ -106,7 +110,10 @@ fn policy_of(o: &Opts) -> ExecPolicy {
 }
 
 fn coarsen_opts(o: &Opts) -> CoarsenOptions {
-    let mut c = CoarsenOptions { seed: o.seed, ..Default::default() };
+    let mut c = CoarsenOptions {
+        seed: o.seed,
+        ..Default::default()
+    };
     if let Some(m) = o.method {
         c.method = m;
     }
@@ -157,7 +164,11 @@ fn main() {
             println!("m = {}", s.m);
             println!("max degree = {}", s.max_degree);
             println!("avg degree = {:.2}", s.avg_degree);
-            println!("skew Δ/avg = {:.2} ({})", s.skew, if s.is_skewed() { "skewed" } else { "regular" });
+            println!(
+                "skew Δ/avg = {:.2} ({})",
+                s.skew,
+                if s.is_skewed() { "skewed" } else { "regular" }
+            );
             println!("total edge weight = {}", g.total_edge_weight());
         }
         "coarsen" => {
@@ -166,7 +177,11 @@ fn main() {
             let policy = policy_of(&o);
             let h = coarsen(&policy, &g, &coarsen_opts(&o));
             println!("levels = {}", h.num_levels());
-            println!("coarsest n = {}, m = {}", h.coarsest().n(), h.coarsest().m());
+            println!(
+                "coarsest n = {}, m = {}",
+                h.coarsest().n(),
+                h.coarsest().m()
+            );
             println!("avg coarsening ratio = {:.2}", h.avg_coarsening_ratio());
             println!(
                 "time = {:.1} ms ({:.0}% construction)",
@@ -174,7 +189,12 @@ fn main() {
                 h.stats.construction_fraction() * 100.0
             );
             for (i, level) in h.levels.iter().enumerate() {
-                println!("  level {:>2}: n = {:>9}, m = {:>10}", i + 1, level.graph.n(), level.graph.m());
+                println!(
+                    "  level {:>2}: n = {:>9}, m = {:>10}",
+                    i + 1,
+                    level.graph.n(),
+                    level.graph.m()
+                );
             }
             if let Some(out) = &o.out {
                 io::write_metis(h.coarsest(), out).expect("write coarsest graph");
@@ -214,7 +234,14 @@ fn main() {
             let [path] = &o.positional[..] else { usage() };
             let g = load(path);
             let policy = policy_of(&o);
-            let r = kway_partition(&policy, &g, o.k, &coarsen_opts(&o), &FmConfig::default(), o.seed);
+            let r = kway_partition(
+                &policy,
+                &g,
+                o.k,
+                &coarsen_opts(&o),
+                &FmConfig::default(),
+                o.seed,
+            );
             println!("k = {}", o.k);
             println!("cut = {}", r.cut);
             println!("imbalance = {:.4}", r.imbalance);
@@ -242,7 +269,9 @@ fn main() {
             println!("generated {name}: {}", g.summary());
         }
         "convert" => {
-            let [input, output] = &o.positional[..] else { usage() };
+            let [input, output] = &o.positional[..] else {
+                usage()
+            };
             let g = io::read_auto(Path::new(input)).unwrap_or_else(|e| {
                 eprintln!("cannot read {input}: {e}");
                 exit(1);

@@ -50,11 +50,11 @@ pub use mlcg_sparse as sparse;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use mlcg_coarsen::{
-        coarsen, construct_coarse_graph, find_mapping, CoarsenOptions, ConstructMethod,
-        ConstructOptions, Hierarchy, MapMethod, Mapping,
+        audit_hierarchy, coarsen, construct_coarse_graph, find_mapping, CoarsenOptions,
+        ConstructMethod, ConstructOptions, Hierarchy, MapMethod, Mapping,
     };
     pub use mlcg_graph::{Csr, DegreeStats};
-    pub use mlcg_par::{Backend, ExecPolicy};
+    pub use mlcg_par::{Backend, ExecPolicy, TraceCollector, TraceConfig, TraceReport};
     pub use mlcg_partition::{
         fm_bisect, metis_like, mtmetis_like, spectral_bisect, FmConfig, PartitionResult,
         SpectralConfig,

@@ -109,7 +109,11 @@ fn caterpillar_stresses_leaf_matching() {
         hem.n_coarse
     );
     // Leaves pair up: ratio close to 2.
-    assert!(two.coarsening_ratio() > 1.7, "ratio {}", two.coarsening_ratio());
+    assert!(
+        two.coarsening_ratio() > 1.7,
+        "ratio {}",
+        two.coarsening_ratio()
+    );
 }
 
 #[test]
@@ -128,7 +132,11 @@ fn coarsening_a_star_of_stars() {
     }
     let g = from_edges_unit(next as usize, &edges);
     let h = coarsen(&ExecPolicy::host(), &g, &CoarsenOptions::default());
-    assert!(h.num_levels() <= 3, "{} levels on a star-of-stars", h.num_levels());
+    assert!(
+        h.num_levels() <= 3,
+        "{} levels on a star-of-stars",
+        h.num_levels()
+    );
     assert!(h.coarsest().n() <= 50);
 }
 
@@ -153,9 +161,18 @@ fn csr_invariant_violations_are_reported() {
     // Each malformed structure must produce a distinct validation error.
     let cases: Vec<(Csr, &str)> = vec![
         // A self-loop on each of two vertices (even entry count).
-        (Csr::from_parts(vec![0, 1, 2], vec![0, 1], vec![1, 1]), "self-loop"),
-        (Csr::from_parts(vec![0, 1, 2], vec![1, 0], vec![0, 0]), "zero edge weight"),
-        (Csr::from_parts(vec![0, 2, 4], vec![1, 1, 0, 0], vec![1, 1, 1, 1]), "sorted"),
+        (
+            Csr::from_parts(vec![0, 1, 2], vec![0, 1], vec![1, 1]),
+            "self-loop",
+        ),
+        (
+            Csr::from_parts(vec![0, 1, 2], vec![1, 0], vec![0, 0]),
+            "zero edge weight",
+        ),
+        (
+            Csr::from_parts(vec![0, 2, 4], vec![1, 1, 0, 0], vec![1, 1, 1, 1]),
+            "sorted",
+        ),
     ];
     for (g, needle) in cases {
         let err = g.validate().unwrap_err();
@@ -165,7 +182,10 @@ fn csr_invariant_violations_are_reported() {
 
 #[test]
 fn mapping_with_gap_labels_is_rejected() {
-    let m = multilevel_coarsen::coarsen::Mapping { map: vec![0, 2, 0], n_coarse: 3 };
+    let m = multilevel_coarsen::coarsen::Mapping {
+        map: vec![0, 2, 0],
+        n_coarse: 3,
+    };
     assert!(m.validate().unwrap_err().contains("unused"));
 }
 
@@ -175,7 +195,14 @@ fn weighted_coarse_levels_keep_heavy_edges_together() {
     // edge; HEC on the coarse graph must contract it first.
     let g = from_edges_weighted(
         6,
-        &[(0, 1, 1), (1, 2, 1), (2, 3, 1000), (3, 4, 1), (4, 5, 1), (0, 5, 1)],
+        &[
+            (0, 1, 1),
+            (1, 2, 1),
+            (2, 3, 1000),
+            (3, 4, 1),
+            (4, 5, 1),
+            (0, 5, 1),
+        ],
     );
     let policy = ExecPolicy::serial();
     let (m, _) = find_mapping(&policy, &g, MapMethod::SeqHec, 9);

@@ -15,10 +15,18 @@ use multilevel_coarsen::prelude::*;
 fn suitor_drives_a_full_multilevel_partition() {
     let policy = ExecPolicy::host();
     for ng in suite::mini_suite(3) {
-        let opts = CoarsenOptions { method: MapMethod::Suitor, ..Default::default() };
+        let opts = CoarsenOptions {
+            method: MapMethod::Suitor,
+            ..Default::default()
+        };
         let r = fm_bisect(&policy, &ng.graph, &opts, &FmConfig::default(), 5);
         assert_eq!(r.cut, edge_cut(&ng.graph, &r.part), "{}", ng.name);
-        assert!(r.imbalance <= 1.05, "{}: imbalance {}", ng.name, r.imbalance);
+        assert!(
+            r.imbalance <= 1.05,
+            "{}: imbalance {}",
+            ng.name,
+            r.imbalance
+        );
         assert!(r.levels >= 1, "{}", ng.name);
     }
 }
@@ -79,12 +87,36 @@ fn kway_and_parref_on_the_mini_suite() {
     let policy = ExecPolicy::host();
     for ng in suite::mini_suite(13) {
         let g = &ng.graph;
-        let kw = kway_partition(&policy, g, 4, &CoarsenOptions::default(), &FmConfig::default(), 3);
+        let kw = kway_partition(
+            &policy,
+            g,
+            4,
+            &CoarsenOptions::default(),
+            &FmConfig::default(),
+            3,
+        );
         assert_eq!(kw.cut, edge_cut(g, &kw.part), "{}", ng.name);
-        assert!(kw.imbalance <= 1.4, "{}: kway imbalance {}", ng.name, kw.imbalance);
+        assert!(
+            kw.imbalance <= 1.4,
+            "{}: kway imbalance {}",
+            ng.name,
+            kw.imbalance
+        );
 
-        let pr = parfm_bisect(&policy, g, &CoarsenOptions::default(), &ParRefConfig::default(), 3);
-        let fm = fm_bisect(&policy, g, &CoarsenOptions::default(), &FmConfig::default(), 3);
+        let pr = parfm_bisect(
+            &policy,
+            g,
+            &CoarsenOptions::default(),
+            &ParRefConfig::default(),
+            3,
+        );
+        let fm = fm_bisect(
+            &policy,
+            g,
+            &CoarsenOptions::default(),
+            &FmConfig::default(),
+            3,
+        );
         assert!(
             pr.cut as f64 <= 2.5 * fm.cut.max(1) as f64,
             "{}: parallel refinement too weak ({} vs {})",

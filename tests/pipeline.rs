@@ -14,12 +14,18 @@ fn mini_suite_full_pipeline_every_method() {
         let g = &ng.graph;
         assert!(is_connected(g), "{}", ng.name);
         for method in MapMethod::TABLE4 {
-            let opts = CoarsenOptions { method, ..Default::default() };
+            let opts = CoarsenOptions {
+                method,
+                ..Default::default()
+            };
             let h = coarsen(&policy, g, &opts);
             // Every level is a valid weighted graph with conserved totals.
             let mut fine = g.clone();
             for level in &h.levels {
-                level.graph.validate().unwrap_or_else(|e| panic!("{}/{method:?}: {e}", ng.name));
+                level
+                    .graph
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}/{method:?}: {e}", ng.name));
                 let intra = intra_aggregate_weight(&policy, &fine, &level.mapping);
                 assert_eq!(
                     level.graph.total_edge_weight() + intra,
@@ -33,7 +39,12 @@ fn mini_suite_full_pipeline_every_method() {
             // Partition via FM from this hierarchy's method.
             let r = fm_bisect(&policy, g, &opts, &FmConfig::default(), 7);
             assert_eq!(r.cut, edge_cut(g, &r.part), "{}/{method:?}", ng.name);
-            assert!(r.imbalance <= 1.05, "{}/{method:?}: imbalance {}", ng.name, r.imbalance);
+            assert!(
+                r.imbalance <= 1.05,
+                "{}/{method:?}: imbalance {}",
+                ng.name,
+                r.imbalance
+            );
         }
     }
 }
@@ -75,13 +86,28 @@ fn spectral_and_fm_agree_on_an_easy_instance() {
     // The heuristics are randomized; the best of a few seeds must find the
     // optimal bottleneck.
     let fm_best = (0..5)
-        .map(|s| fm_bisect(&policy, &g, &CoarsenOptions::default(), &FmConfig::default(), s).cut)
+        .map(|s| {
+            fm_bisect(
+                &policy,
+                &g,
+                &CoarsenOptions::default(),
+                &FmConfig::default(),
+                s,
+            )
+            .cut
+        })
         .min()
         .unwrap();
     let sp_best = (0..3)
         .map(|s| {
-            spectral_bisect(&policy, &g, &CoarsenOptions::default(), &SpectralConfig::default(), s)
-                .cut
+            spectral_bisect(
+                &policy,
+                &g,
+                &CoarsenOptions::default(),
+                &SpectralConfig::default(),
+                s,
+            )
+            .cut
         })
         .min()
         .unwrap();
@@ -121,10 +147,27 @@ fn device_and_host_policies_agree_on_quality_class() {
     let h1 = coarsen(&host, &g, &CoarsenOptions::default());
     let h2 = coarsen(&dev, &g, &CoarsenOptions::default());
     assert!((h1.num_levels() as i64 - h2.num_levels() as i64).abs() <= 2);
-    let r1 = fm_bisect(&host, &g, &CoarsenOptions::default(), &FmConfig::default(), 3);
-    let r2 = fm_bisect(&dev, &g, &CoarsenOptions::default(), &FmConfig::default(), 3);
+    let r1 = fm_bisect(
+        &host,
+        &g,
+        &CoarsenOptions::default(),
+        &FmConfig::default(),
+        3,
+    );
+    let r2 = fm_bisect(
+        &dev,
+        &g,
+        &CoarsenOptions::default(),
+        &FmConfig::default(),
+        3,
+    );
     let ratio = r1.cut.max(r2.cut) as f64 / r1.cut.min(r2.cut).max(1) as f64;
-    assert!(ratio < 2.0, "cut quality diverged: {} vs {}", r1.cut, r2.cut);
+    assert!(
+        ratio < 2.0,
+        "cut quality diverged: {} vs {}",
+        r1.cut,
+        r2.cut
+    );
 }
 
 #[test]
@@ -136,7 +179,17 @@ fn metis_like_baselines_complete_on_mini_suite() {
         let b = mtmetis_like(&policy, g, 3);
         assert!(a.cut > 0 || g.m() == 0);
         assert!(b.cut > 0 || g.m() == 0);
-        assert!(a.imbalance <= 1.1, "{}: metis-like imbalance {}", ng.name, a.imbalance);
-        assert!(b.imbalance <= 1.1, "{}: mtmetis-like imbalance {}", ng.name, b.imbalance);
+        assert!(
+            a.imbalance <= 1.1,
+            "{}: metis-like imbalance {}",
+            ng.name,
+            a.imbalance
+        );
+        assert!(
+            b.imbalance <= 1.1,
+            "{}: mtmetis-like imbalance {}",
+            ng.name,
+            b.imbalance
+        );
     }
 }

@@ -19,7 +19,10 @@ fn full_corpus_coarsens_at_scale_one() {
             h.coarsest().n()
         );
         for level in &h.levels {
-            level.graph.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            level
+                .graph
+                .validate()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 }
@@ -30,7 +33,13 @@ fn fm_partition_quality_holds_at_scale_one() {
     let policy = ExecPolicy::host();
     for name in ["rgg", "delaunay", "kron", "hollywood-sim"] {
         let g = suite::by_name(name, 1, 42).unwrap();
-        let r = fm_bisect(&policy, &g, &CoarsenOptions::default(), &FmConfig::default(), 7);
+        let r = fm_bisect(
+            &policy,
+            &g,
+            &CoarsenOptions::default(),
+            &FmConfig::default(),
+            7,
+        );
         assert!(r.imbalance <= 1.05, "{name}: imbalance {}", r.imbalance);
         assert!(r.cut > 0);
         // The cut should be a small fraction of total edges on these graphs.
