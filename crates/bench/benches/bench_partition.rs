@@ -5,12 +5,14 @@
 //! `cargo bench -p mlcg-bench --bench bench_partition`.
 
 use mlcg_bench::harness::microbench;
-use mlcg_coarsen::CoarsenOptions;
+use mlcg_coarsen::{coarsen, CoarsenOptions};
 use mlcg_graph::cc::largest_component;
 use mlcg_graph::generators;
 use mlcg_par::ExecPolicy;
+use mlcg_partition::fm::fm_uncoarsen_frac;
 use mlcg_partition::{
-    fm_bisect, metis_like, mtmetis_like, spectral_bisect, FmConfig, SpectralConfig,
+    fm_bisect, fm_uncoarsen_frac_full_scan, metis_like, mtmetis_like, spectral_bisect, FmConfig,
+    SpectralConfig,
 };
 
 const RUNS: usize = 10;
@@ -24,6 +26,7 @@ fn main() {
         tol: 1e-10,
         coarse_max_iters: 1000,
         refine_max_iters: 100,
+        fm_polish: None,
     };
 
     for (gname, g) in [("grid-90x90", &regular), ("rmat-12", &skewed)] {
@@ -44,5 +47,24 @@ fn main() {
         microbench(&group, "mtmetis-like", RUNS, || {
             mtmetis_like(&policy, g, 42)
         });
+    }
+
+    // Boundary-driven vs full-scan FM refinement on a shared hierarchy:
+    // only the uncoarsening/refinement half is timed, so the ratio is the
+    // refiner speedup itself (the issue's acceptance bar is >= 2x on
+    // grid2d(256,256)).
+    let big_grid = generators::grid2d(256, 256);
+    let (big_rmat, _) = largest_component(&generators::rmat(13, 8, 0.57, 0.19, 0.19, 7));
+    for (gname, g) in [("grid-256x256", &big_grid), ("rmat-13", &big_rmat)] {
+        let group = format!("fm-refine/{gname}");
+        let h = coarsen(&policy, g, &CoarsenOptions::default());
+        let cfg = FmConfig::default();
+        let full = microbench(&group, "full-scan", RUNS, || {
+            fm_uncoarsen_frac_full_scan(&h, &cfg, 0.5, 42)
+        });
+        let boundary = microbench(&group, "boundary", RUNS, || {
+            fm_uncoarsen_frac(&h, &cfg, 0.5, 42)
+        });
+        println!("{group}: full-scan / boundary = {:.2}x", full / boundary);
     }
 }

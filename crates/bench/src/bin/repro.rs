@@ -10,7 +10,7 @@ use mlcg_bench::{exp, Ctx};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(name) = args.first() else {
-        eprintln!("usage: repro <experiment> [--scale k] [--runs r] [--seed s] [--fast] [--trace]");
+        eprintln!("usage: repro <experiment> [--scale k] [--runs r] [--seed s] [--fast] [--quick] [--trace]");
         eprintln!("experiments: {} all", exp::ALL.join(" "));
         std::process::exit(2);
     };

@@ -1,0 +1,139 @@
+//! `bench-fm` — FM refinement trajectory benchmark.
+//!
+//! Runs boundary-driven and full-scan FM uncoarsening on a fixed-seed
+//! graph suite (grid2d / rmat / path), records the cut and the
+//! refinement-only seconds for both, and writes the results to
+//! `target/repro/BENCH_fm.json` so the bench trajectory can be tracked
+//! across commits. `--quick` shrinks the suite for CI smoke runs; with
+//! `--trace`, one traced multilevel run per graph emits the per-pass
+//! `fm/boundary_size` gauges.
+
+use crate::harness::{header, median_time, row, secs, Ctx};
+use mlcg_coarsen::{coarsen, CoarsenOptions};
+use mlcg_graph::cc::largest_component;
+use mlcg_graph::generators as gen;
+use mlcg_graph::metrics::edge_cut;
+use mlcg_graph::Csr;
+use mlcg_partition::fm::{fm_uncoarsen_frac, fm_uncoarsen_frac_full_scan, FmConfig};
+use mlcg_partition::fm_bisect;
+use std::path::PathBuf;
+
+struct Entry {
+    name: String,
+    n: usize,
+    m: usize,
+    full_cut: u64,
+    full_secs: f64,
+    boundary_cut: u64,
+    boundary_secs: f64,
+}
+
+fn suite(ctx: &Ctx) -> Vec<(String, Csr)> {
+    if ctx.quick {
+        vec![
+            ("grid2d-64x64".to_string(), gen::grid2d(64, 64)),
+            (
+                "rmat-10".to_string(),
+                largest_component(&gen::rmat(10, 8, 0.57, 0.19, 0.19, ctx.seed)).0,
+            ),
+            ("path-4096".to_string(), gen::path(4096)),
+        ]
+    } else {
+        vec![
+            ("grid2d-256x256".to_string(), gen::grid2d(256, 256)),
+            (
+                "rmat-13".to_string(),
+                largest_component(&gen::rmat(13, 8, 0.57, 0.19, 0.19, ctx.seed)).0,
+            ),
+            ("path-65536".to_string(), gen::path(65536)),
+        ]
+    }
+}
+
+/// Run the FM refinement benchmark and write `BENCH_fm.json`.
+pub fn run(ctx: &Ctx) {
+    let policy = ctx.host();
+    let cfg = FmConfig::default();
+    let mut entries = Vec::new();
+
+    for (name, g) in suite(ctx) {
+        let h = coarsen(&policy, &g, &CoarsenOptions::default());
+        let (full, full_secs) = median_time(ctx.runs, || {
+            fm_uncoarsen_frac_full_scan(&h, &cfg, 0.5, ctx.seed)
+        });
+        let (bpart, boundary_secs) =
+            median_time(ctx.runs, || fm_uncoarsen_frac(&h, &cfg, 0.5, ctx.seed));
+        entries.push(Entry {
+            name: name.clone(),
+            n: g.n(),
+            m: g.m(),
+            full_cut: full.1,
+            full_secs,
+            boundary_cut: edge_cut(&g, &bpart),
+            boundary_secs,
+        });
+        if ctx.trace_enabled() {
+            let opts = CoarsenOptions {
+                trace: ctx.trace_collector(),
+                seed: ctx.seed,
+                ..Default::default()
+            };
+            let r = fm_bisect(&policy, &g, &opts, &cfg, ctx.seed);
+            ctx.emit_trace(&format!("bench-fm/{name}"), &r.trace);
+        }
+    }
+
+    header(&[
+        "graph",
+        "n",
+        "m",
+        "full cut",
+        "full s",
+        "boundary cut",
+        "boundary s",
+        "speedup",
+    ]);
+    for e in &entries {
+        row(&[
+            e.name.clone(),
+            e.n.to_string(),
+            e.m.to_string(),
+            e.full_cut.to_string(),
+            secs(e.full_secs),
+            e.boundary_cut.to_string(),
+            secs(e.boundary_secs),
+            format!("{:.2}x", e.full_secs / e.boundary_secs.max(1e-12)),
+        ]);
+    }
+
+    // Hand-rolled JSON (the workspace is dependency-free).
+    let mut json = String::from("{\n");
+    json.push_str("  \"experiment\": \"bench-fm\",\n");
+    json.push_str(&format!("  \"quick\": {},\n", ctx.quick));
+    json.push_str(&format!("  \"seed\": {},\n", ctx.seed));
+    json.push_str(&format!("  \"runs\": {},\n", ctx.runs));
+    json.push_str("  \"graphs\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"full_scan\": {{\"cut\": {}, \"refine_seconds\": {:.6}}}, \
+             \"boundary\": {{\"cut\": {}, \"refine_seconds\": {:.6}}}, \
+             \"speedup\": {:.3}}}{}\n",
+            e.name,
+            e.n,
+            e.m,
+            e.full_cut,
+            e.full_secs,
+            e.boundary_cut,
+            e.boundary_secs,
+            e.full_secs / e.boundary_secs.max(1e-12),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let dir = PathBuf::from("target/repro");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_fm.json");
+    std::fs::write(&path, json).unwrap();
+    println!("bench-fm: results written to {}", path.display());
+}

@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper.
 
 pub mod ablate;
+pub mod benchfm;
 pub mod extended;
 pub mod fig1;
 pub mod fig2;
@@ -15,7 +16,7 @@ pub mod trace;
 use crate::harness::Ctx;
 
 /// Every experiment name understood by the `repro` binary.
-pub const ALL: [&str; 14] = [
+pub const ALL: [&str; 15] = [
     "table1",
     "table2",
     "table3",
@@ -28,6 +29,7 @@ pub const ALL: [&str; 14] = [
     "fig3-mid",
     "fig3-right",
     "ablate-dedup",
+    "bench-fm",
     "extended-methods",
     "trace",
 ];
@@ -47,6 +49,7 @@ pub fn run(name: &str, ctx: &Ctx) -> bool {
         "fig3-mid" => fig3::run_mid(ctx),
         "fig3-right" => fig3::run_right(ctx),
         "ablate-dedup" => ablate::run(ctx),
+        "bench-fm" => benchfm::run(ctx),
         "extended-methods" => extended::run(ctx),
         "trace" => trace::run(ctx),
         "all" => {

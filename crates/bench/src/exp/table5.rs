@@ -16,12 +16,14 @@ pub(crate) fn spectral_cfg(ctx: &Ctx) -> SpectralConfig {
             tol: 1e-10,
             coarse_max_iters: 500,
             refine_max_iters: 50,
+            fm_polish: None,
         }
     } else {
         SpectralConfig {
             tol: 1e-10,
             coarse_max_iters: 5_000,
             refine_max_iters: 500,
+            fm_polish: None,
         }
     }
 }

@@ -16,6 +16,8 @@ pub struct Ctx {
     pub seed: u64,
     /// Lower the power-iteration caps (smoke-test mode).
     pub fast: bool,
+    /// Shrink benchmark suites for CI smoke runs (`bench-fm`).
+    pub quick: bool,
     /// Collect and emit pipeline traces (spans/counters/gauges) as
     /// JSON-lines plus a human-readable tree.
     pub trace: bool,
@@ -28,13 +30,14 @@ impl Default for Ctx {
             runs: 3,
             seed: 42,
             fast: false,
+            quick: false,
             trace: false,
         }
     }
 }
 
 impl Ctx {
-    /// Parse `--scale/--runs/--seed/--fast` style arguments.
+    /// Parse `--scale/--runs/--seed/--fast/--quick` style arguments.
     pub fn from_args(args: &[String]) -> Ctx {
         let mut ctx = Ctx::default();
         let mut it = args.iter();
@@ -44,6 +47,7 @@ impl Ctx {
                 "--runs" => ctx.runs = it.next().and_then(|v| v.parse().ok()).unwrap_or(3).max(1),
                 "--seed" => ctx.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
                 "--fast" => ctx.fast = true,
+                "--quick" => ctx.quick = true,
                 "--trace" => ctx.trace = true,
                 other => eprintln!("warning: ignoring unknown option {other}"),
             }

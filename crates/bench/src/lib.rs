@@ -9,11 +9,12 @@
 //!
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig1 fig2 fig3-left fig3-mid fig3-right
-//!              ablate-dedup extended-methods trace all
+//!              ablate-dedup bench-fm extended-methods trace all
 //! options:     --scale <k>   corpus size (default 0; +1 doubles n)
 //!              --runs <r>    timed repetitions, median reported (default 3)
 //!              --seed <s>    RNG seed (default 42)
 //!              --fast        lower power-iteration caps for quick smoke runs
+//!              --quick       shrink benchmark suites for CI smoke runs
 //!              --trace       emit pipeline traces (JSON-lines + span tree)
 //! ```
 //!

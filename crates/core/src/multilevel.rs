@@ -148,6 +148,31 @@ impl Hierarchy {
         mapping.map.iter().map(|&m| values[m as usize]).collect()
     }
 
+    /// Fine-side vertex ids (at the graph above `level`) whose aggregate
+    /// is marked.
+    ///
+    /// A fine vertex can lie on a partition boundary only if its aggregate
+    /// does (every cross-part fine edge joins two aggregates that share a
+    /// cut coarse edge), so projecting the coarse boundary this way yields
+    /// a superset of the fine boundary in `O(n)` — no edge scan — which is
+    /// how boundary-driven FM refinement seeds its frontier during
+    /// uncoarsening.
+    pub fn project_frontier(&self, level: usize, coarse_marked: &[bool]) -> Vec<u32> {
+        let mapping = &self.levels[level].mapping;
+        assert_eq!(
+            coarse_marked.len(),
+            mapping.n_coarse,
+            "project_frontier: mark length mismatch"
+        );
+        mapping
+            .map
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| coarse_marked[m as usize])
+            .map(|(u, _)| u as u32)
+            .collect()
+    }
+
     /// The graph *above* level `i` (the finer one it was built from).
     pub fn graph_above(&self, level: usize) -> &Csr {
         if level == 0 {

@@ -127,15 +127,21 @@ fn buffers<'a, V>(
 }
 
 /// Sequential fallback: sort pairs by key, stable.
+///
+/// The permutation is materialized with `usize` indices, so any slice the
+/// address space can hold sorts correctly. (This path is reachable with
+/// arbitrarily large `n` via `par_radix_sort_pairs` on a single-thread
+/// policy; the previous `u32` index vector would have truncated beyond
+/// 2^32 entries and permuted garbage.)
 pub fn seq_sort_pairs<V: Copy>(keys: &mut [u64], vals: &mut [V]) {
-    let mut idx: Vec<u32> = (0..keys.len() as u32).collect();
-    idx.sort_by_key(|&i| keys[i as usize]);
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by_key(|&i| keys[i]);
     apply_permutation(&idx, keys, vals);
 }
 
-fn apply_permutation<V: Copy>(idx: &[u32], keys: &mut [u64], vals: &mut [V]) {
-    let ks: Vec<u64> = idx.iter().map(|&i| keys[i as usize]).collect();
-    let vs: Vec<V> = idx.iter().map(|&i| vals[i as usize]).collect();
+fn apply_permutation<V: Copy>(idx: &[usize], keys: &mut [u64], vals: &mut [V]) {
+    let ks: Vec<u64> = idx.iter().map(|&i| keys[i]).collect();
+    let vs: Vec<V> = idx.iter().map(|&i| vals[i]).collect();
     keys.copy_from_slice(&ks);
     vals.copy_from_slice(&vs);
 }
@@ -206,14 +212,17 @@ pub fn bitonic_sort_pairs<V: Copy + Default>(
 }
 
 /// Insertion sort for tiny inputs, index-based std sort otherwise.
+///
+/// Indexes with `usize`, so it is safe at any length (the former `u32`
+/// index vector would silently wrap past 2^32 entries).
 pub fn insertion_or_std_sort<V: Copy>(keys: &mut [u32], vals: &mut [V]) {
     if keys.len() <= 16 {
         insertion_sort_pairs(keys, vals);
     } else {
-        let mut idx: Vec<u32> = (0..keys.len() as u32).collect();
-        idx.sort_unstable_by_key(|&i| keys[i as usize]);
-        let ks: Vec<u32> = idx.iter().map(|&i| keys[i as usize]).collect();
-        let vs: Vec<V> = idx.iter().map(|&i| vals[i as usize]).collect();
+        let mut idx: Vec<usize> = (0..keys.len()).collect();
+        idx.sort_unstable_by_key(|&i| keys[i]);
+        let ks: Vec<u32> = idx.iter().map(|&i| keys[i]).collect();
+        let vs: Vec<V> = idx.iter().map(|&i| vals[i]).collect();
         keys.copy_from_slice(&ks);
         vals.copy_from_slice(&vs);
     }
@@ -221,6 +230,10 @@ pub fn insertion_or_std_sort<V: Copy>(keys: &mut [u32], vals: &mut [V]) {
 
 /// Hybrid per-segment sort: insertion sort for tiny segments, otherwise
 /// bitonic on the device policy or pattern-defeating std sort on the host.
+///
+/// The host path indexes through the caller's `u32` scratch, so segments
+/// are bounded at `u32::MAX` entries (asserted). Per-vertex adjacency
+/// segments — the only callers — are orders of magnitude below this.
 pub fn seg_sort_pairs<V: Copy + Default>(
     device: bool,
     keys: &mut [u32],
@@ -229,6 +242,10 @@ pub fn seg_sort_pairs<V: Copy + Default>(
     scratch_v: &mut Vec<V>,
 ) {
     let n = keys.len();
+    assert!(
+        n <= u32::MAX as usize,
+        "seg_sort_pairs: segment of {n} entries exceeds the u32 index bound"
+    );
     if n <= 16 {
         insertion_sort_pairs(keys, vals);
     } else if device {

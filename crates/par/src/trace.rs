@@ -238,6 +238,14 @@ impl TraceCollector {
         }
     }
 
+    /// Record a gauge observation of an integer size — convenience for
+    /// per-pass set sizes such as `fm/boundary_size`, where the observed
+    /// value is a count rather than a ratio.
+    #[inline]
+    pub fn gauge_usize(&self, path: impl FnOnce() -> String, value: usize) {
+        self.gauge(path, value as f64);
+    }
+
     /// Record an invariant-audit outcome (kept whenever `validate` is on,
     /// independent of `enabled`).
     pub fn audit(&self, phase: &str, check: &str, result: Result<(), String>) {

@@ -7,6 +7,16 @@
 //! best-gain balance-feasible vertex, locking moved vertices, and rolls
 //! back to the best prefix — the classic linear-time heuristic, here with
 //! a lazy max-heap over weighted gains.
+//!
+//! Refinement is *boundary-driven*: a pass computes gains and heap-seeds
+//! only the frontier (vertices with at least one cut edge, plus anything
+//! whose stored gain a move invalidated), so a pass costs
+//! `O(boundary + moved · deg)` instead of the `O(n + m)` full rebuild the
+//! reference implementation ([`fm_refine_frac_full_scan`]) performs. The
+//! multilevel driver seeds each level's frontier from the coarser level's
+//! final boundary (see [`mlcg_coarsen::Hierarchy::project_frontier`]), so
+//! uncoarsening never rescans interior vertices whose aggregate was
+//! interior one level down.
 
 use crate::result::{audit_partition, PartitionResult};
 use mlcg_coarsen::{coarsen, CoarsenOptions, Hierarchy};
@@ -64,8 +74,9 @@ pub fn fm_refine_frac(g: &Csr, part: &mut [u32], cfg: &FmConfig, frac: f64) -> u
 }
 
 /// [`fm_refine_frac`] with a trace sink: each pass records an `fm/pass{N}`
-/// span, and prefix rollbacks feed the `fm/moves_rolled_back` counter.
-/// With a disabled collector this is exactly `fm_refine_frac`.
+/// span and an `fm/boundary_size` gauge, and prefix rollbacks feed the
+/// `fm/moves_rolled_back` counter. With a disabled collector this is
+/// exactly `fm_refine_frac`.
 pub fn fm_refine_frac_traced(
     g: &Csr,
     part: &mut [u32],
@@ -73,36 +84,405 @@ pub fn fm_refine_frac_traced(
     frac: f64,
     trace: &TraceCollector,
 ) -> u64 {
+    fm_refine_boundary_traced(g, part, cfg, frac, None, trace).cut
+}
+
+/// Outcome of one boundary-driven refinement.
+#[derive(Clone, Debug)]
+pub struct FmRefineOutcome {
+    /// Final weighted edge cut.
+    pub cut: u64,
+    /// Final boundary: every vertex with at least one cut edge. The
+    /// multilevel driver projects this down one level (every fine vertex
+    /// whose aggregate is listed here) to seed the next refinement.
+    pub boundary: Vec<u32>,
+}
+
+/// Per-side weight limits derived from an [`FmConfig`] and a target split.
+struct Balance {
+    /// Final partitions must keep each side at or below its strict limit.
+    strict: [u64; 2],
+    /// During a pass, moves may wander one max-vertex beyond the strict
+    /// limit (otherwise a perfectly balanced start could never move
+    /// anything); the best-prefix selection restores strict balance.
+    loose: [u64; 2],
+}
+
+impl Balance {
+    fn new(g: &Csr, cfg: &FmConfig, frac: f64) -> Balance {
+        let total: u64 = g.total_vwgt();
+        let max_vwgt = g.vwgt().iter().copied().max().unwrap_or(1);
+        let t0 = ((total as f64 * frac).round() as u64).min(total);
+        let target = [t0, total - t0];
+        // Per-side cap: epsilon slack around the side's target, but never
+        // below the rounded-up share (so exact balance stays reachable on
+        // integer weights), plus one max-vertex of slack on coarse levels.
+        let strict_side = |t: u64, share: f64| {
+            let mut lim = (((t as f64) * (1.0 + cfg.epsilon)).floor() as u64)
+                .max((total as f64 * share).ceil() as u64);
+            if cfg.vertex_slack {
+                lim += max_vwgt;
+            }
+            lim
+        };
+        let strict = [
+            strict_side(target[0], frac),
+            strict_side(target[1], 1.0 - frac),
+        ];
+        Balance {
+            strict,
+            loose: [strict[0] + max_vwgt, strict[1] + max_vwgt],
+        }
+    }
+
+    /// How far either side exceeds its strict limit (0 when feasible).
+    fn excess(&self, wp: &[u64; 2]) -> u64 {
+        wp[0].saturating_sub(self.strict[0]) + wp[1].saturating_sub(self.strict[1])
+    }
+}
+
+/// Boundary-driven FM refinement — the production refiner.
+///
+/// Each pass computes gains and heap-seeds only the *frontier*; interior
+/// vertices enter the heap lazily, when a committed move re-gains them.
+/// The frontier is maintained incrementally: the next pass revisits the
+/// current boundary plus every vertex whose stored gain a move (committed
+/// *or* rolled back) invalidated, so a pass costs
+/// `O(boundary + moved · deg)` rather than `O(n + m)`.
+///
+/// `seed_frontier`, when given, replaces the first pass's full vertex scan;
+/// it must cover every vertex with a cut edge (a superset is fine — extra
+/// candidates are filtered out after one gain computation). The multilevel
+/// driver obtains it by projecting the coarser level's final boundary.
+///
+/// One exception needs a wider net: while a side exceeds its strict weight
+/// limit, the pass also seeds every vertex of the over-limit side, because
+/// balance repair may require moving vertices with no cut edge at all
+/// (e.g. a degenerate everything-on-one-side start has an *empty*
+/// boundary). Balanced runs never pay this cost.
+pub fn fm_refine_boundary_traced(
+    g: &Csr,
+    part: &mut [u32],
+    cfg: &FmConfig,
+    frac: f64,
+    seed_frontier: Option<&[u32]>,
+    trace: &TraceCollector,
+) -> FmRefineOutcome {
+    let n = g.n();
+    assert_eq!(part.len(), n);
+    assert!((0.0..=1.0).contains(&frac), "frac must be in [0, 1]");
+    if n == 0 {
+        return FmRefineOutcome {
+            cut: 0,
+            boundary: Vec::new(),
+        };
+    }
+    let bal = Balance::new(g, cfg, frac);
+
+    let mut wpart = [0u64; 2];
+    for (u, &p) in part.iter().enumerate() {
+        wpart[p as usize] += g.vwgt()[u];
+    }
+
+    let mut gain: Vec<i64> = vec![0; n];
+    // External (cut-edge) weight per vertex, maintained alongside the
+    // gain. Only vertices with `ext > 0` are heap-eligible: moving an
+    // interior vertex is pure hill-climbing and re-scans the whole graph
+    // one cascade at a time, which is exactly the O(n + m) behaviour this
+    // refiner exists to avoid. (The balance-repair fallback below is the
+    // one deliberate exception.)
+    let mut ext: Vec<u64> = vec![0; n];
+    // With a seeded frontier, vertices outside the seed have never had
+    // their gain computed; the first touch must be a full recompute, not a
+    // delta on the uninitialized value. Once known, a gain is kept fresh
+    // by the frontier invariant (any neighbor flip re-frontiers the
+    // vertex).
+    let mut gain_known: Vec<bool> = vec![false; n];
+    let mut version: Vec<u32> = vec![0; n];
+    let mut locked: Vec<bool> = vec![false; n];
+    // stamp[u] == epoch marks membership in the frontier being built for
+    // the *next* pass (and dedups the initial seed at epoch 1).
+    let mut stamp: Vec<u32> = vec![0; n];
+    let mut epoch: u32 = 0;
+
+    let mut frontier: Vec<u32> = match seed_frontier {
+        Some(seed) => {
+            debug_assert!(
+                seed_covers_boundary(g, part, seed),
+                "seed frontier misses a boundary vertex"
+            );
+            epoch += 1;
+            let mut f = Vec::with_capacity(seed.len());
+            for &u in seed {
+                let ui = u as usize;
+                assert!(ui < n, "seed frontier vertex {u} out of range");
+                if stamp[ui] != epoch {
+                    stamp[ui] = epoch;
+                    f.push(u);
+                }
+            }
+            f
+        }
+        None => (0..n as u32).collect(),
+    };
+
+    // Initial cut from the frontier instead of a full O(m) edge scan:
+    // both endpoints of every cut edge are boundary vertices and the
+    // frontier covers the boundary (asserted above for seeds), so summing
+    // external weight over the frontier counts each cut edge exactly
+    // twice. With a thin seeded frontier this is the difference between
+    // O(m) and O(boundary · deg) per uncoarsening level.
+    let mut ext_total: u64 = 0;
+    for &u in &frontier {
+        for (v, w) in g.edges(u) {
+            if part[u as usize] != part[v as usize] {
+                ext_total += w;
+            }
+        }
+    }
+    debug_assert_eq!(ext_total % 2, 0, "frontier missed a cut edge endpoint");
+    let mut cut = (ext_total / 2) as i64;
+    debug_assert_eq!(cut, edge_cut(g, part) as i64);
+
+    for pass in 0..cfg.max_passes {
+        let span = trace.span(|| format!("fm/pass{pass}"));
+        epoch += 1;
+        let mut next: Vec<u32> = Vec::new();
+        let mut heap: BinaryHeap<(i64, u32, u32)> = BinaryHeap::new();
+        // Recompute gains over the frontier; heap-seed only boundary
+        // vertices. An interior frontier member keeps its (fresh) gain but
+        // can only move after a neighbor's committed move pushes it.
+        let mut boundary_size = 0usize;
+        for &fu in &frontier {
+            let u = fu as usize;
+            let mut gsum = 0i64;
+            let mut extw = 0u64;
+            for (v, w) in g.edges(u as VId) {
+                if part[u] == part[v as usize] {
+                    gsum -= w as i64;
+                } else {
+                    gsum += w as i64;
+                    extw += w;
+                }
+            }
+            gain[u] = gsum;
+            ext[u] = extw;
+            gain_known[u] = true;
+            locked[u] = false;
+            if extw > 0 {
+                heap.push((gsum, u as u32, version[u]));
+                boundary_size += 1;
+                if stamp[u] != epoch {
+                    stamp[u] = epoch;
+                    next.push(u as u32);
+                }
+            }
+        }
+        trace.gauge_usize(|| "fm/boundary_size".to_string(), boundary_size);
+        if bal.excess(&wpart) > 0 {
+            // Balance-repair fallback: seed every vertex of any over-limit
+            // side (the boundary alone may be unable to shed weight — it
+            // can even be empty when one side holds the whole graph).
+            for u in 0..n {
+                let s = part[u] as usize;
+                if wpart[s] > bal.strict[s] && stamp[u] != epoch {
+                    stamp[u] = epoch;
+                    next.push(u as u32);
+                    let mut gsum = 0i64;
+                    let mut extw = 0u64;
+                    for (v, w) in g.edges(u as VId) {
+                        if part[u] == part[v as usize] {
+                            gsum -= w as i64;
+                        } else {
+                            gsum += w as i64;
+                            extw += w;
+                        }
+                    }
+                    gain[u] = gsum;
+                    ext[u] = extw;
+                    gain_known[u] = true;
+                    locked[u] = false;
+                    // Pushed even when interior (ext == 0): shedding
+                    // weight off an over-limit side may require moving
+                    // vertices with no cut edge at all.
+                    heap.push((gsum, u as u32, version[u]));
+                }
+            }
+        }
+
+        // Prefix quality key: (how far either side exceeds its strict
+        // limit, cut). The empty prefix is the baseline, so an unbalanced
+        // start can also be repaired.
+        let mut best_key = (bal.excess(&wpart), cut);
+        let mut best_len = 0usize;
+        let mut moves: Vec<u32> = Vec::new();
+        // Early pass termination: committed moves re-frontier their
+        // neighbors, so a pass could otherwise sweep the cut line across
+        // the whole graph (and roll it all back) — O(n) churn that defeats
+        // the boundary restriction. Abort the move loop once a run of
+        // moves proportional to the boundary finds no better prefix;
+        // productive sequences reset the counter and keep going.
+        let abort_limit = (2 * boundary_size).max(64);
+        let mut since_best = 0usize;
+
+        while let Some((gval, u, ver)) = heap.pop() {
+            let u = u as usize;
+            if locked[u] || ver != version[u] || gval != gain[u] {
+                continue; // stale entry
+            }
+            let from = part[u] as usize;
+            let to = 1 - from;
+            if wpart[to] + g.vwgt()[u] > bal.loose[to] {
+                continue; // balance-infeasible right now
+            }
+            // Commit the move.
+            locked[u] = true;
+            part[u] = to as u32;
+            wpart[from] -= g.vwgt()[u];
+            wpart[to] += g.vwgt()[u];
+            cut -= gain[u];
+            moves.push(u as u32);
+            if stamp[u] != epoch {
+                stamp[u] = epoch;
+                next.push(u as u32);
+            }
+            let key = (bal.excess(&wpart), cut);
+            if key < best_key {
+                best_key = key;
+                best_len = moves.len();
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= abort_limit {
+                    // Safe to break before this move's neighbor updates:
+                    // the move is past the best prefix, so the rollback
+                    // below restores part[u] and its neighbors' stored
+                    // gains were never touched for either flip. u itself
+                    // was stamped into `next` at commit and is recomputed
+                    // next pass.
+                    break;
+                }
+            }
+            // Update neighbor gains. Every neighbor's stored gain goes
+            // stale when u flips (even a locked one, whose update is
+            // skipped), so all of them join the next pass's frontier for
+            // recomputation — this also covers staleness left behind by
+            // the end-of-pass rollback.
+            for (v, w) in g.edges(u as VId) {
+                let v = v as usize;
+                if stamp[v] != epoch {
+                    stamp[v] = epoch;
+                    next.push(v as u32);
+                }
+                if locked[v] {
+                    continue;
+                }
+                if gain_known[v] {
+                    // u flipped from `from` to `to`, so the (u, v) edge
+                    // changed cut status for v as well.
+                    if part[v] as usize == from {
+                        gain[v] += 2 * w as i64;
+                        ext[v] += w;
+                    } else {
+                        gain[v] -= 2 * w as i64;
+                        ext[v] -= w;
+                    }
+                } else {
+                    // First touch of a vertex outside the seeded frontier:
+                    // full recompute (part[u] has already flipped, so the
+                    // fresh gain includes this move — no delta on top).
+                    let mut gsum = 0i64;
+                    let mut extw = 0u64;
+                    for (x, xw) in g.edges(v as VId) {
+                        if part[v] == part[x as usize] {
+                            gsum -= xw as i64;
+                        } else {
+                            gsum += xw as i64;
+                            extw += xw;
+                        }
+                    }
+                    gain[v] = gsum;
+                    ext[v] = extw;
+                    gain_known[v] = true;
+                }
+                version[v] += 1;
+                // Only boundary vertices re-enter the heap; a vertex whose
+                // last cut edge just disappeared drops out (its remaining
+                // heap entries are stale by the gain change).
+                if ext[v] > 0 {
+                    heap.push((gain[v], v as u32, version[v]));
+                }
+            }
+        }
+        // Roll back past the best prefix.
+        trace.counter_add("fm/moves_rolled_back", (moves.len() - best_len) as u64);
+        for &u in &moves[best_len..] {
+            let u = u as usize;
+            let from = part[u] as usize;
+            let to = 1 - from;
+            part[u] = to as u32;
+            wpart[from] -= g.vwgt()[u];
+            wpart[to] += g.vwgt()[u];
+        }
+        cut = best_key.1;
+        debug_assert_eq!(cut, edge_cut(g, part) as i64, "incremental cut drifted");
+        span.finish();
+        frontier = next;
+        // A pass made progress iff a non-empty best prefix was kept — the
+        // (excess, cut) key strictly improved, whether by lowering the cut
+        // or by repairing balance. (The former `cut >= start_cut` exit
+        // wrongly stopped after a pass that repaired balance at an equal
+        // or higher cut, even though the next pass, starting from the
+        // now-balanced partition, can improve the cut further.)
+        if best_len == 0 {
+            break;
+        }
+    }
+    // By the frontier invariant, the last built frontier covers every
+    // vertex that can still have a cut edge.
+    let boundary: Vec<u32> = frontier
+        .iter()
+        .copied()
+        .filter(|&u| {
+            g.edges(u)
+                .any(|(v, _)| part[u as usize] != part[v as usize])
+        })
+        .collect();
+    FmRefineOutcome {
+        cut: cut as u64,
+        boundary,
+    }
+}
+
+/// Debug-build check that a seed frontier covers the current boundary.
+fn seed_covers_boundary(g: &Csr, part: &[u32], seed: &[u32]) -> bool {
+    let mut in_seed = vec![false; g.n()];
+    for &u in seed {
+        if let Some(s) = in_seed.get_mut(u as usize) {
+            *s = true;
+        }
+    }
+    (0..g.n()).all(|u| {
+        in_seed[u]
+            || g.neighbors(u as VId)
+                .iter()
+                .all(|&v| part[v as usize] == part[u])
+    })
+}
+
+/// The pre-boundary reference implementation: rebuilds every gain and
+/// heap-seeds all `n` vertices on every pass, costing `O(n + m)` per pass.
+/// Kept as the baseline for the boundary-equivalence property tests and
+/// the `bench_partition` full-scan/boundary comparison; production callers
+/// use [`fm_refine_boundary_traced`].
+pub fn fm_refine_frac_full_scan(g: &Csr, part: &mut [u32], cfg: &FmConfig, frac: f64) -> u64 {
     let n = g.n();
     assert_eq!(part.len(), n);
     assert!((0.0..=1.0).contains(&frac), "frac must be in [0, 1]");
     if n == 0 {
         return 0;
     }
-    let total: u64 = g.total_vwgt();
-    let max_vwgt = g.vwgt().iter().copied().max().unwrap_or(1);
-    // Final partitions must satisfy the strict per-side limits; during a
-    // pass, moves may wander one vertex beyond them (otherwise a perfectly
-    // balanced start could never move anything), and the best-prefix
-    // selection restores strict balance.
-    let t0 = ((total as f64 * frac).round() as u64).min(total);
-    let target = [t0, total - t0];
-    // Per-side cap: epsilon slack around the side's target, but never
-    // below the rounded-up share (so exact balance stays reachable on
-    // integer weights), plus one max-vertex of slack on coarse levels.
-    let strict_side = |t: u64, share: f64| {
-        let mut lim = (((t as f64) * (1.0 + cfg.epsilon)).floor() as u64)
-            .max((total as f64 * share).ceil() as u64);
-        if cfg.vertex_slack {
-            lim += max_vwgt;
-        }
-        lim
-    };
-    let strict = [
-        strict_side(target[0], frac),
-        strict_side(target[1], 1.0 - frac),
-    ];
-    let loose = [strict[0] + max_vwgt, strict[1] + max_vwgt];
+    let bal = Balance::new(g, cfg, frac);
 
     let mut cut = edge_cut(g, part) as i64;
     let mut wpart = [0u64; 2];
@@ -114,8 +494,7 @@ pub fn fm_refine_frac_traced(
     let mut version: Vec<u32> = vec![0; n];
     let mut locked: Vec<bool> = vec![false; n];
 
-    for pass in 0..cfg.max_passes {
-        let span = trace.span(|| format!("fm/pass{pass}"));
+    for _pass in 0..cfg.max_passes {
         // (Re)compute gains: external minus internal weight.
         for u in 0..n {
             let mut gsum = 0i64;
@@ -133,13 +512,7 @@ pub fn fm_refine_frac_traced(
         let mut heap: BinaryHeap<(i64, u32, u32)> =
             (0..n).map(|u| (gain[u], u as u32, 0u32)).collect();
 
-        let start_cut = cut;
-        // Prefix quality key: (how far either side exceeds its strict
-        // limit, cut). The empty prefix is the baseline, so an unbalanced
-        // start can also be repaired.
-        let excess =
-            |wp: &[u64; 2]| wp[0].saturating_sub(strict[0]) + wp[1].saturating_sub(strict[1]);
-        let mut best_key = (excess(&wpart), cut);
+        let mut best_key = (bal.excess(&wpart), cut);
         let mut best_len = 0usize;
         let mut moves: Vec<u32> = Vec::new();
 
@@ -150,22 +523,20 @@ pub fn fm_refine_frac_traced(
             }
             let from = part[u] as usize;
             let to = 1 - from;
-            if wpart[to] + g.vwgt()[u] > loose[to] {
+            if wpart[to] + g.vwgt()[u] > bal.loose[to] {
                 continue; // balance-infeasible right now
             }
-            // Commit the move.
             locked[u] = true;
             part[u] = to as u32;
             wpart[from] -= g.vwgt()[u];
             wpart[to] += g.vwgt()[u];
             cut -= gain[u];
             moves.push(u as u32);
-            let key = (excess(&wpart), cut);
+            let key = (bal.excess(&wpart), cut);
             if key < best_key {
                 best_key = key;
                 best_len = moves.len();
             }
-            // Update neighbor gains.
             for (v, w) in g.edges(u as VId) {
                 let v = v as usize;
                 if locked[v] {
@@ -180,8 +551,6 @@ pub fn fm_refine_frac_traced(
                 heap.push((gain[v], v as u32, version[v]));
             }
         }
-        // Roll back past the best prefix.
-        trace.counter_add("fm/moves_rolled_back", (moves.len() - best_len) as u64);
         for &u in &moves[best_len..] {
             let u = u as usize;
             let from = part[u] as usize;
@@ -192,15 +561,36 @@ pub fn fm_refine_frac_traced(
         }
         cut = best_key.1;
         debug_assert_eq!(cut, edge_cut(g, part) as i64, "incremental cut drifted");
-        span.finish();
-        if cut >= start_cut && best_len == 0 {
-            break; // no improvement this pass
-        }
-        if cut >= start_cut {
-            break; // balance repaired or equal cut; further passes won't help
+        if best_len == 0 {
+            break; // no progress: neither cut nor balance improved
         }
     }
     cut as u64
+}
+
+/// Full-scan counterpart of [`fm_uncoarsen_frac`]: the identical
+/// multilevel driver, but every level refines with
+/// [`fm_refine_frac_full_scan`] (gains rebuilt and the heap re-seeded
+/// over all `n` vertices each pass). Kept as the measurement baseline
+/// for the boundary-driven refiner — `bench_partition` and the
+/// equivalence property tests compare against it on the same hierarchy
+/// and seed.
+pub fn fm_uncoarsen_frac_full_scan(
+    h: &Hierarchy,
+    cfg: &FmConfig,
+    frac: f64,
+    seed: u64,
+) -> (Vec<u32>, u64) {
+    let coarse_cfg = cfg.with_vertex_slack();
+    let coarsest = h.coarsest();
+    let mut part = crate::ggg::greedy_graph_growing_frac(coarsest, seed, frac);
+    let mut cut = fm_refine_frac_full_scan(coarsest, &mut part, &coarse_cfg, frac);
+    for level in (0..h.num_levels()).rev() {
+        part = h.interpolate_level(level, &part);
+        let level_cfg = if level == 0 { cfg } else { &coarse_cfg };
+        cut = fm_refine_frac_full_scan(h.graph_above(level), &mut part, level_cfg, frac);
+    }
+    (part, cut)
 }
 
 /// Multilevel bisection with parallel coarsening, greedy-graph-growing
@@ -267,7 +657,12 @@ pub fn fm_uncoarsen_frac(h: &Hierarchy, cfg: &FmConfig, frac: f64, seed: u64) ->
 }
 
 /// [`fm_uncoarsen_frac`] with a trace sink threaded into every per-level
-/// FM refinement (see [`fm_refine_frac_traced`]).
+/// FM refinement (see [`fm_refine_boundary_traced`]).
+///
+/// The coarsest level refines from a full scan; every finer level seeds
+/// its frontier by projecting the coarser level's final boundary (a fine
+/// vertex can be on the boundary only if its aggregate is), so per-level
+/// refinement cost tracks the boundary, not the graph.
 pub fn fm_uncoarsen_frac_traced(
     h: &Hierarchy,
     cfg: &FmConfig,
@@ -278,12 +673,25 @@ pub fn fm_uncoarsen_frac_traced(
     let coarse_cfg = cfg.with_vertex_slack();
     let coarsest = h.coarsest();
     let mut part = crate::ggg::greedy_graph_growing_frac(coarsest, seed, frac);
-    fm_refine_frac_traced(coarsest, &mut part, &coarse_cfg, frac, trace);
+    let mut outcome =
+        fm_refine_boundary_traced(coarsest, &mut part, &coarse_cfg, frac, None, trace);
     for level in (0..h.num_levels()).rev() {
+        let mut marked = vec![false; part.len()];
+        for &u in &outcome.boundary {
+            marked[u as usize] = true;
+        }
         part = h.interpolate_level(level, &part);
+        let frontier = h.project_frontier(level, &marked);
         // Tighten to the caller's balance on the finest level only.
         let level_cfg = if level == 0 { cfg } else { &coarse_cfg };
-        fm_refine_frac_traced(h.graph_above(level), &mut part, level_cfg, frac, trace);
+        outcome = fm_refine_boundary_traced(
+            h.graph_above(level),
+            &mut part,
+            level_cfg,
+            frac,
+            Some(&frontier),
+            trace,
+        );
     }
     part
 }
@@ -327,6 +735,43 @@ mod tests {
         assert_eq!(r.cut, 1);
         let (w0, w1) = part_weights(&g, &r.part);
         assert_eq!(w0, w1);
+    }
+
+    #[test]
+    fn balance_repair_pass_does_not_terminate_refinement() {
+        // Regression for the pass-termination bug: the old loop broke
+        // whenever a pass failed to strictly reduce the cut, even when the
+        // pass had just repaired balance — freezing the cut at its
+        // pre-repair value. From the unbalanced start [0,1,1,1,1,0] on a
+        // 6-path, pass 1 repairs 2:4 to 3:3 at the unchanged cut of 2;
+        // only a second pass can slide the boundary to the optimal cut 1.
+        let g = gen::path(6);
+        let start = vec![0, 1, 1, 1, 1, 0];
+        let cfg = FmConfig {
+            max_passes: 8,
+            epsilon: 0.0,
+            vertex_slack: false,
+        };
+
+        let mut part1 = start.clone();
+        let cut_one_pass = fm_refine(
+            &g,
+            &mut part1,
+            &FmConfig {
+                max_passes: 1,
+                ..cfg.clone()
+            },
+        );
+
+        let mut part = start;
+        let cut = fm_refine(&g, &mut part, &cfg);
+        let (w0, w1) = part_weights(&g, &part);
+        assert_eq!((w0, w1), (3, 3), "balance repaired");
+        assert!(
+            cut_one_pass > cut,
+            "instance must need a second pass: pass-1 cut {cut_one_pass}, final {cut}"
+        );
+        assert_eq!(cut, 1, "second pass reaches the optimal path cut");
     }
 
     #[test]

@@ -59,9 +59,18 @@ pub fn kway_partition(
 }
 
 /// `max_p w(p) / (total/k)` for a k-way partition.
+///
+/// Labels must lie in `0..k` (asserted). Empty parts are tolerated — they
+/// are legitimate when `n < k` — and simply never contribute to the max;
+/// callers that require every label populated can check
+/// [`kway_empty_parts`] or use [`kway_imbalance_checked`].
 pub fn kway_imbalance(g: &Csr, part: &[u32], k: usize) -> f64 {
     let mut w = vec![0u64; k];
     for (u, &p) in part.iter().enumerate() {
+        assert!(
+            (p as usize) < k,
+            "part label {p} out of range for k={k} (vertex {u})"
+        );
         w[p as usize] += g.vwgt()[u];
     }
     let total: u64 = w.iter().sum();
@@ -70,6 +79,33 @@ pub fn kway_imbalance(g: &Csr, part: &[u32], k: usize) -> f64 {
     }
     let ideal = total as f64 / k as f64;
     w.iter().copied().max().unwrap_or(0) as f64 / ideal
+}
+
+/// Number of labels in `0..k` with no assigned vertex. Zero for a healthy
+/// k-way partition whenever `n >= k`; a positive count flags label dropout
+/// upstream (the bug this helper exists to surface).
+pub fn kway_empty_parts(part: &[u32], k: usize) -> usize {
+    let mut seen = vec![false; k];
+    for &p in part {
+        assert!((p as usize) < k, "part label {p} out of range for k={k}");
+        seen[p as usize] = true;
+    }
+    seen.iter().filter(|&&s| !s).count()
+}
+
+/// [`kway_imbalance`] plus a debug assertion that no part is empty.
+///
+/// Use from tests and debug builds on graphs with `n >= k`, where an empty
+/// part always indicates label dropout rather than a legitimately
+/// unpopulated label.
+pub fn kway_imbalance_checked(g: &Csr, part: &[u32], k: usize) -> f64 {
+    debug_assert_eq!(
+        kway_empty_parts(part, k),
+        0,
+        "k-way label dropout: empty parts with n={} k={k}",
+        g.n()
+    );
+    kway_imbalance(g, part, k)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -97,6 +133,17 @@ fn recurse(
     // Bias the bisection so side 0 receives k0/k of the weight.
     let r = fm_bisect_frac(policy, g, coarsen_opts, fm, k0 as f64 / k as f64, seed);
 
+    // Degenerate bisection: one side came back empty (heavy vertices or a
+    // collapsed coarse hierarchy can defeat the balance constraint). The
+    // old code `continue`d past the empty side, silently dropping its
+    // whole label range and emitting fewer than k parts. Instead, re-split
+    // the non-empty side directly across all k labels.
+    let n0 = r.part.iter().filter(|&&s| s == 0).count();
+    if n0 == 0 || n0 == g.n() {
+        direct_kway_split(g, k, base_label, out, ids);
+        return;
+    }
+
     for side in 0..2u32 {
         let sub_k = if side == 0 { k0 } else { k1 };
         let label = if side == 0 {
@@ -109,9 +156,6 @@ fn recurse(
         let side_ids: Vec<u32> = (0..g.n() as u32)
             .filter(|&u| r.part[u as usize] == side)
             .collect();
-        if side_ids.is_empty() {
-            continue;
-        }
         if sub_k <= 1 {
             for &u in &side_ids {
                 out[ids[u as usize] as usize] = label;
@@ -120,6 +164,14 @@ fn recurse(
         }
         let (sub, _) = mlcg_graph::cc::induced_subgraph(g, &side_ids);
         let sub_ids: Vec<u32> = side_ids.iter().map(|&u| ids[u as usize]).collect();
+        // Recursion merges everything into one label at its `n <= 1` base
+        // case, so a side with fewer vertices than target labels can never
+        // populate them all that way; a direct split uses as many labels
+        // as there are vertices.
+        if side_ids.len() < sub_k {
+            direct_kway_split(&sub, sub_k, label, out, &sub_ids);
+            continue;
+        }
         // Disconnected sides are possible; recurse on the whole (possibly
         // disconnected) subgraph only if connected, otherwise fall back to
         // splitting components round-robin through the bisection of the
@@ -138,8 +190,15 @@ fn recurse(
                 &sub_ids,
             );
         } else {
-            // Assign components greedily to the sub-parts by weight.
+            // Assign components greedily to the sub-parts by weight. This
+            // never splits a component, so with fewer components than
+            // sub-parts some labels would stay empty — fall back to a
+            // direct vertex-level split in that case.
             let (comp, ncomp) = mlcg_graph::cc::components(&sub);
+            if ncomp < sub_k {
+                direct_kway_split(&sub, sub_k, label, out, &sub_ids);
+                continue;
+            }
             let mut loads = vec![0u64; sub_k];
             let mut comp_part = vec![0u32; ncomp];
             let mut comp_weight = vec![0u64; ncomp];
@@ -157,6 +216,24 @@ fn recurse(
                 out[sub_ids[i] as usize] = label + comp_part[c as usize];
             }
         }
+    }
+}
+
+/// Greedy weight-balanced direct split: assign vertices, heaviest first,
+/// to the least-loaded of `k` labels (ties broken toward the lowest
+/// label, so empty labels fill before any label doubles up). Ignores
+/// edges entirely — this is a label-coverage fallback for cases where
+/// recursive bisection cannot populate every label, not a quality path.
+fn direct_kway_split(g: &Csr, k: usize, base_label: u32, out: &mut [u32], ids: &[u32]) {
+    let mut order: Vec<usize> = (0..g.n()).collect();
+    order.sort_by_key(|&u| std::cmp::Reverse((g.vwgt()[u], u)));
+    let mut loads = vec![0u64; k];
+    for u in order {
+        let target = (0..k)
+            .min_by_key(|&p| (loads[p], p))
+            .expect("k >= 1 in direct split");
+        out[ids[u] as usize] = base_label + target as u32;
+        loads[target] += g.vwgt()[u];
     }
 }
 
@@ -223,6 +300,54 @@ mod tests {
         let r = run(&g, 4);
         assert!(r.imbalance <= 1.35, "imbalance {}", r.imbalance);
         assert!(r.cut > 0);
+    }
+
+    #[test]
+    fn heavy_vertex_pair_uses_both_labels() {
+        // One vertex carries ~99% of the weight, so no bisection can meet
+        // the balance constraint and one side may come back empty. The old
+        // code silently emitted a single label; the fallback must still
+        // produce both.
+        let mut g = mlcg_graph::builder::from_edges_weighted(2, &[(0, 1, 1)]);
+        g.set_vwgt(vec![1, 100]);
+        let r = run(&g, 2);
+        assert_eq!(kway_empty_parts(&r.part, 2), 0, "labels {:?}", r.part);
+        assert!(r.part.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn star_with_heavy_center_uses_all_labels() {
+        let mut g = gen::star(9);
+        let mut vw = vec![1u64; g.n()];
+        vw[0] = 1000;
+        g.set_vwgt(vw);
+        let r = run(&g, 4);
+        assert_eq!(kway_empty_parts(&r.part, 4), 0, "labels {:?}", r.part);
+        // With the center pinned in one part the other three split the
+        // leaves; imbalance is dominated by the center but must be finite
+        // and computed against all 4 parts.
+        assert!(r.imbalance.is_finite());
+    }
+
+    #[test]
+    fn more_parts_than_vertices_is_tolerated() {
+        let g = gen::path(3);
+        let r = run(&g, 5);
+        assert!(r.part.iter().all(|&p| p < 5), "labels {:?}", r.part);
+        // Exactly 3 labels can be populated; the other 2 are legitimately
+        // empty and kway_imbalance must tolerate them.
+        assert_eq!(kway_empty_parts(&r.part, 5), 2, "labels {:?}", r.part);
+        assert!(r.imbalance.is_finite() && r.imbalance >= 1.0);
+    }
+
+    #[test]
+    fn checked_imbalance_matches_on_full_partitions() {
+        let g = gen::grid2d(8, 8);
+        let r = run(&g, 4);
+        assert_eq!(
+            kway_imbalance_checked(&g, &r.part, 4),
+            kway_imbalance(&g, &r.part, 4)
+        );
     }
 
     #[test]

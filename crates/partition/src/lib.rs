@@ -19,8 +19,13 @@ pub mod parref;
 pub mod result;
 pub mod spectral;
 
-pub use fm::{fm_bisect, fm_bisect_frac, FmConfig};
-pub use kway::{kway_partition, KwayResult};
+pub use fm::{
+    fm_bisect, fm_bisect_frac, fm_refine_boundary_traced, fm_refine_frac_full_scan,
+    fm_uncoarsen_frac_full_scan, FmConfig, FmRefineOutcome,
+};
+pub use kway::{
+    kway_empty_parts, kway_imbalance, kway_imbalance_checked, kway_partition, KwayResult,
+};
 pub use metislike::{metis_like, mtmetis_like};
 pub use parref::{parallel_refine, parfm_bisect, ParRefConfig};
 pub use result::audit_partition;

@@ -8,6 +8,7 @@
 //! cuts allow no imbalance — matching the paper's protocol. The stopping
 //! criterion is the iterate 2-norm difference falling below 1e-10.
 
+use crate::fm::{fm_refine_boundary_traced, FmConfig};
 use crate::result::{audit_partition, split_weighted_median, PartitionResult};
 use mlcg_coarsen::{coarsen, CoarsenOptions};
 use mlcg_graph::Csr;
@@ -24,6 +25,13 @@ pub struct SpectralConfig {
     /// Iteration cap per refinement level (warm-started, so far fewer
     /// iterations are needed than on the coarsest graph).
     pub refine_max_iters: usize,
+    /// Optional boundary-driven FM post-pass over the median split.
+    ///
+    /// `None` (the default) keeps the paper's pure-spectral protocol: the
+    /// weighted-median split is final and allows no imbalance. `Some`
+    /// polishes the split with [`fm_refine_boundary_traced`], trading up
+    /// to the configured epsilon of imbalance for a lower cut.
+    pub fm_polish: Option<FmConfig>,
 }
 
 impl Default for SpectralConfig {
@@ -32,6 +40,7 @@ impl Default for SpectralConfig {
             tol: 1e-10,
             coarse_max_iters: 20_000,
             refine_max_iters: 2_000,
+            fm_polish: None,
         }
     }
 }
@@ -74,11 +83,21 @@ pub fn spectral_bisect(
         )
         .vector;
     }
-    let part = split_weighted_median(g, &x);
+    let mut part = split_weighted_median(g, &x);
+    if let Some(fm_cfg) = &cfg.fm_polish {
+        fm_refine_boundary_traced(g, &mut part, fm_cfg, 0.5, None, &trace);
+    }
     let refine_seconds = span.finish();
-    // The weighted-median split overshoots total/2 by at most one vertex.
+    // The weighted-median split overshoots total/2 by at most one vertex;
+    // an FM polish may additionally spend its configured imbalance budget.
     let max_vwgt = g.vwgt().iter().copied().max().unwrap_or(1) as f64;
-    let cap = 1.0 + 2.0 * max_vwgt / g.total_vwgt().max(1) as f64 + 1e-9;
+    let mut cap = 1.0 + 2.0 * max_vwgt / g.total_vwgt().max(1) as f64 + 1e-9;
+    if let Some(fm_cfg) = &cfg.fm_polish {
+        cap += fm_cfg.epsilon;
+        if fm_cfg.vertex_slack {
+            cap += 2.0 * max_vwgt / g.total_vwgt().max(1) as f64;
+        }
+    }
     audit_partition(&trace, "partition/spectral", g, &part, cap);
     PartitionResult::new(g, part, coarsen_seconds, refine_seconds, h.num_levels())
         .with_trace(trace.report())
@@ -156,6 +175,41 @@ mod tests {
             assert_eq!(w0, w1, "{method:?} imbalanced");
             assert!(r.cut > 0 && r.cut < 144, "{method:?} cut {}", r.cut);
         }
+    }
+
+    #[test]
+    fn fm_polish_never_worsens_the_spectral_cut() {
+        let g = gen::grid2d(16, 8);
+        let plain = spectral_bisect(
+            &ExecPolicy::serial(),
+            &g,
+            &opts(MapMethod::Hec),
+            &SpectralConfig::default(),
+            5,
+        );
+        let polished = spectral_bisect(
+            &ExecPolicy::serial(),
+            &g,
+            &opts(MapMethod::Hec),
+            &SpectralConfig {
+                fm_polish: Some(crate::fm::FmConfig {
+                    max_passes: 8,
+                    epsilon: 0.0,
+                    vertex_slack: false,
+                }),
+                ..Default::default()
+            },
+            5,
+        );
+        assert!(
+            polished.cut <= plain.cut,
+            "polish worsened cut: {} > {}",
+            polished.cut,
+            plain.cut
+        );
+        // epsilon 0 on a unit-weight even-total graph keeps exact balance.
+        let (w0, w1) = part_weights(&g, &polished.part);
+        assert_eq!(w0, w1);
     }
 
     #[test]
