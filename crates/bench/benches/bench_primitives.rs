@@ -66,6 +66,7 @@ fn main() {
     }
 
     trace_overhead(n);
+    profile_overhead(n);
 }
 
 /// Compare a scan loop bare against the same loop wrapped in disabled
@@ -106,5 +107,60 @@ fn trace_overhead(n: usize) {
     println!(
         "trace-overhead/per-span: {:.2} ns",
         secs / spans as f64 * 1e9
+    );
+}
+
+/// Dispatch cost with no profiling session installed (one relaxed atomic
+/// load + branch per dispatch) versus the same loop with the profiler
+/// recording, plus kernel-label guard cost. Run after `trace_overhead` so
+/// no collector is live during the uninstrumented measurements.
+fn profile_overhead(n: usize) {
+    use mlcg_par::{parallel_for, profile};
+    let policy = ExecPolicy::host();
+    let data: Vec<u64> = (0..n as u64).map(|i| i % 7).collect();
+    let sum_under = |policy: &ExecPolicy, data: &[u64]| {
+        let acc = std::sync::atomic::AtomicU64::new(0);
+        parallel_for(policy, data.len(), |i| {
+            if data[i] == 6 {
+                acc.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        acc.load(std::sync::atomic::Ordering::Relaxed)
+    };
+
+    assert!(
+        !profile::profiling(),
+        "no session may be live for the baseline"
+    );
+    let bare = microbench("profile-overhead", "par-for-uninstrumented", RUNS, || {
+        sum_under(&policy, &data)
+    });
+
+    let trace = TraceCollector::enabled();
+    let installed = {
+        let _p = profile::install(&trace);
+        microbench("profile-overhead", "par-for-profiled", RUNS, || {
+            sum_under(&policy, &data)
+        })
+    };
+    println!(
+        "profile-overhead/ratio: {:.4} (profiled / uninstrumented dispatch)",
+        installed / bare
+    );
+    println!(
+        "profile-overhead/recorded-dispatches: {}",
+        trace.report().dispatches.len()
+    );
+
+    // Raw per-guard cost of a kernel label (thread-local push/pop).
+    let labels = 1_000_000u64;
+    let secs = microbench("profile-overhead", "kernel-label-1M", RUNS, || {
+        for _ in 0..labels {
+            let _k = profile::kernel("bench");
+        }
+    });
+    println!(
+        "profile-overhead/per-label: {:.2} ns",
+        secs / labels as f64 * 1e9
     );
 }

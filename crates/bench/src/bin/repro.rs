@@ -10,7 +10,10 @@ use mlcg_bench::{exp, Ctx};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(name) = args.first() else {
-        eprintln!("usage: repro <experiment> [--scale k] [--runs r] [--seed s] [--fast] [--quick] [--trace]");
+        eprintln!(
+            "usage: repro <experiment> [--scale k] [--runs r] [--seed s] [--fast] [--quick] \
+             [--trace] [--trace-out FILE] [--baseline BENCH_x.json] [--noise x]"
+        );
         eprintln!("experiments: {} all", exp::ALL.join(" "));
         std::process::exit(2);
     };
@@ -23,11 +26,15 @@ fn main() {
         ctx.fast,
         mlcg_par::pool::global().workers()
     );
-    if !exp::run(name, &ctx) {
-        eprintln!(
-            "unknown experiment '{name}'. known: {} all",
-            exp::ALL.join(" ")
-        );
-        std::process::exit(2);
+    match exp::run(name, &ctx) {
+        Some(0) => {}
+        Some(code) => std::process::exit(code),
+        None => {
+            eprintln!(
+                "unknown experiment '{name}'. known: {} all",
+                exp::ALL.join(" ")
+            );
+            std::process::exit(2);
+        }
     }
 }

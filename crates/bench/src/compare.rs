@@ -1,0 +1,548 @@
+//! Baseline comparison for `BENCH_*.json` results — the bench regression
+//! gate behind `repro <exp> --baseline FILE [--noise X]`.
+//!
+//! The workspace is dependency-free, so this module carries a minimal
+//! recursive-descent JSON parser (objects, arrays, strings, numbers,
+//! booleans, null — enough for the hand-rolled bench result files) plus
+//! the comparison rule: a graph's timing regresses when
+//! `current > baseline * (1 + noise)`. Cut changes are reported but do
+//! not gate, since quality is covered by the deterministic test suite.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string (escape sequences decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in key order.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parse a JSON document. Rejects trailing non-whitespace.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Member of an object (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Elements of an array (empty for non-arrays).
+    pub fn items(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            _ => &[],
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Descend a `/`-separated path of object keys.
+    pub fn path(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for seg in path.split('/') {
+            cur = cur.get(seg)?;
+        }
+        Some(cur)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through unmodified).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| (b & 0xC0) == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8 in string")?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| {
+            b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-'
+        }) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+/// One per-graph, per-variant timing comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    /// Graph name.
+    pub graph: String,
+    /// Which timing (`full_scan` / `boundary`).
+    pub variant: &'static str,
+    /// Baseline median seconds.
+    pub baseline_seconds: f64,
+    /// Current median seconds.
+    pub current_seconds: f64,
+    /// Whether this exceeded the noise threshold.
+    pub regressed: bool,
+}
+
+impl Delta {
+    /// Relative change (`+0.12` = 12 % slower than baseline).
+    pub fn rel(&self) -> f64 {
+        if self.baseline_seconds > 0.0 {
+            self.current_seconds / self.baseline_seconds - 1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {:.4}s -> {:.4}s ({:+.1}%){}",
+            self.graph,
+            self.variant,
+            self.baseline_seconds,
+            self.current_seconds,
+            self.rel() * 100.0,
+            if self.regressed { "  REGRESSION" } else { "" }
+        )
+    }
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Clone, Debug, Default)]
+pub struct CompareOutcome {
+    /// Every timing pair found in both files.
+    pub deltas: Vec<Delta>,
+    /// Graphs present in the baseline but missing from the current run
+    /// (counted as failures: a silently dropped graph is not a pass).
+    pub missing: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// True when nothing regressed and no baseline graph went missing.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.deltas.iter().all(|d| !d.regressed)
+    }
+}
+
+/// Compare two `BENCH_fm.json` documents. `noise` is the relative
+/// threshold: a timing regresses when
+/// `current > baseline * (1 + noise)`.
+pub fn compare_bench_fm(
+    baseline: &Json,
+    current: &Json,
+    noise: f64,
+) -> Result<CompareOutcome, String> {
+    let base_graphs = baseline
+        .get("graphs")
+        .ok_or("baseline has no \"graphs\" array")?;
+    let cur_graphs = current
+        .get("graphs")
+        .ok_or("current result has no \"graphs\" array")?;
+    let mut out = CompareOutcome::default();
+    for bg in base_graphs.items() {
+        let name = bg
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("baseline graph entry without a name")?;
+        let Some(cg) = cur_graphs
+            .items()
+            .iter()
+            .find(|g| g.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            out.missing.push(name.to_string());
+            continue;
+        };
+        for variant in ["full_scan", "boundary"] {
+            let (Some(b), Some(c)) = (
+                bg.path(variant)
+                    .and_then(|v| v.get("refine_seconds"))
+                    .and_then(Json::as_f64),
+                cg.path(variant)
+                    .and_then(|v| v.get("refine_seconds"))
+                    .and_then(Json::as_f64),
+            ) else {
+                return Err(format!("{name}/{variant}: missing refine_seconds"));
+            };
+            out.deltas.push(Delta {
+                graph: name.to_string(),
+                variant: if variant == "full_scan" {
+                    "full_scan"
+                } else {
+                    "boundary"
+                },
+                baseline_seconds: b,
+                current_seconds: c,
+                regressed: c > b * (1.0 + noise),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Load a baseline file, compare against the current results document,
+/// print the per-graph deltas, and return the process exit code (0 pass,
+/// 1 regression / missing graph, 2 unreadable input).
+pub fn run_baseline_gate(baseline_path: &str, current_json: &str, noise: f64) -> i32 {
+    let base_text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("baseline gate: cannot read {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    let (base, cur) = match (Json::parse(&base_text), Json::parse(current_json)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) => {
+            eprintln!("baseline gate: {baseline_path} is not valid JSON: {e}");
+            return 2;
+        }
+        (_, Err(e)) => {
+            eprintln!("baseline gate: current results are not valid JSON: {e}");
+            return 2;
+        }
+    };
+    let outcome = match compare_bench_fm(&base, &cur, noise) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("baseline gate: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "baseline gate vs {baseline_path} (noise threshold {:.0}%):",
+        noise * 100.0
+    );
+    for d in &outcome.deltas {
+        println!("  {d}");
+    }
+    for m in &outcome.missing {
+        println!("  {m}: MISSING from current results");
+    }
+    if outcome.passed() {
+        println!("baseline gate: PASS");
+        0
+    } else {
+        let n = outcome.deltas.iter().filter(|d| d.regressed).count() + outcome.missing.len();
+        println!("baseline gate: FAIL ({n} regression(s))");
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_strings_and_nesting() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-2.5e2").unwrap(), Json::Num(-250.0));
+        assert_eq!(
+            Json::parse(r#""a\nbA""#).unwrap(),
+            Json::Str("a\nbA".into())
+        );
+        let v = Json::parse(r#"{"a": [1, {"b": "x"}], "c": false}"#).unwrap();
+        assert_eq!(v.path("a").unwrap().items().len(), 2);
+        assert_eq!(
+            v.path("a").unwrap().items()[1].path("b").unwrap().as_str(),
+            Some("x")
+        );
+        assert_eq!(v.get("c"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{}, extra").is_err());
+        assert!(Json::parse(r#"{"a" 1}"#).is_err());
+    }
+
+    fn doc(full: f64, boundary: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"experiment": "bench-fm", "graphs": [
+                {{"name": "g1", "n": 10, "m": 20,
+                  "full_scan": {{"cut": 5, "refine_seconds": {full}}},
+                  "boundary": {{"cut": 5, "refine_seconds": {boundary}}},
+                  "speedup": 1.0}}
+            ]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn compare_passes_within_noise_and_fails_beyond() {
+        let base = doc(0.100, 0.050);
+        let same = compare_bench_fm(&base, &doc(0.110, 0.055), 0.25).unwrap();
+        assert!(same.passed());
+        assert_eq!(same.deltas.len(), 2);
+
+        let slow = compare_bench_fm(&base, &doc(0.200, 0.050), 0.25).unwrap();
+        assert!(!slow.passed());
+        let reg: Vec<_> = slow.deltas.iter().filter(|d| d.regressed).collect();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].variant, "full_scan");
+        assert!((reg[0].rel() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_results_never_regress() {
+        let base = doc(0.100, 0.050);
+        let fast = compare_bench_fm(&base, &doc(0.010, 0.005), 0.0).unwrap();
+        assert!(fast.passed());
+    }
+
+    #[test]
+    fn missing_graph_fails_the_gate() {
+        let base = doc(0.1, 0.1);
+        let empty = Json::parse(r#"{"graphs": []}"#).unwrap();
+        let out = compare_bench_fm(&base, &empty, 0.25).unwrap();
+        assert!(!out.passed());
+        assert_eq!(out.missing, vec!["g1".to_string()]);
+    }
+
+    #[test]
+    fn gate_exit_codes() {
+        let dir = std::env::temp_dir().join("mlcg-compare-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.json");
+        std::fs::write(
+            &path,
+            r#"{"graphs": [{"name": "g1",
+                "full_scan": {"cut": 1, "refine_seconds": 0.1},
+                "boundary": {"cut": 1, "refine_seconds": 0.1}}]}"#,
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        let cur_ok = r#"{"graphs": [{"name": "g1",
+            "full_scan": {"cut": 1, "refine_seconds": 0.1},
+            "boundary": {"cut": 1, "refine_seconds": 0.1}}]}"#;
+        let cur_slow = r#"{"graphs": [{"name": "g1",
+            "full_scan": {"cut": 1, "refine_seconds": 9.0},
+            "boundary": {"cut": 1, "refine_seconds": 0.1}}]}"#;
+        assert_eq!(run_baseline_gate(p, cur_ok, 0.25), 0);
+        assert_eq!(run_baseline_gate(p, cur_slow, 0.25), 1);
+        assert_eq!(run_baseline_gate("/nonexistent/base.json", cur_ok, 0.25), 2);
+        assert_eq!(run_baseline_gate(p, "not json", 0.25), 2);
+    }
+}

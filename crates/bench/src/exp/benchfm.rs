@@ -50,8 +50,10 @@ fn suite(ctx: &Ctx) -> Vec<(String, Csr)> {
     }
 }
 
-/// Run the FM refinement benchmark and write `BENCH_fm.json`.
-pub fn run(ctx: &Ctx) {
+/// Run the FM refinement benchmark, write `BENCH_fm.json`, and (with
+/// `--baseline FILE`) gate the timings against a committed baseline.
+/// Returns the process exit code (nonzero on regression).
+pub fn run(ctx: &Ctx) -> i32 {
     let policy = ctx.host();
     let cfg = FmConfig::default();
     let mut entries = Vec::new();
@@ -78,6 +80,7 @@ pub fn run(ctx: &Ctx) {
                 seed: ctx.seed,
                 ..Default::default()
             };
+            let _p = mlcg_par::profile::install(&opts.trace);
             let r = fm_bisect(&policy, &g, &opts, &cfg, ctx.seed);
             ctx.emit_trace(&format!("bench-fm/{name}"), &r.trace);
         }
@@ -134,6 +137,11 @@ pub fn run(ctx: &Ctx) {
     let dir = PathBuf::from("target/repro");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("BENCH_fm.json");
-    std::fs::write(&path, json).unwrap();
+    std::fs::write(&path, &json).unwrap();
     println!("bench-fm: results written to {}", path.display());
+
+    match &ctx.baseline {
+        Some(baseline) => crate::compare::run_baseline_gate(baseline, &json, ctx.noise),
+        None => 0,
+    }
 }

@@ -34,31 +34,77 @@ pub const ALL: [&str; 15] = [
     "trace",
 ];
 
-/// Dispatch one experiment by name. Returns false for unknown names.
-pub fn run(name: &str, ctx: &Ctx) -> bool {
-    match name {
-        "table1" => table1::run(ctx),
-        "table2" => table23::run(ctx, true),
-        "table3" => table23::run(ctx, false),
-        "table4" => table4::run(ctx),
-        "table5" => table5::run(ctx),
-        "table6" => table6::run(ctx),
-        "fig1" => fig1::run(ctx),
-        "fig2" => fig2::run(ctx),
-        "fig3-left" => fig3::run_left(ctx),
-        "fig3-mid" => fig3::run_mid(ctx),
-        "fig3-right" => fig3::run_right(ctx),
-        "ablate-dedup" => ablate::run(ctx),
+/// Dispatch one experiment by name. Returns the process exit code
+/// (`0` pass, nonzero for a failed regression gate), or `None` for
+/// unknown names.
+pub fn run(name: &str, ctx: &Ctx) -> Option<i32> {
+    let code = match name {
+        "table1" => {
+            table1::run(ctx);
+            0
+        }
+        "table2" => {
+            table23::run(ctx, true);
+            0
+        }
+        "table3" => {
+            table23::run(ctx, false);
+            0
+        }
+        "table4" => {
+            table4::run(ctx);
+            0
+        }
+        "table5" => {
+            table5::run(ctx);
+            0
+        }
+        "table6" => {
+            table6::run(ctx);
+            0
+        }
+        "fig1" => {
+            fig1::run(ctx);
+            0
+        }
+        "fig2" => {
+            fig2::run(ctx);
+            0
+        }
+        "fig3-left" => {
+            fig3::run_left(ctx);
+            0
+        }
+        "fig3-mid" => {
+            fig3::run_mid(ctx);
+            0
+        }
+        "fig3-right" => {
+            fig3::run_right(ctx);
+            0
+        }
+        "ablate-dedup" => {
+            ablate::run(ctx);
+            0
+        }
         "bench-fm" => benchfm::run(ctx),
-        "extended-methods" => extended::run(ctx),
-        "trace" => trace::run(ctx),
+        "extended-methods" => {
+            extended::run(ctx);
+            0
+        }
+        "trace" => {
+            trace::run(ctx);
+            0
+        }
         "all" => {
+            let mut worst = 0;
             for name in ALL {
                 println!("\n===== {name} =====");
-                run(name, ctx);
+                worst = worst.max(run(name, ctx).unwrap_or(0));
             }
+            worst
         }
-        _ => return false,
-    }
-    true
+        _ => return None,
+    };
+    Some(code)
 }

@@ -10,6 +10,29 @@ use mlcg_graph::suite::Group;
 pub fn run(ctx: &Ctx) {
     let policy = ctx.device();
     let corpus = ctx.corpus();
+    if ctx.trace_enabled() {
+        // One profiled HEC coarsen on the largest corpus graph: the
+        // dispatch records carry per-kernel imbalance for the mapping,
+        // construction, and sort kernels, and the report renders as a
+        // Chrome trace with --trace-out.
+        if let Some(ng) = corpus.iter().max_by_key(|ng| ng.graph.n()) {
+            let trace = ctx.trace_collector();
+            {
+                let _p = mlcg_par::profile::install(&trace);
+                let _h = coarsen(
+                    &policy,
+                    &ng.graph,
+                    &CoarsenOptions {
+                        method: MapMethod::Hec,
+                        seed: ctx.seed,
+                        trace: trace.clone(),
+                        ..Default::default()
+                    },
+                );
+            }
+            ctx.emit_trace(&format!("table4/coarsen/{}", ng.name), &trace.report());
+        }
+    }
     println!("Table IV: coarsening methods on the device-sim policy (ratios vs HEC)");
     header(&[
         "Graph", "HEM", "mtMetis", "GOSH", "MIS2", "l HEC", "l HEM", "l mtM", "l GOSH", "l MIS2",

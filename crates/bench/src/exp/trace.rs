@@ -28,21 +28,17 @@ pub fn run(ctx: &Ctx) {
     };
     for policy in [forced.host(), forced.device()] {
         for ng in corpus.iter().take(2) {
-            let r = fm_bisect(
-                &policy,
-                &ng.graph,
-                &opts(forced.trace_collector()),
-                &FmConfig::default(),
-                ctx.seed,
-            );
+            let o = opts(forced.trace_collector());
+            let r = {
+                let _p = mlcg_par::profile::install(&o.trace);
+                fm_bisect(&policy, &ng.graph, &o, &FmConfig::default(), ctx.seed)
+            };
             forced.emit_trace(&format!("fm/{}/{policy}", ng.name), &r.trace);
-            let r = spectral_bisect(
-                &policy,
-                &ng.graph,
-                &opts(forced.trace_collector()),
-                &SpectralConfig::default(),
-                ctx.seed,
-            );
+            let o = opts(forced.trace_collector());
+            let r = {
+                let _p = mlcg_par::profile::install(&o.trace);
+                spectral_bisect(&policy, &ng.graph, &o, &SpectralConfig::default(), ctx.seed)
+            };
             forced.emit_trace(&format!("spectral/{}/{policy}", ng.name), &r.trace);
         }
     }

@@ -21,6 +21,18 @@ pub struct Ctx {
     /// Collect and emit pipeline traces (spans/counters/gauges) as
     /// JSON-lines plus a human-readable tree.
     pub trace: bool,
+    /// Write each traced run as a Chrome trace-event JSON file (implies
+    /// trace collection). `MLCG_TRACE_OUT` supplies a default.
+    pub trace_out: Option<String>,
+    /// Baseline `BENCH_*.json` to compare timing results against; a
+    /// regression makes the experiment exit nonzero.
+    pub baseline: Option<String>,
+    /// Relative noise threshold for baseline comparison: current timings
+    /// beyond `baseline * (1 + noise)` count as regressions.
+    pub noise: f64,
+    /// Traces emitted so far (derives distinct `--trace-out` file names
+    /// when one experiment emits several reports). Leave at the default.
+    pub emitted: std::cell::Cell<usize>,
 }
 
 impl Default for Ctx {
@@ -32,6 +44,10 @@ impl Default for Ctx {
             fast: false,
             quick: false,
             trace: false,
+            trace_out: None,
+            baseline: None,
+            noise: 0.25,
+            emitted: std::cell::Cell::new(0),
         }
     }
 }
@@ -49,10 +65,29 @@ impl Ctx {
                 "--fast" => ctx.fast = true,
                 "--quick" => ctx.quick = true,
                 "--trace" => ctx.trace = true,
+                "--trace-out" => ctx.trace_out = it.next().cloned(),
+                "--baseline" => ctx.baseline = it.next().cloned(),
+                "--noise" => {
+                    ctx.noise = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(ctx.noise)
+                        .max(0.0)
+                }
                 other => eprintln!("warning: ignoring unknown option {other}"),
             }
         }
         ctx
+    }
+
+    /// The Chrome-trace output path: `--trace-out`, falling back to the
+    /// `MLCG_TRACE_OUT` environment variable.
+    pub fn trace_out(&self) -> Option<String> {
+        self.trace_out.clone().or_else(|| {
+            std::env::var("MLCG_TRACE_OUT")
+                .ok()
+                .filter(|s| !s.is_empty())
+        })
     }
 
     /// Generate the full 20-graph corpus at this context's scale.
@@ -80,22 +115,26 @@ impl Ctx {
     /// overhead.
     pub fn trace_collector(&self) -> TraceCollector {
         let mut cfg = TraceConfig::from_env();
-        cfg.enabled |= self.trace;
+        cfg.enabled |= self.trace || self.trace_out().is_some();
         TraceCollector::with_config(cfg)
     }
 
-    /// Whether trace output is in effect, via `--trace`, `MLCG_TRACE=1`,
-    /// or `MLCG_VALIDATE=1` (audit results are reported through the same
-    /// channel, so validation alone also turns emission on).
+    /// Whether trace output is in effect, via `--trace`, `--trace-out`,
+    /// `MLCG_TRACE=1`, `MLCG_TRACE_OUT`, or `MLCG_VALIDATE=1` (audit
+    /// results are reported through the same channel, so validation alone
+    /// also turns emission on).
     pub fn trace_enabled(&self) -> bool {
         let env = TraceConfig::from_env();
-        self.trace || env.enabled || env.validate
+        self.trace || self.trace_out().is_some() || env.enabled || env.validate
     }
 
     /// Emit a non-empty trace report: JSON-lines on stdout (prefixed by a
     /// `# trace <label>` comment line) followed by the aggregated span
-    /// tree. No output when the report is empty or tracing is off (neither
-    /// `--trace` nor `MLCG_TRACE=1`).
+    /// tree. With `--trace-out FILE` (or `MLCG_TRACE_OUT`), additionally
+    /// writes the report as Chrome trace-event JSON — the first report of
+    /// the experiment goes to `FILE` verbatim; subsequent reports get
+    /// `-2`, `-3`, ... inserted before the extension so nothing is
+    /// clobbered. No output when the report is empty or tracing is off.
     pub fn emit_trace(&self, label: &str, report: &TraceReport) {
         if !self.trace_enabled() || report.is_empty() {
             return;
@@ -103,6 +142,22 @@ impl Ctx {
         println!("# trace {label}");
         print!("{}", report.to_jsonl_string());
         println!("{}", report.render_tree());
+        if let Some(base) = self.trace_out() {
+            let k = self.emitted.get() + 1;
+            self.emitted.set(k);
+            let path = if k == 1 {
+                base
+            } else {
+                match base.rsplit_once('.') {
+                    Some((stem, ext)) => format!("{stem}-{k}.{ext}"),
+                    None => format!("{base}-{k}"),
+                }
+            };
+            match std::fs::write(&path, report.to_chrome_trace()) {
+                Ok(()) => println!("# chrome trace ({label}) written to {path}"),
+                Err(e) => eprintln!("warning: could not write chrome trace {path}: {e}"),
+            }
+        }
     }
 }
 

@@ -10,18 +10,26 @@
 //! experiments: table1 table2 table3 table4 table5 table6
 //!              fig1 fig2 fig3-left fig3-mid fig3-right
 //!              ablate-dedup bench-fm extended-methods trace all
-//! options:     --scale <k>   corpus size (default 0; +1 doubles n)
-//!              --runs <r>    timed repetitions, median reported (default 3)
-//!              --seed <s>    RNG seed (default 42)
-//!              --fast        lower power-iteration caps for quick smoke runs
-//!              --quick       shrink benchmark suites for CI smoke runs
-//!              --trace       emit pipeline traces (JSON-lines + span tree)
+//! options:     --scale <k>      corpus size (default 0; +1 doubles n)
+//!              --runs <r>       timed repetitions, median reported (default 3)
+//!              --seed <s>       RNG seed (default 42)
+//!              --fast           lower power-iteration caps for quick smoke runs
+//!              --quick          shrink benchmark suites for CI smoke runs
+//!              --trace          emit pipeline traces (JSON-lines + span tree)
+//!              --trace-out <f>  also write each traced run as Chrome
+//!                               trace-event JSON (implies --trace)
+//!              --baseline <f>   compare results against a committed
+//!                               BENCH_*.json; exit 1 on regression
+//!              --noise <x>      baseline noise threshold (default 0.25
+//!                               = 25% slower counts as a regression)
 //! ```
 //!
 //! Environment: `MLCG_TRACE=1` enables tracing without the flag;
+//! `MLCG_TRACE_OUT=<f>` supplies a default Chrome-trace output path;
 //! `MLCG_VALIDATE=1` additionally runs opt-in invariant audits between
 //! pipeline phases and records them as trace events.
 
+pub mod compare;
 pub mod exp;
 pub mod harness;
 

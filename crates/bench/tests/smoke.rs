@@ -9,8 +9,8 @@ fn fig1_and_fig2_run_without_a_corpus() {
         runs: 1,
         ..Default::default()
     };
-    assert!(exp::run("fig1", &ctx));
-    assert!(exp::run("fig2", &ctx));
+    assert_eq!(exp::run("fig1", &ctx), Some(0));
+    assert_eq!(exp::run("fig2", &ctx), Some(0));
     // The DOT outputs land under target/repro.
     assert!(
         std::path::Path::new("target/repro/fig2-heavy-digraph.dot").exists()
@@ -21,7 +21,7 @@ fn fig1_and_fig2_run_without_a_corpus() {
 #[test]
 fn unknown_experiment_is_rejected() {
     let ctx = Ctx::default();
-    assert!(!exp::run("not-an-experiment", &ctx));
+    assert_eq!(exp::run("not-an-experiment", &ctx), None);
 }
 
 #[test]

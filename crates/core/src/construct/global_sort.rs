@@ -8,7 +8,7 @@ use mlcg_graph::{Csr, VId, Weight};
 use mlcg_par::atomic::as_atomic_usize;
 use mlcg_par::scan::exclusive_scan;
 use mlcg_par::sort::par_radix_sort_pairs;
-use mlcg_par::{parallel_for, ExecPolicy};
+use mlcg_par::{parallel_for, profile, ExecPolicy};
 use std::sync::atomic::Ordering;
 
 /// Build the coarse graph by a global sort-and-reduce.
@@ -17,6 +17,7 @@ pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
     let nc = mapping.n_coarse;
     let map = &mapping.map;
     assert!(nc <= u32::MAX as usize);
+    let _k = profile::kernel("gsort_construct");
 
     // Count inter-aggregate directed entries per fine vertex, then scatter
     // the packed triples.
@@ -40,6 +41,7 @@ pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
     let mut keys: Vec<u64> = vec![0; total];
     let mut vals: Vec<Weight> = vec![0; total];
     {
+        let _k = profile::kernel("pack");
         let k_base = keys.as_mut_ptr() as usize;
         let v_base = vals.as_mut_ptr() as usize;
         let off = &offsets;
@@ -67,6 +69,7 @@ pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
     // Head flags -> run index per entry -> unique-run count.
     let mut head = vec![0usize; total + 1];
     {
+        let _k = profile::kernel("head_flags");
         let base = head.as_mut_ptr() as usize;
         let keys_ref = &keys;
         parallel_for(policy, total, move |i| {
@@ -87,6 +90,7 @@ pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
     let mut wgt: Vec<Weight> = vec![0; m2];
     let mut row_count = vec![0usize; nc + 1];
     {
+        let _k = profile::kernel("reduce_runs");
         let adj_base = adj.as_mut_ptr() as usize;
         let wgt_at = mlcg_par::atomic::as_atomic_u64(&mut wgt);
         let rc = as_atomic_usize(&mut row_count[..nc]);

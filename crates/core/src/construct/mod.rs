@@ -24,7 +24,7 @@ pub mod vertex;
 use crate::mapping::Mapping;
 use mlcg_graph::{Csr, VWeight};
 use mlcg_par::atomic::as_atomic_u64;
-use mlcg_par::{parallel_for, ExecPolicy, TraceCollector};
+use mlcg_par::{parallel_for, profile, ExecPolicy, TraceCollector};
 use std::sync::atomic::Ordering;
 
 /// Which construction strategy to run.
@@ -165,6 +165,7 @@ pub fn construct_coarse_graph_traced(
 
 /// Coarse vertex weights: sums of member fine vertex weights.
 pub fn aggregate_vertex_weights(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Vec<VWeight> {
+    let _k = profile::kernel("agg_vwgt");
     let mut vwgt = vec![0u64; mapping.n_coarse];
     {
         let view = as_atomic_u64(&mut vwgt);

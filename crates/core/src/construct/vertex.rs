@@ -21,7 +21,7 @@ use mlcg_graph::{Csr, VId, Weight};
 use mlcg_par::atomic::as_atomic_usize;
 use mlcg_par::scan::exclusive_scan;
 use mlcg_par::sort::seg_sort_pairs;
-use mlcg_par::{parallel_for, parallel_for_chunks, ExecPolicy, TraceCollector};
+use mlcg_par::{parallel_for, parallel_for_chunks, profile, ExecPolicy, TraceCollector};
 use std::sync::atomic::Ordering;
 
 /// Per-vertex deduplication flavour (step 5).
@@ -56,10 +56,12 @@ pub fn construct(
     let nc = mapping.n_coarse;
     let map = &mapping.map;
     let use_opt = g.skew_ratio() > opts.degree_dedup_skew_threshold;
+    let _k = profile::kernel("construct");
 
     // Step 1: coarse-degree upper bounds C'.
     let mut cprime = vec![0usize; nc];
     {
+        let _k = profile::kernel("bounds");
         let view = as_atomic_usize(&mut cprime);
         parallel_for(policy, n, |u| {
             let cu = map[u] as usize;
@@ -83,6 +85,7 @@ pub fn construct(
     // Step 2: kept-entry counts per coarse vertex.
     let mut cnt = vec![0usize; nc + 1];
     {
+        let _k = profile::kernel("count");
         let view = as_atomic_usize(&mut cnt[..nc]);
         parallel_for(policy, n, |u| {
             let cu = map[u] as usize;
@@ -102,6 +105,7 @@ pub fn construct(
     let mut f: Vec<u32> = vec![0; total];
     let mut x: Vec<Weight> = vec![0; total];
     {
+        let _k = profile::kernel("scatter");
         let mut cursors = r[..nc].to_vec();
         let cur = as_atomic_usize(&mut cursors);
         let f_base = f.as_mut_ptr() as usize;
@@ -126,6 +130,7 @@ pub fn construct(
     // with the survivors compacted to the front of each segment.
     let mut deg = vec![0usize; nc + 1];
     {
+        let _k = profile::kernel("dedup");
         let f_base = f.as_mut_ptr() as usize;
         let x_base = x.as_mut_ptr() as usize;
         let deg_base = deg.as_mut_ptr() as usize;
@@ -270,6 +275,7 @@ fn assemble_direct(
     x: &[Weight],
     mut deg: Vec<usize>,
 ) -> Csr {
+    let _k = profile::kernel("assemble");
     let m2 = exclusive_scan(policy, &mut deg);
     let xadj = deg;
     let mut adj: Vec<u32> = vec![0; m2];
@@ -310,6 +316,7 @@ fn assemble_with_transpose(
     x: &[Weight],
     deg: Vec<usize>,
 ) -> Csr {
+    let _k = profile::kernel("assemble_t");
     // Count both directions.
     let mut deg2 = vec![0usize; nc + 1];
     {

@@ -20,7 +20,7 @@ use mlcg_graph::{Csr, VId};
 use mlcg_par::atomic::as_atomic_u32;
 use mlcg_par::perm::{invert_permutation, random_permutation};
 use mlcg_par::rng::hash_index;
-use mlcg_par::{parallel_count, parallel_for, ExecPolicy};
+use mlcg_par::{parallel_count, parallel_for, profile, ExecPolicy};
 use std::sync::atomic::Ordering;
 
 /// Two vertices are both "high degree" when each exceeds this multiple of
@@ -57,6 +57,7 @@ pub fn gosh(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             MapStats::default(),
         );
     }
+    let _k = profile::kernel("gosh");
     let tau = high_degree_threshold(g);
     let mut m = vec![UNMAPPED; n];
     let mut stats = MapStats::default();
@@ -144,6 +145,7 @@ pub fn gosh_hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) 
             MapStats::default(),
         );
     }
+    let _k = profile::kernel("gosh_hec");
     let tau = high_degree_threshold(g);
     // Heavy neighbor, skipping high-degree/high-degree adjacencies.
     let mut h = vec![UNMAPPED; n];

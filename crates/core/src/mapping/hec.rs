@@ -24,7 +24,7 @@ use super::{MapStats, Mapping, UNMAPPED};
 use mlcg_graph::Csr;
 use mlcg_par::atomic::as_atomic_u32;
 use mlcg_par::perm::random_permutation;
-use mlcg_par::{parallel_for, ExecPolicy};
+use mlcg_par::{parallel_for, profile, ExecPolicy};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Ownership sentinel: `C[u] = FREE` means unclaimed.
@@ -42,6 +42,7 @@ pub fn hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             MapStats::default(),
         );
     }
+    let _k = profile::kernel("hec");
     let h = heavy_neighbors(policy, g);
     debug_assert!(
         h.iter().all(|&x| x != UNMAPPED),
@@ -61,6 +62,7 @@ pub fn hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     while !queue.is_empty() && stats.passes < max_passes {
         let before = queue.len();
         {
+            let _k = profile::kernel("hec_match");
             let m_at = as_atomic_u32(&mut m);
             let c_at = as_atomic_u32(&mut c);
             let h_ref = &h;

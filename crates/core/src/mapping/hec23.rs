@@ -23,7 +23,7 @@ use super::{MapStats, Mapping, UNMAPPED};
 use mlcg_graph::Csr;
 use mlcg_par::atomic::as_atomic_u32;
 use mlcg_par::perm::{invert_permutation, random_permutation};
-use mlcg_par::{parallel_for, ExecPolicy};
+use mlcg_par::{parallel_for, profile, ExecPolicy};
 use std::sync::atomic::Ordering;
 
 /// HEC3 — Algorithm 5.
@@ -38,6 +38,7 @@ pub fn hec3(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             MapStats::default(),
         );
     }
+    let _k = profile::kernel("hec3");
     let h = heavy_neighbors(policy, g);
     let p = random_permutation(policy, n, seed);
     let pos = invert_permutation(policy, &p); // pos[u] = random priority of u
@@ -143,6 +144,7 @@ pub fn hec2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             MapStats::default(),
         );
     }
+    let _k = profile::kernel("hec2");
     let h = heavy_neighbors(policy, g);
     let p = random_permutation(policy, n, seed);
     // X[v] = winning proposer, chosen in permutation order for the serial

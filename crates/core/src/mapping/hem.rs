@@ -13,7 +13,7 @@ use super::{MapStats, Mapping, UNMAPPED};
 use mlcg_graph::{Csr, VId};
 use mlcg_par::atomic::as_atomic_u32;
 use mlcg_par::perm::random_permutation;
-use mlcg_par::{parallel_for, ExecPolicy};
+use mlcg_par::{parallel_for, profile, ExecPolicy};
 use std::sync::atomic::Ordering;
 
 const FREE: u32 = u32::MAX;
@@ -34,6 +34,7 @@ pub fn hem_raw(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Vec<u32>, MapStats) 
     if n <= 1 {
         return (m, MapStats::default());
     }
+    let _k = profile::kernel("hem");
     let mut stats = MapStats::default();
     let mut queue = random_permutation(policy, n, seed);
     let mut c = vec![FREE; n];
@@ -43,6 +44,7 @@ pub fn hem_raw(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Vec<u32>, MapStats) 
         let before_unmatched = queue.len();
         let mut h = vec![UNMAPPED; n];
         {
+            let _k = profile::kernel("heavy_scan");
             let base = h.as_mut_ptr() as usize;
             let m_ref = &m;
             let q_ref = &queue;
@@ -58,6 +60,7 @@ pub fn hem_raw(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Vec<u32>, MapStats) 
             });
         }
         {
+            let _k = profile::kernel("hem_match");
             let m_at = as_atomic_u32(&mut m);
             let c_at = as_atomic_u32(&mut c);
             let (h_ref, q_ref) = (&h, &queue);

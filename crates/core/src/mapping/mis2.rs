@@ -12,7 +12,7 @@ use super::util::relabel;
 use super::{MapStats, Mapping, UNMAPPED};
 use mlcg_graph::{Csr, VId};
 use mlcg_par::rng::hash_index;
-use mlcg_par::{parallel_count, parallel_for, ExecPolicy};
+use mlcg_par::{parallel_count, parallel_for, profile, ExecPolicy};
 
 const UNDECIDED: u32 = 0;
 const IN_MIS: u32 = 1;
@@ -30,6 +30,7 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             MapStats::default(),
         );
     }
+    let _k = profile::kernel("mis2");
     let mut stats = MapStats::default();
     // Unique random priorities: (hash, id) packed into u64 (id in the low
     // bits breaks hash collisions).

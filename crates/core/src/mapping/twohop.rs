@@ -20,7 +20,7 @@ use mlcg_graph::{Csr, VId};
 use mlcg_par::atomic::as_atomic_u32;
 use mlcg_par::rng::mix;
 use mlcg_par::sort::par_radix_sort_pairs;
-use mlcg_par::{parallel_count, parallel_for, ExecPolicy};
+use mlcg_par::{parallel_count, parallel_for, profile, ExecPolicy};
 use std::sync::atomic::Ordering;
 
 /// Tuning knobs for the two-hop stages (defaults follow mt-Metis).
@@ -90,6 +90,7 @@ pub fn mtmetis_with(
 /// (Algorithm 11). A leaf has exactly one incident vertex, so iterating
 /// over intermediaries partitions the candidates — no claiming needed.
 pub fn match_leaves(policy: &ExecPolicy, g: &Csr, m: &mut [u32]) {
+    let _k = profile::kernel("leaves");
     let n = g.n();
     let m_at = as_atomic_u32(m);
     parallel_for(policy, n, |h| {
@@ -121,6 +122,7 @@ pub fn match_twins(policy: &ExecPolicy, g: &Csr, m: &mut [u32]) {
 
 /// [`match_twins`] with an explicit degree cap.
 pub fn match_twins_capped(policy: &ExecPolicy, g: &Csr, m: &mut [u32], cap: usize) {
+    let _k = profile::kernel("twins");
     let n = g.n();
     let mut candidates: Vec<u32> = (0..n as u32)
         .filter(|&u| m[u as usize] == UNMAPPED && (2..=cap).contains(&g.degree(u)))
@@ -187,6 +189,7 @@ pub fn match_relatives(policy: &ExecPolicy, g: &Csr, m: &mut [u32]) {
 
 /// [`match_relatives`] with an explicit intermediary degree cap.
 pub fn match_relatives_capped(policy: &ExecPolicy, g: &Csr, m: &mut [u32], cap: usize) {
+    let _k = profile::kernel("relatives");
     let n = g.n();
     let mut c = vec![FREE; n];
     let c_at = as_atomic_u32(&mut c);

@@ -4,13 +4,14 @@
 use super::{Mapping, UNMAPPED};
 use mlcg_graph::{Csr, VId};
 use mlcg_par::scan::exclusive_scan;
-use mlcg_par::{parallel_for, ExecPolicy};
+use mlcg_par::{parallel_for, profile, ExecPolicy};
 
 /// Compute the heavy-neighbor array `H[u]`: the first maximum-weight
 /// neighbor in adjacency order (adjacency is sorted by id, so ties resolve
 /// to the smallest id — which guarantees the directed graph `u → H[u]` has
 /// no cycles longer than two).
 pub fn heavy_neighbors(policy: &ExecPolicy, g: &Csr) -> Vec<u32> {
+    let _k = profile::kernel("heavy_nbrs");
     let n = g.n();
     let mut h = vec![UNMAPPED; n];
     let base = h.as_mut_ptr() as usize;
@@ -51,6 +52,7 @@ where
 /// Relabel arbitrary labels in `0..n` to contiguous coarse ids `0..n_c`
 /// (parallel flag + prefix sum). Consumes the raw label array.
 pub fn relabel(policy: &ExecPolicy, mut labels: Vec<u32>) -> Mapping {
+    let _k = profile::kernel("relabel");
     let n = labels.len();
     let mut flag = vec![0usize; n + 1];
     {

@@ -27,6 +27,17 @@ pub enum Backend {
     DeviceSim,
 }
 
+impl Backend {
+    /// Short stable name, used by the dispatch profiler's records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Serial => "serial",
+            Backend::Host => "host",
+            Backend::DeviceSim => "device-sim",
+        }
+    }
+}
+
 /// A complete description of how parallel primitives should execute.
 #[derive(Clone, Debug)]
 pub struct ExecPolicy {

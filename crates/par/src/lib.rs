@@ -27,6 +27,7 @@ pub mod atomic;
 pub mod exec;
 pub mod perm;
 pub mod pool;
+pub mod profile;
 pub mod proplite;
 pub mod reduce;
 pub mod rng;
@@ -37,6 +38,7 @@ pub mod trace;
 
 pub use exec::{Backend, ExecPolicy};
 pub use pool::ThreadPool;
+pub use profile::{DispatchRecord, WorkerLane};
 pub use reduce::{
     parallel_count, parallel_reduce, parallel_reduce_max, parallel_reduce_min, parallel_reduce_sum,
 };
@@ -80,16 +82,38 @@ pub fn parallel_for_chunks<F>(policy: &ExecPolicy, n: usize, f: F)
 where
     F: Fn(Range<usize>) + Sync,
 {
+    parallel_for_chunks_op(policy, n, "par_for", f);
+}
+
+/// Shared implementation behind [`parallel_for_chunks`] and
+/// [`parallel_reduce`]: `op` tags the dispatch for the profiler (e.g.
+/// `par_for`, `par_reduce`), composed with any [`profile::kernel`] labels
+/// the caller pushed. With no profiling session installed, the extra cost
+/// over the pre-profiler code is a single relaxed load and branch.
+pub(crate) fn parallel_for_chunks_op<F>(policy: &ExecPolicy, n: usize, op: &'static str, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
     if n == 0 {
         return;
     }
     let threads = policy.effective_threads(n);
     if threads <= 1 || pool::in_worker() {
-        f(0..n);
+        // Nested regions (inside a worker) fold into the parent dispatch's
+        // busy time; top-level inline regions are recorded as one-lane
+        // dispatches so small-corpus runs still report every kernel.
+        if pool::in_worker() {
+            f(0..n);
+        } else {
+            match profile::session() {
+                None => f(0..n),
+                Some(s) => s.run_inline(op, n, || f(0..n)),
+            }
+        }
         return;
     }
     let chunk = policy.chunk_size(n, threads);
-    pool::global().dispatch(threads, &|_wid, claim| {
+    let body = |_wid: usize, claim: &dyn Fn(usize) -> usize| {
         // Each participant claims chunks until the range is exhausted.
         loop {
             let start = claim(chunk);
@@ -99,7 +123,65 @@ where
             let end = (start + chunk).min(n);
             f(start..end);
         }
-    });
+    };
+    match profile::session() {
+        None => pool::global().dispatch(threads, &body),
+        Some(s) => s.run_dispatch(op, policy.backend.name(), n, chunk, threads, &body),
+    }
+}
+
+/// Run `f(b)` for every block `b in 0..nblocks`, sizing the worker team by
+/// `items` — the amount of *underlying* work — rather than by `nblocks`.
+///
+/// Blocked kernels (the two-phase scan, the radix-sort passes) decompose
+/// `items` elements into a few dozen fixed blocks and want one team member
+/// per block's worth of work; routing the block loop through
+/// [`parallel_for`] would size the team by the tiny block *count* and run
+/// the whole loop inline. Blocks are claimed one at a time for dynamic
+/// balancing. Under the profiler this dispatch reports *blocks* as its work
+/// units.
+pub fn parallel_for_blocks<F>(policy: &ExecPolicy, items: usize, nblocks: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if nblocks == 0 {
+        return;
+    }
+    let threads = policy.effective_threads(items).min(nblocks);
+    if threads <= 1 || pool::in_worker() {
+        let run = || {
+            for b in 0..nblocks {
+                f(b);
+            }
+        };
+        if pool::in_worker() {
+            run();
+        } else {
+            match profile::session() {
+                None => run(),
+                Some(s) => s.run_inline("par_blocks", nblocks, run),
+            }
+        }
+        return;
+    }
+    let body = |_wid: usize, claim: &dyn Fn(usize) -> usize| loop {
+        let b = claim(1);
+        if b >= nblocks {
+            break;
+        }
+        f(b);
+    };
+    match profile::session() {
+        None => pool::global().dispatch(threads, &body),
+        Some(s) => s.run_dispatch(
+            "par_blocks",
+            policy.backend.name(),
+            nblocks,
+            1,
+            threads,
+            &body,
+        ),
+    }
 }
 
 /// Fill `dst` with copies of `value` in parallel.

@@ -4,7 +4,7 @@
 
 use crate::rng::hash_index;
 use crate::sort::par_radix_sort_pairs;
-use crate::{parallel_for, ExecPolicy};
+use crate::{parallel_for, profile, ExecPolicy};
 use std::sync::atomic::Ordering;
 
 /// A uniformly random permutation of `0..n` (as `u32` labels).
@@ -13,8 +13,10 @@ pub fn random_permutation(policy: &ExecPolicy, n: usize, seed: u64) -> Vec<u32> 
         n <= u32::MAX as usize,
         "random_permutation: n exceeds u32 range"
     );
+    let _k = profile::kernel("gen_perm");
     let mut keys: Vec<u64> = vec![0; n];
     {
+        let _k = profile::kernel("keys");
         let base = keys.as_mut_ptr() as usize;
         parallel_for(policy, n, move |i| {
             // SAFETY: index-disjoint writes into the freshly allocated buffer.
@@ -25,6 +27,7 @@ pub fn random_permutation(policy: &ExecPolicy, n: usize, seed: u64) -> Vec<u32> 
     }
     let mut vals: Vec<u32> = vec![0; n];
     {
+        let _k = profile::kernel("ids");
         let base = vals.as_mut_ptr() as usize;
         parallel_for(policy, n, move |i| {
             // SAFETY: index-disjoint writes.
@@ -39,6 +42,7 @@ pub fn random_permutation(policy: &ExecPolicy, n: usize, seed: u64) -> Vec<u32> 
 
 /// Inverse of a permutation: `out[p[i]] = i`.
 pub fn invert_permutation(policy: &ExecPolicy, p: &[u32]) -> Vec<u32> {
+    let _k = profile::kernel("invert_perm");
     let n = p.len();
     let mut out = vec![0u32; n];
     {

@@ -10,10 +10,14 @@
 //! (see [`in_worker`]); this mirrors Kokkos, where a kernel body cannot
 //! launch another global kernel.
 
+use crate::profile::{DispatchObs, LaneTally};
+use std::any::Any;
 use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// A dependency-free waitgroup: every clone registers a participant, every
 /// drop deregisters one, and [`WaitGroup::wait`] blocks until all *other*
@@ -80,6 +84,13 @@ struct Job {
     // WaitGroup::wait() returns, which is before the borrow ends.
     func: *const JobFn<'static>,
     next: AtomicUsize,
+    // Per-participant profiling slots, present while a `profile` session is
+    // installed; `None` keeps the unprofiled path at one branch.
+    obs: Option<Arc<DispatchObs>>,
+    // First panic payload from any participant; resumed on the dispatching
+    // thread after the job completes, so a panicking closure cannot kill a
+    // worker thread and poison later dispatches.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
 }
 // SAFETY: `func` points at a `Sync` closure and is only dereferenced while
 // the submitting stack frame (which owns the closure) is blocked in `wait()`.
@@ -129,7 +140,22 @@ impl ThreadPool {
     /// of them. `claim(chunk)` returns monotonically increasing chunk start
     /// offsets; participants stop when the returned offset passes their
     /// range bound.
+    ///
+    /// A panic inside `f` is caught on the participant that raised it (so
+    /// the worker thread and the pool stay usable) and resumed here, on the
+    /// dispatching thread, once every participant has finished.
     pub fn dispatch(&self, threads: usize, f: &JobFn<'_>) {
+        self.dispatch_observed(threads, f, None);
+    }
+
+    /// [`ThreadPool::dispatch`] with optional per-participant profiling
+    /// observation (installed by `profile::SessionInner::run_dispatch`).
+    pub(crate) fn dispatch_observed(
+        &self,
+        threads: usize,
+        f: &JobFn<'_>,
+        obs: Option<Arc<DispatchObs>>,
+    ) {
         let threads = threads.clamp(1, self.workers());
         // SAFETY: we erase the closure's lifetime; `wg.wait()` below blocks
         // until every worker has dropped its message (and thus finished
@@ -140,6 +166,8 @@ impl ThreadPool {
         let job = Arc::new(Job {
             func,
             next: AtomicUsize::new(0),
+            obs,
+            panic: Mutex::new(None),
         });
         let wg = WaitGroup::new();
         for tx in &self.senders[..threads - 1] {
@@ -151,14 +179,49 @@ impl ThreadPool {
         }
         run_job(&job, 0); // the caller is participant 0
         wg.wait();
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
     }
 }
 
 fn run_job(job: &Job, wid: usize) {
     // SAFETY: see `Job::func`.
     let f = unsafe { &*job.func };
-    let claim = |chunk: usize| job.next.fetch_add(chunk.max(1), Ordering::Relaxed);
-    f(wid, &claim);
+    // AssertUnwindSafe: on panic the payload is resumed on the dispatching
+    // thread, which observes the same torn shared state an unwind through
+    // `dispatch` would have exposed before panics were contained.
+    let result = match &job.obs {
+        None => {
+            let claim = |chunk: usize| job.next.fetch_add(chunk.max(1), Ordering::Relaxed);
+            catch_unwind(AssertUnwindSafe(|| f(wid, &claim)))
+        }
+        Some(obs) => {
+            let started = Instant::now();
+            let tally = LaneTally::new();
+            let n = obs.n();
+            let claim = |chunk: usize| {
+                let start = job.next.fetch_add(chunk.max(1), Ordering::Relaxed);
+                tally.on_claim(start, chunk.max(1), n);
+                start
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| f(wid, &claim)));
+            obs.commit(wid, started, tally);
+            result
+        }
+    };
+    if let Err(payload) = result {
+        let mut slot = job.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        // Park the claimer far past any real range bound so sibling
+        // participants drain their claim loops quickly. (Halfway up the
+        // usize range: subsequent fetch_adds stay astronomically large
+        // instead of wrapping.)
+        job.next.store(usize::MAX / 2, Ordering::Relaxed);
+    }
 }
 
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
@@ -171,16 +234,34 @@ static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 /// workers are merely time-sliced.
 pub fn global() -> &'static ThreadPool {
     GLOBAL.get_or_init(|| {
-        let n = std::env::var("MLCG_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-                    .max(4)
-            });
+        // A set-but-invalid MLCG_THREADS used to fall back silently; warn
+        // once (this init runs once) so a typo'd `MLCG_THREADS=abc` is not
+        // mistaken for a pinned pool size. The effective count is also
+        // surfaced as a `pool/workers` gauge when a profiling session is
+        // installed.
+        let pinned = match std::env::var("MLCG_THREADS") {
+            Ok(s) => match s.parse::<usize>() {
+                Ok(n) if n > 0 => Some(n),
+                _ => {
+                    eprintln!(
+                        "mlcg: ignoring invalid MLCG_THREADS={s:?} \
+                         (expected a positive integer); using the default pool size"
+                    );
+                    None
+                }
+            },
+            Err(std::env::VarError::NotPresent) => None,
+            Err(std::env::VarError::NotUnicode(_)) => {
+                eprintln!("mlcg: ignoring non-unicode MLCG_THREADS; using the default pool size");
+                None
+            }
+        };
+        let n = pinned.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(4)
+        });
         ThreadPool::new(n)
     })
 }
@@ -253,5 +334,39 @@ mod tests {
     #[test]
     fn global_pool_has_at_least_four_workers() {
         assert!(global().workers() >= 1);
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_the_pool() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000usize;
+        // The panic must surface on the dispatching thread with its payload.
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(4, &|_wid, claim| loop {
+                let s = claim(64);
+                if s >= n {
+                    break;
+                }
+                if s >= n / 2 {
+                    panic!("boom at {s}");
+                }
+            });
+        }))
+        .expect_err("dispatch must propagate the worker panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "?".into());
+        assert!(msg.starts_with("boom at"), "payload lost: {msg}");
+        // Every subsequent dispatch must still run on all participants —
+        // the worker that panicked used to die, making the next dispatch
+        // die on `send(...)` with no hint of the original panic.
+        for round in 0..20 {
+            let count = AtomicUsize::new(0);
+            pool.dispatch(4, &|_w, _c| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(count.load(Ordering::SeqCst), 4, "round {round}");
+        }
     }
 }

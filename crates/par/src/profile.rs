@@ -1,0 +1,495 @@
+//! Parallel-runtime profiler: per-worker dispatch metrics.
+//!
+//! [`crate::trace`] times *phases*; this module measures how well an
+//! individual `parallel_for` / `parallel_reduce` / `parallel_scan` dispatch
+//! balances work across pool participants — the evidence a parallel
+//! coarse-level refinement design needs before anyone writes it. For every
+//! pool dispatch executed while a session is installed, each participant
+//! records:
+//!
+//! - **busy seconds** — wall time spent inside the job body;
+//! - **chunks claimed** — how many chunk offsets it won from the shared
+//!   atomic claimer;
+//! - **items processed** — claimed chunk sizes clipped to the range bound;
+//! - a **log2-bucketed histogram** of chunk durations (microsecond buckets),
+//!   aggregated per dispatch, so chunk-size policy effectiveness per
+//!   [`Backend`](crate::Backend) can be judged from a report.
+//!
+//! Dispatch sites are labelled by kernel name: a caller pushes a label with
+//! [`kernel`] (`let _k = profile::kernel("hec_match");`) and every dispatch
+//! under that scope is attributed to `par_for/hec_match` (the primitive
+//! prefixes its own tag; nested labels join with `/`, so the radix sort's
+//! per-pass loops show up as e.g. `par_blocks/gen_perm/radix_sort/pass0`).
+//!
+//! A session is installed with [`install`], recording into an *enabled*
+//! [`TraceCollector`]: each dispatch appends a
+//! [`DispatchRecord`] to the collector (rendered by the trace report and the
+//! Chrome-trace exporter) plus a `dispatch/<kernel>/imbalance` gauge
+//! (`max_busy / mean_busy` over participants) and
+//! `dispatch/<kernel>/{dispatches,chunks,items}` counters.
+//!
+//! When no session is installed the per-dispatch cost is a single relaxed
+//! atomic load and branch, and label guards are a thread-local push/pop —
+//! verified alongside the disabled-trace span cost in `bench_primitives`.
+
+use crate::trace::TraceCollector;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of log2 microsecond buckets in a chunk-duration histogram.
+/// Bucket `k` counts chunks lasting `[2^k, 2^(k+1))` microseconds; bucket 0
+/// also absorbs sub-microsecond chunks and the last bucket is unbounded.
+pub const HIST_BUCKETS: usize = 24;
+
+/// Per-participant tallies for one dispatch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkerLane {
+    /// Seconds from the profiling collector's epoch to this participant's
+    /// first activity in the dispatch.
+    pub start_seconds: f64,
+    /// Wall seconds the participant spent inside the job body.
+    pub busy_seconds: f64,
+    /// Chunk offsets this participant claimed within the range.
+    pub chunks: u64,
+    /// Work units processed (claimed chunk sizes clipped to the range).
+    pub items: u64,
+}
+
+/// One profiled dispatch: the kernel label, the scheduling parameters the
+/// [`ExecPolicy`](crate::ExecPolicy) chose, and per-participant tallies.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DispatchRecord {
+    /// Kernel path, e.g. `par_for/hec_match` (primitive tag + label stack).
+    pub kernel: String,
+    /// Backend the policy selected (`host`, `device-sim`, `serial`), or
+    /// `inline` for a region executed on the calling thread.
+    pub backend: &'static str,
+    /// Number of claimable work units in the range (items for `par_for`,
+    /// blocks for `par_blocks`).
+    pub n: usize,
+    /// Chunk size handed to the dynamic claimer.
+    pub chunk: usize,
+    /// Participants requested (including the dispatching thread).
+    pub threads: usize,
+    /// Seconds from the profiling collector's epoch to dispatch start.
+    pub start_seconds: f64,
+    /// Wall seconds from dispatch start to the last participant finishing.
+    pub seconds: f64,
+    /// Per-participant tallies, indexed by participant id (0 = caller).
+    pub lanes: Vec<WorkerLane>,
+    /// Log2-bucketed chunk-duration histogram, merged over participants
+    /// (microsecond buckets; see [`HIST_BUCKETS`]).
+    pub chunk_hist: [u32; HIST_BUCKETS],
+}
+
+impl DispatchRecord {
+    /// Load imbalance: `max_busy / mean_busy` over all participants.
+    /// 1.0 is a perfectly balanced dispatch; returns 1.0 when nothing ran.
+    pub fn imbalance(&self) -> f64 {
+        let max = self
+            .lanes
+            .iter()
+            .map(|l| l.busy_seconds)
+            .fold(0.0, f64::max);
+        let mean =
+            self.lanes.iter().map(|l| l.busy_seconds).sum::<f64>() / self.lanes.len().max(1) as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Total work units processed across participants.
+    pub fn items(&self) -> u64 {
+        self.lanes.iter().map(|l| l.items).sum()
+    }
+
+    /// Total chunks claimed across participants.
+    pub fn chunks(&self) -> u64 {
+        self.lanes.iter().map(|l| l.chunks).sum()
+    }
+}
+
+/// Histogram bucket for a chunk duration in seconds.
+pub(crate) fn bucket_of_seconds(s: f64) -> usize {
+    let us = (s * 1e6) as u64;
+    if us <= 1 {
+        0
+    } else {
+        (63 - us.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel labels
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static KERNELS: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Scope guard for a kernel label; see [`kernel`].
+#[must_use = "binding to _ pops the kernel label immediately"]
+pub struct KernelGuard {
+    _priv: (),
+}
+
+/// Push a kernel label for the current thread. Dispatches issued while the
+/// guard lives are attributed to `<primitive>/<label>` (nested labels join
+/// with `/`). Labels are static so pushing costs a thread-local Vec push
+/// whether or not a session is installed.
+pub fn kernel(label: &'static str) -> KernelGuard {
+    KERNELS.with(|k| k.borrow_mut().push(label));
+    KernelGuard { _priv: () }
+}
+
+impl Drop for KernelGuard {
+    fn drop(&mut self) {
+        KERNELS.with(|k| {
+            k.borrow_mut().pop();
+        });
+    }
+}
+
+/// The full kernel path for a dispatch issued by primitive `op` right now.
+pub(crate) fn kernel_path(op: &str) -> String {
+    KERNELS.with(|k| {
+        let k = k.borrow();
+        if k.is_empty() {
+            op.to_string()
+        } else {
+            let mut path = String::with_capacity(op.len() + 8 * k.len());
+            path.push_str(op);
+            for label in k.iter() {
+                path.push('/');
+                path.push_str(label);
+            }
+            path
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+pub(crate) struct SessionInner {
+    trace: TraceCollector,
+    epoch: Instant,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SESSION: Mutex<Option<Arc<SessionInner>>> = Mutex::new(None);
+
+/// Uninstalls the profiling session (restoring any previous one) on drop.
+#[must_use = "binding to _ uninstalls the profiler immediately"]
+pub struct ProfileGuard {
+    installed: bool,
+    prev: Option<Arc<SessionInner>>,
+}
+
+/// Install a profiling session recording into `trace`. Returns a guard that
+/// uninstalls (restoring any previously installed session) on drop.
+///
+/// A disabled collector installs nothing — the guard is a no-op and the
+/// per-dispatch cost everywhere stays one branch. On install, the effective
+/// pool size is surfaced as a `pool/workers` gauge.
+pub fn install(trace: &TraceCollector) -> ProfileGuard {
+    let Some(epoch) = trace.epoch_instant() else {
+        return ProfileGuard {
+            installed: false,
+            prev: None,
+        };
+    };
+    if !trace.is_enabled() {
+        return ProfileGuard {
+            installed: false,
+            prev: None,
+        };
+    }
+    trace.gauge(
+        || "pool/workers".to_string(),
+        crate::pool::global().workers() as f64,
+    );
+    let inner = Arc::new(SessionInner {
+        trace: trace.clone(),
+        epoch,
+    });
+    let prev = SESSION.lock().unwrap().replace(inner);
+    ACTIVE.store(true, Ordering::Release);
+    ProfileGuard {
+        installed: true,
+        prev,
+    }
+}
+
+impl Drop for ProfileGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            let prev = self.prev.take();
+            ACTIVE.store(prev.is_some(), Ordering::Release);
+            *SESSION.lock().unwrap() = prev;
+        }
+    }
+}
+
+/// True when a profiling session is installed (one relaxed load).
+#[inline]
+pub fn profiling() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// The installed session, if any. The disabled path is one relaxed atomic
+/// load and a branch.
+#[inline]
+pub(crate) fn session() -> Option<Arc<SessionInner>> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    SESSION.lock().unwrap().clone()
+}
+
+impl SessionInner {
+    /// Record a region executed inline on the calling thread as a
+    /// single-lane dispatch.
+    pub(crate) fn run_inline<R>(&self, op: &str, n: usize, f: impl FnOnce() -> R) -> R {
+        let kernel = kernel_path(op);
+        let started = Instant::now();
+        let out = f();
+        let seconds = started.elapsed().as_secs_f64();
+        let start_seconds = started.duration_since(self.epoch).as_secs_f64();
+        let mut chunk_hist = [0u32; HIST_BUCKETS];
+        chunk_hist[bucket_of_seconds(seconds)] = 1;
+        self.trace.record_dispatch(DispatchRecord {
+            kernel,
+            backend: "inline",
+            n,
+            chunk: n,
+            threads: 1,
+            start_seconds,
+            seconds,
+            lanes: vec![WorkerLane {
+                start_seconds,
+                busy_seconds: seconds,
+                chunks: 1,
+                items: n as u64,
+            }],
+            chunk_hist,
+        });
+        out
+    }
+
+    /// Dispatch `body` on the global pool with per-participant observation
+    /// and record the resulting [`DispatchRecord`].
+    pub(crate) fn run_dispatch(
+        &self,
+        op: &str,
+        backend: &'static str,
+        n: usize,
+        chunk: usize,
+        threads: usize,
+        body: &crate::pool::JobFn<'_>,
+    ) {
+        let kernel = kernel_path(op);
+        let obs = Arc::new(DispatchObs::new(n, threads, self.epoch));
+        let started = Instant::now();
+        crate::pool::global().dispatch_observed(threads, body, Some(Arc::clone(&obs)));
+        let seconds = started.elapsed().as_secs_f64();
+        let start_seconds = started.duration_since(self.epoch).as_secs_f64();
+        let (lanes, chunk_hist) = obs.collect();
+        self.trace.record_dispatch(DispatchRecord {
+            kernel,
+            backend,
+            n,
+            chunk,
+            threads,
+            start_seconds,
+            seconds,
+            lanes,
+            chunk_hist,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-dispatch observation (written by pool participants)
+// ---------------------------------------------------------------------------
+
+/// Shared per-dispatch observation buffer: one slot per participant, each
+/// written exactly once when the participant finishes its job body.
+pub(crate) struct DispatchObs {
+    n: usize,
+    epoch: Instant,
+    lanes: Vec<Mutex<(WorkerLane, [u32; HIST_BUCKETS])>>,
+}
+
+impl DispatchObs {
+    pub(crate) fn new(n: usize, threads: usize, epoch: Instant) -> Self {
+        DispatchObs {
+            n,
+            epoch,
+            lanes: (0..threads)
+                .map(|_| Mutex::new(Default::default()))
+                .collect(),
+        }
+    }
+
+    /// The claimable-unit bound of the dispatch range.
+    pub(crate) fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Write participant `wid`'s tallies.
+    pub(crate) fn commit(&self, wid: usize, started: Instant, tally: LaneTally) {
+        let end = Instant::now();
+        let mut hist = tally.hist.into_inner();
+        if let Some(open) = tally.open.get() {
+            hist[bucket_of_seconds(end.duration_since(open).as_secs_f64())] += 1;
+        }
+        let lane = WorkerLane {
+            start_seconds: started.duration_since(self.epoch).as_secs_f64(),
+            busy_seconds: end.duration_since(started).as_secs_f64(),
+            chunks: tally.chunks.get(),
+            items: tally.items.get(),
+        };
+        if let Some(slot) = self.lanes.get(wid) {
+            *slot.lock().unwrap() = (lane, hist);
+        }
+    }
+
+    /// Merge the per-participant slots into (lanes, chunk histogram).
+    fn collect(&self) -> (Vec<WorkerLane>, [u32; HIST_BUCKETS]) {
+        let mut lanes = Vec::with_capacity(self.lanes.len());
+        let mut hist = [0u32; HIST_BUCKETS];
+        for slot in &self.lanes {
+            let (lane, h) = slot.lock().unwrap().clone();
+            for (acc, v) in hist.iter_mut().zip(h.iter()) {
+                *acc += v;
+            }
+            lanes.push(lane);
+        }
+        (lanes, hist)
+    }
+}
+
+/// Thread-local tallies a participant accumulates through its claim loop.
+/// `Cell`-based so the shared `&dyn Fn` claim closure can update it.
+pub(crate) struct LaneTally {
+    chunks: Cell<u64>,
+    items: Cell<u64>,
+    /// Start time of the chunk currently being processed, if any.
+    open: Cell<Option<Instant>>,
+    hist: RefCell<[u32; HIST_BUCKETS]>,
+}
+
+impl LaneTally {
+    pub(crate) fn new() -> Self {
+        LaneTally {
+            chunks: Cell::new(0),
+            items: Cell::new(0),
+            open: Cell::new(None),
+            hist: RefCell::new([0; HIST_BUCKETS]),
+        }
+    }
+
+    /// Observe one claim: `start` is the offset the claimer returned,
+    /// `chunk` the requested size, `n` the range bound. A claim closes the
+    /// previously open chunk (its duration is claim-to-claim) and, when
+    /// in-range, opens the next.
+    pub(crate) fn on_claim(&self, start: usize, chunk: usize, n: usize) {
+        let now = Instant::now();
+        if let Some(open) = self.open.take() {
+            self.hist.borrow_mut()[bucket_of_seconds(now.duration_since(open).as_secs_f64())] += 1;
+        }
+        if start < n {
+            self.chunks.set(self.chunks.get() + 1);
+            self.items
+                .set(self.items.get() + chunk.min(n - start) as u64);
+            self.open.set(Some(now));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2_microseconds() {
+        assert_eq!(bucket_of_seconds(0.0), 0);
+        assert_eq!(bucket_of_seconds(1e-6), 0);
+        assert_eq!(bucket_of_seconds(2e-6), 1);
+        assert_eq!(bucket_of_seconds(3e-6), 1);
+        assert_eq!(bucket_of_seconds(4e-6), 2);
+        assert_eq!(bucket_of_seconds(1e-3), 9); // 1000us -> bucket 9 (512..1024? no: 2^9=512, 2^10=1024 -> 1000 in bucket 9)
+        assert_eq!(bucket_of_seconds(1e6), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn kernel_paths_compose() {
+        assert_eq!(kernel_path("par_for"), "par_for");
+        let _a = kernel("hec_match");
+        assert_eq!(kernel_path("par_for"), "par_for/hec_match");
+        {
+            let _b = kernel("pass0");
+            assert_eq!(kernel_path("par_blocks"), "par_blocks/hec_match/pass0");
+        }
+        assert_eq!(kernel_path("par_for"), "par_for/hec_match");
+    }
+
+    #[test]
+    fn imbalance_of_even_lanes_is_one() {
+        let rec = DispatchRecord {
+            kernel: "par_for/x".into(),
+            backend: "host",
+            n: 100,
+            chunk: 10,
+            threads: 2,
+            start_seconds: 0.0,
+            seconds: 1.0,
+            lanes: vec![
+                WorkerLane {
+                    start_seconds: 0.0,
+                    busy_seconds: 1.0,
+                    chunks: 5,
+                    items: 50,
+                },
+                WorkerLane {
+                    start_seconds: 0.0,
+                    busy_seconds: 1.0,
+                    chunks: 5,
+                    items: 50,
+                },
+            ],
+            chunk_hist: [0; HIST_BUCKETS],
+        };
+        assert!((rec.imbalance() - 1.0).abs() < 1e-12);
+        assert_eq!(rec.items(), 100);
+        assert_eq!(rec.chunks(), 10);
+        let skew = DispatchRecord {
+            lanes: vec![
+                WorkerLane {
+                    busy_seconds: 3.0,
+                    ..Default::default()
+                },
+                WorkerLane {
+                    busy_seconds: 1.0,
+                    ..Default::default()
+                },
+            ],
+            ..rec
+        };
+        assert!((skew.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn install_on_disabled_collector_is_noop() {
+        let t = TraceCollector::disabled();
+        let g = install(&t);
+        assert!(!profiling());
+        drop(g);
+    }
+}

@@ -1,6 +1,6 @@
 //! Parallel reductions.
 
-use crate::{parallel_for_chunks, ExecPolicy};
+use crate::{parallel_for_chunks_op, ExecPolicy};
 use std::sync::Mutex;
 
 /// Reduce `map(i)` over `0..n` with an associative, commutative `combine`
@@ -12,7 +12,9 @@ where
     C: Fn(T, T) -> T + Sync + Send,
 {
     let partials: Mutex<Vec<T>> = Mutex::new(Vec::new());
-    parallel_for_chunks(policy, n, |r| {
+    // Tagged `par_reduce` so the dispatch profiler distinguishes reductions
+    // from plain parallel-for sweeps at the same call site.
+    parallel_for_chunks_op(policy, n, "par_reduce", |r| {
         let mut acc = identity.clone();
         for i in r {
             acc = combine(acc, map(i));

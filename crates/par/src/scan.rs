@@ -5,7 +5,7 @@
 //! the coarse-graph construction (`ParPrefixSums` in the paper's
 //! Algorithm 6) to turn degree counts into CSR row offsets.
 
-use crate::{parallel_for, ExecPolicy};
+use crate::{parallel_for_blocks, profile, ExecPolicy};
 use std::ops::AddAssign;
 
 /// Trait bound for scannable element types.
@@ -37,16 +37,21 @@ fn scan_impl<T: ScanElem>(policy: &ExecPolicy, data: &mut [T], inclusive: bool) 
     }
 
     // Fixed block decomposition (independent of the dynamic claimer) so the
-    // fix-up pass knows each block's offset.
+    // fix-up pass knows each block's offset. The block loops go through
+    // `parallel_for_blocks`, which sizes the team by the *element* count —
+    // a plain `parallel_for` over the few dozen blocks would fall below the
+    // policy grain and run the whole scan inline.
     let nblocks = (threads * 4).min(n);
     let block = n.div_ceil(nblocks);
     let nblocks = n.div_ceil(block);
 
+    let _k = profile::kernel("scan");
     let mut sums: Vec<T> = vec![T::default(); nblocks];
     {
+        let _k = profile::kernel("block_sums");
         let base = data.as_ptr() as usize;
         let sums_base = sums.as_mut_ptr() as usize;
-        parallel_for(policy, nblocks, move |b| {
+        parallel_for_blocks(policy, n, nblocks, move |b| {
             let start = b * block;
             let end = ((b + 1) * block).min(n);
             let mut acc = T::default();
@@ -62,9 +67,10 @@ fn scan_impl<T: ScanElem>(policy: &ExecPolicy, data: &mut [T], inclusive: bool) 
     }
     let total = seq_scan(&mut sums, false);
     {
+        let _k = profile::kernel("fixup");
         let base = data.as_mut_ptr() as usize;
         let sums_ref = &sums;
-        parallel_for(policy, nblocks, move |b| {
+        parallel_for_blocks(policy, n, nblocks, move |b| {
             let start = b * block;
             let end = ((b + 1) * block).min(n);
             let mut acc = sums_ref[b];

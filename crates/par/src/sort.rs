@@ -12,11 +12,17 @@
 //!   team-level bitonic sorts the paper uses on the GPU.
 
 use crate::scan::exclusive_scan;
-use crate::{parallel_for, ExecPolicy};
+use crate::{parallel_for_blocks, profile, ExecPolicy};
 
 const RADIX_BITS: usize = 8;
 const RADIX: usize = 1 << RADIX_BITS;
 const SEQ_SORT_CUTOFF: usize = 1 << 14;
+
+/// Static per-pass profiler labels (`64 / RADIX_BITS` passes at most), so
+/// labelling a pass never allocates.
+const PASS_LABELS: [&str; 8] = [
+    "pass0", "pass1", "pass2", "pass3", "pass4", "pass5", "pass6", "pass7",
+];
 
 /// Stable parallel LSD radix sort of `(keys, vals)` pairs by key.
 ///
@@ -50,15 +56,22 @@ pub fn par_radix_sort_pairs<V: Copy + Default + Send + Sync>(
     // digit-major so the exclusive scan directly yields stable scatter bases.
     let mut counts: Vec<usize> = vec![0; RADIX * nblocks];
 
+    // Label every pass for the dispatch profiler; the block loops size
+    // their team by the pair count (`parallel_for_blocks`) — a plain
+    // `parallel_for` over the few dozen blocks would fall below the policy
+    // grain and run each pass inline.
+    let _k = profile::kernel("radix_sort");
     let mut src_is_orig = true;
     for pass in 0..passes {
+        let _k = profile::kernel(PASS_LABELS[pass.min(PASS_LABELS.len() - 1)]);
         let shift = pass * RADIX_BITS;
         counts.iter_mut().for_each(|c| *c = 0);
         {
+            let _k = profile::kernel("count");
             let (src_k, _src_v, _dst_k, _dst_v) =
                 buffers(&mut *keys, &mut *vals, &mut kbuf, &mut vbuf, src_is_orig);
             let counts_base = counts.as_mut_ptr() as usize;
-            parallel_for(policy, nblocks, move |b| {
+            parallel_for_blocks(policy, n, nblocks, move |b| {
                 let start = b * block;
                 let end = ((b + 1) * block).min(n);
                 // SAFETY: each block writes a disjoint column of `counts`.
@@ -73,12 +86,13 @@ pub fn par_radix_sort_pairs<V: Copy + Default + Send + Sync>(
         }
         exclusive_scan(&ExecPolicy::serial(), &mut counts);
         {
+            let _k = profile::kernel("scatter");
             let (src_k, src_v, dst_k, dst_v) =
                 buffers(&mut *keys, &mut *vals, &mut kbuf, &mut vbuf, src_is_orig);
             let dst_k_base = dst_k.as_mut_ptr() as usize;
             let dst_v_base = dst_v.as_mut_ptr() as usize;
             let counts_ref = &counts;
-            parallel_for(policy, nblocks, move |b| {
+            parallel_for_blocks(policy, n, nblocks, move |b| {
                 let start = b * block;
                 let end = ((b + 1) * block).min(n);
                 let mut cursors = [0usize; RADIX];

@@ -26,6 +26,7 @@
 //! JSON-lines (one object per record, for machine consumption) or as a
 //! human-readable aggregated tree table.
 
+use crate::profile::{DispatchRecord, HIST_BUCKETS};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -98,6 +99,7 @@ struct State {
     counters: BTreeMap<String, u64>,
     gauges: Vec<GaugeRecord>,
     audits: Vec<AuditRecord>,
+    dispatches: Vec<DispatchRecord>,
 }
 
 struct Inner {
@@ -269,6 +271,39 @@ impl TraceCollector {
         }
     }
 
+    /// The collector's epoch instant (timestamps are offsets from it), or
+    /// `None` on the disabled collector. Used by the dispatch profiler to
+    /// keep worker timelines on the same clock as spans.
+    pub(crate) fn epoch_instant(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|i| i.epoch)
+    }
+
+    /// Record one profiled dispatch (see [`crate::profile`]): stores the
+    /// record for report rendering / Chrome export and derives a
+    /// `dispatch/<kernel>/imbalance` gauge plus
+    /// `dispatch/<kernel>/{dispatches,chunks,items}` counters.
+    pub(crate) fn record_dispatch(&self, rec: DispatchRecord) {
+        if let Some(i) = &self.inner {
+            if i.trace_enabled {
+                let mut st = i.state.lock().unwrap();
+                st.gauges.push(GaugeRecord {
+                    path: format!("dispatch/{}/imbalance", rec.kernel),
+                    value: rec.imbalance(),
+                });
+                *st.counters
+                    .entry(format!("dispatch/{}/dispatches", rec.kernel))
+                    .or_insert(0) += 1;
+                *st.counters
+                    .entry(format!("dispatch/{}/chunks", rec.kernel))
+                    .or_insert(0) += rec.chunks();
+                *st.counters
+                    .entry(format!("dispatch/{}/items", rec.kernel))
+                    .or_insert(0) += rec.items();
+                st.dispatches.push(rec);
+            }
+        }
+    }
+
     /// Snapshot everything recorded so far.
     pub fn report(&self) -> TraceReport {
         match &self.inner {
@@ -280,6 +315,7 @@ impl TraceCollector {
                     counters: st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
                     gauges: st.gauges.clone(),
                     audits: st.audits.clone(),
+                    dispatches: st.dispatches.clone(),
                 }
             }
         }
@@ -363,6 +399,8 @@ pub struct TraceReport {
     pub gauges: Vec<GaugeRecord>,
     /// Invariant-audit outcomes, in recording order.
     pub audits: Vec<AuditRecord>,
+    /// Profiled dispatches, in completion order (see [`crate::profile`]).
+    pub dispatches: Vec<DispatchRecord>,
 }
 
 impl TraceReport {
@@ -372,6 +410,7 @@ impl TraceReport {
             && self.counters.is_empty()
             && self.gauges.is_empty()
             && self.audits.is_empty()
+            && self.dispatches.is_empty()
     }
 
     /// Total seconds of spans whose path equals `prefix` or starts with
@@ -398,12 +437,28 @@ impl TraceReport {
     }
 
     /// The last gauge observation at `path`, if any.
+    ///
+    /// Duplicate-path semantics are *last-write-wins*: per-pass and
+    /// per-dispatch gauges (`fm/boundary_size`,
+    /// `dispatch/<kernel>/imbalance`) legitimately emit the same path many
+    /// times, and this accessor returns the most recent observation. Use
+    /// [`TraceReport::gauges`] for the full series.
     pub fn gauge(&self, path: &str) -> Option<f64> {
         self.gauges
             .iter()
             .rev()
             .find(|g| g.path == path)
             .map(|g| g.value)
+    }
+
+    /// Every gauge observation at `path`, in recording order — the
+    /// per-level / per-pass / per-dispatch series behind a repeated path.
+    pub fn gauges(&self, path: &str) -> Vec<f64> {
+        self.gauges
+            .iter()
+            .filter(|g| g.path == path)
+            .map(|g| g.value)
+            .collect()
     }
 
     /// Audit records that failed.
@@ -452,6 +507,36 @@ impl TraceReport {
                 json_str(&a.check),
                 a.passed,
                 json_str(&a.detail)
+            )?;
+        }
+        for d in &self.dispatches {
+            let lanes: Vec<String> = d
+                .lanes
+                .iter()
+                .map(|l| {
+                    format!(
+                        r#"{{"start_seconds":{},"busy_seconds":{},"chunks":{},"items":{}}}"#,
+                        json_f64(l.start_seconds),
+                        json_f64(l.busy_seconds),
+                        l.chunks,
+                        l.items
+                    )
+                })
+                .collect();
+            let hist: Vec<String> = d.chunk_hist.iter().map(|c| c.to_string()).collect();
+            writeln!(
+                w,
+                r#"{{"type":"dispatch","kernel":{},"backend":{},"n":{},"chunk":{},"threads":{},"start_seconds":{},"seconds":{},"imbalance":{},"lanes":[{}],"chunk_hist_log2us":[{}]}}"#,
+                json_str(&d.kernel),
+                json_str(d.backend),
+                d.n,
+                d.chunk,
+                d.threads,
+                json_f64(d.start_seconds),
+                json_f64(d.seconds),
+                json_f64(d.imbalance()),
+                lanes.join(","),
+                hist.join(",")
             )?;
         }
         Ok(())
@@ -514,6 +599,48 @@ impl TraceReport {
                 out.push_str(&format!("  {: <40} {}\n", g.path, g.value));
             }
         }
+        if !self.dispatches.is_empty() {
+            out.push_str(
+                "dispatches (kernel@backend, count, items, chunks, busy s, worst imbalance, typical chunk):\n",
+            );
+            // (count, items, chunks, busy seconds, worst imbalance, merged
+            // chunk-duration histogram) per kernel@backend — the per-policy
+            // view shows whether the configured grain produces chunks big
+            // enough to amortize the claim but small enough to balance.
+            type DispatchAgg = (u64, u64, u64, f64, f64, [u64; HIST_BUCKETS]);
+            let mut aggs: BTreeMap<String, DispatchAgg> = BTreeMap::new();
+            for d in &self.dispatches {
+                let e = aggs
+                    .entry(format!("{}@{}", d.kernel, d.backend))
+                    .or_insert((0, 0, 0, 0.0, 0.0, [0u64; HIST_BUCKETS]));
+                e.0 += 1;
+                e.1 += d.items();
+                e.2 += d.chunks();
+                e.3 += d.lanes.iter().map(|l| l.busy_seconds).sum::<f64>();
+                e.4 = e.4.max(d.imbalance());
+                for (b, &c) in d.chunk_hist.iter().enumerate() {
+                    e.5[b] += c as u64;
+                }
+            }
+            for (key, (count, items, chunks, busy, worst, hist)) in &aggs {
+                let modal = hist
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(b, _)| b)
+                    .unwrap_or(0);
+                let typical = if hist.iter().all(|&c| c == 0) {
+                    "-".to_string()
+                } else if modal == 0 {
+                    "<=1us".to_string()
+                } else {
+                    format!("~{}us", 1u64 << modal)
+                };
+                out.push_str(&format!(
+                    "  {key: <44} x{count: <5} {items: >10} items {chunks: >7} chunks {busy: >9.4}s imb {worst:.2} {typical}\n"
+                ));
+            }
+        }
         if !self.audits.is_empty() {
             let failed = self.failed_audits().len();
             out.push_str(&format!(
@@ -526,6 +653,162 @@ impl TraceReport {
             }
         }
         out
+    }
+
+    /// Render as Chrome trace-event JSON (the `{"traceEvents":[...]}` form
+    /// understood by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)).
+    ///
+    /// The layout maps the pipeline onto one process (`pid` 0):
+    ///
+    /// - `tid` 0 (**pipeline**) carries the hierarchical spans as balanced
+    ///   `B`/`E` pairs;
+    /// - `tid` 1.. (**worker `w`**) carry one `X` (complete) event per
+    ///   profiled-dispatch lane, spanning that participant's busy window
+    ///   with `chunks`/`items`/`backend` in `args`;
+    /// - counters, gauges and audits appear as global instant (`i`) events.
+    ///
+    /// Timestamps are integer microseconds from the collector's epoch.
+    /// Events are emitted sorted by `(ts, kind)` with `B` before `E` at
+    /// equal timestamps, so the per-tid open-span depth never goes
+    /// negative and every `B` has a matching `E`.
+    pub fn to_chrome_trace(&self) -> String {
+        let us = |s: f64| -> u64 {
+            if s.is_finite() && s > 0.0 {
+                (s * 1e6).round() as u64
+            } else {
+                0
+            }
+        };
+        // (ts, kind-rank, tiebreak, json). kind-rank keeps metadata first
+        // and B before E at equal timestamps; the tiebreak opens
+        // longer-running spans first / closes shorter ones first so nested
+        // same-timestamp spans keep their nesting.
+        let mut events: Vec<(u64, u8, u64, String)> = Vec::new();
+        events.push((
+            0,
+            0,
+            0,
+            r#"{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"mlcg"}}"#
+                .to_string(),
+        ));
+        events.push((
+            0,
+            0,
+            1,
+            r#"{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"pipeline"}}"#
+                .to_string(),
+        ));
+        let max_lanes = self
+            .dispatches
+            .iter()
+            .map(|d| d.lanes.len())
+            .max()
+            .unwrap_or(0);
+        for w in 0..max_lanes {
+            events.push((
+                0,
+                0,
+                2 + w as u64,
+                format!(
+                    r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":"worker {w}"}}}}"#,
+                    w + 1
+                ),
+            ));
+        }
+        for s in &self.spans {
+            let b = us(s.start_seconds);
+            let dur = us(s.seconds);
+            events.push((
+                b,
+                1,
+                u64::MAX - dur,
+                format!(
+                    r#"{{"name":{},"cat":"span","ph":"B","ts":{b},"pid":0,"tid":0}}"#,
+                    json_str(&s.path)
+                ),
+            ));
+            events.push((
+                b + dur,
+                2,
+                dur,
+                format!(
+                    r#"{{"name":{},"cat":"span","ph":"E","ts":{},"pid":0,"tid":0}}"#,
+                    json_str(&s.path),
+                    b + dur
+                ),
+            ));
+        }
+        for d in &self.dispatches {
+            for (w, lane) in d.lanes.iter().enumerate() {
+                events.push((
+                    us(lane.start_seconds),
+                    1,
+                    0,
+                    format!(
+                        r#"{{"name":{},"cat":"dispatch","ph":"X","ts":{},"dur":{},"pid":0,"tid":{},"args":{{"backend":{},"chunks":{},"items":{}}}}}"#,
+                        json_str(&d.kernel),
+                        us(lane.start_seconds),
+                        us(lane.busy_seconds),
+                        w + 1,
+                        json_str(d.backend),
+                        lane.chunks,
+                        lane.items
+                    ),
+                ));
+            }
+        }
+        for (path, value) in &self.counters {
+            events.push((
+                0,
+                3,
+                0,
+                format!(
+                    r#"{{"name":{},"cat":"counter","ph":"i","ts":0,"pid":0,"tid":0,"s":"g","args":{{"value":{value}}}}}"#,
+                    json_str(path)
+                ),
+            ));
+        }
+        for g in &self.gauges {
+            events.push((
+                0,
+                3,
+                0,
+                format!(
+                    r#"{{"name":{},"cat":"gauge","ph":"i","ts":0,"pid":0,"tid":0,"s":"g","args":{{"value":{}}}}}"#,
+                    json_str(&g.path),
+                    json_f64(g.value)
+                ),
+            ));
+        }
+        for a in &self.audits {
+            events.push((
+                0,
+                3,
+                0,
+                format!(
+                    r#"{{"name":{},"cat":"audit","ph":"i","ts":0,"pid":0,"tid":0,"s":"g","args":{{"passed":{},"detail":{}}}}}"#,
+                    json_str(&format!("{}/{}", a.phase, a.check)),
+                    a.passed,
+                    json_str(&a.detail)
+                ),
+            ));
+        }
+        events.sort_by_key(|e| (e.0, e.1, e.2));
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, (_, _, _, json)) in events.iter().enumerate() {
+            out.push_str(json);
+            if i + 1 < events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// [`TraceReport::to_chrome_trace`] into a writer.
+    pub fn write_chrome_trace<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(self.to_chrome_trace().as_bytes())
     }
 }
 
@@ -699,6 +982,101 @@ mod tests {
         let r = t.report();
         assert_eq!(r.counter("shared"), 400);
         assert_eq!(r.spans.len(), 4);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins_and_gauges_returns_the_series() {
+        let t = TraceCollector::enabled();
+        t.gauge(|| "fm/boundary_size".to_string(), 10.0);
+        t.gauge(|| "fm/boundary_size".to_string(), 7.0);
+        t.gauge(|| "fm/boundary_size".to_string(), 3.0);
+        t.gauge(|| "other".to_string(), 99.0);
+        let r = t.report();
+        assert_eq!(r.gauge("fm/boundary_size"), Some(3.0));
+        assert_eq!(r.gauges("fm/boundary_size"), vec![10.0, 7.0, 3.0]);
+        assert_eq!(r.gauge("missing"), None);
+        assert!(r.gauges("missing").is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_has_balanced_span_pairs_and_lane_events() {
+        use crate::profile::{DispatchRecord, WorkerLane, HIST_BUCKETS};
+        let t = TraceCollector::enabled();
+        t.span(|| "mapping/hec/level0".to_string()).finish();
+        t.counter_add("edges_scanned", 42);
+        t.gauge(|| "level/0/nv".to_string(), 128.0);
+        let mut r = t.report();
+        r.dispatches.push(DispatchRecord {
+            kernel: "par_for/hec_match".to_string(),
+            backend: "host",
+            n: 1000,
+            chunk: 100,
+            threads: 2,
+            start_seconds: 0.001,
+            seconds: 0.002,
+            lanes: vec![
+                WorkerLane {
+                    start_seconds: 0.001,
+                    busy_seconds: 0.002,
+                    chunks: 5,
+                    items: 500,
+                },
+                WorkerLane {
+                    start_seconds: 0.001,
+                    busy_seconds: 0.0015,
+                    chunks: 5,
+                    items: 500,
+                },
+            ],
+            chunk_hist: [0; HIST_BUCKETS],
+        });
+        let json = r.to_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(
+            json.matches(r#""ph":"B""#).count(),
+            json.matches(r#""ph":"E""#).count(),
+            "every B span event needs a matching E"
+        );
+        assert_eq!(
+            json.matches(r#""ph":"X""#).count(),
+            2,
+            "one complete event per dispatch lane"
+        );
+        assert!(json.contains(r#""name":"par_for/hec_match""#));
+        assert!(json.contains(r#""name":"worker 1""#));
+        assert!(json.contains(r#""cat":"counter""#));
+        assert!(json.contains(r#""cat":"gauge""#));
+    }
+
+    #[test]
+    fn tree_rendering_summarizes_dispatches() {
+        use crate::profile::{DispatchRecord, WorkerLane, HIST_BUCKETS};
+        let mut r = TraceReport::default();
+        let mut hist = [0u32; HIST_BUCKETS];
+        hist[3] = 7;
+        r.dispatches.push(DispatchRecord {
+            kernel: "par_blocks/scan/block_sums".to_string(),
+            backend: "device-sim",
+            n: 4096,
+            chunk: 0,
+            threads: 4,
+            start_seconds: 0.0,
+            seconds: 0.004,
+            lanes: vec![WorkerLane {
+                start_seconds: 0.0,
+                busy_seconds: 0.004,
+                chunks: 7,
+                items: 4096,
+            }],
+            chunk_hist: hist,
+        });
+        let tree = r.render_tree();
+        assert!(tree.contains("par_blocks/scan/block_sums@device-sim"));
+        assert!(
+            tree.contains("~8us"),
+            "modal histogram bucket 3 is ~8us:\n{tree}"
+        );
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Integration tests for the dispatch profiler: per-worker tallies must
+//! account for every work unit of a dispatch, and the Chrome-trace export
+//! must be schema-valid (parseable JSON, balanced B/E span pairs, monotone
+//! timestamps).
+//!
+//! The profiling session is process-global, so every test that installs one
+//! serializes on [`session_lock`] and uses unique kernel labels.
+
+use mlcg_par::profile;
+use mlcg_par::{parallel_for, Backend, ExecPolicy, TraceCollector, TraceReport};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+fn session_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    // A panicking sibling test must not wedge the rest of the suite.
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run one labelled `parallel_for` under a fresh profiling session and
+/// return the report.
+fn traced_parallel_for(label: &'static str, backend: Backend, n: usize) -> TraceReport {
+    let policy = ExecPolicy {
+        backend,
+        threads: mlcg_par::pool::global().workers(),
+        grain: 16,
+    };
+    let trace = TraceCollector::enabled();
+    {
+        let _p = profile::install(&trace);
+        let _k = profile::kernel(label);
+        let touched = AtomicU64::new(0);
+        parallel_for(&policy, n, |_i| {
+            touched.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(touched.load(Ordering::Relaxed), n as u64);
+    }
+    trace.report()
+}
+
+fn check_dispatch_accounts_for_all_work(backend: Backend, label: &'static str) {
+    let n = 50_000usize;
+    let report = traced_parallel_for(label, backend, n);
+    let kernel = format!("par_for/{label}");
+    let rec = report
+        .dispatches
+        .iter()
+        .find(|d| d.kernel == kernel)
+        .unwrap_or_else(|| panic!("no dispatch recorded for {kernel}"));
+
+    assert_eq!(rec.backend, backend.name());
+    assert_eq!(rec.n, n);
+    assert_eq!(rec.threads, rec.lanes.len(), "one lane per participant");
+    assert!(rec.threads >= 2, "grain 16 must force the parallel path");
+
+    // Every work unit is attributed to exactly one lane.
+    let items: u64 = rec.lanes.iter().map(|l| l.items).sum();
+    assert_eq!(items, n as u64, "lane items must sum to the range bound");
+    assert_eq!(rec.items(), n as u64);
+
+    // Chunk accounting: claims per lane sum to the dispatch total, and the
+    // duration histogram holds one entry per claimed chunk.
+    let chunks: u64 = rec.lanes.iter().map(|l| l.chunks).sum();
+    assert_eq!(rec.chunks(), chunks);
+    assert!(chunks >= 1);
+    let hist_total: u64 = rec.chunk_hist.iter().map(|&c| c as u64).sum();
+    assert_eq!(hist_total, chunks, "one histogram entry per claimed chunk");
+
+    // Timing sanity: the dispatch took nonzero wall time, no lane was busy
+    // longer than the dispatch, and imbalance is a valid max/mean ratio.
+    assert!(rec.seconds > 0.0);
+    for lane in &rec.lanes {
+        assert!(lane.busy_seconds >= 0.0);
+        assert!(lane.busy_seconds <= rec.seconds * 1.5 + 1e-3);
+    }
+    assert!(rec.imbalance() >= 1.0 - 1e-9);
+
+    // The derived gauge and counters the report exposes for this kernel.
+    let g = report
+        .gauge(&format!("dispatch/{kernel}/imbalance"))
+        .expect("imbalance gauge");
+    assert!((g - rec.imbalance()).abs() < 1e-9);
+    assert_eq!(
+        report.counter(&format!("dispatch/{kernel}/items")),
+        n as u64
+    );
+    assert_eq!(report.counter(&format!("dispatch/{kernel}/chunks")), chunks);
+    assert_eq!(report.counter(&format!("dispatch/{kernel}/dispatches")), 1);
+
+    // Installing the session surfaced the pool size.
+    assert_eq!(
+        report.gauge("pool/workers"),
+        Some(mlcg_par::pool::global().workers() as f64)
+    );
+}
+
+#[test]
+fn host_dispatch_tallies_sum_to_dispatch_totals() {
+    let _g = session_lock();
+    check_dispatch_accounts_for_all_work(Backend::Host, "itest_host");
+}
+
+#[test]
+fn device_sim_dispatch_tallies_sum_to_dispatch_totals() {
+    let _g = session_lock();
+    check_dispatch_accounts_for_all_work(Backend::DeviceSim, "itest_dev");
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace schema validation
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON value for schema checking (no external crates).
+#[derive(Debug)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON parser; panics (failing the test) on malformed
+/// input, which is exactly the schema check we want.
+fn parse_json(src: &str) -> Json {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos);
+    skip_ws(bytes, &mut pos);
+    assert_eq!(pos, bytes.len(), "trailing content after JSON document");
+    v
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) {
+    skip_ws(b, pos);
+    assert!(
+        *pos < b.len() && b[*pos] == c,
+        "expected {:?} at byte {}",
+        c as char,
+        *pos
+    );
+    *pos += 1;
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Json {
+    skip_ws(b, pos);
+    assert!(*pos < b.len(), "unexpected end of JSON");
+    match b[*pos] {
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b[*pos] == b'}' {
+                *pos += 1;
+                return Json::Obj(fields);
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos);
+                expect(b, pos, b':');
+                fields.push((key, parse_value(b, pos)));
+                skip_ws(b, pos);
+                match b[*pos] {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Json::Obj(fields);
+                    }
+                    c => panic!("expected ',' or '}}', got {:?}", c as char),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b[*pos] == b']' {
+                *pos += 1;
+                return Json::Arr(items);
+            }
+            loop {
+                items.push(parse_value(b, pos));
+                skip_ws(b, pos);
+                match b[*pos] {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Json::Arr(items);
+                    }
+                    c => panic!("expected ',' or ']', got {:?}", c as char),
+                }
+            }
+        }
+        b'"' => Json::Str(parse_string(b, pos)),
+        b't' => {
+            assert_eq!(&b[*pos..*pos + 4], b"true");
+            *pos += 4;
+            Json::Bool(true)
+        }
+        b'f' => {
+            assert_eq!(&b[*pos..*pos + 5], b"false");
+            *pos += 5;
+            Json::Bool(false)
+        }
+        b'n' => {
+            assert_eq!(&b[*pos..*pos + 4], b"null");
+            *pos += 4;
+            Json::Null
+        }
+        _ => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).unwrap();
+            Json::Num(s.parse().unwrap_or_else(|_| panic!("bad number {s:?}")))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> String {
+    assert_eq!(b[*pos], b'"', "expected string at byte {}", *pos);
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        assert!(*pos < b.len(), "unterminated string");
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return out;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b[*pos] {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5]).unwrap();
+                        let cp = u32::from_str_radix(hex, 16).unwrap();
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    c => panic!("bad escape \\{:?}", c as char),
+                }
+                *pos += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 sequences pass through verbatim.
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                out.push_str(std::str::from_utf8(&b[*pos..*pos + len]).unwrap());
+                *pos += len;
+            }
+        }
+    }
+}
+
+#[test]
+fn mini_json_parser_round_trips_scalars() {
+    let doc = parse_json(r#"{"a": [true, false, null, -1.5e2], "b": "xA"}"#);
+    match doc.get("a") {
+        Some(Json::Arr(items)) => {
+            assert!(matches!(items[0], Json::Bool(true)));
+            assert!(matches!(items[1], Json::Bool(false)));
+            assert!(matches!(items[2], Json::Null));
+            assert_eq!(items[3].as_f64(), Some(-150.0));
+        }
+        other => panic!("expected array, got {other:?}"),
+    }
+    assert_eq!(doc.get("b").and_then(Json::as_str), Some("xA"));
+}
+
+#[test]
+fn chrome_trace_export_is_schema_valid() {
+    let _g = session_lock();
+    let trace = TraceCollector::enabled();
+    {
+        let _p = profile::install(&trace);
+        let outer = trace.span(|| "test/pipeline".to_string());
+        {
+            let inner = trace.span(|| "test/pipeline/map".to_string());
+            let _k = profile::kernel("itest_chrome");
+            let policy = ExecPolicy {
+                backend: Backend::Host,
+                threads: mlcg_par::pool::global().workers(),
+                grain: 16,
+            };
+            let sink = AtomicU64::new(0);
+            parallel_for(&policy, 20_000, |i| {
+                sink.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            inner.finish();
+        }
+        trace.counter_add("test/edges", 123);
+        trace.gauge(|| "test/ratio".to_string(), 0.5);
+        outer.finish();
+    }
+    let report = trace.report();
+    assert!(!report.dispatches.is_empty(), "dispatch must be recorded");
+    let doc = parse_json(&report.to_chrome_trace());
+
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert!(!events.is_empty());
+
+    // Timestamps are emitted sorted; per-tid B/E pairs balance with the
+    // open-span depth never dipping negative.
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut depth: std::collections::HashMap<u64, i64> = std::collections::HashMap::new();
+    let mut begins = 0u64;
+    let mut ends = 0u64;
+    let mut lane_events = 0u64;
+    let mut phases_seen = std::collections::HashSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("event phase");
+        phases_seen.insert(ph.to_string());
+        assert!(ev.get("pid").is_some(), "every event carries a pid");
+        let tid = ev.get("tid").and_then(Json::as_f64).expect("event tid") as u64;
+        if ph != "M" {
+            let ts = ev.get("ts").and_then(Json::as_f64).expect("event ts");
+            assert!(ts >= 0.0);
+            assert!(ts >= last_ts, "timestamps must be nondecreasing");
+            last_ts = ts;
+        }
+        match ph {
+            "B" => {
+                begins += 1;
+                *depth.entry(tid).or_insert(0) += 1;
+            }
+            "E" => {
+                ends += 1;
+                let d = depth.entry(tid).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "E without matching B on tid {tid}");
+            }
+            "X" => {
+                lane_events += 1;
+                assert!(tid >= 1, "lane events live on worker tids");
+                assert!(ev.get("dur").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0);
+            }
+            "M" | "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(begins, ends, "B/E events must balance");
+    assert!(begins >= 2, "both spans must be exported");
+    assert!(depth.values().all(|&d| d == 0), "every span must close");
+    assert!(lane_events >= 2, "per-worker lanes must be exported");
+    for ph in ["M", "B", "E", "X", "i"] {
+        assert!(phases_seen.contains(ph), "missing phase {ph:?}");
+    }
+}
+
+#[test]
+fn profiling_is_off_outside_installed_sessions() {
+    let _g = session_lock();
+    assert!(!profile::profiling());
+    let trace = TraceCollector::enabled();
+    {
+        let _p = profile::install(&trace);
+        assert!(profile::profiling());
+    }
+    assert!(!profile::profiling());
+}

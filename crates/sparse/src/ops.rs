@@ -1,12 +1,13 @@
 //! Parallel SpMV, transpose, and small dense-vector helpers.
 
 use crate::matrix::CsrMatrix;
-use mlcg_par::{parallel_for, ExecPolicy};
+use mlcg_par::{parallel_for, profile, ExecPolicy};
 
 /// Parallel sparse matrix–vector product `y = A·x`.
 pub fn spmv(policy: &ExecPolicy, a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.n_cols, "spmv: x length");
     assert_eq!(y.len(), a.n_rows, "spmv: y length");
+    let _k = profile::kernel("spmv");
     let y_base = y.as_mut_ptr() as usize;
     parallel_for(policy, a.n_rows, move |i| {
         let (cols, vals) = a.row(i);

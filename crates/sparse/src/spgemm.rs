@@ -10,17 +10,19 @@
 use crate::matrix::CsrMatrix;
 use mlcg_par::scan::exclusive_scan;
 use mlcg_par::sort::insertion_sort_pairs;
-use mlcg_par::{parallel_for_chunks, ExecPolicy};
+use mlcg_par::{parallel_for_chunks, profile, ExecPolicy};
 
 /// `C = A · B`, exact (no numerically cancelled zeros are dropped).
 pub fn spgemm(policy: &ExecPolicy, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
     assert_eq!(a.n_cols, b.n_rows, "spgemm: inner dimension mismatch");
     let n = a.n_rows;
     let m = b.n_cols;
+    let _k = profile::kernel("spgemm");
 
     // --- symbolic: exact nnz per output row ---
     let mut row_nnz = vec![0usize; n + 1];
     {
+        let _k = profile::kernel("symbolic");
         let base = row_nnz.as_mut_ptr() as usize;
         parallel_for_chunks(policy, n, move |range| {
             // Stamped dense marker, shared by all rows of this chunk.
@@ -52,6 +54,7 @@ pub fn spgemm(policy: &ExecPolicy, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
     let mut col_idx = vec![0u32; nnz];
     let mut values = vec![0.0f64; nnz];
     {
+        let _k = profile::kernel("numeric");
         let col_base = col_idx.as_mut_ptr() as usize;
         let val_base = values.as_mut_ptr() as usize;
         let row_ptr_ref = &row_ptr;
