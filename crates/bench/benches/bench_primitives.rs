@@ -1,7 +1,8 @@
 //! Micro-bench for the parallel substrate (the Kokkos substitute): prefix
 //! sums, radix sort, random permutation, SpMV and SpGEMM — the kernels
-//! behind Fig. 3's rates — plus the disabled-trace overhead check for the
-//! observability layer.
+//! behind Fig. 3's rates — plus the disabled-trace / disabled-profile
+//! overhead checks for the observability layer and the pool's
+//! empty-dispatch round-trip latency (spin vs park-only wakeup paths).
 //!
 //! Plain `fn main()` harness (no external bench framework):
 //! `cargo bench -p mlcg-bench --bench bench_primitives`.
@@ -67,6 +68,37 @@ fn main() {
 
     trace_overhead(n);
     profile_overhead(n);
+    dispatch_latency();
+}
+
+/// Empty-dispatch round-trip on a hot 4-participant pool: the cost of
+/// publishing a job, waking every worker, and waiting for all of them, with
+/// no work in between — the floor under every sub-ms kernel dispatch. Runs
+/// once with the spin window active (the fast path: a hot dispatch
+/// completes without locks or syscalls) and once with spin forced to 0 (the
+/// pure-park path CI machines use via `MLCG_SPIN_US=0`).
+fn dispatch_latency() {
+    use mlcg_par::pool::{set_spin_us, spin_us, ThreadPool};
+    let pool = ThreadPool::new(4);
+    let iters = 20_000u32;
+    let entry = spin_us();
+    for (mode, window) in [("spin", 200u64), ("park-only", 0u64)] {
+        set_spin_us(window);
+        // Warm the pool so workers sit in the chosen wait phase.
+        for _ in 0..1_000 {
+            pool.dispatch(4, &|_w, _c| {});
+        }
+        let secs = microbench("dispatch-latency", mode, RUNS, || {
+            for _ in 0..iters {
+                pool.dispatch(4, &|_w, _c| {});
+            }
+        });
+        println!(
+            "dispatch-latency/{mode}: {:.2} us per empty 4-participant round-trip",
+            secs / iters as f64 * 1e6
+        );
+    }
+    set_spin_us(entry);
 }
 
 /// Compare a scan loop bare against the same loop wrapped in disabled

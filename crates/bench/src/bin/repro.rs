@@ -19,12 +19,15 @@ fn main() {
     };
     let ctx = Ctx::from_args(&args[1..]);
     eprintln!(
-        "repro {name}: scale={} runs={} seed={} fast={} pool-workers={}",
+        "repro {name}: scale={} runs={} seed={} fast={} pool-workers={} spin-us={}",
         ctx.scale,
         ctx.runs,
         ctx.seed,
         ctx.fast,
-        mlcg_par::pool::global().workers()
+        // Configured size, not `global().workers()`: the banner must not be
+        // the thing that spawns the pool.
+        mlcg_par::pool::configured_workers(),
+        mlcg_par::pool::spin_us()
     );
     match exp::run(name, &ctx) {
         Some(0) => {}

@@ -16,6 +16,20 @@
 
 use std::fmt;
 
+/// Default minimum work per chunk for [`ExecPolicy::host`]. Retuned against
+/// the spin-then-park pool's measured empty-dispatch round-trip (DESIGN §8
+/// records the methodology and numbers): with a dispatch costing a few µs
+/// and memory-bound loop bodies near 1 ns/item, a region of `2 × grain`
+/// items amortizes the dispatch comfortably. The old channel-based pool
+/// needed 4096.
+pub const HOST_GRAIN: usize = 2048;
+
+/// Default minimum work per chunk for [`ExecPolicy::device_sim`]; finer
+/// than [`HOST_GRAIN`] because the flat-grid backend exists to exercise
+/// many-chunk scheduling, not to win throughput. Was 1024 before the
+/// dispatch path got cheap.
+pub const DEVICE_GRAIN: usize = 512;
+
 /// Which execution back-end a kernel runs on. See the module docs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Backend {
@@ -60,12 +74,15 @@ impl ExecPolicy {
         }
     }
 
-    /// Multicore policy using all pool workers.
+    /// Multicore policy using all pool workers. Reads the *configured*
+    /// pool size ([`crate::pool::configured_workers`]), so building the
+    /// policy never instantiates the pool — a region that then runs inline
+    /// spawns no threads.
     pub fn host() -> Self {
         ExecPolicy {
             backend: Backend::Host,
-            threads: crate::pool::global().workers(),
-            grain: 4096,
+            threads: crate::pool::configured_workers(),
+            grain: HOST_GRAIN,
         }
     }
 
@@ -74,17 +91,19 @@ impl ExecPolicy {
         ExecPolicy {
             backend: Backend::Host,
             threads: threads.max(1),
-            grain: 4096,
+            grain: HOST_GRAIN,
         }
     }
 
     /// Simulated-GPU policy: every pool worker participates and chunks are
-    /// fine-grained, so scheduling resembles a flat GPU grid.
+    /// fine-grained, so scheduling resembles a flat GPU grid. Like
+    /// [`ExecPolicy::host`], sizing reads the configured pool size without
+    /// instantiating the pool.
     pub fn device_sim() -> Self {
         ExecPolicy {
             backend: Backend::DeviceSim,
-            threads: crate::pool::global().workers(),
-            grain: 1024,
+            threads: crate::pool::configured_workers(),
+            grain: DEVICE_GRAIN,
         }
     }
 
@@ -123,12 +142,12 @@ impl ExecPolicy {
             // Small grains force the parallel paths even on tiny test inputs.
             ExecPolicy {
                 backend: Backend::Host,
-                threads: crate::pool::global().workers(),
+                threads: crate::pool::configured_workers(),
                 grain: 16,
             },
             ExecPolicy {
                 backend: Backend::DeviceSim,
-                threads: crate::pool::global().workers(),
+                threads: crate::pool::configured_workers(),
                 grain: 16,
             },
         ]
@@ -157,8 +176,8 @@ mod tests {
 
     #[test]
     fn small_ranges_run_inline() {
-        let p = ExecPolicy::host(); // grain 4096
-        assert_eq!(p.effective_threads(100), 1);
+        let p = ExecPolicy::host();
+        assert!(p.effective_threads(HOST_GRAIN * 2 - 1) == 1);
         assert!(p.effective_threads(1 << 20) >= 1);
     }
 

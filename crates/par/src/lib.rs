@@ -22,6 +22,12 @@
 //! All primitives take an explicit [`ExecPolicy`]; nothing consults global
 //! mutable state except the lazily-created global worker pool, whose size can
 //! be pinned with the `MLCG_THREADS` environment variable before first use.
+//! The pool wakes workers through a spin-then-park broadcast path (workers
+//! busy-poll an epoch word for a bounded window before parking on a
+//! condvar), so sub-millisecond dispatches round-trip without syscalls when
+//! the pool is hot; the window is tunable with `MLCG_SPIN_US` (`0` = always
+//! park, the right setting for CI or oversubscribed machines). See
+//! [`pool`] and DESIGN.md §2b.
 
 pub mod atomic;
 pub mod exec;

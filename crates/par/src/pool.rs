@@ -1,76 +1,133 @@
-//! A small persistent worker pool.
+//! A small persistent worker pool with a low-latency broadcast wakeup path.
 //!
-//! The pool broadcasts one job to `k-1` workers; the calling thread is the
-//! `k`-th participant. Jobs pull work by claiming chunk start offsets from a
-//! shared atomic counter, so completion is detected per-job with a
-//! [`WaitGroup`] — concurrent submissions from different threads simply
-//! interleave in each worker's queue.
+//! Job delivery is a shared broadcast *slot* plus an epoch word: the
+//! dispatcher publishes one `(Job, epoch)` pair for the whole team instead
+//! of pushing per-worker channel messages, and workers run a
+//! **spin-then-park** loop on the epoch word — a bounded busy-poll window
+//! (`MLCG_SPIN_US`, see [`spin_us`]) before falling back to a Condvar park.
+//! A dispatch that lands while workers are still spinning is picked up
+//! without any lock or syscall on either side, and completion is an atomic
+//! countdown the dispatcher spin-then-blocks on — so a sub-millisecond
+//! dispatch round-trips entirely in user space when the pool is hot. See
+//! DESIGN.md §2b for the slot handshake, the epoch rules, and the
+//! memory-ordering argument.
 //!
-//! Nested parallelism from inside a worker is executed inline by the caller
-//! (see [`in_worker`]); this mirrors Kokkos, where a kernel body cannot
-//! launch another global kernel.
+//! Participants pull work by claiming chunk start offsets from a shared
+//! atomic counter. Submitting threads serialize on the slot: concurrent
+//! [`ThreadPool::dispatch`] calls from different threads run one after the
+//! other (each still executes on all its participants). While a dispatch
+//! runs, *every* participant — including the dispatching thread — counts as
+//! [`in_worker`], so nested parallel primitives execute inline; this
+//! mirrors Kokkos, where a kernel body cannot launch another global kernel.
+//! Calling `dispatch` itself from inside a job body is not supported (the
+//! submitter lock is held for the duration of the dispatch).
 
 use crate::profile::{DispatchObs, LaneTally};
 use std::any::Any;
-use std::cell::Cell;
+use std::cell::{Cell, UnsafeCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// A dependency-free waitgroup: every clone registers a participant, every
-/// drop deregisters one, and [`WaitGroup::wait`] blocks until all *other*
-/// clones are dropped (the crossbeam `WaitGroup` contract the pool was
-/// originally written against).
-struct WgInner {
-    count: Mutex<usize>,
-    done: Condvar,
-}
+// ---------------------------------------------------------------------------
+// Spin window
+// ---------------------------------------------------------------------------
 
-pub(crate) struct WaitGroup(Arc<WgInner>);
+/// Sentinel for "not yet resolved from the environment".
+const SPIN_UNSET: u64 = u64::MAX;
 
-impl WaitGroup {
-    pub(crate) fn new() -> Self {
-        WaitGroup(Arc::new(WgInner {
-            count: Mutex::new(1),
-            done: Condvar::new(),
-        }))
+/// Default spin window (microseconds) on machines with ≥ 2 hardware
+/// threads. Single-core machines default to 0 (always park): a spinning
+/// waiter there only steals the one hardware thread from the participant
+/// that has the work.
+pub const DEFAULT_SPIN_US: u64 = 50;
+
+static SPIN_US: AtomicU64 = AtomicU64::new(SPIN_UNSET);
+
+/// The current spin window in microseconds: how long a worker busy-polls
+/// the epoch word for the next job (and the dispatcher busy-polls the
+/// completion countdown) before parking on a Condvar.
+///
+/// Resolved on first use from `MLCG_SPIN_US` (`0` = always park — the
+/// right setting for CI and oversubscribed machines), defaulting to
+/// [`DEFAULT_SPIN_US`] on multicore hosts and `0` on single-core ones.
+pub fn spin_us() -> u64 {
+    let v = SPIN_US.load(Ordering::Relaxed);
+    if v != SPIN_UNSET {
+        return v;
     }
-
-    /// Drop this handle and block until every other clone is dropped.
-    pub(crate) fn wait(self) {
-        let inner = Arc::clone(&self.0);
-        drop(self); // deregister ourselves first
-        let mut count = inner.count.lock().unwrap();
-        while *count > 0 {
-            count = inner.done.wait(count).unwrap();
+    let parsed = match std::env::var("MLCG_SPIN_US") {
+        Ok(s) => match s.parse::<u64>() {
+            Ok(us) => Some(us.min(SPIN_UNSET - 1)),
+            Err(_) => {
+                eprintln!(
+                    "mlcg: ignoring invalid MLCG_SPIN_US={s:?} \
+                     (expected a microsecond count); using the default spin window"
+                );
+                None
+            }
+        },
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!("mlcg: ignoring non-unicode MLCG_SPIN_US; using the default spin window");
+            None
         }
-    }
-}
-
-impl Clone for WaitGroup {
-    fn clone(&self) -> Self {
-        *self.0.count.lock().unwrap() += 1;
-        WaitGroup(Arc::clone(&self.0))
-    }
-}
-
-impl Drop for WaitGroup {
-    fn drop(&mut self) {
-        let mut count = self.0.count.lock().unwrap();
-        *count -= 1;
-        if *count == 0 {
-            self.0.done.notify_all();
+    };
+    let us = parsed.unwrap_or_else(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores >= 2 {
+            DEFAULT_SPIN_US
+        } else {
+            0
         }
+    });
+    // First resolver wins; racing threads converge on the stored value.
+    match SPIN_US.compare_exchange(SPIN_UNSET, us, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => us,
+        Err(current) => current,
     }
+}
+
+/// Override the spin window at runtime (microseconds; `0` = always park).
+///
+/// The knob is process-global and read freshly on every wait, so it takes
+/// effect for subsequent dispatches on every pool. Intended for benches and
+/// tests that compare the spin and pure-park paths in one process;
+/// production runs should set `MLCG_SPIN_US` instead.
+pub fn set_spin_us(us: u64) {
+    SPIN_US.store(us.min(SPIN_UNSET - 1), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch word
+// ---------------------------------------------------------------------------
+
+/// Low bits of the epoch word carry the published job's participant count.
+const THREADS_BITS: u32 = 16;
+const THREADS_MASK: u64 = (1 << THREADS_BITS) - 1;
+/// The pre-first-publish word every worker starts from (sequence 0).
+const INIT_WORD: u64 = 0;
+
+/// Pack a publish sequence number and a participant count into one word.
+/// The sequence strictly increases from 1, so any word change is a new job
+/// (48 bits of sequence outlive any realistic run).
+fn pack(seq: u64, threads: usize) -> u64 {
+    (seq << THREADS_BITS) | threads as u64
+}
+
+fn unpack_threads(word: u64) -> usize {
+    (word & THREADS_MASK) as usize
 }
 
 thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-/// True when called from inside a pool worker executing a job.
+/// True when called from inside a pool participant executing a job — worker
+/// threads always, and the dispatching thread while it runs its own share.
 pub fn in_worker() -> bool {
     IN_WORKER.with(|w| w.get())
 }
@@ -80,8 +137,8 @@ pub fn in_worker() -> bool {
 pub type JobFn<'a> = dyn Fn(usize, &dyn Fn(usize) -> usize) + Sync + 'a;
 
 struct Job {
-    // Type-erased pointer to the caller's `&JobFn`; valid until the caller's
-    // WaitGroup::wait() returns, which is before the borrow ends.
+    // Type-erased pointer to the caller's `&JobFn`; valid until the
+    // dispatcher's completion wait returns, which is before the borrow ends.
     func: *const JobFn<'static>,
     next: AtomicUsize,
     // Per-participant profiling slots, present while a `profile` session is
@@ -91,49 +148,243 @@ struct Job {
     // thread after the job completes, so a panicking closure cannot kill a
     // worker thread and poison later dispatches.
     panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// When the dispatcher made the job visible; the profiler measures each
+    /// worker's wakeup latency (publish → first claim) against this.
+    published: Instant,
+    /// Pool workers (the caller excluded) still running the job body. The
+    /// dispatcher spin-then-blocks on this reaching zero — the atomic
+    /// replacement for the old Mutex+Condvar `WaitGroup`.
+    remaining: AtomicUsize,
+    /// True once the dispatcher gave up spinning and parked on `done_cv`;
+    /// lets the last worker skip the lock+notify when the dispatcher is hot.
+    waiter: AtomicBool,
+    done_m: Mutex<()>,
+    done_cv: Condvar,
 }
 // SAFETY: `func` points at a `Sync` closure and is only dereferenced while
-// the submitting stack frame (which owns the closure) is blocked in `wait()`.
+// the submitting stack frame (which owns the closure) is blocked in the
+// dispatch; all other fields are Sync.
 unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
-struct Msg {
-    job: Arc<Job>,
-    // Held only so its drop signals job completion to the submitter.
-    _wg: WaitGroup,
+impl Job {
+    fn new(func: *const JobFn<'static>, obs: Option<Arc<DispatchObs>>, workers: usize) -> Job {
+        Job {
+            func,
+            next: AtomicUsize::new(0),
+            obs,
+            panic: Mutex::new(None),
+            published: Instant::now(),
+            remaining: AtomicUsize::new(workers),
+            waiter: AtomicBool::new(false),
+            done_m: Mutex::new(()),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Worker-side completion: decrement the countdown and, only when this
+    /// was the last worker *and* the dispatcher actually parked, take the
+    /// lock and wake it. SeqCst on the countdown and the `waiter` flag makes
+    /// the store-load pairs race-free; see DESIGN.md §2b.
+    fn finish_worker(&self) {
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 && self.waiter.load(Ordering::SeqCst)
+        {
+            let _g = self.done_m.lock().unwrap_or_else(|e| e.into_inner());
+            self.done_cv.notify_one();
+        }
+    }
+
+    /// Dispatcher-side completion wait: spin for the configured window, then
+    /// park on `done_cv` until the countdown reaches zero.
+    fn wait_workers(&self) {
+        if self.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let spin = spin_us();
+        if spin > 0 {
+            let window = Duration::from_micros(spin);
+            let start = Instant::now();
+            let mut polls = 0u32;
+            loop {
+                backoff(&mut polls);
+                if self.remaining.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                if start.elapsed() >= window {
+                    break;
+                }
+            }
+        }
+        let mut g = self.done_m.lock().unwrap_or_else(|e| e.into_inner());
+        self.waiter.store(true, Ordering::SeqCst);
+        while self.remaining.load(Ordering::SeqCst) > 0 {
+            g = self.done_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// How many tight polls a spinner issues before each further poll yields the
+/// CPU instead. On an idle multicore the tight phase is where the fast path
+/// lands (sub-µs publish→observe); past it, `yield_now` keeps a bounded
+/// window from burning a core some other runnable thread — possibly the one
+/// with the work — needs (the crossbeam/Kokkos backoff idiom). Without the
+/// yields, an oversubscribed 4-participant team serializes at
+/// participants × window per dispatch.
+const TIGHT_POLLS: u32 = 64;
+
+fn backoff(polls: &mut u32) {
+    if *polls < TIGHT_POLLS {
+        *polls += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// State shared between the dispatcher and the worker threads.
+struct Shared {
+    /// `(seq << 16) | threads`: the epoch word. `seq` increments on every
+    /// publish; `threads` is the published job's participant count (workers
+    /// with `wid < threads` take part). The publisher stores the slot
+    /// first, then this word, so any observer of a new word sees the job.
+    word: AtomicU64,
+    /// The published job. Written only by the (serialized) dispatcher while
+    /// no worker can read it — before bumping `word`, and again after the
+    /// job's countdown reached zero; read only by targeted workers between
+    /// those two points.
+    slot: UnsafeCell<Option<Arc<Job>>>,
+    /// Workers currently parked on `sleep_cv` (modified under `sleep_m`);
+    /// lets a publish skip the lock+notify entirely when every worker is
+    /// still inside its spin window.
+    sleepers: AtomicUsize,
+    sleep_m: Mutex<()>,
+    sleep_cv: Condvar,
+    /// Set by `ThreadPool::drop`; workers exit their wait loop.
+    shutdown: AtomicBool,
+}
+
+// SAFETY: `slot` accesses follow the epoch handshake documented on the
+// field — writes are exclusive to the serialized dispatcher at points where
+// no worker holds a reference; reads happen only between a publish and the
+// matching countdown decrement. Every other field is Sync already.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+impl Shared {
+    /// Block until the epoch word differs from `last` (a new job) — bounded
+    /// spin first, Condvar park after. Returns `None` on shutdown.
+    fn wait_for_publish(&self, last: u64) -> Option<u64> {
+        // Spin phase: poll the word for the configured window (tight polls
+        // first, yielding polls after; see `backoff`).
+        let spin = spin_us();
+        if spin > 0 {
+            let window = Duration::from_micros(spin);
+            let start = Instant::now();
+            let mut polls = 0u32;
+            loop {
+                let word = self.word.load(Ordering::Acquire);
+                if word != last {
+                    return Some(word);
+                }
+                if self.shutdown.load(Ordering::Acquire) {
+                    return None;
+                }
+                if start.elapsed() >= window {
+                    break;
+                }
+                backoff(&mut polls);
+            }
+        }
+        // Park phase. The sleeper count is bumped under the lock *before*
+        // re-checking the word; paired with the publisher's word-store →
+        // sleeper-load order this cannot miss a wakeup (DESIGN.md §2b).
+        let mut g = self.sleep_m.lock().unwrap_or_else(|e| e.into_inner());
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let out = loop {
+            let word = self.word.load(Ordering::SeqCst);
+            if word != last {
+                break Some(word);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                break None;
+            }
+            g = self.sleep_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        };
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        out
+    }
+}
+
+fn worker_loop(shared: &Shared, wid: usize) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut last = INIT_WORD;
+    loop {
+        let mut word = shared.word.load(Ordering::Acquire);
+        if word == last {
+            match shared.wait_for_publish(last) {
+                Some(w) => word = w,
+                None => return,
+            }
+        }
+        last = word;
+        if wid < unpack_threads(word) {
+            // SAFETY: a targeted worker reads the slot only between the
+            // publish that set `word` and its own countdown decrement in
+            // `finish_worker`; the dispatcher neither clears nor reuses the
+            // slot inside that window.
+            let job = unsafe { (*shared.slot.get()).clone() }
+                .expect("publish protocol violated: epoch advanced with an empty job slot");
+            run_job(&job, wid);
+            job.finish_worker();
+        }
+    }
 }
 
 /// A persistent pool of worker threads executing broadcast jobs.
 pub struct ThreadPool {
-    senders: Vec<Sender<Msg>>,
+    shared: Arc<Shared>,
+    /// Serializes submitters on the broadcast slot; holds the publish
+    /// sequence counter.
+    submit: Mutex<u64>,
+    /// Total participants (worker threads + the calling thread).
+    workers: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
     /// Spawn a pool with `workers` total participants (including callers of
     /// [`ThreadPool::dispatch`]); `workers - 1` OS threads are created.
     pub fn new(workers: usize) -> Self {
-        let workers = workers.max(1);
-        let mut senders = Vec::with_capacity(workers - 1);
+        let workers = workers.clamp(1, THREADS_MASK as usize);
+        let shared = Arc::new(Shared {
+            word: AtomicU64::new(INIT_WORD),
+            slot: UnsafeCell::new(None),
+            sleepers: AtomicUsize::new(0),
+            sleep_m: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut handles = Vec::with_capacity(workers - 1);
         for wid in 1..workers {
-            let (tx, rx) = channel::<Msg>();
-            senders.push(tx);
-            std::thread::Builder::new()
-                .name(format!("mlcg-worker-{wid}"))
-                .spawn(move || {
-                    IN_WORKER.with(|w| w.set(true));
-                    while let Ok(msg) = rx.recv() {
-                        run_job(&msg.job, wid);
-                        drop(msg); // drops the WaitGroup clone, signalling done
-                    }
-                })
-                .expect("failed to spawn pool worker");
+            let sh = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mlcg-worker-{wid}"))
+                    .spawn(move || worker_loop(&sh, wid))
+                    .expect("failed to spawn pool worker"),
+            );
         }
-        ThreadPool { senders }
+        ThreadPool {
+            shared,
+            submit: Mutex::new(0),
+            workers,
+            handles,
+        }
     }
 
     /// Total participant count (worker threads + the calling thread).
     pub fn workers(&self) -> usize {
-        self.senders.len() + 1
+        self.workers
     }
 
     /// Run `f(worker_id, claim)` on `threads` participants and wait for all
@@ -156,34 +407,81 @@ impl ThreadPool {
         f: &JobFn<'_>,
         obs: Option<Arc<DispatchObs>>,
     ) {
-        let threads = threads.clamp(1, self.workers());
-        // SAFETY: we erase the closure's lifetime; `wg.wait()` below blocks
-        // until every worker has dropped its message (and thus finished
-        // calling the closure), so the borrow outlives all uses.
+        let threads = threads.clamp(1, self.workers);
+        // SAFETY: we erase the closure's lifetime; the completion wait below
+        // blocks until every worker has finished calling the closure, so the
+        // borrow outlives all uses.
         let func: *const JobFn<'static> = unsafe {
             std::mem::transmute::<*const JobFn<'_>, *const JobFn<'static>>(f as *const _)
         };
-        let job = Arc::new(Job {
-            func,
-            next: AtomicUsize::new(0),
-            obs,
-            panic: Mutex::new(None),
-        });
-        let wg = WaitGroup::new();
-        for tx in &self.senders[..threads - 1] {
-            tx.send(Msg {
-                job: Arc::clone(&job),
-                _wg: wg.clone(),
-            })
-            .expect("pool worker exited unexpectedly");
-        }
-        run_job(&job, 0); // the caller is participant 0
-        wg.wait();
-        let payload = job.panic.lock().unwrap().take();
+        let payload = if threads == 1 {
+            // Degenerate team: run on the caller without touching the slot
+            // (and without waking non-participants).
+            let job = Job::new(func, obs, 0);
+            run_caller(&job);
+            let mut slot = job.panic.lock().unwrap_or_else(|e| e.into_inner());
+            slot.take()
+        } else {
+            let mut seq = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+            *seq += 1;
+            let job = Arc::new(Job::new(func, obs, threads - 1));
+            // Publish: slot first, then the epoch word. Spinning workers
+            // see the word change; parked workers need the Condvar
+            // broadcast, skipped entirely when nobody is parked.
+            unsafe { *self.shared.slot.get() = Some(Arc::clone(&job)) };
+            self.shared
+                .word
+                .store(pack(*seq, threads), Ordering::SeqCst);
+            if self.shared.sleepers.load(Ordering::SeqCst) > 0 {
+                let _g = self
+                    .shared
+                    .sleep_m
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                self.shared.sleep_cv.notify_all();
+            }
+            run_caller(&job);
+            job.wait_workers();
+            // Every targeted worker has decremented the countdown, so none
+            // can still touch the slot: reclaim the Arc before the next
+            // submitter publishes.
+            unsafe { *self.shared.slot.get() = None };
+            let payload = job.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+            drop(seq);
+            payload
+        };
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
     }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // `&mut self` proves no dispatch is in flight: workers are spinning
+        // or parked. Flag shutdown, wake the parked ones, join everyone.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = self
+                .shared
+                .sleep_m
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            self.shared.sleep_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Run the job as participant 0 on the dispatching thread, marked
+/// `in_worker` for the duration so nested parallel primitives execute
+/// inline on every lane uniformly.
+fn run_caller(job: &Job) {
+    let prev = IN_WORKER.with(|w| w.replace(true));
+    run_job(job, 0);
+    IN_WORKER.with(|w| w.set(prev));
 }
 
 fn run_job(job: &Job, wid: usize) {
@@ -207,15 +505,16 @@ fn run_job(job: &Job, wid: usize) {
                 start
             };
             let result = catch_unwind(AssertUnwindSafe(|| f(wid, &claim)));
-            obs.commit(wid, started, tally);
+            obs.commit(wid, started, job.published, tally);
             result
         }
     };
     if let Err(payload) = result {
-        let mut slot = job.panic.lock().unwrap();
+        let mut slot = job.panic.lock().unwrap_or_else(|e| e.into_inner());
         if slot.is_none() {
             *slot = Some(payload);
         }
+        drop(slot);
         // Park the claimer far past any real range bound so sibling
         // participants drain their claim loops quickly. (Halfway up the
         // usize range: subsequent fetch_adds stay astronomically large
@@ -225,15 +524,18 @@ fn run_job(job: &Job, wid: usize) {
 }
 
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+static CONFIGURED: OnceLock<usize> = OnceLock::new();
 
-/// The lazily-created global pool.
+/// The participant count the global pool has (or will have): `MLCG_THREADS`
+/// if set, otherwise `max(available_parallelism, 4)` — the floor keeps the
+/// device-sim policy meaningfully multithreaded even on single-core CI
+/// machines, where extra workers are merely time-sliced.
 ///
-/// Its size is `MLCG_THREADS` if set, otherwise
-/// `max(available_parallelism, 4)` — the floor keeps the device-sim policy
-/// meaningfully multithreaded even on single-core CI machines, where extra
-/// workers are merely time-sliced.
-pub fn global() -> &'static ThreadPool {
-    GLOBAL.get_or_init(|| {
+/// Reading this does **not** instantiate the pool: policy constructors
+/// (`ExecPolicy::host()` and friends) size their teams from it, so building
+/// a policy for a region that then runs serially never spawns a thread.
+pub fn configured_workers() -> usize {
+    *CONFIGURED.get_or_init(|| {
         // A set-but-invalid MLCG_THREADS used to fall back silently; warn
         // once (this init runs once) so a typo'd `MLCG_THREADS=abc` is not
         // mistaken for a pinned pool size. The effective count is also
@@ -256,14 +558,18 @@ pub fn global() -> &'static ThreadPool {
                 None
             }
         };
-        let n = pinned.unwrap_or_else(|| {
+        pinned.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
                 .max(4)
-        });
-        ThreadPool::new(n)
+        })
     })
+}
+
+/// The lazily-created global pool, sized by [`configured_workers`].
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(configured_workers()))
 }
 
 #[cfg(test)]
@@ -310,6 +616,54 @@ mod tests {
     }
 
     #[test]
+    fn narrow_teams_skip_untargeted_workers() {
+        // threads < pool size: exactly `threads` participants run, and
+        // untargeted workers skipping an epoch must not desync later
+        // full-width dispatches.
+        let pool = ThreadPool::new(4);
+        for round in 0..20 {
+            for threads in [2usize, 3, 1, 4] {
+                let count = AtomicUsize::new(0);
+                pool.dispatch(threads, &|_w, _c| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+                assert_eq!(
+                    count.load(Ordering::SeqCst),
+                    threads,
+                    "round {round} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_dispatch_runs_on_caller() {
+        let pool = ThreadPool::new(4);
+        let ran = AtomicUsize::new(0);
+        let caller = std::thread::current().id();
+        pool.dispatch(1, &|wid, _c| {
+            assert_eq!(wid, 0);
+            assert_eq!(std::thread::current().id(), caller);
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn caller_counts_as_in_worker_during_dispatch() {
+        let pool = ThreadPool::new(2);
+        assert!(!in_worker());
+        let saw = AtomicUsize::new(0);
+        pool.dispatch(2, &|_w, _c| {
+            if in_worker() {
+                saw.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(saw.load(Ordering::SeqCst), 2, "both lanes are in_worker");
+        assert!(!in_worker(), "flag restored after dispatch");
+    }
+
+    #[test]
     fn concurrent_dispatch_from_many_threads() {
         let pool = std::sync::Arc::new(ThreadPool::new(4));
         let total = std::sync::Arc::new(AtomicUsize::new(0));
@@ -334,6 +688,33 @@ mod tests {
     #[test]
     fn global_pool_has_at_least_four_workers() {
         assert!(global().workers() >= 1);
+        assert_eq!(global().workers(), configured_workers());
+    }
+
+    #[test]
+    fn epoch_word_packs_seq_and_threads() {
+        let w = pack(7, 4);
+        assert_eq!(unpack_threads(w), 4);
+        assert_ne!(pack(7, 4), pack(8, 4));
+        assert_ne!(pack(7, 4), pack(7, 3));
+        assert_ne!(pack(1, 0), INIT_WORD);
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        // Parked and freshly-spun workers must both observe shutdown; a
+        // hang here is the regression.
+        for _ in 0..5 {
+            let pool = ThreadPool::new(4);
+            let ran = AtomicUsize::new(0);
+            pool.dispatch(4, &|_w, _c| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(ran.load(Ordering::SeqCst), 4);
+            drop(pool);
+        }
+        // And a pool never dispatched on.
+        drop(ThreadPool::new(3));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! - **chunks claimed** — how many chunk offsets it won from the shared
 //!   atomic claimer;
 //! - **items processed** — claimed chunk sizes clipped to the range bound;
+//! - **wakeup latency** — seconds from the dispatcher publishing the job to
+//!   this participant's first claim, i.e. how long the pool's spin-then-park
+//!   wakeup path (see [`crate::pool`]) took to get the lane working;
 //! - a **log2-bucketed histogram** of chunk durations (microsecond buckets),
 //!   aggregated per dispatch, so chunk-size policy effectiveness per
 //!   [`Backend`](crate::Backend) can be judged from a report.
@@ -24,8 +27,9 @@
 //! A session is installed with [`install`], recording into an *enabled*
 //! [`TraceCollector`]: each dispatch appends a
 //! [`DispatchRecord`] to the collector (rendered by the trace report and the
-//! Chrome-trace exporter) plus a `dispatch/<kernel>/imbalance` gauge
-//! (`max_busy / mean_busy` over participants) and
+//! Chrome-trace exporter) plus `dispatch/<kernel>/imbalance` (`max_busy /
+//! mean_busy` over participants) and `dispatch/<kernel>/wakeup_us` (worst
+//! worker wakeup latency) gauges and
 //! `dispatch/<kernel>/{dispatches,chunks,items}` counters.
 //!
 //! When no session is installed the per-dispatch cost is a single relaxed
@@ -55,6 +59,11 @@ pub struct WorkerLane {
     pub chunks: u64,
     /// Work units processed (claimed chunk sizes clipped to the range).
     pub items: u64,
+    /// Seconds from job publication to this participant's first claim — its
+    /// wakeup latency. ~0 for the dispatching thread (lane 0) and for
+    /// inline records; for pool workers it measures the spin-then-park
+    /// wakeup path end to end.
+    pub wakeup_seconds: f64,
 }
 
 /// One profiled dispatch: the kernel label, the scheduling parameters the
@@ -110,6 +119,17 @@ impl DispatchRecord {
     /// Total chunks claimed across participants.
     pub fn chunks(&self) -> u64 {
         self.lanes.iter().map(|l| l.chunks).sum()
+    }
+
+    /// Worst wakeup latency over the pool-worker lanes (lane 0 — the
+    /// dispatching thread — is excluded: it needs no wakeup). 0.0 for
+    /// inline and single-lane records.
+    pub fn wakeup_seconds_max(&self) -> f64 {
+        self.lanes
+            .iter()
+            .skip(1)
+            .map(|l| l.wakeup_seconds)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -212,7 +232,9 @@ pub fn install(trace: &TraceCollector) -> ProfileGuard {
     }
     trace.gauge(
         || "pool/workers".to_string(),
-        crate::pool::global().workers() as f64,
+        // The configured size, not `global().workers()`: installing a
+        // profiler must not force pool creation for a run that stays serial.
+        crate::pool::configured_workers() as f64,
     );
     let inner = Arc::new(SessionInner {
         trace: trace.clone(),
@@ -276,6 +298,7 @@ impl SessionInner {
                 busy_seconds: seconds,
                 chunks: 1,
                 items: n as u64,
+                wakeup_seconds: 0.0,
             }],
             chunk_hist,
         });
@@ -342,18 +365,30 @@ impl DispatchObs {
         self.n
     }
 
-    /// Write participant `wid`'s tallies.
-    pub(crate) fn commit(&self, wid: usize, started: Instant, tally: LaneTally) {
+    /// Write participant `wid`'s tallies. `published` is when the
+    /// dispatcher made the job visible; the lane's wakeup latency runs from
+    /// there to its first claim (or to body entry if it never claimed).
+    pub(crate) fn commit(
+        &self,
+        wid: usize,
+        started: Instant,
+        published: Instant,
+        tally: LaneTally,
+    ) {
         let end = Instant::now();
         let mut hist = tally.hist.into_inner();
         if let Some(open) = tally.open.get() {
             hist[bucket_of_seconds(end.duration_since(open).as_secs_f64())] += 1;
         }
+        let awake = tally.first_claim.get().unwrap_or(started);
         let lane = WorkerLane {
             start_seconds: started.duration_since(self.epoch).as_secs_f64(),
             busy_seconds: end.duration_since(started).as_secs_f64(),
             chunks: tally.chunks.get(),
             items: tally.items.get(),
+            // `saturating_duration_since`: lane 0 enters the body a hair
+            // before `published` is even read back on some clocks.
+            wakeup_seconds: awake.saturating_duration_since(published).as_secs_f64(),
         };
         if let Some(slot) = self.lanes.get(wid) {
             *slot.lock().unwrap() = (lane, hist);
@@ -380,6 +415,9 @@ impl DispatchObs {
 pub(crate) struct LaneTally {
     chunks: Cell<u64>,
     items: Cell<u64>,
+    /// Time of the very first claim, in- or out-of-range — the earliest
+    /// proof the participant woke up and reached the claim loop.
+    first_claim: Cell<Option<Instant>>,
     /// Start time of the chunk currently being processed, if any.
     open: Cell<Option<Instant>>,
     hist: RefCell<[u32; HIST_BUCKETS]>,
@@ -390,6 +428,7 @@ impl LaneTally {
         LaneTally {
             chunks: Cell::new(0),
             items: Cell::new(0),
+            first_claim: Cell::new(None),
             open: Cell::new(None),
             hist: RefCell::new([0; HIST_BUCKETS]),
         }
@@ -401,6 +440,9 @@ impl LaneTally {
     /// in-range, opens the next.
     pub(crate) fn on_claim(&self, start: usize, chunk: usize, n: usize) {
         let now = Instant::now();
+        if self.first_claim.get().is_none() {
+            self.first_claim.set(Some(now));
+        }
         if let Some(open) = self.open.take() {
             self.hist.borrow_mut()[bucket_of_seconds(now.duration_since(open).as_secs_f64())] += 1;
         }
@@ -456,12 +498,14 @@ mod tests {
                     busy_seconds: 1.0,
                     chunks: 5,
                     items: 50,
+                    wakeup_seconds: 0.0,
                 },
                 WorkerLane {
                     start_seconds: 0.0,
                     busy_seconds: 1.0,
                     chunks: 5,
                     items: 50,
+                    wakeup_seconds: 2e-6,
                 },
             ],
             chunk_hist: [0; HIST_BUCKETS],
@@ -469,6 +513,8 @@ mod tests {
         assert!((rec.imbalance() - 1.0).abs() < 1e-12);
         assert_eq!(rec.items(), 100);
         assert_eq!(rec.chunks(), 10);
+        // Lane 0 (the caller) is excluded from the wakeup rollup.
+        assert!((rec.wakeup_seconds_max() - 2e-6).abs() < 1e-18);
         let skew = DispatchRecord {
             lanes: vec![
                 WorkerLane {

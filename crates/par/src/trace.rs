@@ -279,9 +279,9 @@ impl TraceCollector {
     }
 
     /// Record one profiled dispatch (see [`crate::profile`]): stores the
-    /// record for report rendering / Chrome export and derives a
-    /// `dispatch/<kernel>/imbalance` gauge plus
-    /// `dispatch/<kernel>/{dispatches,chunks,items}` counters.
+    /// record for report rendering / Chrome export and derives
+    /// `dispatch/<kernel>/imbalance` and `dispatch/<kernel>/wakeup_us`
+    /// gauges plus `dispatch/<kernel>/{dispatches,chunks,items}` counters.
     pub(crate) fn record_dispatch(&self, rec: DispatchRecord) {
         if let Some(i) = &self.inner {
             if i.trace_enabled {
@@ -290,6 +290,14 @@ impl TraceCollector {
                     path: format!("dispatch/{}/imbalance", rec.kernel),
                     value: rec.imbalance(),
                 });
+                if rec.lanes.len() > 1 {
+                    // Worst worker wakeup (publish → first claim); inline
+                    // and single-lane records have no workers to wake.
+                    st.gauges.push(GaugeRecord {
+                        path: format!("dispatch/{}/wakeup_us", rec.kernel),
+                        value: rec.wakeup_seconds_max() * 1e6,
+                    });
+                }
                 *st.counters
                     .entry(format!("dispatch/{}/dispatches", rec.kernel))
                     .or_insert(0) += 1;
@@ -515,11 +523,12 @@ impl TraceReport {
                 .iter()
                 .map(|l| {
                     format!(
-                        r#"{{"start_seconds":{},"busy_seconds":{},"chunks":{},"items":{}}}"#,
+                        r#"{{"start_seconds":{},"busy_seconds":{},"chunks":{},"items":{},"wakeup_seconds":{}}}"#,
                         json_f64(l.start_seconds),
                         json_f64(l.busy_seconds),
                         l.chunks,
-                        l.items
+                        l.items,
+                        json_f64(l.wakeup_seconds)
                     )
                 })
                 .collect();
@@ -601,28 +610,31 @@ impl TraceReport {
         }
         if !self.dispatches.is_empty() {
             out.push_str(
-                "dispatches (kernel@backend, count, items, chunks, busy s, worst imbalance, typical chunk):\n",
+                "dispatches (kernel@backend, count, items, chunks, busy s, worst imbalance, worst wakeup, typical chunk):\n",
             );
-            // (count, items, chunks, busy seconds, worst imbalance, merged
-            // chunk-duration histogram) per kernel@backend — the per-policy
-            // view shows whether the configured grain produces chunks big
-            // enough to amortize the claim but small enough to balance.
-            type DispatchAgg = (u64, u64, u64, f64, f64, [u64; HIST_BUCKETS]);
+            // (count, items, chunks, busy seconds, worst imbalance, worst
+            // wakeup, merged chunk-duration histogram) per kernel@backend —
+            // the per-policy view shows whether the configured grain
+            // produces chunks big enough to amortize the claim but small
+            // enough to balance, and whether workers arrived fast enough to
+            // matter (the wakeup column).
+            type DispatchAgg = (u64, u64, u64, f64, f64, f64, [u64; HIST_BUCKETS]);
             let mut aggs: BTreeMap<String, DispatchAgg> = BTreeMap::new();
             for d in &self.dispatches {
                 let e = aggs
                     .entry(format!("{}@{}", d.kernel, d.backend))
-                    .or_insert((0, 0, 0, 0.0, 0.0, [0u64; HIST_BUCKETS]));
+                    .or_insert((0, 0, 0, 0.0, 0.0, 0.0, [0u64; HIST_BUCKETS]));
                 e.0 += 1;
                 e.1 += d.items();
                 e.2 += d.chunks();
                 e.3 += d.lanes.iter().map(|l| l.busy_seconds).sum::<f64>();
                 e.4 = e.4.max(d.imbalance());
+                e.5 = e.5.max(d.wakeup_seconds_max());
                 for (b, &c) in d.chunk_hist.iter().enumerate() {
-                    e.5[b] += c as u64;
+                    e.6[b] += c as u64;
                 }
             }
-            for (key, (count, items, chunks, busy, worst, hist)) in &aggs {
+            for (key, (count, items, chunks, busy, worst, wakeup, hist)) in &aggs {
                 let modal = hist
                     .iter()
                     .enumerate()
@@ -637,7 +649,8 @@ impl TraceReport {
                     format!("~{}us", 1u64 << modal)
                 };
                 out.push_str(&format!(
-                    "  {key: <44} x{count: <5} {items: >10} items {chunks: >7} chunks {busy: >9.4}s imb {worst:.2} {typical}\n"
+                    "  {key: <44} x{count: <5} {items: >10} items {chunks: >7} chunks {busy: >9.4}s imb {worst:.2} wake {: >7.1}us {typical}\n",
+                    wakeup * 1e6
                 ));
             }
         }
@@ -664,7 +677,7 @@ impl TraceReport {
     ///   `B`/`E` pairs;
     /// - `tid` 1.. (**worker `w`**) carry one `X` (complete) event per
     ///   profiled-dispatch lane, spanning that participant's busy window
-    ///   with `chunks`/`items`/`backend` in `args`;
+    ///   with `chunks`/`items`/`backend`/`wakeup_us` in `args`;
     /// - counters, gauges and audits appear as global instant (`i`) events.
     ///
     /// Timestamps are integer microseconds from the collector's epoch.
@@ -745,14 +758,15 @@ impl TraceReport {
                     1,
                     0,
                     format!(
-                        r#"{{"name":{},"cat":"dispatch","ph":"X","ts":{},"dur":{},"pid":0,"tid":{},"args":{{"backend":{},"chunks":{},"items":{}}}}}"#,
+                        r#"{{"name":{},"cat":"dispatch","ph":"X","ts":{},"dur":{},"pid":0,"tid":{},"args":{{"backend":{},"chunks":{},"items":{},"wakeup_us":{}}}}}"#,
                         json_str(&d.kernel),
                         us(lane.start_seconds),
                         us(lane.busy_seconds),
                         w + 1,
                         json_str(d.backend),
                         lane.chunks,
-                        lane.items
+                        lane.items,
+                        json_f64(lane.wakeup_seconds * 1e6)
                     ),
                 ));
             }
@@ -1020,12 +1034,14 @@ mod tests {
                     busy_seconds: 0.002,
                     chunks: 5,
                     items: 500,
+                    wakeup_seconds: 0.0,
                 },
                 WorkerLane {
                     start_seconds: 0.001,
                     busy_seconds: 0.0015,
                     chunks: 5,
                     items: 500,
+                    wakeup_seconds: 3e-6,
                 },
             ],
             chunk_hist: [0; HIST_BUCKETS],
@@ -1045,6 +1061,10 @@ mod tests {
         );
         assert!(json.contains(r#""name":"par_for/hec_match""#));
         assert!(json.contains(r#""name":"worker 1""#));
+        assert!(
+            json.contains(r#""wakeup_us":"#),
+            "lane events carry the wakeup latency:\n{json}"
+        );
         assert!(json.contains(r#""cat":"counter""#));
         assert!(json.contains(r#""cat":"gauge""#));
     }
@@ -1068,6 +1088,7 @@ mod tests {
                 busy_seconds: 0.004,
                 chunks: 7,
                 items: 4096,
+                wakeup_seconds: 0.0,
             }],
             chunk_hist: hist,
         });

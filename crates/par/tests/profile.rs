@@ -75,11 +75,24 @@ fn check_dispatch_accounts_for_all_work(backend: Backend, label: &'static str) {
     }
     assert!(rec.imbalance() >= 1.0 - 1e-9);
 
-    // The derived gauge and counters the report exposes for this kernel.
+    // Wakeup accounting: lane 0 is the dispatching thread (no wakeup), and
+    // no lane can wake up before it was published or after the dispatch
+    // finished.
+    for lane in &rec.lanes {
+        assert!(lane.wakeup_seconds >= 0.0);
+        assert!(lane.wakeup_seconds <= rec.seconds * 1.5 + 1e-3);
+    }
+    assert!(rec.wakeup_seconds_max() >= 0.0);
+
+    // The derived gauges and counters the report exposes for this kernel.
     let g = report
         .gauge(&format!("dispatch/{kernel}/imbalance"))
         .expect("imbalance gauge");
     assert!((g - rec.imbalance()).abs() < 1e-9);
+    let wake = report
+        .gauge(&format!("dispatch/{kernel}/wakeup_us"))
+        .expect("wakeup gauge");
+    assert!((wake - rec.wakeup_seconds_max() * 1e6).abs() < 1e-6);
     assert_eq!(
         report.counter(&format!("dispatch/{kernel}/items")),
         n as u64
@@ -381,6 +394,12 @@ fn chrome_trace_export_is_schema_valid() {
                 lane_events += 1;
                 assert!(tid >= 1, "lane events live on worker tids");
                 assert!(ev.get("dur").and_then(Json::as_f64).unwrap_or(-1.0) >= 0.0);
+                let wake = ev
+                    .get("args")
+                    .and_then(|a| a.get("wakeup_us"))
+                    .and_then(Json::as_f64)
+                    .expect("lane events carry wakeup_us");
+                assert!(wake >= 0.0);
             }
             "M" | "i" => {}
             other => panic!("unexpected phase {other:?}"),
