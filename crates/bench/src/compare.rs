@@ -291,8 +291,10 @@ impl Parser<'_> {
 pub struct Delta {
     /// Graph name.
     pub graph: String,
-    /// Which timing (`full_scan` / `boundary`).
-    pub variant: &'static str,
+    /// Which timing variant (`bench-fm`: `full_scan` / `boundary`;
+    /// `bench-parref`: `seq_boundary` / `par_coarse`), discovered from
+    /// the baseline entry rather than hardcoded.
+    pub variant: String,
     /// Baseline median seconds.
     pub baseline_seconds: f64,
     /// Current median seconds.
@@ -344,9 +346,15 @@ impl CompareOutcome {
     }
 }
 
-/// Compare two `BENCH_fm.json` documents. `noise` is the relative
+/// Compare two `BENCH_*.json` documents. `noise` is the relative
 /// threshold: a timing regresses when
 /// `current > baseline * (1 + noise)`.
+///
+/// Timing variants are discovered from each baseline graph entry: every
+/// member whose value is an object carrying a `refine_seconds` number is
+/// a variant, so the same gate serves `bench-fm`
+/// (`full_scan` / `boundary`) and `bench-parref`
+/// (`seq_boundary` / `par_coarse`) without a hardcoded list.
 pub fn compare_bench_fm(
     baseline: &Json,
     current: &Json,
@@ -372,28 +380,34 @@ pub fn compare_bench_fm(
             out.missing.push(name.to_string());
             continue;
         };
-        for variant in ["full_scan", "boundary"] {
-            let (Some(b), Some(c)) = (
-                bg.path(variant)
-                    .and_then(|v| v.get("refine_seconds"))
-                    .and_then(Json::as_f64),
-                cg.path(variant)
-                    .and_then(|v| v.get("refine_seconds"))
-                    .and_then(Json::as_f64),
-            ) else {
-                return Err(format!("{name}/{variant}: missing refine_seconds"));
+        let Json::Obj(members) = bg else {
+            return Err(format!("{name}: baseline graph entry is not an object"));
+        };
+        let mut found = false;
+        for (variant, bv) in members {
+            let Some(b) = bv.get("refine_seconds").and_then(Json::as_f64) else {
+                continue; // not a timing variant (name / n / m / speedup)
+            };
+            found = true;
+            let Some(c) = cg
+                .path(variant)
+                .and_then(|v| v.get("refine_seconds"))
+                .and_then(Json::as_f64)
+            else {
+                return Err(format!(
+                    "{name}/{variant}: missing refine_seconds in current results"
+                ));
             };
             out.deltas.push(Delta {
                 graph: name.to_string(),
-                variant: if variant == "full_scan" {
-                    "full_scan"
-                } else {
-                    "boundary"
-                },
+                variant: variant.clone(),
                 baseline_seconds: b,
                 current_seconds: c,
                 regressed: c > b * (1.0 + noise),
             });
+        }
+        if !found {
+            return Err(format!("{name}: baseline entry has no timing variants"));
         }
     }
     Ok(out)
@@ -503,6 +517,34 @@ mod tests {
         assert_eq!(reg.len(), 1);
         assert_eq!(reg[0].variant, "full_scan");
         assert!((reg[0].rel() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variants_are_discovered_not_hardcoded() {
+        // bench-parref names its variants seq_boundary / par_coarse; the
+        // gate must pick them up from the baseline entry.
+        let doc = |seq: f64, par: f64| {
+            Json::parse(&format!(
+                r#"{{"experiment": "bench-parref", "graphs": [
+                    {{"name": "g1", "n": 10, "m": 20,
+                      "seq_boundary": {{"cut": 5, "refine_seconds": {seq}}},
+                      "par_coarse": {{"cut": 5, "refine_seconds": {par}}},
+                      "speedup": 1.0}}
+                ]}}"#
+            ))
+            .unwrap()
+        };
+        let base = doc(0.100, 0.050);
+        let ok = compare_bench_fm(&base, &doc(0.100, 0.050), 0.25).unwrap();
+        assert!(ok.passed());
+        let variants: Vec<&str> = ok.deltas.iter().map(|d| d.variant.as_str()).collect();
+        assert_eq!(variants, vec!["par_coarse", "seq_boundary"]);
+
+        let slow = compare_bench_fm(&base, &doc(0.100, 0.500), 0.25).unwrap();
+        assert!(!slow.passed());
+        let reg: Vec<_> = slow.deltas.iter().filter(|d| d.regressed).collect();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].variant, "par_coarse");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 pub mod ablate;
 pub mod benchfm;
+pub mod benchparref;
 pub mod extended;
 pub mod fig1;
 pub mod fig2;
@@ -16,7 +17,7 @@ pub mod trace;
 use crate::harness::Ctx;
 
 /// Every experiment name understood by the `repro` binary.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "table1",
     "table2",
     "table3",
@@ -30,6 +31,7 @@ pub const ALL: [&str; 15] = [
     "fig3-right",
     "ablate-dedup",
     "bench-fm",
+    "bench-parref",
     "extended-methods",
     "trace",
 ];
@@ -88,6 +90,7 @@ pub fn run(name: &str, ctx: &Ctx) -> Option<i32> {
             0
         }
         "bench-fm" => benchfm::run(ctx),
+        "bench-parref" => benchparref::run(ctx),
         "extended-methods" => {
             extended::run(ctx);
             0

@@ -173,6 +173,19 @@ impl Hierarchy {
             .collect()
     }
 
+    /// [`Hierarchy::project_frontier`] from a coarse vertex-id list
+    /// instead of a mark array: builds the marks internally, so callers
+    /// holding a boundary/frontier as ids (the refiners' native output)
+    /// don't each re-materialize an `O(n_coarse)` bool vector.
+    pub fn project_frontier_ids(&self, level: usize, coarse_ids: &[u32]) -> Vec<u32> {
+        let mapping = &self.levels[level].mapping;
+        let mut marked = vec![false; mapping.n_coarse];
+        for &c in coarse_ids {
+            marked[c as usize] = true;
+        }
+        self.project_frontier(level, &marked)
+    }
+
     /// The graph *above* level `i` (the finer one it was built from).
     pub fn graph_above(&self, level: usize) -> &Csr {
         if level == 0 {

@@ -18,11 +18,12 @@
 //! uncoarsening never rescans interior vertices whose aggregate was
 //! interior one level down.
 
+use crate::parref::{parallel_refine_rounds, ParRefConfig, ParRefWorkspace};
 use crate::result::{audit_partition, PartitionResult};
 use mlcg_coarsen::{coarsen, CoarsenOptions, Hierarchy};
 use mlcg_graph::metrics::edge_cut;
 use mlcg_graph::{Csr, VId};
-use mlcg_par::{ExecPolicy, TraceCollector};
+use mlcg_par::{Backend, ExecPolicy, TraceCollector};
 use std::collections::BinaryHeap;
 
 /// FM tuning parameters.
@@ -98,18 +99,20 @@ pub struct FmRefineOutcome {
     pub boundary: Vec<u32>,
 }
 
-/// Per-side weight limits derived from an [`FmConfig`] and a target split.
-struct Balance {
+/// Per-side weight limits derived from a balance slack and a target split.
+/// Shared with the parallel refiner (`crate::parref`) so both refiners
+/// enforce the identical envelope.
+pub(crate) struct Balance {
     /// Final partitions must keep each side at or below its strict limit.
-    strict: [u64; 2],
+    pub(crate) strict: [u64; 2],
     /// During a pass, moves may wander one max-vertex beyond the strict
     /// limit (otherwise a perfectly balanced start could never move
     /// anything); the best-prefix selection restores strict balance.
-    loose: [u64; 2],
+    pub(crate) loose: [u64; 2],
 }
 
 impl Balance {
-    fn new(g: &Csr, cfg: &FmConfig, frac: f64) -> Balance {
+    pub(crate) fn new(g: &Csr, epsilon: f64, vertex_slack: bool, frac: f64) -> Balance {
         let total: u64 = g.total_vwgt();
         let max_vwgt = g.vwgt().iter().copied().max().unwrap_or(1);
         let t0 = ((total as f64 * frac).round() as u64).min(total);
@@ -118,9 +121,9 @@ impl Balance {
         // below the rounded-up share (so exact balance stays reachable on
         // integer weights), plus one max-vertex of slack on coarse levels.
         let strict_side = |t: u64, share: f64| {
-            let mut lim = (((t as f64) * (1.0 + cfg.epsilon)).floor() as u64)
+            let mut lim = (((t as f64) * (1.0 + epsilon)).floor() as u64)
                 .max((total as f64 * share).ceil() as u64);
-            if cfg.vertex_slack {
+            if vertex_slack {
                 lim += max_vwgt;
             }
             lim
@@ -136,7 +139,7 @@ impl Balance {
     }
 
     /// How far either side exceeds its strict limit (0 when feasible).
-    fn excess(&self, wp: &[u64; 2]) -> u64 {
+    pub(crate) fn excess(&self, wp: &[u64; 2]) -> u64 {
         wp[0].saturating_sub(self.strict[0]) + wp[1].saturating_sub(self.strict[1])
     }
 }
@@ -177,7 +180,7 @@ pub fn fm_refine_boundary_traced(
             boundary: Vec::new(),
         };
     }
-    let bal = Balance::new(g, cfg, frac);
+    let bal = Balance::new(g, cfg.epsilon, cfg.vertex_slack, frac);
 
     let mut wpart = [0u64; 2];
     for (u, &p) in part.iter().enumerate() {
@@ -482,7 +485,7 @@ pub fn fm_refine_frac_full_scan(g: &Csr, part: &mut [u32], cfg: &FmConfig, frac:
     if n == 0 {
         return 0;
     }
-    let bal = Balance::new(g, cfg, frac);
+    let bal = Balance::new(g, cfg.epsilon, cfg.vertex_slack, frac);
 
     let mut cut = edge_cut(g, part) as i64;
     let mut wpart = [0u64; 2];
@@ -633,7 +636,7 @@ pub fn fm_bisect_frac(
     let h = coarsen(policy, g, coarsen_opts);
     let coarsen_seconds = span.finish();
     let span = trace.timed_span(|| "partition/fm/refine".to_string());
-    let part = fm_uncoarsen_frac_traced(&h, cfg, frac, seed, &trace);
+    let part = fm_uncoarsen_frac_traced(policy, &h, cfg, frac, seed, &trace);
     let refine_seconds = span.finish();
     // Allowed imbalance on the finest level: the target share plus the
     // epsilon slack and at most one vertex of rounding, relative to total/2.
@@ -652,20 +655,68 @@ pub fn fm_uncoarsen(h: &Hierarchy, cfg: &FmConfig, seed: u64) -> Vec<u32> {
 }
 
 /// [`fm_uncoarsen`] with a fractional part-0 weight target.
+///
+/// Pure sequential path (serial policy), kept signature-stable as the
+/// measurement baseline for `bench-fm`/`bench-parref`; the multilevel
+/// partitioners go through [`fm_uncoarsen_frac_traced`], which engages
+/// parallel rounds on coarse levels under a parallel policy.
 pub fn fm_uncoarsen_frac(h: &Hierarchy, cfg: &FmConfig, frac: f64, seed: u64) -> Vec<u32> {
-    fm_uncoarsen_frac_traced(h, cfg, frac, seed, &TraceCollector::disabled())
+    fm_uncoarsen_frac_traced(
+        &ExecPolicy::serial(),
+        h,
+        cfg,
+        frac,
+        seed,
+        &TraceCollector::disabled(),
+    )
 }
 
-/// [`fm_uncoarsen_frac`] with a trace sink threaded into every per-level
-/// FM refinement (see [`fm_refine_boundary_traced`]).
+/// [`fm_uncoarsen_frac`] with an execution policy and a trace sink
+/// threaded into every per-level refinement.
+///
+/// Delegates to [`fm_uncoarsen_frac_hybrid`] with a [`ParRefConfig`]
+/// derived from `cfg` (same epsilon, default crossover), so coarse levels
+/// whose projected frontier crosses the threshold refine with parallel
+/// rounds before the sequential boundary pass.
+pub fn fm_uncoarsen_frac_traced(
+    policy: &ExecPolicy,
+    h: &Hierarchy,
+    cfg: &FmConfig,
+    frac: f64,
+    seed: u64,
+    trace: &TraceCollector,
+) -> Vec<u32> {
+    let parref = ParRefConfig {
+        epsilon: cfg.epsilon,
+        ..ParRefConfig::default()
+    };
+    fm_uncoarsen_frac_hybrid(policy, h, cfg, &parref, frac, seed, trace)
+}
+
+/// The hybrid uncoarsening driver: initial partition on the coarsest
+/// graph, then project + refine level by level, choosing the refiner per
+/// level with a crossover heuristic.
 ///
 /// The coarsest level refines from a full scan; every finer level seeds
 /// its frontier by projecting the coarser level's final boundary (a fine
 /// vertex can be on the boundary only if its aggregate is), so per-level
 /// refinement cost tracks the boundary, not the graph.
-pub fn fm_uncoarsen_frac_traced(
+///
+/// Crossover: when the policy is parallel and the projected frontier is at
+/// least [`ParRefConfig::crossover_threshold`] (default `HOST_GRAIN` ×
+/// workers — a smaller frontier can't amortize waking the pool, per the
+/// dispatch-latency findings in DESIGN §8), the level first runs
+/// frontier-based parallel rounds ([`parallel_refine_rounds`]) to strip
+/// the bulk positive-gain moves in fused dispatches, then the sequential
+/// boundary pass polishes from the rounds' final frontier. Below the
+/// threshold — always on the finest levels, where the boundary is thin —
+/// the level runs the sequential boundary pass alone, keeping the PR 2
+/// fast path. One [`ParRefWorkspace`] serves every level.
+pub fn fm_uncoarsen_frac_hybrid(
+    policy: &ExecPolicy,
     h: &Hierarchy,
     cfg: &FmConfig,
+    parref: &ParRefConfig,
     frac: f64,
     seed: u64,
     trace: &TraceCollector,
@@ -675,23 +726,37 @@ pub fn fm_uncoarsen_frac_traced(
     let mut part = crate::ggg::greedy_graph_growing_frac(coarsest, seed, frac);
     let mut outcome =
         fm_refine_boundary_traced(coarsest, &mut part, &coarse_cfg, frac, None, trace);
+    let threshold = parref.crossover_threshold(policy);
+    let parallel_ok = policy.backend != Backend::Serial;
+    let mut ws = ParRefWorkspace::new();
     for level in (0..h.num_levels()).rev() {
-        let mut marked = vec![false; part.len()];
-        for &u in &outcome.boundary {
-            marked[u as usize] = true;
-        }
         part = h.interpolate_level(level, &part);
-        let frontier = h.project_frontier(level, &marked);
+        let frontier = h.project_frontier_ids(level, &outcome.boundary);
+        let g = h.graph_above(level);
         // Tighten to the caller's balance on the finest level only.
         let level_cfg = if level == 0 { cfg } else { &coarse_cfg };
-        outcome = fm_refine_boundary_traced(
-            h.graph_above(level),
-            &mut part,
-            level_cfg,
-            frac,
-            Some(&frontier),
-            trace,
-        );
+        let seed_vec = if parallel_ok && frontier.len() >= threshold {
+            let level_parref = ParRefConfig {
+                epsilon: level_cfg.epsilon,
+                handoff_frontier: threshold,
+                ..parref.clone()
+            };
+            parallel_refine_rounds(
+                policy,
+                g,
+                &mut part,
+                &level_parref,
+                frac,
+                level_cfg.vertex_slack,
+                Some(&frontier),
+                &mut ws,
+                trace,
+            )
+            .frontier
+        } else {
+            frontier
+        };
+        outcome = fm_refine_boundary_traced(g, &mut part, level_cfg, frac, Some(&seed_vec), trace);
     }
     part
 }

@@ -5,6 +5,15 @@
 //! applies any bisection routine, splitting the target part count
 //! (im)properly for non-powers of two: a 5-way partition first bisects
 //! 3:2 by weight, then recurses.
+//!
+//! Each bisection goes through [`fm_bisect_frac`], whose uncoarsening is
+//! the hybrid driver (`fm_uncoarsen_frac_hybrid`): under a parallel
+//! policy, coarse levels whose projected frontier crosses the crossover
+//! threshold refine with frontier-based parallel rounds
+//! (`parallel_refine_rounds`) before the sequential boundary FM polish —
+//! so recursive k-way inherits the parallel coarse-level engine on the
+//! top-level (largest) subproblems, where it pays, and stays on the
+//! sequential fast path for the small deep-recursion pieces.
 
 use crate::fm::{fm_bisect_frac, FmConfig};
 use mlcg_coarsen::CoarsenOptions;

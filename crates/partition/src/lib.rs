@@ -21,13 +21,16 @@ pub mod spectral;
 
 pub use fm::{
     fm_bisect, fm_bisect_frac, fm_refine_boundary_traced, fm_refine_frac_full_scan,
-    fm_uncoarsen_frac_full_scan, FmConfig, FmRefineOutcome,
+    fm_uncoarsen_frac_full_scan, fm_uncoarsen_frac_hybrid, FmConfig, FmRefineOutcome,
 };
 pub use kway::{
     kway_empty_parts, kway_imbalance, kway_imbalance_checked, kway_partition, KwayResult,
 };
 pub use metislike::{metis_like, mtmetis_like};
-pub use parref::{parallel_refine, parfm_bisect, ParRefConfig};
+pub use parref::{
+    parallel_refine, parallel_refine_rounds, parfm_bisect, ParRefConfig, ParRefOutcome,
+    ParRefWorkspace,
+};
 pub use result::audit_partition;
 pub use result::PartitionResult;
 pub use spectral::{spectral_bisect, SpectralConfig};
