@@ -2,6 +2,7 @@
 
 pub mod ablate;
 pub mod benchfm;
+pub mod benchkway;
 pub mod benchparref;
 pub mod extended;
 pub mod fig1;
@@ -17,7 +18,7 @@ pub mod trace;
 use crate::harness::Ctx;
 
 /// Every experiment name understood by the `repro` binary.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "table1",
     "table2",
     "table3",
@@ -31,6 +32,7 @@ pub const ALL: [&str; 16] = [
     "fig3-right",
     "ablate-dedup",
     "bench-fm",
+    "bench-kway",
     "bench-parref",
     "extended-methods",
     "trace",
@@ -90,6 +92,7 @@ pub fn run(name: &str, ctx: &Ctx) -> Option<i32> {
             0
         }
         "bench-fm" => benchfm::run(ctx),
+        "bench-kway" => benchkway::run(ctx),
         "bench-parref" => benchparref::run(ctx),
         "extended-methods" => {
             extended::run(ctx);

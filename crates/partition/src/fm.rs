@@ -458,7 +458,8 @@ pub fn fm_refine_boundary_traced(
 }
 
 /// Debug-build check that a seed frontier covers the current boundary.
-fn seed_covers_boundary(g: &Csr, part: &[u32], seed: &[u32]) -> bool {
+/// Label-agnostic, so the k-way refiner shares it.
+pub(crate) fn seed_covers_boundary(g: &Csr, part: &[u32], seed: &[u32]) -> bool {
     let mut in_seed = vec![false; g.n()];
     for &u in seed {
         if let Some(s) = in_seed.get_mut(u as usize) {

@@ -16,10 +16,11 @@
 //! sequential fast path for the small deep-recursion pieces.
 
 use crate::fm::{fm_bisect_frac, FmConfig};
+use crate::kwayref::{kway_direct_refine, KwayRefineConfig};
 use mlcg_coarsen::CoarsenOptions;
 use mlcg_graph::metrics::edge_cut;
 use mlcg_graph::Csr;
-use mlcg_par::{ExecPolicy, Timer};
+use mlcg_par::{ExecPolicy, Timer, TraceCollector};
 
 /// Outcome of a k-way partition.
 #[derive(Clone, Debug)]
@@ -32,9 +33,36 @@ pub struct KwayResult {
     pub imbalance: f64,
     /// Total wall time.
     pub seconds: f64,
+    /// Time spent in the direct k-way refinement post-pass (0 when
+    /// disabled or `k < 2`).
+    pub refine_seconds: f64,
 }
 
-/// Partition into `k` balanced parts by recursive FM bisection.
+/// Configuration for [`kway_partition_cfg`].
+#[derive(Clone, Debug)]
+pub struct KwayConfig {
+    /// Run direct k-way refinement over the finished labeling, so cuts
+    /// recursive bisection froze early — and the edge-ignoring
+    /// `direct_kway_split` fallback assignments — get revisited with all
+    /// `k` labels in view.
+    pub direct_refine: bool,
+    /// Tuning for the refinement post-pass. `epsilon` and `vertex_slack`
+    /// should normally mirror the bisection `FmConfig` (the flat
+    /// [`kway_partition`] wrapper copies them over).
+    pub refine: KwayRefineConfig,
+}
+
+impl Default for KwayConfig {
+    fn default() -> Self {
+        KwayConfig {
+            direct_refine: true,
+            refine: KwayRefineConfig::default(),
+        }
+    }
+}
+
+/// Partition into `k` balanced parts by recursive FM bisection, then
+/// direct k-way refinement (see [`kway_partition_cfg`]).
 pub fn kway_partition(
     policy: &ExecPolicy,
     g: &Csr,
@@ -42,6 +70,47 @@ pub fn kway_partition(
     coarsen_opts: &CoarsenOptions,
     fm: &FmConfig,
     seed: u64,
+) -> KwayResult {
+    let cfg = KwayConfig {
+        refine: KwayRefineConfig {
+            epsilon: fm.epsilon,
+            vertex_slack: fm.vertex_slack,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    kway_partition_cfg(
+        policy,
+        g,
+        k,
+        coarsen_opts,
+        fm,
+        &cfg,
+        seed,
+        &TraceCollector::disabled(),
+    )
+}
+
+/// Partition into `k` balanced parts: recursive FM bisection, then —
+/// when [`KwayConfig::direct_refine`] is set — one direct k-way
+/// refinement pass over the finished labeling.
+///
+/// The reported cut is the refiner's incrementally maintained value
+/// (debug-asserted against, and under `MLCG_VALIDATE` audited as
+/// `kway-cut-agree` with, a from-scratch [`edge_cut`] recount); the
+/// O(m) recount only runs eagerly when the refinement post-pass is
+/// disabled. Each refined partition bumps the `kway/direct_refine`
+/// trace counter.
+#[allow(clippy::too_many_arguments)]
+pub fn kway_partition_cfg(
+    policy: &ExecPolicy,
+    g: &Csr,
+    k: usize,
+    coarsen_opts: &CoarsenOptions,
+    fm: &FmConfig,
+    cfg: &KwayConfig,
+    seed: u64,
+    trace: &TraceCollector,
 ) -> KwayResult {
     assert!(k >= 1, "k must be positive");
     let t = Timer::start();
@@ -57,13 +126,34 @@ pub fn kway_partition(
         &mut part,
         &(0..g.n() as u32).collect::<Vec<_>>(),
     );
-    let cut = edge_cut(g, &part);
+    let (cut, refine_seconds) = if cfg.direct_refine && k >= 2 && g.n() > 0 {
+        let rt = Timer::start();
+        let cut = kway_direct_refine(policy, g, &mut part, k, &cfg.refine, trace);
+        trace.counter_add("kway/direct_refine", 1);
+        debug_assert_eq!(cut, edge_cut(g, &part), "refined k-way cut drifted");
+        if trace.validate_enabled() {
+            let recount = edge_cut(g, &part);
+            trace.audit(
+                "partition/kway",
+                "kway-cut-agree",
+                if cut == recount {
+                    Ok(())
+                } else {
+                    Err(format!("incremental cut {cut} != edge_cut {recount}"))
+                },
+            );
+        }
+        (cut, rt.seconds())
+    } else {
+        (edge_cut(g, &part), 0.0)
+    };
     let imbalance = kway_imbalance(g, &part, k);
     KwayResult {
         part,
         cut,
         imbalance,
         seconds: t.seconds(),
+        refine_seconds,
     }
 }
 
@@ -357,6 +447,139 @@ mod tests {
             kway_imbalance_checked(&g, &r.part, 4),
             kway_imbalance(&g, &r.part, 4)
         );
+    }
+
+    /// The three `direct_kway_split` fallback triggers — (a) a
+    /// degenerate bisection side (heavy pair), (b) a side with fewer
+    /// vertices than its label budget (tiny path), (c) a disconnected
+    /// side with fewer components than labels (disjoint triangles) —
+    /// must all be followed by the direct refinement post-pass rather
+    /// than shipping the edge-ignoring greedy assignment as-is.
+    #[test]
+    fn fallback_assignments_route_through_direct_refiner() {
+        let mut heavy = mlcg_graph::builder::from_edges_weighted(2, &[(0, 1, 1)]);
+        heavy.set_vwgt(vec![1, 100]);
+        let tiny = gen::path(3);
+        let tris = mlcg_graph::builder::from_edges_weighted(
+            9,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+                (6, 7, 1),
+                (7, 8, 1),
+                (8, 6, 1),
+            ],
+        );
+        for (g, k, empties) in [
+            (&heavy, 2usize, Some(0usize)),
+            (&tiny, 5, Some(2)),
+            (&tris, 8, None),
+        ] {
+            let policy = ExecPolicy::serial();
+            let baseline = kway_partition_cfg(
+                &policy,
+                g,
+                k,
+                &CoarsenOptions::default(),
+                &FmConfig::default(),
+                &KwayConfig {
+                    direct_refine: false,
+                    ..Default::default()
+                },
+                7,
+                &TraceCollector::disabled(),
+            );
+            let trace = TraceCollector::enabled();
+            let refined = kway_partition_cfg(
+                &policy,
+                g,
+                k,
+                &CoarsenOptions::default(),
+                &FmConfig::default(),
+                &KwayConfig::default(),
+                7,
+                &trace,
+            );
+            let report = trace.report();
+            assert_eq!(
+                report.counter("kway/direct_refine"),
+                1,
+                "k={k}: refiner post-pass must run on fallback output"
+            );
+            assert_eq!(refined.cut, edge_cut(g, &refined.part), "k={k}");
+            assert!(
+                refined.cut <= baseline.cut,
+                "k={k}: refined {} worse than raw fallback {}",
+                refined.cut,
+                baseline.cut
+            );
+            // Refinement must not introduce label dropout beyond what the
+            // recursion itself produced (exact counts pinned where the
+            // recursion's outcome is determined by the graph shape).
+            let expected = empties.unwrap_or_else(|| kway_empty_parts(&baseline.part, k));
+            assert_eq!(
+                kway_empty_parts(&refined.part, k),
+                expected,
+                "k={k} labels {:?}",
+                refined.part
+            );
+        }
+    }
+
+    /// Refinement visibly repairs the quality the edge-ignoring fallback
+    /// leaves on the table: two disjoint triangles split 2-ways must end
+    /// with zero cut (one triangle per part), which the greedy
+    /// weight-first split alone does not guarantee.
+    #[test]
+    fn direct_refine_fixes_the_greedy_split() {
+        let g = mlcg_graph::builder::from_edges_weighted(
+            6,
+            &[
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 0, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 3, 1),
+            ],
+        );
+        let mut part = vec![0u32; g.n()];
+        direct_kway_split(&g, 2, 0, &mut part, &(0..6).collect::<Vec<_>>());
+        let raw = edge_cut(&g, &part);
+        let cut = crate::kwayref::kway_direct_refine(
+            &ExecPolicy::serial(),
+            &g,
+            &mut part,
+            2,
+            &crate::kwayref::KwayRefineConfig::default(),
+            &TraceCollector::disabled(),
+        );
+        assert_eq!(cut, edge_cut(&g, &part));
+        assert_eq!(cut, 0, "triangles should separate (raw fallback cut {raw})");
+    }
+
+    #[test]
+    fn disabling_direct_refine_recounts_eagerly() {
+        let g = gen::grid2d(10, 10);
+        let r = kway_partition_cfg(
+            &ExecPolicy::serial(),
+            &g,
+            4,
+            &CoarsenOptions::default(),
+            &FmConfig::default(),
+            &KwayConfig {
+                direct_refine: false,
+                ..Default::default()
+            },
+            7,
+            &TraceCollector::disabled(),
+        );
+        assert_eq!(r.cut, edge_cut(&g, &r.part));
+        assert_eq!(r.refine_seconds, 0.0);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 pub mod fm;
 pub mod ggg;
 pub mod kway;
+pub mod kwayref;
 pub mod metislike;
 pub mod parref;
 pub mod result;
@@ -24,12 +25,17 @@ pub use fm::{
     fm_uncoarsen_frac_full_scan, fm_uncoarsen_frac_hybrid, FmConfig, FmRefineOutcome,
 };
 pub use kway::{
-    kway_empty_parts, kway_imbalance, kway_imbalance_checked, kway_partition, KwayResult,
+    kway_empty_parts, kway_imbalance, kway_imbalance_checked, kway_partition, kway_partition_cfg,
+    KwayConfig, KwayResult,
+};
+pub use kwayref::{
+    kway_direct_refine, kway_parallel_refine_rounds, kway_refine_boundary_traced, KwayRefWorkspace,
+    KwayRefineConfig, KwayRefineOutcome, KwayRoundsOutcome,
 };
 pub use metislike::{metis_like, mtmetis_like};
 pub use parref::{
-    parallel_refine, parallel_refine_rounds, parfm_bisect, ParRefConfig, ParRefOutcome,
-    ParRefWorkspace,
+    parallel_refine, parallel_refine_rounds, parfm_bisect, rounds_then_polish, ParRefConfig,
+    ParRefOutcome, ParRefWorkspace,
 };
 pub use result::audit_partition;
 pub use result::PartitionResult;

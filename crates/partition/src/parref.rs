@@ -50,7 +50,7 @@
 //! removes the last few percent, mirroring how production partitioners
 //! combine the two.
 
-use crate::fm::{fm_refine_boundary_traced, Balance, FmConfig};
+use crate::fm::{fm_refine_boundary_traced, seed_covers_boundary, Balance, FmConfig};
 use crate::ggg::greedy_graph_growing;
 use crate::result::PartitionResult;
 use mlcg_coarsen::{coarsen, CoarsenOptions, Hierarchy};
@@ -58,7 +58,7 @@ use mlcg_graph::metrics::edge_cut;
 use mlcg_graph::{Csr, VId};
 use mlcg_par::atomic::as_atomic_u32;
 use mlcg_par::exec::HOST_GRAIN;
-use mlcg_par::{parallel_for, profile, ExecPolicy, TraceCollector};
+use mlcg_par::{parallel_for, profile, Backend, ExecPolicy, TraceCollector};
 use std::sync::atomic::{AtomicI64, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 /// Parallel refinement tuning.
@@ -609,22 +609,6 @@ fn repair_balance(
     }
 }
 
-/// Debug-build check that a seed frontier covers the current boundary.
-fn seed_covers_boundary(g: &Csr, part: &[u32], seed: &[u32]) -> bool {
-    let mut in_seed = vec![false; g.n()];
-    for &u in seed {
-        if let Some(s) = in_seed.get_mut(u as usize) {
-            *s = true;
-        }
-    }
-    (0..g.n()).all(|u| {
-        in_seed[u]
-            || g.neighbors(u as VId)
-                .iter()
-                .all(|&v| part[v as usize] == part[u])
-    })
-}
-
 /// One parallel refinement at a fixed level; returns the final cut.
 ///
 /// Runs the frontier-based rounds over the whole vertex set (no seed),
@@ -680,6 +664,48 @@ pub fn parallel_refine_in(
         fm_refine_boundary_traced(g, part, &fm, frac, Some(&out.frontier), trace).cut
     } else {
         out.cut
+    }
+}
+
+/// One flat bisection refinement through the crossover: on a parallel
+/// policy with a graph at or above [`ParRefConfig::crossover_threshold`],
+/// strip the bulk positive gains with the frontier rounds (handing off
+/// once the frontier shrinks below the threshold), then polish with the
+/// sequential boundary FM seeded by the rounds' final frontier; below
+/// the crossover, the sequential FM runs alone. Returns the final cut.
+///
+/// Shared by the spectral polish and (in k-way form, see
+/// [`crate::kwayref::kway_direct_refine`]) the direct k-way refiner.
+pub fn rounds_then_polish(
+    policy: &ExecPolicy,
+    g: &Csr,
+    part: &mut [u32],
+    fm_cfg: &FmConfig,
+    frac: f64,
+    trace: &TraceCollector,
+) -> u64 {
+    let mut parref = ParRefConfig {
+        epsilon: fm_cfg.epsilon,
+        ..ParRefConfig::default()
+    };
+    let threshold = parref.crossover_threshold(policy);
+    parref.handoff_frontier = threshold;
+    if policy.backend != Backend::Serial && g.n() >= threshold {
+        let mut ws = ParRefWorkspace::new();
+        let rounds = parallel_refine_rounds(
+            policy,
+            g,
+            part,
+            &parref,
+            frac,
+            fm_cfg.vertex_slack,
+            None,
+            &mut ws,
+            trace,
+        );
+        fm_refine_boundary_traced(g, part, fm_cfg, frac, Some(&rounds.frontier), trace).cut
+    } else {
+        fm_refine_boundary_traced(g, part, fm_cfg, frac, None, trace).cut
     }
 }
 

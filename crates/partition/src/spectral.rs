@@ -8,12 +8,11 @@
 //! cuts allow no imbalance — matching the paper's protocol. The stopping
 //! criterion is the iterate 2-norm difference falling below 1e-10.
 
-use crate::fm::{fm_refine_boundary_traced, FmConfig};
-use crate::parref::{parallel_refine_rounds, ParRefConfig, ParRefWorkspace};
+use crate::fm::FmConfig;
 use crate::result::{audit_partition, split_weighted_median, PartitionResult};
 use mlcg_coarsen::{coarsen, CoarsenOptions};
 use mlcg_graph::Csr;
-use mlcg_par::{Backend, ExecPolicy};
+use mlcg_par::ExecPolicy;
 use mlcg_sparse::fiedler::{fiedler_from_traced, fiedler_vector_traced};
 
 /// Spectral bisection tuning.
@@ -86,32 +85,10 @@ pub fn spectral_bisect(
     }
     let mut part = split_weighted_median(g, &x);
     if let Some(fm_cfg) = &cfg.fm_polish {
-        // Same crossover as the hybrid FM driver: on a parallel policy
-        // with a graph large enough to amortize dispatches, strip the bulk
-        // positive gains with frontier-based parallel rounds first, then
-        // polish sequentially from the rounds' final frontier.
-        let mut parref = ParRefConfig {
-            epsilon: fm_cfg.epsilon,
-            ..ParRefConfig::default()
-        };
-        parref.handoff_frontier = parref.crossover_threshold(policy);
-        if policy.backend != Backend::Serial && g.n() >= parref.crossover_threshold(policy) {
-            let mut ws = ParRefWorkspace::new();
-            let rounds = parallel_refine_rounds(
-                policy,
-                g,
-                &mut part,
-                &parref,
-                0.5,
-                fm_cfg.vertex_slack,
-                None,
-                &mut ws,
-                &trace,
-            );
-            fm_refine_boundary_traced(g, &mut part, fm_cfg, 0.5, Some(&rounds.frontier), &trace);
-        } else {
-            fm_refine_boundary_traced(g, &mut part, fm_cfg, 0.5, None, &trace);
-        }
+        // Same crossover as the hybrid FM driver: parallel rounds strip
+        // the bulk positive gains on large graphs, then the sequential
+        // boundary FM polishes from the rounds' final frontier.
+        crate::parref::rounds_then_polish(policy, g, &mut part, fm_cfg, 0.5, &trace);
     }
     let refine_seconds = span.finish();
     // The weighted-median split overshoots total/2 by at most one vertex;

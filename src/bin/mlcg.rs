@@ -245,7 +245,11 @@ fn main() {
             println!("k = {}", o.k);
             println!("cut = {}", r.cut);
             println!("imbalance = {:.4}", r.imbalance);
-            println!("time = {:.1} ms", r.seconds * 1e3);
+            println!(
+                "time = {:.1} ms (k-way refine {:.1} ms)",
+                r.seconds * 1e3,
+                r.refine_seconds * 1e3
+            );
             if let Some(out) = &o.out {
                 write_labels(out, &r.part);
             }
