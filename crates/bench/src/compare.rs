@@ -351,10 +351,11 @@ impl CompareOutcome {
 /// `current > baseline * (1 + noise)`.
 ///
 /// Timing variants are discovered from each baseline graph entry: every
-/// member whose value is an object carrying a `refine_seconds` number is
-/// a variant, so the same gate serves `bench-fm`
-/// (`full_scan` / `boundary`) and `bench-parref`
-/// (`seq_boundary` / `par_coarse`) without a hardcoded list.
+/// member whose value is an object carrying a `refine_seconds` or
+/// `seconds` number is a variant, so the same gate serves `bench-fm`
+/// (`full_scan` / `boundary`), `bench-parref`
+/// (`seq_boundary` / `par_coarse`), and `bench-ingest`
+/// (`inmem` / `streamed` / `spmv_*`) without a hardcoded list.
 pub fn compare_bench_fm(
     baseline: &Json,
     current: &Json,
@@ -385,17 +386,17 @@ pub fn compare_bench_fm(
         };
         let mut found = false;
         for (variant, bv) in members {
-            let Some(b) = bv.get("refine_seconds").and_then(Json::as_f64) else {
+            let Some((key, b)) = timing_member(bv) else {
                 continue; // not a timing variant (name / n / m / speedup)
             };
             found = true;
             let Some(c) = cg
                 .path(variant)
-                .and_then(|v| v.get("refine_seconds"))
+                .and_then(|v| v.get(key))
                 .and_then(Json::as_f64)
             else {
                 return Err(format!(
-                    "{name}/{variant}: missing refine_seconds in current results"
+                    "{name}/{variant}: missing {key} in current results"
                 ));
             };
             out.deltas.push(Delta {
@@ -411,6 +412,18 @@ pub fn compare_bench_fm(
         }
     }
     Ok(out)
+}
+
+/// The timing number inside a variant object, with the key it was found
+/// under (`refine_seconds` for the refinement benches, `seconds` for
+/// `bench-ingest`).
+fn timing_member(v: &Json) -> Option<(&'static str, f64)> {
+    for key in ["refine_seconds", "seconds"] {
+        if let Some(x) = v.get(key).and_then(Json::as_f64) {
+            return Some((key, x));
+        }
+    }
+    None
 }
 
 /// Load a baseline file, compare against the current results document,
@@ -545,6 +558,32 @@ mod tests {
         let reg: Vec<_> = slow.deltas.iter().filter(|d| d.regressed).collect();
         assert_eq!(reg.len(), 1);
         assert_eq!(reg[0].variant, "par_coarse");
+    }
+
+    #[test]
+    fn plain_seconds_key_is_a_timing_variant() {
+        // bench-ingest variants carry "seconds" (build/SpMV wall time)
+        // instead of "refine_seconds"; the gate must treat them the same.
+        let doc = |inmem: f64, streamed: f64| {
+            Json::parse(&format!(
+                r#"{{"experiment": "bench-ingest", "graphs": [
+                    {{"name": "g1", "n": 10, "m": 20,
+                      "inmem": {{"seconds": {inmem}, "aux_bytes_per_edge": 16.0}},
+                      "streamed": {{"seconds": {streamed}, "aux_bytes_per_edge": 0.5}}}}
+                ]}}"#
+            ))
+            .unwrap()
+        };
+        let base = doc(0.100, 0.120);
+        let ok = compare_bench_fm(&base, &doc(0.105, 0.125), 0.25).unwrap();
+        assert!(ok.passed());
+        assert_eq!(ok.deltas.len(), 2);
+
+        let slow = compare_bench_fm(&base, &doc(0.100, 0.500), 0.25).unwrap();
+        assert!(!slow.passed());
+        let reg: Vec<_> = slow.deltas.iter().filter(|d| d.regressed).collect();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].variant, "streamed");
     }
 
     #[test]

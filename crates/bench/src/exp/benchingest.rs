@@ -1,0 +1,229 @@
+//! `bench-ingest` — streaming ingest and offset-width benchmark.
+//!
+//! For each suite graph, times two builds of the same edge multiset:
+//!
+//! * `inmem` — the one-shot in-memory builder, which stages the whole
+//!   edge list (16 bytes/edge of auxiliary memory on top of the CSR);
+//! * `streamed` — the two-pass chunked path
+//!   ([`mlcg_graph::stream::build_csr`]), whose staging is one chunk
+//!   buffer regardless of the graph's size.
+//!
+//! The streamed result is asserted bit-identical to the in-memory one,
+//! its peak auxiliary bytes are asserted bounded by the configured chunk
+//! (the acceptance criterion of the streaming substrate), and the final
+//! offsets are asserted to engage the narrow `u32` mode on every suite
+//! graph. Two SpMV variants then measure what that narrow mode buys:
+//! `spmv_u32` runs on the production (adaptive) matrix, `spmv_usize` on
+//! a copy with offsets forcibly widened to `usize`. Results go to
+//! `target/repro/BENCH_ingest.json`; `--baseline FILE` gates every
+//! `seconds` member like the fm/parref/kway benches.
+
+use crate::harness::{header, median_time, row, Ctx};
+use mlcg_graph::builder::{from_edges_with_mode, EDGE_ITEM_BYTES};
+use mlcg_graph::cc::largest_component;
+use mlcg_graph::generators as gen;
+use mlcg_graph::stream::{build_csr, IngestOptions, SliceSource};
+use mlcg_graph::{Csr, MergeMode, VId, Weight};
+use mlcg_sparse::{spmv, CsrMatrix};
+use std::path::PathBuf;
+
+/// SpMV iterations folded into one timed sample, so the small quick-suite
+/// matrices produce measurable times.
+const SPMV_ITERS: usize = 10;
+
+struct Entry {
+    name: String,
+    n: usize,
+    m: usize,
+    inmem_secs: f64,
+    inmem_aux_per_edge: f64,
+    streamed_secs: f64,
+    streamed_aux_per_edge: f64,
+    chunks: u64,
+    spmv_u32_secs: f64,
+    spmv_usize_secs: f64,
+}
+
+fn suite(ctx: &Ctx) -> Vec<(String, Csr)> {
+    if ctx.quick {
+        vec![
+            ("grid2d-64x64".to_string(), gen::grid2d(64, 64)),
+            (
+                "rmat-10".to_string(),
+                largest_component(&gen::rmat(10, 8, 0.57, 0.19, 0.19, ctx.seed)).0,
+            ),
+            ("path-4096".to_string(), gen::path(4096)),
+        ]
+    } else {
+        vec![
+            ("grid2d-512x512".to_string(), gen::grid2d(512, 512)),
+            (
+                "rmat-15".to_string(),
+                largest_component(&gen::rmat(15, 8, 0.57, 0.19, 0.19, ctx.seed)).0,
+            ),
+            ("path-65536".to_string(), gen::path(65536)),
+        ]
+    }
+}
+
+fn upper_edges(g: &Csr) -> Vec<(VId, VId, Weight)> {
+    let mut edges = Vec::with_capacity(g.m());
+    for u in 0..g.n() as VId {
+        for (v, w) in g.edges(u) {
+            if v > u {
+                edges.push((u, v, w));
+            }
+        }
+    }
+    edges
+}
+
+/// Time `SPMV_ITERS` products `y = A·x`; returns seconds per batch.
+fn time_spmv(ctx: &Ctx, a: &CsrMatrix) -> f64 {
+    let policy = ctx.host();
+    let x: Vec<f64> = (0..a.n_cols).map(|i| 1.0 + (i % 7) as f64).collect();
+    let mut y = vec![0.0; a.n_rows];
+    spmv(&policy, a, &x, &mut y); // warm-up
+    let (_, secs) = median_time(ctx.runs, || {
+        for _ in 0..SPMV_ITERS {
+            spmv(&policy, a, &x, &mut y);
+        }
+        y[0]
+    });
+    secs
+}
+
+/// Run the ingest benchmark, write `BENCH_ingest.json`, and (with
+/// `--baseline FILE`) gate the timings against a committed baseline.
+/// Returns the process exit code (nonzero on regression).
+pub fn run(ctx: &Ctx) -> i32 {
+    let chunk_edges: usize = if ctx.quick { 1024 } else { 1 << 16 };
+    let mut entries = Vec::new();
+
+    for (name, g) in suite(ctx) {
+        let edges = upper_edges(&g);
+        let m = edges.len();
+
+        // Warm-up (pool spin-up, allocator, page faults) before timing.
+        let _ = from_edges_with_mode(&ctx.host(), g.n(), &edges, MergeMode::Sum);
+        let (inmem, inmem_secs) = median_time(ctx.runs, || {
+            from_edges_with_mode(&ctx.host(), g.n(), &edges, MergeMode::Sum)
+        });
+        assert_eq!(inmem, g, "in-memory rebuild must reproduce the graph");
+
+        let opts = IngestOptions {
+            chunk_edges,
+            policy: ctx.host(),
+        };
+        let _ = build_csr(&mut SliceSource::new(g.n(), &edges), MergeMode::Sum, &opts).unwrap();
+        let ((streamed, stats), streamed_secs) = median_time(ctx.runs, || {
+            let mut src = SliceSource::new(g.n(), &edges);
+            build_csr(&mut src, MergeMode::Sum, &opts).unwrap()
+        });
+        assert_eq!(
+            streamed, inmem,
+            "{name}: streamed build must be bit-identical to in-memory"
+        );
+        assert!(
+            stats.peak_staging_bytes <= chunk_edges * EDGE_ITEM_BYTES,
+            "{name}: staging {} exceeds the chunk bound {}",
+            stats.peak_staging_bytes,
+            chunk_edges * EDGE_ITEM_BYTES
+        );
+        assert!(
+            stats.offsets_are_u32,
+            "{name}: u32 offset mode must engage on every bench graph"
+        );
+
+        let a32 = CsrMatrix::from_graph(&g);
+        assert!(
+            a32.row_ptr.is_u32(),
+            "{name}: adaptive matrix must inherit narrow offsets"
+        );
+        let mut awide = a32.clone();
+        awide.widen_offsets();
+        let spmv_u32_secs = time_spmv(ctx, &a32);
+        let spmv_usize_secs = time_spmv(ctx, &awide);
+
+        entries.push(Entry {
+            name,
+            n: g.n(),
+            m,
+            inmem_secs,
+            inmem_aux_per_edge: (m * EDGE_ITEM_BYTES) as f64 / m.max(1) as f64,
+            streamed_secs,
+            streamed_aux_per_edge: stats.peak_staging_bytes as f64 / m.max(1) as f64,
+            chunks: stats.chunks,
+            spmv_u32_secs,
+            spmv_usize_secs,
+        });
+    }
+
+    header(&[
+        "graph",
+        "n",
+        "m",
+        "inmem s",
+        "aux B/e",
+        "streamed s",
+        "aux B/e",
+        "chunks",
+        "spmv u32 s",
+        "spmv usize s",
+    ]);
+    for e in &entries {
+        row(&[
+            e.name.clone(),
+            e.n.to_string(),
+            e.m.to_string(),
+            format!("{:.4}", e.inmem_secs),
+            format!("{:.1}", e.inmem_aux_per_edge),
+            format!("{:.4}", e.streamed_secs),
+            format!("{:.2}", e.streamed_aux_per_edge),
+            e.chunks.to_string(),
+            format!("{:.5}", e.spmv_u32_secs),
+            format!("{:.5}", e.spmv_usize_secs),
+        ]);
+    }
+
+    // Hand-rolled JSON (the workspace is dependency-free).
+    let mut json = String::from("{\n");
+    json.push_str("  \"experiment\": \"bench-ingest\",\n");
+    json.push_str(&format!("  \"quick\": {},\n", ctx.quick));
+    json.push_str(&format!("  \"seed\": {},\n", ctx.seed));
+    json.push_str(&format!("  \"runs\": {},\n", ctx.runs));
+    json.push_str(&format!("  \"chunk_edges\": {chunk_edges},\n"));
+    json.push_str(&format!("  \"spmv_iters\": {SPMV_ITERS},\n"));
+    json.push_str("  \"graphs\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"inmem\": {{\"seconds\": {:.6}, \"aux_bytes_per_edge\": {:.2}}}, \
+             \"streamed\": {{\"seconds\": {:.6}, \"aux_bytes_per_edge\": {:.2}, \"chunks\": {}}}, \
+             \"spmv_u32\": {{\"seconds\": {:.6}}}, \
+             \"spmv_usize\": {{\"seconds\": {:.6}}}}}{}\n",
+            e.name,
+            e.n,
+            e.m,
+            e.inmem_secs,
+            e.inmem_aux_per_edge,
+            e.streamed_secs,
+            e.streamed_aux_per_edge,
+            e.chunks,
+            e.spmv_u32_secs,
+            e.spmv_usize_secs,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let dir = PathBuf::from("target/repro");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_ingest.json");
+    std::fs::write(&path, &json).unwrap();
+    println!("bench-ingest: results written to {}", path.display());
+
+    match &ctx.baseline {
+        Some(baseline) => crate::compare::run_baseline_gate(baseline, &json, ctx.noise),
+        None => 0,
+    }
+}

@@ -2,6 +2,7 @@
 
 pub mod ablate;
 pub mod benchfm;
+pub mod benchingest;
 pub mod benchkway;
 pub mod benchparref;
 pub mod extended;
@@ -18,7 +19,7 @@ pub mod trace;
 use crate::harness::Ctx;
 
 /// Every experiment name understood by the `repro` binary.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "table1",
     "table2",
     "table3",
@@ -32,6 +33,7 @@ pub const ALL: [&str; 17] = [
     "fig3-right",
     "ablate-dedup",
     "bench-fm",
+    "bench-ingest",
     "bench-kway",
     "bench-parref",
     "extended-methods",
@@ -92,6 +94,7 @@ pub fn run(name: &str, ctx: &Ctx) -> Option<i32> {
             0
         }
         "bench-fm" => benchfm::run(ctx),
+        "bench-ingest" => benchingest::run(ctx),
         "bench-kway" => benchkway::run(ctx),
         "bench-parref" => benchparref::run(ctx),
         "extended-methods" => {

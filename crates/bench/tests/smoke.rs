@@ -44,6 +44,7 @@ fn all_experiment_names_are_known() {
                 "fig3-right",
                 "ablate-dedup",
                 "bench-fm",
+                "bench-ingest",
                 "bench-kway",
                 "bench-parref",
                 "extended-methods",

@@ -122,7 +122,7 @@ pub fn ace_coarsen(policy: &ExecPolicy, g: &Csr, opts: &AceOptions) -> AceLevel 
     let p = CsrMatrix {
         n_rows: n,
         n_cols: nc,
-        row_ptr,
+        row_ptr: mlcg_graph::Offsets::from_usize(row_ptr),
         col_idx,
         values,
     };
@@ -159,7 +159,7 @@ fn drop_small(a: &CsrMatrix, tol: f64) -> CsrMatrix {
     CsrMatrix {
         n_rows: a.n_rows,
         n_cols: a.n_cols,
-        row_ptr,
+        row_ptr: mlcg_graph::Offsets::from_usize(row_ptr),
         col_idx,
         values,
     }

@@ -484,7 +484,7 @@ mod tests {
                     degree_dedup_skew_threshold: threshold,
                 },
             );
-            assert_eq!(c.xadj(), g.xadj());
+            assert_eq!(c.offsets(), g.offsets());
             assert_eq!(c.adj(), g.adj());
             assert_eq!(c.wgt(), g.wgt());
         }

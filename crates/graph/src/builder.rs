@@ -4,6 +4,17 @@
 //! with duplicates and self-loops (RMAT in particular emits both). The
 //! builder symmetrizes, drops self-loops, merges duplicates, and sorts each
 //! adjacency — producing a graph that satisfies every [`Csr`] invariant.
+//!
+//! The construction is organised as a two-pass chunked protocol
+//! ([`StreamCsrBuilder`]): pass 1 counts directed entries per vertex over
+//! any sequence of edge chunks, pass 2 replays the same chunks and scatters
+//! into the final arrays through atomic per-vertex cursors. The in-memory
+//! entry points below feed the whole slice as one chunk, and
+//! [`crate::stream`] feeds file readers chunk-by-chunk — both paths run the
+//! identical count/scatter/sort/merge phases, so a streamed build is
+//! bit-identical to an in-memory build of the same edge multiset (the merge
+//! operators are commutative and associative, and every adjacency is sorted
+//! before merging, so chunk boundaries and scheduling cannot show through).
 
 use crate::csr::{Csr, VId, Weight};
 use mlcg_par::atomic::as_atomic_usize;
@@ -35,31 +46,137 @@ pub fn from_edges_weighted_par(policy: &ExecPolicy, n: usize, edges: &[(VId, VId
     build(policy, n, edges, MergeMode::Sum)
 }
 
+/// In-memory build with an explicit duplicate-merge mode. The reference
+/// semantics the streamed path is property-tested against.
+pub fn from_edges_with_mode(
+    policy: &ExecPolicy,
+    n: usize,
+    edges: &[(VId, VId, Weight)],
+    mode: MergeMode,
+) -> Csr {
+    build(policy, n, edges, mode)
+}
+
 /// How duplicate edges are merged.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum MergeMode {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeMode {
     /// Keep weight 1 no matter how many copies appear (unweighted input).
     Unit,
     /// Sum the weights of all copies.
     Sum,
+    /// Keep the maximum weight across copies. This is the correct merge for
+    /// Matrix Market `general` files that store both triangles of a
+    /// symmetric matrix: the `(i,j,w)` / `(j,i,w)` pair must collapse to
+    /// `w`, not `2w`.
+    Max,
 }
 
-fn build(policy: &ExecPolicy, n: usize, edges: &[(VId, VId, Weight)], mode: MergeMode) -> Csr {
-    assert!(n <= u32::MAX as usize, "vertex count exceeds u32 id space");
-    for &(u, v, w) in edges.iter().take(64) {
-        // Cheap spot check; full bounds are asserted during counting below.
-        debug_assert!(
-            (u as usize) < n && (v as usize) < n && w > 0,
-            "edge ({u},{v},{w}) out of range for n={n}"
-        );
+/// Bytes of one staged edge item — the unit "auxiliary bytes" are measured
+/// in. `(u32, u32, u64)` packs to 16 bytes.
+pub const EDGE_ITEM_BYTES: usize = std::mem::size_of::<(VId, VId, Weight)>();
+
+/// Tracks the staging memory a build holds for raw edge items — the part of
+/// a build's footprint that the streaming path bounds by the chunk size.
+/// The O(n) count/cursor arrays and the output CSR itself are *not* staging:
+/// both paths need them and neither can avoid them.
+#[derive(Default, Debug)]
+pub struct StagingMeter {
+    cur: usize,
+    peak: usize,
+}
+
+impl StagingMeter {
+    /// Record `bytes` of live staging.
+    pub fn charge(&mut self, bytes: usize) {
+        self.cur += bytes;
+        self.peak = self.peak.max(self.cur);
     }
 
-    // 1. Count directed entries per vertex (both endpoints, skip loops).
-    let mut counts = vec![0usize; n + 1];
-    {
-        let view = as_atomic_usize(&mut counts[..n]);
-        parallel_for(policy, edges.len(), |i| {
-            let (u, v, _) = edges[i];
+    /// Record that `bytes` of staging were released.
+    pub fn release(&mut self, bytes: usize) {
+        self.cur = self.cur.saturating_sub(bytes);
+    }
+
+    /// High-water mark of live staging bytes.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+enum Phase {
+    Counting,
+    Scattering { cursors: Vec<usize> },
+}
+
+/// Two-pass chunked CSR builder.
+///
+/// Protocol: construct with the exact vertex count, feed every edge chunk
+/// through [`count_chunk`](Self::count_chunk), call
+/// [`begin_scatter`](Self::begin_scatter), replay the *same* edge multiset
+/// through [`scatter_chunk`](Self::scatter_chunk) (any chunking, any
+/// order), then [`finish`](Self::finish). Feeding different edges in the
+/// two passes is detected: scatter panics if a vertex receives more entries
+/// than counted, and `finish` panics if any vertex received fewer.
+pub struct StreamCsrBuilder {
+    n: usize,
+    mode: MergeMode,
+    /// Counting: directed-entry counts (n+1). Scattering: offsets (n+1).
+    xadj: Vec<usize>,
+    adj: Vec<VId>,
+    wgt: Vec<Weight>,
+    phase: Phase,
+    staging: StagingMeter,
+}
+
+impl StreamCsrBuilder {
+    /// Start a build for a graph with exactly `n` vertices.
+    pub fn new(n: usize, mode: MergeMode) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 id space");
+        StreamCsrBuilder {
+            n,
+            mode,
+            xadj: vec![0usize; n + 1],
+            adj: Vec::new(),
+            wgt: Vec::new(),
+            phase: Phase::Counting,
+            staging: StagingMeter::default(),
+        }
+    }
+
+    /// Account staging bytes held by the caller (chunk buffers, edge
+    /// slices) against this build's high-water mark.
+    pub fn charge_staging(&mut self, bytes: usize) {
+        self.staging.charge(bytes);
+    }
+
+    /// Release previously charged staging bytes.
+    pub fn release_staging(&mut self, bytes: usize) {
+        self.staging.release(bytes);
+    }
+
+    /// High-water mark of staged edge bytes so far.
+    pub fn peak_staging_bytes(&self) -> usize {
+        self.staging.peak()
+    }
+
+    /// Pass 1: count the directed entries contributed by one edge chunk
+    /// (both endpoints, self-loops skipped).
+    pub fn count_chunk(&mut self, policy: &ExecPolicy, chunk: &[(VId, VId, Weight)]) {
+        assert!(
+            matches!(self.phase, Phase::Counting),
+            "count_chunk after begin_scatter"
+        );
+        let n = self.n;
+        for &(u, v, w) in chunk.iter().take(64) {
+            // Cheap spot check; full bounds are asserted during counting.
+            debug_assert!(
+                (u as usize) < n && (v as usize) < n && w > 0,
+                "edge ({u},{v},{w}) out of range for n={n}"
+            );
+        }
+        let view = as_atomic_usize(&mut self.xadj[..n]);
+        parallel_for(policy, chunk.len(), |i| {
+            let (u, v, _) = chunk[i];
             assert!(
                 (u as usize) < n && (v as usize) < n,
                 "edge endpoint out of range"
@@ -71,110 +188,175 @@ fn build(policy: &ExecPolicy, n: usize, edges: &[(VId, VId, Weight)], mode: Merg
         });
     }
 
-    // 2. Offsets.
-    let total = exclusive_scan(policy, &mut counts);
-    let mut xadj = counts; // counts is now the offset array (n+1 entries)
-    xadj[n] = total;
+    /// Turn the counts into offsets and allocate the staging adjacency.
+    pub fn begin_scatter(&mut self, policy: &ExecPolicy) {
+        assert!(
+            matches!(self.phase, Phase::Counting),
+            "begin_scatter called twice"
+        );
+        let total = exclusive_scan(policy, &mut self.xadj);
+        self.xadj[self.n] = total;
+        self.adj = vec![0; total];
+        self.wgt = vec![0; total];
+        let cursors = self.xadj[..self.n].to_vec();
+        self.phase = Phase::Scattering { cursors };
+    }
 
-    // 3. Scatter both directions using atomic per-vertex cursors.
-    let mut adj: Vec<VId> = vec![0; total];
-    let mut wgt: Vec<Weight> = vec![0; total];
-    {
-        let mut cursors = xadj[..n].to_vec();
-        let cur = as_atomic_usize(&mut cursors);
-        let adj_base = adj.as_mut_ptr() as usize;
-        let wgt_base = wgt.as_mut_ptr() as usize;
-        parallel_for(policy, edges.len(), move |i| {
-            let (u, v, w) = edges[i];
+    /// Pass 2: scatter one edge chunk (both directions) through atomic
+    /// per-vertex cursors.
+    pub fn scatter_chunk(&mut self, policy: &ExecPolicy, chunk: &[(VId, VId, Weight)]) {
+        let n = self.n;
+        let Phase::Scattering { cursors } = &mut self.phase else {
+            panic!("scatter_chunk before begin_scatter");
+        };
+        let cur = as_atomic_usize(cursors);
+        let xadj_ref = &self.xadj;
+        let adj_base = self.adj.as_mut_ptr() as usize;
+        let wgt_base = self.wgt.as_mut_ptr() as usize;
+        parallel_for(policy, chunk.len(), move |i| {
+            let (u, v, w) = chunk[i];
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge endpoint out of range"
+            );
             if u == v {
                 return;
             }
-            // SAFETY: cursor slots are globally unique, so each write target
-            // is claimed exactly once.
+            // SAFETY: cursor slots are globally unique (fetch_add), and the
+            // bounds asserts guarantee each claimed slot lies inside the
+            // vertex's counted segment — a source that yields more edges in
+            // pass 2 than pass 1 panics instead of writing out of bounds.
             unsafe {
                 let a = adj_base as *mut VId;
                 let x = wgt_base as *mut Weight;
                 let pu = cur[u as usize].fetch_add(1, Ordering::Relaxed);
+                assert!(
+                    pu < xadj_ref[u as usize + 1],
+                    "edge source changed between passes (vertex {u} overfull)"
+                );
                 a.add(pu).write(v);
                 x.add(pu).write(w);
                 let pv = cur[v as usize].fetch_add(1, Ordering::Relaxed);
+                assert!(
+                    pv < xadj_ref[v as usize + 1],
+                    "edge source changed between passes (vertex {v} overfull)"
+                );
                 a.add(pv).write(u);
                 x.add(pv).write(w);
             }
         });
     }
 
-    // 4. Sort each adjacency and merge duplicates in place, recording the
-    //    deduplicated degree.
-    let mut new_deg = vec![0usize; n + 1];
-    {
-        let adj_base = adj.as_mut_ptr() as usize;
-        let wgt_base = wgt.as_mut_ptr() as usize;
-        let deg_base = new_deg.as_mut_ptr() as usize;
-        let xadj_ref = &xadj;
-        parallel_for(policy, n, move |u| {
-            let s = xadj_ref[u];
-            let e = xadj_ref[u + 1];
-            // SAFETY: vertex segments are disjoint.
-            let (a, x) = unsafe {
-                (
-                    std::slice::from_raw_parts_mut((adj_base as *mut VId).add(s), e - s),
-                    std::slice::from_raw_parts_mut((wgt_base as *mut Weight).add(s), e - s),
-                )
-            };
-            sort_pairs(a, x);
-            let mut out = 0usize;
-            let mut i = 0usize;
-            while i < a.len() {
-                let v = a[i];
-                let mut w = x[i];
-                i += 1;
-                while i < a.len() && a[i] == v {
-                    if mode == MergeMode::Sum {
-                        w += x[i];
-                    }
-                    i += 1;
-                }
-                a[out] = v;
-                x[out] = w;
-                out += 1;
-            }
-            unsafe {
-                (deg_base as *mut usize).add(u).write(out);
-            }
-        });
-    }
+    /// Sort each adjacency, merge duplicates according to the mode, compact
+    /// and produce the final [`Csr`] plus the staging high-water mark.
+    pub fn finish(self, policy: &ExecPolicy) -> (Csr, usize) {
+        let StreamCsrBuilder {
+            n,
+            mode,
+            xadj,
+            mut adj,
+            mut wgt,
+            phase,
+            staging,
+        } = self;
+        let Phase::Scattering { cursors } = phase else {
+            panic!("finish before begin_scatter");
+        };
+        for u in 0..n {
+            assert!(
+                cursors[u] == xadj[u + 1],
+                "edge source changed between passes (vertex {u} underfull)"
+            );
+        }
+        drop(cursors);
 
-    // 5. Compact into the final arrays.
-    let new_total = exclusive_scan(policy, &mut new_deg);
-    let mut fadj: Vec<VId> = vec![0; new_total];
-    let mut fwgt: Vec<Weight> = vec![0; new_total];
-    {
-        let fadj_base = fadj.as_mut_ptr() as usize;
-        let fwgt_base = fwgt.as_mut_ptr() as usize;
-        let (xadj_ref, deg_ref, adj_ref, wgt_ref) = (&xadj, &new_deg, &adj, &wgt);
-        parallel_for(policy, n, move |u| {
-            let src = xadj_ref[u];
-            let dst = deg_ref[u];
-            let len = deg_ref[u + 1] - dst;
-            // SAFETY: destination segments are disjoint.
-            unsafe {
-                std::ptr::copy_nonoverlapping(
-                    adj_ref.as_ptr().add(src),
-                    (fadj_base as *mut VId).add(dst),
-                    len,
-                );
-                std::ptr::copy_nonoverlapping(
-                    wgt_ref.as_ptr().add(src),
-                    (fwgt_base as *mut Weight).add(dst),
-                    len,
-                );
-            }
-        });
+        // Sort each adjacency and merge duplicates in place, recording the
+        // deduplicated degree.
+        let mut new_deg = vec![0usize; n + 1];
+        {
+            let adj_base = adj.as_mut_ptr() as usize;
+            let wgt_base = wgt.as_mut_ptr() as usize;
+            let deg_base = new_deg.as_mut_ptr() as usize;
+            let xadj_ref = &xadj;
+            parallel_for(policy, n, move |u| {
+                let s = xadj_ref[u];
+                let e = xadj_ref[u + 1];
+                // SAFETY: vertex segments are disjoint.
+                let (a, x) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut((adj_base as *mut VId).add(s), e - s),
+                        std::slice::from_raw_parts_mut((wgt_base as *mut Weight).add(s), e - s),
+                    )
+                };
+                sort_pairs(a, x);
+                let mut out = 0usize;
+                let mut i = 0usize;
+                while i < a.len() {
+                    let v = a[i];
+                    // Unit mode pins the weight outright so the result is
+                    // deterministic even if the input mixes weights.
+                    let mut w = if mode == MergeMode::Unit { 1 } else { x[i] };
+                    i += 1;
+                    while i < a.len() && a[i] == v {
+                        match mode {
+                            MergeMode::Sum => w += x[i],
+                            MergeMode::Max => w = w.max(x[i]),
+                            MergeMode::Unit => {}
+                        }
+                        i += 1;
+                    }
+                    a[out] = v;
+                    x[out] = w;
+                    out += 1;
+                }
+                unsafe {
+                    (deg_base as *mut usize).add(u).write(out);
+                }
+            });
+        }
+
+        // Compact into the final arrays.
+        let new_total = exclusive_scan(policy, &mut new_deg);
+        let mut fadj: Vec<VId> = vec![0; new_total];
+        let mut fwgt: Vec<Weight> = vec![0; new_total];
+        {
+            let fadj_base = fadj.as_mut_ptr() as usize;
+            let fwgt_base = fwgt.as_mut_ptr() as usize;
+            let (xadj_ref, deg_ref, adj_ref, wgt_ref) = (&xadj, &new_deg, &adj, &wgt);
+            parallel_for(policy, n, move |u| {
+                let src = xadj_ref[u];
+                let dst = deg_ref[u];
+                let len = deg_ref[u + 1] - dst;
+                // SAFETY: destination segments are disjoint.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        adj_ref.as_ptr().add(src),
+                        (fadj_base as *mut VId).add(dst),
+                        len,
+                    );
+                    std::ptr::copy_nonoverlapping(
+                        wgt_ref.as_ptr().add(src),
+                        (fwgt_base as *mut Weight).add(dst),
+                        len,
+                    );
+                }
+            });
+        }
+        let mut fxadj = new_deg;
+        fxadj[n] = new_total;
+        (Csr::from_parts(fxadj, fadj, fwgt), staging.peak())
     }
-    let mut fxadj = new_deg;
-    fxadj[n] = new_total;
-    Csr::from_parts(fxadj, fadj, fwgt)
+}
+
+fn build(policy: &ExecPolicy, n: usize, edges: &[(VId, VId, Weight)], mode: MergeMode) -> Csr {
+    let mut b = StreamCsrBuilder::new(n, mode);
+    // The whole edge list is staged at once — this is what the streaming
+    // path avoids.
+    b.charge_staging(edges.len() * EDGE_ITEM_BYTES);
+    b.count_chunk(policy, edges);
+    b.begin_scatter(policy);
+    b.scatter_chunk(policy, edges);
+    b.finish(policy).0
 }
 
 fn sort_pairs(a: &mut [VId], x: &mut [Weight]) {
@@ -213,6 +395,15 @@ mod tests {
     }
 
     #[test]
+    fn max_merge_keeps_single_weight() {
+        // The Matrix Market general-file shape: both triangles present.
+        let policy = ExecPolicy::serial();
+        let g = from_edges_with_mode(&policy, 2, &[(0, 1, 5), (1, 0, 5)], MergeMode::Max);
+        g.validate().unwrap();
+        assert_eq!(g.find_edge(0, 1), Some(5), "max merge must not double");
+    }
+
+    #[test]
     fn parallel_matches_serial() {
         let mut rng = mlcg_par::rng::Xoshiro256pp::new(5);
         let n = 2000usize;
@@ -230,6 +421,56 @@ mod tests {
             assert_eq!(serial, par, "policy {policy}");
         }
         serial.validate().unwrap();
+    }
+
+    #[test]
+    fn chunked_feed_matches_single_chunk() {
+        let mut rng = mlcg_par::rng::Xoshiro256pp::new(9);
+        let n = 500usize;
+        let edges: Vec<(VId, VId, Weight)> = (0..5_000)
+            .map(|_| {
+                (
+                    rng.next_below(n as u64) as VId,
+                    rng.next_below(n as u64) as VId,
+                    rng.next_below(9) + 1,
+                )
+            })
+            .collect();
+        let policy = ExecPolicy::serial();
+        let whole = from_edges_weighted(n, &edges);
+        for chunk in [1usize, 7, 64, 4096] {
+            let mut b = StreamCsrBuilder::new(n, MergeMode::Sum);
+            for c in edges.chunks(chunk) {
+                b.count_chunk(&policy, c);
+            }
+            b.begin_scatter(&policy);
+            // Replay in reverse chunk order: the result must not care.
+            for c in edges.chunks(chunk).rev() {
+                b.scatter_chunk(&policy, c);
+            }
+            let (g, _) = b.finish(&policy);
+            assert_eq!(g, whole, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "changed between passes")]
+    fn pass_mismatch_detected() {
+        let policy = ExecPolicy::serial();
+        let mut b = StreamCsrBuilder::new(3, MergeMode::Sum);
+        b.count_chunk(&policy, &[(0, 1, 1)]);
+        b.begin_scatter(&policy);
+        b.scatter_chunk(&policy, &[(0, 1, 1), (1, 2, 1)]);
+    }
+
+    #[test]
+    fn staging_meter_tracks_peak() {
+        let mut m = StagingMeter::default();
+        m.charge(100);
+        m.charge(50);
+        m.release(100);
+        m.charge(20);
+        assert_eq!(m.peak(), 150);
     }
 
     #[test]

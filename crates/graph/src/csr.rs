@@ -1,6 +1,7 @@
 //! The compressed-sparse-row graph type.
 
 use std::fmt;
+use std::ops::Range;
 
 /// Vertex identifier. `u32` bounds the workspace to 4.29 B vertices, which
 /// comfortably covers the paper's corpus while halving index memory traffic.
@@ -9,6 +10,128 @@ pub type VId = u32;
 pub type Weight = u64;
 /// Vertex weight (aggregate size in a multilevel hierarchy).
 pub type VWeight = u64;
+
+/// Width-adaptive row-offset array.
+///
+/// The coarsening kernels are memory-bandwidth bound, so offset width is
+/// a measurable cost on every row lookup. Offsets are stored as `u32`
+/// whenever every value fits (`2m + 1 < 2³²`, true for anything short of
+/// a ~4.29 B-entry adjacency) and as full `usize` otherwise. The width is
+/// a pure function of the stored values, so equal graphs always compare
+/// equal regardless of how they were built.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Offsets {
+    /// Narrow offsets: every value `< 2³²`. Halves offset-array traffic.
+    U32(Vec<u32>),
+    /// Full-width offsets for adjacencies with `2³² − 1` entries or more.
+    Wide(Vec<usize>),
+}
+
+impl Offsets {
+    /// Convert a full-width offset array, narrowing to `u32` when every
+    /// value fits. This is the only constructor graph code should need;
+    /// [`Offsets::wide`] exists for benchmarking the wide path.
+    pub fn from_usize(xadj: Vec<usize>) -> Offsets {
+        if xadj.iter().all(|&x| x <= u32::MAX as usize) {
+            Offsets::U32(xadj.into_iter().map(|x| x as u32).collect())
+        } else {
+            Offsets::Wide(xadj)
+        }
+    }
+
+    /// Keep full-width offsets regardless of range (benchmark baseline —
+    /// production code paths always narrow via [`Offsets::from_usize`]).
+    pub fn wide(xadj: Vec<usize>) -> Offsets {
+        Offsets::Wide(xadj)
+    }
+
+    /// Force the wide representation in place (no-op if already wide).
+    /// Used by `bench-ingest` to measure the u32-vs-usize SpMV gap.
+    pub fn widen(&mut self) {
+        if let Offsets::U32(v) = self {
+            *self = Offsets::Wide(v.iter().map(|&x| x as usize).collect());
+        }
+    }
+
+    /// Number of stored offsets (`n + 1` for a CSR with `n` rows).
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Offsets::U32(v) => v.len(),
+            Offsets::Wide(v) => v.len(),
+        }
+    }
+
+    /// True when no offsets are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th offset as a `usize`.
+    #[inline]
+    pub fn get(&self, i: usize) -> usize {
+        match self {
+            Offsets::U32(v) => v[i] as usize,
+            Offsets::Wide(v) => v[i],
+        }
+    }
+
+    /// The half-open range `offsets[i]..offsets[i + 1]` of row `i`.
+    #[inline]
+    pub fn range(&self, i: usize) -> Range<usize> {
+        match self {
+            Offsets::U32(v) => v[i] as usize..v[i + 1] as usize,
+            Offsets::Wide(v) => v[i]..v[i + 1],
+        }
+    }
+
+    /// The final offset (total entry count); `None` when empty.
+    #[inline]
+    pub fn last(&self) -> Option<usize> {
+        match self {
+            Offsets::U32(v) => v.last().map(|&x| x as usize),
+            Offsets::Wide(v) => v.last().copied(),
+        }
+    }
+
+    /// Whether the narrow `u32` representation is in use.
+    #[inline]
+    pub fn is_u32(&self) -> bool {
+        matches!(self, Offsets::U32(_))
+    }
+
+    /// Heap bytes held by the offset array.
+    pub fn bytes(&self) -> usize {
+        match self {
+            Offsets::U32(v) => v.len() * std::mem::size_of::<u32>(),
+            Offsets::Wide(v) => v.len() * std::mem::size_of::<usize>(),
+        }
+    }
+
+    /// Materialize as a full-width vector (interop / test helper; the
+    /// accessors above avoid this copy on hot paths).
+    pub fn to_vec(&self) -> Vec<usize> {
+        match self {
+            Offsets::U32(v) => v.iter().map(|&x| x as usize).collect(),
+            Offsets::Wide(v) => v.clone(),
+        }
+    }
+
+    /// Index of the first adjacent non-monotone pair, if any.
+    pub fn first_non_monotone(&self) -> Option<usize> {
+        (0..self.len().saturating_sub(1)).find(|&i| self.get(i) > self.get(i + 1))
+    }
+}
+
+impl fmt::Debug for Offsets {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Offsets::U32(v) => write!(f, "Offsets::U32(len={})", v.len()),
+            Offsets::Wide(v) => write!(f, "Offsets::Wide(len={})", v.len()),
+        }
+    }
+}
 
 /// An undirected graph in CSR form.
 ///
@@ -20,7 +143,7 @@ pub type VWeight = u64;
 /// - `vwgt` has `n` positive entries.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Csr {
-    xadj: Vec<usize>,
+    xadj: Offsets,
     adj: Vec<VId>,
     wgt: Vec<Weight>,
     vwgt: Vec<VWeight>,
@@ -49,7 +172,7 @@ impl Csr {
         debug_assert_eq!(adj.len(), wgt.len());
         debug_assert_eq!(vwgt.len(), xadj.len() - 1);
         Csr {
-            xadj,
+            xadj: Offsets::from_usize(xadj),
             adj,
             wgt,
             vwgt,
@@ -59,7 +182,7 @@ impl Csr {
     /// The empty graph.
     pub fn empty() -> Self {
         Csr {
-            xadj: vec![0],
+            xadj: Offsets::from_usize(vec![0]),
             adj: vec![],
             wgt: vec![],
             vwgt: vec![],
@@ -90,37 +213,61 @@ impl Csr {
         self.adj.len() + self.n()
     }
 
+    /// The half-open adjacency range of vertex `u` in [`Csr::adj`] /
+    /// [`Csr::wgt`]. This is the primitive every other row accessor is
+    /// built on; it reads two offsets of whatever width the graph stores.
+    #[inline]
+    pub fn row_range(&self, u: VId) -> std::ops::Range<usize> {
+        self.xadj.range(u as usize)
+    }
+
     /// Degree of vertex `u`.
     #[inline]
     pub fn degree(&self, u: VId) -> usize {
-        self.xadj[u as usize + 1] - self.xadj[u as usize]
+        let r = self.row_range(u);
+        r.end - r.start
     }
 
     /// Neighbors of `u`.
     #[inline]
     pub fn neighbors(&self, u: VId) -> &[VId] {
-        &self.adj[self.xadj[u as usize]..self.xadj[u as usize + 1]]
+        &self.adj[self.row_range(u)]
     }
 
     /// Edge weights aligned with [`Csr::neighbors`].
     #[inline]
     pub fn weights(&self, u: VId) -> &[Weight] {
-        &self.wgt[self.xadj[u as usize]..self.xadj[u as usize + 1]]
+        &self.wgt[self.row_range(u)]
     }
 
     /// Iterate `(neighbor, weight)` pairs of `u`.
     #[inline]
     pub fn edges(&self, u: VId) -> impl Iterator<Item = (VId, Weight)> + '_ {
-        self.neighbors(u)
+        let r = self.row_range(u);
+        self.adj[r.clone()]
             .iter()
             .copied()
-            .zip(self.weights(u).iter().copied())
+            .zip(self.wgt[r].iter().copied())
     }
 
-    /// Row offset array (`n + 1` entries).
+    /// The width-adaptive row-offset array (`n + 1` entries).
     #[inline]
-    pub fn xadj(&self) -> &[usize] {
+    pub fn offsets(&self) -> &Offsets {
         &self.xadj
+    }
+
+    /// Whether the offsets use the narrow `u32` representation
+    /// (`2m + 1 < 2³²`).
+    #[inline]
+    pub fn offsets_are_u32(&self) -> bool {
+        self.xadj.is_u32()
+    }
+
+    /// Materialize the offsets as a full-width vector. Interop/test
+    /// helper — hot paths use [`Csr::row_range`] / [`Csr::degree`] /
+    /// [`Csr::edges`] so the narrow representation stays narrow.
+    pub fn xadj_vec(&self) -> Vec<usize> {
+        self.xadj.to_vec()
     }
 
     /// Flat adjacency array (`2m` entries).
@@ -188,13 +335,13 @@ impl Csr {
     /// violation found.
     pub fn validate(&self) -> Result<(), String> {
         let n = self.n();
-        if *self.xadj.first().unwrap() != 0 {
+        if self.xadj.get(0) != 0 {
             return Err("xadj[0] != 0".into());
         }
-        if self.xadj.windows(2).any(|w| w[0] > w[1]) {
+        if self.xadj.first_non_monotone().is_some() {
             return Err("xadj not monotone".into());
         }
-        if *self.xadj.last().unwrap() != self.adj.len() {
+        if self.xadj.last().unwrap() != self.adj.len() {
             return Err("xadj[n] != adj.len()".into());
         }
         if self.adj.len() != self.wgt.len() {
@@ -336,6 +483,59 @@ mod tests {
     fn validate_catches_weight_mismatch() {
         let g = Csr::from_parts(vec![0, 1, 2], vec![1, 0], vec![2, 3]);
         assert!(g.validate().unwrap_err().contains("asymmetric weight"));
+    }
+
+    #[test]
+    fn row_range_matches_neighbors() {
+        let g = triangle();
+        for u in 0..3u32 {
+            let r = g.row_range(u);
+            assert_eq!(r.end - r.start, g.degree(u));
+            assert_eq!(&g.adj()[r], g.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn offsets_narrow_on_small_graphs() {
+        let g = triangle();
+        assert!(g.offsets_are_u32(), "2m + 1 < 2^32 must select u32");
+        assert_eq!(g.xadj_vec(), vec![0, 2, 4, 6]);
+        assert_eq!(g.offsets().bytes(), 4 * 4);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn offsets_width_selection_rule() {
+        // Representable max stays narrow; one past it goes wide. (Content
+        // rule only — these are not valid CSR offsets.)
+        let narrow = Offsets::from_usize(vec![0, u32::MAX as usize]);
+        assert!(narrow.is_u32());
+        assert_eq!(narrow.get(1), u32::MAX as usize);
+        let wide = Offsets::from_usize(vec![0, u32::MAX as usize + 1]);
+        assert!(!wide.is_u32());
+        assert_eq!(wide.get(1), u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn widen_preserves_values() {
+        let g = triangle();
+        let mut o = g.offsets().clone();
+        o.widen();
+        assert!(!o.is_u32());
+        assert_eq!(o.to_vec(), g.xadj_vec());
+        assert_eq!(o.range(1), g.row_range(1));
+        o.widen(); // idempotent
+        assert!(!o.is_u32());
+    }
+
+    #[test]
+    fn non_monotone_offsets_detected() {
+        let o = Offsets::from_usize(vec![0, 3, 2, 4]);
+        assert_eq!(o.first_non_monotone(), Some(1));
+        assert_eq!(
+            Offsets::from_usize(vec![0, 1, 4]).first_non_monotone(),
+            None
+        );
     }
 
     #[test]

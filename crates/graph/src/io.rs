@@ -4,78 +4,164 @@
 //! files) and OGB; these readers let a user of this library run the same
 //! pipelines on real downloaded data. DOT export is used by the Fig. 1/2
 //! reproductions.
+//!
+//! Every reader is a [`stream::EdgeSource`]: the file is parsed a bounded
+//! chunk of edges at a time and fed through the two-pass
+//! [`StreamCsrBuilder`](crate::builder::StreamCsrBuilder), so ingesting a
+//! graph never materializes its full edge list. The `read_*` convenience
+//! wrappers keep their original signatures; [`ingest_auto`] exposes the
+//! chunk-size knob and the [`stream::IngestStats`] telemetry.
 
-use crate::builder::from_edges_weighted;
+use crate::builder::MergeMode;
 use crate::csr::{Csr, VId, Weight};
+use crate::stream::{self, EdgeSource, IngestOptions, IngestStats};
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufWriter, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-/// Read an undirected graph from a Matrix Market file.
+type FileLines = io::Lines<io::BufReader<std::fs::File>>;
+type Edge = (VId, VId, Weight);
+
+// ---------------------------------------------------------------------------
+// Matrix Market
+// ---------------------------------------------------------------------------
+
+/// Streaming [`EdgeSource`] over a Matrix Market coordinate file.
 ///
 /// Accepts `matrix coordinate (pattern|integer|real) (general|symmetric)`.
-/// Real weights are rounded to positive integers (minimum 1); the matrix is
-/// symmetrized; diagonal entries are dropped.
-pub fn read_matrix_market(path: &Path) -> io::Result<Csr> {
-    let file = std::fs::File::open(path)?;
-    let mut lines = io::BufReader::new(file).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty file"))??;
-    let h = header.to_ascii_lowercase();
-    if !h.starts_with("%%matrixmarket matrix coordinate") {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported MatrixMarket header: {header}"),
-        ));
-    }
-    let pattern = h.contains("pattern");
+/// Real weights are rounded to positive integers (minimum 1); diagonal
+/// entries are dropped by the builder. Entries are canonicalized to
+/// `(min, max)` so that `general` files storing both triangles collapse the
+/// `(i,j,w)` / `(j,i,w)` pair under a max-merge to `w` — not the doubled
+/// `2w` a sum-merge would produce. The entry count is checked against the
+/// header's `nnz` at end of file.
+pub struct MatrixMarketSource {
+    path: PathBuf,
+    n: usize,
+    nnz: usize,
+    pattern: bool,
+    lines: FileLines,
+    seen: usize,
+    done: bool,
+}
 
-    let mut size_line = None;
-    for line in lines.by_ref() {
-        let line = line?;
-        if line.starts_with('%') || line.trim().is_empty() {
-            continue;
-        }
-        size_line = Some(line);
-        break;
+impl MatrixMarketSource {
+    /// Open and parse the header and size line.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let (n, nnz, pattern, lines) = Self::open_past_header(path)?;
+        Ok(MatrixMarketSource {
+            path: path.to_path_buf(),
+            n,
+            nnz,
+            pattern,
+            lines,
+            seen: 0,
+            done: false,
+        })
     }
-    let size_line =
-        size_line.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing size line"))?;
-    let mut it = size_line.split_whitespace();
-    let rows: usize = parse(it.next())?;
-    let cols: usize = parse(it.next())?;
-    let nnz: usize = parse(it.next())?;
-    let n = rows.max(cols);
 
-    let mut edges: Vec<(VId, VId, Weight)> = Vec::with_capacity(nnz);
-    for line in lines {
-        let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
-            continue;
-        }
-        let mut it = t.split_whitespace();
-        let i: usize = parse(it.next())?;
-        let j: usize = parse(it.next())?;
-        if i == 0 || j == 0 || i > n || j > n {
+    fn open_past_header(path: &Path) -> io::Result<(usize, usize, bool, FileLines)> {
+        let file = std::fs::File::open(path)?;
+        let mut lines = io::BufReader::new(file).lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty file"))??;
+        let h = header.to_ascii_lowercase();
+        if !h.starts_with("%%matrixmarket matrix coordinate") {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("bad entry: {t}"),
+                format!("unsupported MatrixMarket header: {header}"),
             ));
         }
-        let w: Weight = if pattern {
-            1
-        } else {
-            let raw: f64 = parse(it.next())?;
-            (raw.abs().round() as u64).max(1)
-        };
-        if i != j {
-            edges.push(((i - 1) as VId, (j - 1) as VId, w));
+        let pattern = h.contains("pattern");
+
+        let mut size_line = None;
+        for line in lines.by_ref() {
+            let line = line?;
+            if line.starts_with('%') || line.trim().is_empty() {
+                continue;
+            }
+            size_line = Some(line);
+            break;
         }
+        let size_line = size_line
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing size line"))?;
+        let mut it = size_line.split_whitespace();
+        let rows: usize = parse(it.next())?;
+        let cols: usize = parse(it.next())?;
+        let nnz: usize = parse(it.next())?;
+        Ok((rows.max(cols), nnz, pattern, lines))
     }
-    // Duplicate (i,j)+(j,i) pairs in `general` files collapse in the builder
-    // (weights summed); `symmetric` files store each edge once.
-    Ok(from_edges_weighted(n, &edges))
+}
+
+impl EdgeSource for MatrixMarketSource {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        let (n, nnz, pattern, lines) = Self::open_past_header(&self.path)?;
+        debug_assert!(n == self.n && nnz == self.nnz && pattern == self.pattern);
+        self.lines = lines;
+        self.seen = 0;
+        self.done = false;
+        Ok(())
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<Edge>, max: usize) -> io::Result<usize> {
+        out.clear();
+        if self.done {
+            return Ok(0);
+        }
+        while out.len() < max {
+            let Some(line) = self.lines.next() else {
+                self.done = true;
+                if self.seen != self.nnz {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "entry count mismatch: header says {}, found {}",
+                            self.nnz, self.seen
+                        ),
+                    ));
+                }
+                break;
+            };
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('%') {
+                continue;
+            }
+            let mut it = t.split_whitespace();
+            let i: usize = parse(it.next())?;
+            let j: usize = parse(it.next())?;
+            if i == 0 || j == 0 || i > self.n || j > self.n {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad entry: {t}"),
+                ));
+            }
+            let w: Weight = if self.pattern {
+                1
+            } else {
+                let raw: f64 = parse(it.next())?;
+                (raw.abs().round() as u64).max(1)
+            };
+            self.seen += 1;
+            // Canonical (min, max): a general file's mirrored pair becomes
+            // an exact duplicate, which the max-merge collapses without
+            // doubling. Diagonals pass through; the builder drops them.
+            let (a, b) = if i <= j { (i, j) } else { (j, i) };
+            out.push(((a - 1) as VId, (b - 1) as VId, w));
+        }
+        Ok(out.len())
+    }
+}
+
+/// Read an undirected graph from a Matrix Market file (streamed).
+pub fn read_matrix_market(path: &Path) -> io::Result<Csr> {
+    let mut src = MatrixMarketSource::open(path)?;
+    Ok(stream::build_csr(&mut src, MergeMode::Max, &IngestOptions::default())?.0)
 }
 
 /// Write a graph as `matrix coordinate integer symmetric` Matrix Market.
@@ -94,67 +180,213 @@ pub fn write_matrix_market(g: &Csr, path: &Path) -> io::Result<()> {
     Ok(())
 }
 
-/// Read a METIS `.graph` file (optionally with edge weights, fmt `1` or
-/// `001`; vertex weights are not supported).
-pub fn read_metis(path: &Path) -> io::Result<Csr> {
-    let file = std::fs::File::open(path)?;
-    let mut lines = io::BufReader::new(file).lines();
-    let header = loop {
-        match lines.next() {
-            Some(Ok(l)) if l.trim().is_empty() || l.starts_with('%') => continue,
-            Some(Ok(l)) => break l,
-            Some(Err(e)) => return Err(e),
-            None => return Err(io::Error::new(io::ErrorKind::InvalidData, "empty file")),
-        }
-    };
-    let mut it = header.split_whitespace();
-    let n: usize = parse(it.next())?;
-    let _m: usize = parse(it.next())?;
-    let fmt = it.next().unwrap_or("0");
-    let has_ewgt = fmt.ends_with('1');
+// ---------------------------------------------------------------------------
+// METIS
+// ---------------------------------------------------------------------------
 
-    let mut edges: Vec<(VId, VId, Weight)> = Vec::new();
-    let mut u = 0usize;
-    for line in lines {
-        let line = line?;
-        if line.starts_with('%') {
-            continue;
-        }
-        if u >= n {
-            if !line.trim().is_empty() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "too many vertex lines",
-                ));
-            }
-            continue;
-        }
-        let mut it = line.split_whitespace();
-        while let Some(tok) = it.next() {
-            let v: usize = tok
-                .parse()
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad adjacency"))?;
-            let w: Weight = if has_ewgt { parse(it.next())? } else { 1 };
-            if v == 0 || v > n {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "vertex id out of range",
-                ));
-            }
-            if v - 1 > u {
-                // Keep each undirected edge once; the builder symmetrizes.
-                edges.push((u as VId, (v - 1) as VId, w));
-            }
-        }
-        u += 1;
+/// Streaming [`EdgeSource`] over a METIS `.graph` file.
+///
+/// Supports `fmt` `0`/`00`/`000` (unweighted) and `1`/`01`/`001` (edge
+/// weights); vertex-weight formats are rejected. Each undirected edge must
+/// appear in both endpoints' adjacency lines, so a well-formed file holds
+/// exactly `2m` entries — the source counts every parsed entry and errors
+/// on a header mismatch instead of silently dropping the unpaired half.
+pub struct MetisSource {
+    path: PathBuf,
+    n: usize,
+    m_header: usize,
+    has_ewgt: bool,
+    lines: FileLines,
+    /// Next vertex line to parse (0-based).
+    u: usize,
+    /// Entries with `v - 1 > u` (each edge's copy in its lower endpoint's
+    /// line); must end at `m_header`.
+    upper_entries: usize,
+    /// Entries with `v - 1 < u` (the mirrored copies); must also end at
+    /// `m_header`.
+    lower_entries: usize,
+    /// Edges from a partially-emitted vertex line.
+    pending: VecDeque<Edge>,
+    done: bool,
+}
+
+impl MetisSource {
+    /// Open and parse the header line.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let (n, m_header, has_ewgt, lines) = Self::open_past_header(path)?;
+        Ok(MetisSource {
+            path: path.to_path_buf(),
+            n,
+            m_header,
+            has_ewgt,
+            lines,
+            u: 0,
+            upper_entries: 0,
+            lower_entries: 0,
+            pending: VecDeque::new(),
+            done: false,
+        })
     }
-    if u != n {
+
+    /// The edge count the header declares.
+    pub fn m_header(&self) -> usize {
+        self.m_header
+    }
+
+    fn open_past_header(path: &Path) -> io::Result<(usize, usize, bool, FileLines)> {
+        let file = std::fs::File::open(path)?;
+        let mut lines = io::BufReader::new(file).lines();
+        let header = loop {
+            match lines.next() {
+                Some(Ok(l)) if l.trim().is_empty() || l.starts_with('%') => continue,
+                Some(Ok(l)) => break l,
+                Some(Err(e)) => return Err(e),
+                None => return Err(io::Error::new(io::ErrorKind::InvalidData, "empty file")),
+            }
+        };
+        let mut it = header.split_whitespace();
+        let n: usize = parse(it.next())?;
+        let m: usize = parse(it.next())?;
+        let fmt = it.next().unwrap_or("0");
+        let has_ewgt = match fmt {
+            "0" | "00" | "000" => false,
+            "1" | "01" | "001" => true,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unsupported METIS fmt {fmt} (vertex weights not supported)"),
+                ))
+            }
+        };
+        Ok((n, m, has_ewgt, lines))
+    }
+}
+
+impl EdgeSource for MetisSource {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        let (n, m, has_ewgt, lines) = Self::open_past_header(&self.path)?;
+        debug_assert!(n == self.n && m == self.m_header && has_ewgt == self.has_ewgt);
+        self.lines = lines;
+        self.u = 0;
+        self.upper_entries = 0;
+        self.lower_entries = 0;
+        self.pending.clear();
+        self.done = false;
+        Ok(())
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<Edge>, max: usize) -> io::Result<usize> {
+        out.clear();
+        while out.len() < max {
+            if let Some(e) = self.pending.pop_front() {
+                out.push(e);
+                continue;
+            }
+            if self.done {
+                break;
+            }
+            let Some(line) = self.lines.next() else {
+                self.done = true;
+                if self.u != self.n {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("expected {} vertex lines, found {}", self.n, self.u),
+                    ));
+                }
+                if self.upper_entries != self.m_header || self.lower_entries != self.m_header {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "adjacency entry count mismatch: {} upper / {} lower triangle \
+                             entries, header declares m = {}; asymmetric or mis-declared file",
+                            self.upper_entries, self.lower_entries, self.m_header
+                        ),
+                    ));
+                }
+                break;
+            };
+            let line = line?;
+            if line.starts_with('%') {
+                continue;
+            }
+            if self.u >= self.n {
+                if !line.trim().is_empty() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "too many vertex lines",
+                    ));
+                }
+                continue;
+            }
+            let u = self.u as VId;
+            let mut it = line.split_whitespace();
+            while let Some(tok) = it.next() {
+                let v: usize = tok
+                    .parse()
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad adjacency"))?;
+                let w: Weight = if self.has_ewgt { parse(it.next())? } else { 1 };
+                if v == 0 || v > self.n {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "vertex id out of range",
+                    ));
+                }
+                if w == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "zero edge weight",
+                    ));
+                }
+                if v - 1 == self.u {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("self loop on vertex {} (METIS forbids them)", v),
+                    ));
+                }
+                if v - 1 > self.u {
+                    self.upper_entries += 1;
+                    // Keep each undirected edge once (the builder
+                    // symmetrizes); the mirrored lower-triangle copy is
+                    // only counted, below.
+                    let e = (u, (v - 1) as VId, w);
+                    if out.len() < max {
+                        out.push(e);
+                    } else {
+                        self.pending.push_back(e);
+                    }
+                } else {
+                    self.lower_entries += 1;
+                }
+            }
+            self.u += 1;
+        }
+        Ok(out.len())
+    }
+}
+
+/// Read a METIS `.graph` file (streamed; optionally with edge weights, fmt
+/// `1` or `001`; vertex weights are not supported). Errors if the built
+/// graph's edge count disagrees with the header — malformed files that
+/// list an edge twice on one side and never on the other are rejected
+/// rather than silently mangled.
+pub fn read_metis(path: &Path) -> io::Result<Csr> {
+    let mut src = MetisSource::open(path)?;
+    let m_header = src.m_header();
+    let (g, _) = stream::build_csr(&mut src, MergeMode::Sum, &IngestOptions::default())?;
+    if g.m() != m_header {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("expected {n} vertex lines, found {u}"),
+            format!(
+                "graph has {} edges after dedup but header declares {m_header}",
+                g.m()
+            ),
         ));
     }
-    Ok(from_edges_weighted(n, &edges))
+    Ok(g)
 }
 
 /// Write a graph in METIS format with edge weights (`fmt 001`).
@@ -175,37 +407,119 @@ pub fn write_metis(g: &Csr, path: &Path) -> io::Result<()> {
     Ok(())
 }
 
-/// Read a whitespace-separated edge list: one `u v [w]` triple per line,
-/// 0-based ids, `#` or `%` comments. The vertex count is one past the
-/// largest id seen.
+// ---------------------------------------------------------------------------
+// Edge list
+// ---------------------------------------------------------------------------
+
+/// Streaming [`EdgeSource`] over a whitespace-separated edge list: one
+/// `u v [w]` triple per line, 0-based ids, `#` or `%` comments.
+///
+/// Opening performs a sizing pass that determines `n = max_id + 1` and
+/// validates every line (ids must be `< u32::MAX`, explicit weights must
+/// be positive), so the two builder passes are the second and third reads
+/// of the file. Self-loop ids count toward `n` even though the loops
+/// themselves are dropped — a file containing only `7 7` produces an
+/// 8-vertex edgeless graph, not an empty one.
+pub struct EdgeListSource {
+    path: PathBuf,
+    n: usize,
+    lines: FileLines,
+    done: bool,
+}
+
+impl EdgeListSource {
+    /// Open and size the file (first of three passes).
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let mut max_id = 0u64;
+        let mut seen_any = false;
+        for line in io::BufReader::new(file).lines() {
+            let line = line?;
+            if let Some((u, v, _)) = parse_edge_list_line(&line)? {
+                max_id = max_id.max(u).max(v);
+                seen_any = true;
+            }
+        }
+        let n = if seen_any { max_id as usize + 1 } else { 0 };
+        let lines = io::BufReader::new(std::fs::File::open(path)?).lines();
+        Ok(EdgeListSource {
+            path: path.to_path_buf(),
+            n,
+            lines,
+            done: false,
+        })
+    }
+}
+
+impl EdgeSource for EdgeListSource {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn reset(&mut self) -> io::Result<()> {
+        self.lines = io::BufReader::new(std::fs::File::open(&self.path)?).lines();
+        self.done = false;
+        Ok(())
+    }
+
+    fn next_chunk(&mut self, out: &mut Vec<Edge>, max: usize) -> io::Result<usize> {
+        out.clear();
+        if self.done {
+            return Ok(0);
+        }
+        while out.len() < max {
+            let Some(line) = self.lines.next() else {
+                self.done = true;
+                break;
+            };
+            let line = line?;
+            if let Some((u, v, w)) = parse_edge_list_line(&line)? {
+                // Self-loops pass through; the builder drops them but their
+                // endpoints already grew `n` during the sizing pass.
+                out.push((u as VId, v as VId, w));
+            }
+        }
+        Ok(out.len())
+    }
+}
+
+/// Parse one edge-list line; `Ok(None)` for comments and blanks.
+fn parse_edge_list_line(line: &str) -> io::Result<Option<(u64, u64, Weight)>> {
+    let t = line.trim();
+    if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+        return Ok(None);
+    }
+    let mut it = t.split_whitespace();
+    let u: u64 = parse(it.next())?;
+    let v: u64 = parse(it.next())?;
+    if u >= u32::MAX as u64 || v >= u32::MAX as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("vertex id exceeds supported u32 id space: {t}"),
+        ));
+    }
+    let w: Weight = match it.next() {
+        Some(tok) => tok
+            .parse()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad weight"))?,
+        None => 1,
+    };
+    if w == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("zero edge weight: {t}"),
+        ));
+    }
+    Ok(Some((u, v, w)))
+}
+
+/// Read a whitespace-separated edge list (streamed): one `u v [w]` triple
+/// per line, 0-based ids, `#` or `%` comments. The vertex count is one
+/// past the largest id seen — including ids seen only in self-loops or
+/// duplicate lines.
 pub fn read_edge_list(path: &Path) -> io::Result<Csr> {
-    let file = std::fs::File::open(path)?;
-    let mut edges: Vec<(VId, VId, Weight)> = Vec::new();
-    let mut max_id = 0u32;
-    for line in io::BufReader::new(file).lines() {
-        let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
-            continue;
-        }
-        let mut it = t.split_whitespace();
-        let u: u32 = parse(it.next())?;
-        let v: u32 = parse(it.next())?;
-        let w: Weight = match it.next() {
-            Some(tok) => tok
-                .parse()
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad weight"))?,
-            None => 1,
-        };
-        max_id = max_id.max(u).max(v);
-        if u != v {
-            edges.push((u, v, w));
-        }
-    }
-    if edges.is_empty() {
-        return Ok(Csr::empty());
-    }
-    Ok(from_edges_weighted(max_id as usize + 1, &edges))
+    let mut src = EdgeListSource::open(path)?;
+    Ok(stream::build_csr(&mut src, MergeMode::Sum, &IngestOptions::default())?.0)
 }
 
 /// Write a graph as a `u v w` edge list (each undirected edge once).
@@ -222,13 +536,44 @@ pub fn write_edge_list(g: &Csr, path: &Path) -> io::Result<()> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
 /// Infer a reader from the file extension: `.mtx` (Matrix Market),
 /// `.graph`/`.metis` (METIS), anything else as an edge list.
 pub fn read_auto(path: &Path) -> io::Result<Csr> {
+    ingest_auto(path, &IngestOptions::default()).map(|(g, _)| g)
+}
+
+/// [`read_auto`] with explicit streaming options, returning the ingest
+/// telemetry (chunk count, peak staging bytes, offset width) alongside the
+/// graph.
+pub fn ingest_auto(path: &Path, opts: &IngestOptions) -> io::Result<(Csr, IngestStats)> {
     match path.extension().and_then(|e| e.to_str()) {
-        Some("mtx") => read_matrix_market(path),
-        Some("graph") | Some("metis") => read_metis(path),
-        _ => read_edge_list(path),
+        Some("mtx") => {
+            let mut src = MatrixMarketSource::open(path)?;
+            stream::build_csr(&mut src, MergeMode::Max, opts)
+        }
+        Some("graph") | Some("metis") => {
+            let mut src = MetisSource::open(path)?;
+            let m_header = src.m_header();
+            let (g, stats) = stream::build_csr(&mut src, MergeMode::Sum, opts)?;
+            if g.m() != m_header {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "graph has {} edges after dedup but header declares {m_header}",
+                        g.m()
+                    ),
+                ));
+            }
+            Ok((g, stats))
+        }
+        _ => {
+            let mut src = EdgeListSource::open(path)?;
+            stream::build_csr(&mut src, MergeMode::Sum, opts)
+        }
     }
 }
 
@@ -326,10 +671,94 @@ mod tests {
     }
 
     #[test]
+    fn mm_general_both_triangles_not_doubled() {
+        // Regression: a general file storing both (i,j,w) and (j,i,w) must
+        // produce weight w, not 2w.
+        let p = tmp("gen.mtx");
+        std::fs::write(
+            &p,
+            "%%MatrixMarket matrix coordinate integer general\n3 3 5\n1 2 5\n2 1 5\n2 3 7\n3 2 7\n1 3 2\n",
+        )
+        .unwrap();
+        let g = read_matrix_market(&p).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.find_edge(0, 1), Some(5), "mirrored pair must not double");
+        assert_eq!(g.find_edge(1, 2), Some(7));
+        assert_eq!(g.find_edge(0, 2), Some(2), "one-triangle entry unchanged");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn mm_entry_count_mismatch_rejected() {
+        let p = tmp("short.mtx");
+        std::fs::write(
+            &p,
+            "%%MatrixMarket matrix coordinate pattern general\n3 3 4\n1 2\n2 3\n",
+        )
+        .unwrap();
+        let err = read_matrix_market(&p).unwrap_err();
+        assert!(err.to_string().contains("entry count mismatch"), "{err}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn mm_truncated_size_line_rejected() {
+        let p = tmp("trunc.mtx");
+        std::fs::write(
+            &p,
+            "%%MatrixMarket matrix coordinate pattern general\n3 3\n",
+        )
+        .unwrap();
+        assert!(read_matrix_market(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
     fn bad_header_rejected() {
         let p = tmp("bad.mtx");
         std::fs::write(&p, "%%MatrixMarket matrix array real general\n1 1\n1.0\n").unwrap();
         assert!(read_matrix_market(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn metis_entry_count_mismatch_rejected() {
+        // Header claims 2 edges but only one (mirrored) edge is present.
+        let p = tmp("badcount.graph");
+        std::fs::write(&p, "3 2\n2\n1\n\n").unwrap();
+        let err = read_metis(&p).unwrap_err();
+        assert!(err.to_string().contains("entry count"), "{err}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn metis_lower_triangle_only_rejected() {
+        // Regression: edge listed only on the higher endpoint's line used
+        // to be silently dropped by the v-1 > u filter.
+        let p = tmp("lower.graph");
+        std::fs::write(&p, "2 1\n\n1\n").unwrap();
+        let err = read_metis(&p).unwrap_err();
+        assert!(err.to_string().contains("entry count"), "{err}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn metis_double_listed_edge_rejected() {
+        // Entries total 2m, but one side lists the edge twice and the
+        // mirror never appears — caught by the post-build m check.
+        let p = tmp("dup.graph");
+        std::fs::write(&p, "3 1\n2 2\n\n\n").unwrap();
+        assert!(read_metis(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn metis_vertex_weight_fmt_rejected() {
+        let p = tmp("vwgt.graph");
+        std::fs::write(&p, "2 1 011\n1 2\n1 1\n").unwrap();
+        let err = read_metis(&p).unwrap_err();
+        assert!(err.to_string().contains("fmt"), "{err}");
         std::fs::remove_file(&p).ok();
     }
 
@@ -357,6 +786,47 @@ mod tests {
     }
 
     #[test]
+    fn edge_list_self_loops_only_keeps_vertex_count() {
+        // Regression: a file of self-loops used to come back as the empty
+        // graph, losing every vertex the ids implied.
+        let p = tmp("loops.txt");
+        std::fs::write(&p, "# loops only\n7 7\n2 2 9\n").unwrap();
+        let g = read_edge_list(&p).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.n(), 8, "max id 7 implies 8 vertices");
+        assert_eq!(g.m(), 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn edge_list_comments_only_is_empty() {
+        let p = tmp("comments.txt");
+        std::fs::write(&p, "# nothing\n% here\n").unwrap();
+        let g = read_edge_list(&p).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn edge_list_huge_id_rejected() {
+        let p = tmp("huge.txt");
+        std::fs::write(&p, format!("0 {}\n", u32::MAX as u64 + 7)).unwrap();
+        let err = read_edge_list(&p).unwrap_err();
+        assert!(err.to_string().contains("id space"), "{err}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn edge_list_zero_weight_rejected() {
+        let p = tmp("zerow.txt");
+        std::fs::write(&p, "0 1 0\n").unwrap();
+        let err = read_edge_list(&p).unwrap_err();
+        assert!(err.to_string().contains("zero edge weight"), "{err}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
     fn read_auto_dispatches_on_extension() {
         let g = crate::generators::path(5);
         let p1 = tmp("auto.graph");
@@ -371,6 +841,28 @@ mod tests {
         for p in [p1, p2, p3] {
             std::fs::remove_file(&p).ok();
         }
+    }
+
+    #[test]
+    fn ingest_auto_reports_stats() {
+        let g = rmat(8, 6, 0.45, 0.25, 0.2, 11);
+        let p = tmp("stats.mtx");
+        write_matrix_market(&g, &p).unwrap();
+        let opts = IngestOptions {
+            chunk_edges: 64,
+            policy: mlcg_par::ExecPolicy::serial(),
+        };
+        let (g2, stats) = ingest_auto(&p, &opts).unwrap();
+        assert_eq!(g, g2, "streamed read must equal the written graph");
+        assert_eq!(stats.m, g.m());
+        assert_eq!(stats.edges_streamed, g.m() as u64);
+        assert_eq!(stats.chunks, (g.m() as u64).div_ceil(64));
+        assert!(stats.offsets_are_u32);
+        assert_eq!(
+            stats.peak_staging_bytes,
+            64 * crate::builder::EDGE_ITEM_BYTES
+        );
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! - [`generators`] and [`suite`]: seeded synthetic generators standing in
 //!   for the paper's 20-graph corpus (see DESIGN.md §4);
 //! - [`io`]: Matrix Market / METIS / DOT readers and writers;
+//! - [`stream`]: chunked, memory-bounded two-pass ingestion for graphs
+//!   whose edge lists should never be fully materialized;
 //! - [`metrics`]: degree statistics, skew ratio, edge cut, balance.
 
 pub mod builder;
@@ -24,8 +26,10 @@ pub mod demo;
 pub mod generators;
 pub mod io;
 pub mod metrics;
+pub mod stream;
 pub mod suite;
 pub mod traverse;
 
-pub use csr::{Csr, VId, VWeight, Weight};
+pub use builder::MergeMode;
+pub use csr::{Csr, Offsets, VId, VWeight, Weight};
 pub use metrics::DegreeStats;

@@ -1,0 +1,225 @@
+//! Property suite for graph IO and the streaming ingest substrate.
+//!
+//! Covers: write→read roundtrips for all three formats over the
+//! {grid2d, rmat, path} generator families (unit- and random-weighted),
+//! streamed ≡ in-memory bit-identity across chunk sizes, merge modes and
+//! every test execution policy (both on suite graphs and on
+//! proplite-randomized edge multisets with duplicates and self-loops),
+//! file ingestion at randomized chunk sizes with staging-bound checks,
+//! and malformed-input negatives (truncated size line, id ≥ 2³²,
+//! zero weight, asymmetric METIS).
+
+use mlcg_graph::builder::{from_edges_weighted, from_edges_with_mode, EDGE_ITEM_BYTES};
+use mlcg_graph::cc::largest_component;
+use mlcg_graph::io;
+use mlcg_graph::stream::{build_csr, IngestOptions, SliceSource};
+use mlcg_graph::{generators, Csr, MergeMode, VId, Weight};
+use mlcg_par::proplite::run_cases;
+use mlcg_par::ExecPolicy;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mlcg-io-props-{}-{name}", std::process::id()));
+    p
+}
+
+/// The three generator families the issue names. Every vertex of each
+/// graph has degree ≥ 1 (rmat is reduced to its largest component), so
+/// edge-list roundtrips preserve the vertex count.
+fn suite() -> Vec<(String, Csr)> {
+    vec![
+        ("grid2d-12x9".to_string(), generators::grid2d(12, 9)),
+        (
+            "rmat-7".to_string(),
+            largest_component(&generators::rmat(7, 6, 0.45, 0.22, 0.22, 1)).0,
+        ),
+        ("path-40".to_string(), generators::path(40)),
+    ]
+}
+
+/// Deterministically re-weight a unit graph so the weighted roundtrip
+/// exercises non-trivial weights.
+fn reweight(g: &Csr) -> Csr {
+    let mut edges: Vec<(VId, VId, Weight)> = Vec::new();
+    for u in 0..g.n() as VId {
+        for (v, _) in g.edges(u) {
+            if v > u {
+                edges.push((u, v, (u as u64 * 31 + v as u64 * 17) % 9 + 1));
+            }
+        }
+    }
+    from_edges_weighted(g.n(), &edges)
+}
+
+/// Each undirected edge once, as the builder's input convention.
+fn upper_edges(g: &Csr) -> Vec<(VId, VId, Weight)> {
+    let mut edges = Vec::with_capacity(g.m());
+    for u in 0..g.n() as VId {
+        for (v, w) in g.edges(u) {
+            if v > u {
+                edges.push((u, v, w));
+            }
+        }
+    }
+    edges
+}
+
+#[test]
+fn roundtrip_matrix_all_formats_and_families() {
+    for (name, base) in suite() {
+        for (wname, g) in [("unit", base.clone()), ("weighted", reweight(&base))] {
+            let ctx = format!("{name}-{wname}");
+
+            let p = tmp(&format!("rt-{ctx}.mtx"));
+            io::write_matrix_market(&g, &p).unwrap();
+            assert_eq!(io::read_matrix_market(&p).unwrap(), g, "mtx {ctx}");
+            std::fs::remove_file(&p).ok();
+
+            let p = tmp(&format!("rt-{ctx}.graph"));
+            io::write_metis(&g, &p).unwrap();
+            assert_eq!(io::read_metis(&p).unwrap(), g, "metis {ctx}");
+            std::fs::remove_file(&p).ok();
+
+            let p = tmp(&format!("rt-{ctx}.txt"));
+            io::write_edge_list(&g, &p).unwrap();
+            assert_eq!(io::read_edge_list(&p).unwrap(), g, "edge list {ctx}");
+            std::fs::remove_file(&p).ok();
+        }
+    }
+}
+
+#[test]
+fn streamed_equals_in_memory_on_suite_graphs() {
+    for (name, g) in suite() {
+        let edges = upper_edges(&g);
+        for chunk_edges in [1usize, 64, 1 << 20] {
+            for policy in ExecPolicy::all_test_policies() {
+                let label = format!("{name} chunk {chunk_edges} policy {policy}");
+                let mut src = SliceSource::new(g.n(), &edges);
+                let opts = IngestOptions {
+                    chunk_edges,
+                    policy,
+                };
+                let (streamed, stats) = build_csr(&mut src, MergeMode::Sum, &opts).unwrap();
+                assert_eq!(streamed, g, "{label}");
+                assert!(stats.offsets_are_u32, "{label}");
+                assert_eq!(
+                    stats.peak_staging_bytes,
+                    chunk_edges * EDGE_ITEM_BYTES,
+                    "staging bounded by chunk, not m: {label}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streamed_equals_in_memory_on_random_multisets() {
+    run_cases(20, 0x10_77, |gen| {
+        let n = gen.usize_in(1, 300);
+        let m = gen.usize_in(0, 2000);
+        // Raw multiset: duplicates, self-loops, isolated vertices likely.
+        let edges: Vec<(VId, VId, Weight)> = (0..m)
+            .map(|_| {
+                (
+                    gen.below(n as u64) as VId,
+                    gen.below(n as u64) as VId,
+                    gen.below(9) + 1,
+                )
+            })
+            .collect();
+        let chunk_edges = gen.usize_in(1, 2 * m.max(1));
+        for mode in [MergeMode::Unit, MergeMode::Sum, MergeMode::Max] {
+            let reference = from_edges_with_mode(&ExecPolicy::serial(), n, &edges, mode);
+            reference.validate().unwrap();
+            for policy in ExecPolicy::all_test_policies() {
+                let label = format!("n={n} m={m} chunk={chunk_edges} mode={mode:?} {policy}");
+                let mut src = SliceSource::new(n, &edges);
+                let opts = IngestOptions {
+                    chunk_edges,
+                    policy,
+                };
+                let (streamed, _) = build_csr(&mut src, mode, &opts).unwrap();
+                assert_eq!(streamed, reference, "{label}");
+            }
+        }
+    });
+}
+
+#[test]
+fn file_ingest_streamed_at_random_chunk_sizes() {
+    let (name, g) = suite().swap_remove(1); // rmat: the irregular one
+    let pm = tmp(&format!("chunked-{name}.mtx"));
+    let pg = tmp(&format!("chunked-{name}.graph"));
+    let pt = tmp(&format!("chunked-{name}.txt"));
+    io::write_matrix_market(&g, &pm).unwrap();
+    io::write_metis(&g, &pg).unwrap();
+    io::write_edge_list(&g, &pt).unwrap();
+    run_cases(12, 0xC4_11, |gen| {
+        let opts = IngestOptions {
+            chunk_edges: gen.usize_in(1, 2 * g.m()),
+            policy: ExecPolicy::serial(),
+        };
+        for p in [&pm, &pg, &pt] {
+            let (got, stats) = io::ingest_auto(p, &opts).unwrap();
+            assert_eq!(got, g, "{} chunk {}", p.display(), opts.chunk_edges);
+            assert_eq!(
+                stats.peak_staging_bytes,
+                opts.chunk_edges * EDGE_ITEM_BYTES,
+                "staging bound for {}",
+                p.display()
+            );
+            assert!(stats.offsets_are_u32);
+        }
+    });
+    for p in [pm, pg, pt] {
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+#[test]
+fn malformed_inputs_rejected() {
+    // Truncated Matrix Market size line.
+    let p = tmp("neg-trunc.mtx");
+    std::fs::write(
+        &p,
+        "%%MatrixMarket matrix coordinate pattern general\n4 4\n",
+    )
+    .unwrap();
+    assert!(io::read_matrix_market(&p).is_err(), "truncated size line");
+    std::fs::remove_file(&p).ok();
+
+    // Matrix Market body shorter than the declared nnz.
+    let p = tmp("neg-short.mtx");
+    std::fs::write(
+        &p,
+        "%%MatrixMarket matrix coordinate pattern general\n3 3 3\n1 2\n",
+    )
+    .unwrap();
+    assert!(io::read_matrix_market(&p).is_err(), "missing entries");
+    std::fs::remove_file(&p).ok();
+
+    // Edge-list id at/above the u32 id space.
+    let p = tmp("neg-hugeid.txt");
+    std::fs::write(&p, format!("0 {}\n", u32::MAX as u64)).unwrap();
+    assert!(io::read_edge_list(&p).is_err(), "id >= 2^32 - 1");
+    std::fs::remove_file(&p).ok();
+
+    // Zero weight: edge list and METIS.
+    let p = tmp("neg-zerow.txt");
+    std::fs::write(&p, "0 1 0\n").unwrap();
+    assert!(io::read_edge_list(&p).is_err(), "edge-list zero weight");
+    std::fs::remove_file(&p).ok();
+
+    let p = tmp("neg-zerow.graph");
+    std::fs::write(&p, "2 1 001\n2 0\n1 0\n").unwrap();
+    assert!(io::read_metis(&p).is_err(), "metis zero weight");
+    std::fs::remove_file(&p).ok();
+
+    // METIS: edges present only in the lower triangle.
+    let p = tmp("neg-lower.graph");
+    std::fs::write(&p, "2 1\n\n1\n").unwrap();
+    assert!(io::read_metis(&p).is_err(), "lower-triangle-only metis");
+    std::fs::remove_file(&p).ok();
+}

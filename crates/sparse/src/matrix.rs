@@ -1,16 +1,21 @@
 //! CSR sparse matrix over `f64`.
 
-use mlcg_graph::{Csr, VId};
+use mlcg_graph::{Csr, Offsets, VId};
 
 /// A general (possibly rectangular) sparse matrix in CSR form.
+///
+/// Row offsets share the graph crate's width-adaptive [`Offsets`]: `u32`
+/// whenever every offset fits (always, short of ~4.29 B nonzeros), full
+/// `usize` otherwise — SpMV is bandwidth bound, so the narrow offsets are
+/// a measurable win (`bench-ingest` tracks the gap).
 #[derive(Clone, Debug, PartialEq)]
 pub struct CsrMatrix {
     /// Number of rows.
     pub n_rows: usize,
     /// Number of columns.
     pub n_cols: usize,
-    /// Row offsets, `n_rows + 1` entries.
-    pub row_ptr: Vec<usize>,
+    /// Width-adaptive row offsets, `n_rows + 1` entries.
+    pub row_ptr: Offsets,
     /// Column indices, `nnz` entries (sorted within each row for matrices
     /// produced by this crate).
     pub col_idx: Vec<u32>,
@@ -25,9 +30,16 @@ impl CsrMatrix {
     }
 
     /// The columns/values of one row.
+    #[inline]
     pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
-        let (s, e) = (self.row_ptr[i], self.row_ptr[i + 1]);
-        (&self.col_idx[s..e], &self.values[s..e])
+        let r = self.row_ptr.range(i);
+        (&self.col_idx[r.clone()], &self.values[r])
+    }
+
+    /// Force full-width row offsets (benchmark baseline for the
+    /// u32-vs-usize SpMV comparison; production paths stay adaptive).
+    pub fn widen_offsets(&mut self) {
+        self.row_ptr.widen();
     }
 
     /// The `n × n` identity.
@@ -35,18 +47,19 @@ impl CsrMatrix {
         CsrMatrix {
             n_rows: n,
             n_cols: n,
-            row_ptr: (0..=n).collect(),
+            row_ptr: Offsets::from_usize((0..=n).collect()),
             col_idx: (0..n as u32).collect(),
             values: vec![1.0; n],
         }
     }
 
-    /// Adjacency matrix of a weighted graph (weights cast to `f64`).
+    /// Adjacency matrix of a weighted graph (weights cast to `f64`). The
+    /// graph's offsets are cloned width-preserving — no widening copy.
     pub fn from_graph(g: &Csr) -> Self {
         CsrMatrix {
             n_rows: g.n(),
             n_cols: g.n(),
-            row_ptr: g.xadj().to_vec(),
+            row_ptr: g.offsets().clone(),
             col_idx: g.adj().to_vec(),
             values: g.wgt().iter().map(|&w| w as f64).collect(),
         }
@@ -80,7 +93,7 @@ impl CsrMatrix {
         CsrMatrix {
             n_rows: n,
             n_cols: n,
-            row_ptr,
+            row_ptr: Offsets::from_usize(row_ptr),
             col_idx,
             values,
         }
@@ -97,8 +110,7 @@ impl CsrMatrix {
                 .fold(0.0f64, f64::max);
         // σI − L: negate everything and add σ on the diagonal.
         for i in 0..l.n_rows {
-            let (s, e) = (l.row_ptr[i], l.row_ptr[i + 1]);
-            for k in s..e {
+            for k in l.row_ptr.range(i) {
                 l.values[k] = -l.values[k];
                 if l.col_idx[k] as usize == i {
                     l.values[k] += sigma;
@@ -130,7 +142,7 @@ impl CsrMatrix {
         CsrMatrix {
             n_rows: n_coarse,
             n_cols: n,
-            row_ptr,
+            row_ptr: Offsets::from_usize(row_ptr),
             col_idx,
             values: vec![1.0; n],
         }
@@ -153,10 +165,10 @@ impl CsrMatrix {
         if self.row_ptr.len() != self.n_rows + 1 {
             return Err("row_ptr length".into());
         }
-        if self.row_ptr[0] != 0 || *self.row_ptr.last().unwrap() != self.col_idx.len() {
+        if self.row_ptr.get(0) != 0 || self.row_ptr.last().unwrap() != self.col_idx.len() {
             return Err("row_ptr ends".into());
         }
-        if self.row_ptr.windows(2).any(|w| w[0] > w[1]) {
+        if self.row_ptr.first_non_monotone().is_some() {
             return Err("row_ptr not monotone".into());
         }
         if self.col_idx.len() != self.values.len() {

@@ -48,7 +48,7 @@ pub fn transpose(a: &CsrMatrix) -> CsrMatrix {
     CsrMatrix {
         n_rows: a.n_cols,
         n_cols: a.n_rows,
-        row_ptr,
+        row_ptr: mlcg_graph::Offsets::from_usize(row_ptr),
         col_idx,
         values,
     }

@@ -104,7 +104,7 @@ pub fn spgemm(policy: &ExecPolicy, a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
     CsrMatrix {
         n_rows: n,
         n_cols: m,
-        row_ptr,
+        row_ptr: mlcg_graph::Offsets::from_usize(row_ptr),
         col_idx,
         values,
     }
@@ -166,7 +166,7 @@ mod tests {
         CsrMatrix {
             n_rows: rows,
             n_cols: cols,
-            row_ptr,
+            row_ptr: mlcg_graph::Offsets::from_usize(row_ptr),
             col_idx,
             values,
         }

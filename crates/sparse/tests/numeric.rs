@@ -26,7 +26,7 @@ fn random_matrix(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> Csr
     CsrMatrix {
         n_rows: rows,
         n_cols: cols,
-        row_ptr,
+        row_ptr: mlcg_graph::Offsets::from_usize(row_ptr),
         col_idx,
         values,
     }
@@ -74,7 +74,7 @@ fn spmv_agrees_with_spgemm_on_a_column() {
     let xm = CsrMatrix {
         n_rows: 17,
         n_cols: 1,
-        row_ptr: (0..=17).collect(),
+        row_ptr: mlcg_graph::Offsets::from_usize((0..=17).collect()),
         col_idx: vec![0; 17],
         values: x.clone(),
     };

@@ -204,7 +204,7 @@ fn corrupted_row_ptr_is_pinned_to_its_phase() {
     // entry stays correct, so construction accepts it — only the audit's
     // CSR well-formedness check can catch it.
     let c = &h.levels[0].graph;
-    let mut xadj = c.xadj().to_vec();
+    let mut xadj = c.xadj_vec();
     assert!(xadj.len() > 3);
     xadj.swap(1, 2);
     assert!(xadj[1] > xadj[2], "swap must break monotonicity");
