@@ -19,7 +19,7 @@ fn main() {
     };
     let ctx = Ctx::from_args(&args[1..]);
     eprintln!(
-        "repro {name}: scale={} runs={} seed={} fast={} pool-workers={} spin-us={}",
+        "repro {name}: scale={} runs={} seed={} fast={} pool-workers={} spin-us={} heap-peak={}",
         ctx.scale,
         ctx.runs,
         ctx.seed,
@@ -27,10 +27,20 @@ fn main() {
         // Configured size, not `global().workers()`: the banner must not be
         // the thing that spawns the pool.
         mlcg_par::pool::configured_workers(),
-        mlcg_par::pool::spin_us()
+        mlcg_par::pool::spin_us(),
+        // Process-global high-water at banner time (startup allocations);
+        // the exit line below reports the peak over the whole experiment.
+        mlcg_par::mem::fmt_bytes(mlcg_par::mem::peak_bytes() as u64)
     );
     match exp::run(name, &ctx) {
-        Some(0) => {}
+        Some(0) => {
+            eprintln!(
+                "repro {name}: heap-peak={} live={} allocs={}",
+                mlcg_par::mem::fmt_bytes(mlcg_par::mem::peak_bytes() as u64),
+                mlcg_par::mem::fmt_bytes(mlcg_par::mem::live_bytes() as u64),
+                mlcg_par::mem::alloc_count()
+            );
+        }
         Some(code) => std::process::exit(code),
         None => {
             eprintln!(

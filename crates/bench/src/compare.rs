@@ -286,30 +286,44 @@ impl Parser<'_> {
     }
 }
 
-/// One per-graph, per-variant timing comparison.
+/// One per-graph, per-variant, per-metric comparison.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Delta {
     /// Graph name.
     pub graph: String,
-    /// Which timing variant (`bench-fm`: `full_scan` / `boundary`;
+    /// Which variant (`bench-fm`: `full_scan` / `boundary`;
     /// `bench-parref`: `seq_boundary` / `par_coarse`), discovered from
     /// the baseline entry rather than hardcoded.
     pub variant: String,
-    /// Baseline median seconds.
-    pub baseline_seconds: f64,
-    /// Current median seconds.
-    pub current_seconds: f64,
+    /// Which member of the variant object is being gated —
+    /// `refine_seconds` / `seconds` for wall time, `peak_bytes` /
+    /// `bytes_per_edge` / `aux_bytes_per_edge` for memory.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
     /// Whether this exceeded the noise threshold.
     pub regressed: bool,
 }
 
 impl Delta {
-    /// Relative change (`+0.12` = 12 % slower than baseline).
+    /// Relative change (`+0.12` = 12 % worse than baseline).
     pub fn rel(&self) -> f64 {
-        if self.baseline_seconds > 0.0 {
-            self.current_seconds / self.baseline_seconds - 1.0
+        if self.baseline > 0.0 {
+            self.current / self.baseline - 1.0
         } else {
             0.0
+        }
+    }
+
+    fn fmt_value(&self, v: f64) -> String {
+        if self.metric.ends_with("seconds") {
+            format!("{v:.4}s")
+        } else if self.metric == "peak_bytes" {
+            format!("{:.2}MiB", v / (1024.0 * 1024.0))
+        } else {
+            format!("{v:.2}")
         }
     }
 }
@@ -318,11 +332,12 @@ impl fmt::Display for Delta {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}/{}: {:.4}s -> {:.4}s ({:+.1}%){}",
+            "{}/{}/{}: {} -> {} ({:+.1}%){}",
             self.graph,
             self.variant,
-            self.baseline_seconds,
-            self.current_seconds,
+            self.metric,
+            self.fmt_value(self.baseline),
+            self.fmt_value(self.current),
             self.rel() * 100.0,
             if self.regressed { "  REGRESSION" } else { "" }
         )
@@ -356,6 +371,12 @@ impl CompareOutcome {
 /// (`full_scan` / `boundary`), `bench-parref`
 /// (`seq_boundary` / `par_coarse`), and `bench-ingest`
 /// (`inmem` / `streamed` / `spmv_*`) without a hardcoded list.
+///
+/// Memory members gate alongside the timing: when a baseline variant also
+/// carries `peak_bytes`, `bytes_per_edge`, or `aux_bytes_per_edge`, the
+/// current run must report them too and stay within the same noise
+/// threshold — a heap-footprint regression fails the gate exactly like a
+/// slowdown.
 pub fn compare_bench_fm(
     baseline: &Json,
     current: &Json,
@@ -390,22 +411,31 @@ pub fn compare_bench_fm(
                 continue; // not a timing variant (name / n / m / speedup)
             };
             found = true;
-            let Some(c) = cg
-                .path(variant)
-                .and_then(|v| v.get(key))
-                .and_then(Json::as_f64)
-            else {
-                return Err(format!(
-                    "{name}/{variant}: missing {key} in current results"
-                ));
-            };
-            out.deltas.push(Delta {
-                graph: name.to_string(),
-                variant: variant.clone(),
-                baseline_seconds: b,
-                current_seconds: c,
-                regressed: c > b * (1.0 + noise),
-            });
+            let mut gated: Vec<(&str, f64)> = vec![(key, b)];
+            for mem_key in MEMORY_METRICS {
+                if let Some(mb) = bv.get(mem_key).and_then(Json::as_f64) {
+                    gated.push((mem_key, mb));
+                }
+            }
+            for (key, b) in gated {
+                let Some(c) = cg
+                    .path(variant)
+                    .and_then(|v| v.get(key))
+                    .and_then(Json::as_f64)
+                else {
+                    return Err(format!(
+                        "{name}/{variant}: missing {key} in current results"
+                    ));
+                };
+                out.deltas.push(Delta {
+                    graph: name.to_string(),
+                    variant: variant.clone(),
+                    metric: key.to_string(),
+                    baseline: b,
+                    current: c,
+                    regressed: c > b * (1.0 + noise),
+                });
+            }
         }
         if !found {
             return Err(format!("{name}: baseline entry has no timing variants"));
@@ -413,6 +443,10 @@ pub fn compare_bench_fm(
     }
     Ok(out)
 }
+
+/// Memory members gated alongside a variant's timing when the baseline
+/// records them.
+const MEMORY_METRICS: [&str; 3] = ["peak_bytes", "bytes_per_edge", "aux_bytes_per_edge"];
 
 /// The timing number inside a variant object, with the key it was found
 /// under (`refine_seconds` for the refinement benches, `seconds` for
@@ -577,13 +611,72 @@ mod tests {
         let base = doc(0.100, 0.120);
         let ok = compare_bench_fm(&base, &doc(0.105, 0.125), 0.25).unwrap();
         assert!(ok.passed());
-        assert_eq!(ok.deltas.len(), 2);
+        // Two timing deltas plus two aux_bytes_per_edge memory deltas.
+        assert_eq!(ok.deltas.len(), 4);
 
         let slow = compare_bench_fm(&base, &doc(0.100, 0.500), 0.25).unwrap();
         assert!(!slow.passed());
         let reg: Vec<_> = slow.deltas.iter().filter(|d| d.regressed).collect();
         assert_eq!(reg.len(), 1);
         assert_eq!(reg[0].variant, "streamed");
+        assert_eq!(reg[0].metric, "seconds");
+    }
+
+    #[test]
+    fn memory_regression_fails_the_gate() {
+        // A variant whose timing is unchanged but whose peak heap grew
+        // beyond the noise threshold must fail exactly like a slowdown.
+        let doc = |peak: u64, bpe: f64| {
+            Json::parse(&format!(
+                r#"{{"experiment": "bench-ingest", "graphs": [
+                    {{"name": "g1", "n": 10, "m": 20,
+                      "streamed": {{"seconds": 0.100, "peak_bytes": {peak},
+                                    "bytes_per_edge": {bpe}}}}}
+                ]}}"#
+            ))
+            .unwrap()
+        };
+        let base = doc(1_000_000, 50.0);
+        let same = compare_bench_fm(&base, &doc(1_050_000, 52.5), 0.25).unwrap();
+        assert!(same.passed());
+        assert_eq!(same.deltas.len(), 3, "seconds + two memory metrics");
+
+        let bloated = compare_bench_fm(&base, &doc(2_000_000, 100.0), 0.25).unwrap();
+        assert!(!bloated.passed());
+        let reg: Vec<_> = bloated.deltas.iter().filter(|d| d.regressed).collect();
+        assert_eq!(reg.len(), 2);
+        assert!(reg.iter().any(|d| d.metric == "peak_bytes"));
+        assert!(reg.iter().any(|d| d.metric == "bytes_per_edge"));
+
+        // Shrinking memory never regresses.
+        let lean = compare_bench_fm(&base, &doc(500_000, 25.0), 0.0).unwrap();
+        assert!(lean.passed());
+
+        // A baseline with memory members requires the current run to
+        // report them — silently dropping telemetry is not a pass.
+        let no_mem = Json::parse(
+            r#"{"graphs": [{"name": "g1",
+                "streamed": {"seconds": 0.100}}]}"#,
+        )
+        .unwrap();
+        assert!(compare_bench_fm(&base, &no_mem, 0.25).is_err());
+    }
+
+    #[test]
+    fn memory_regression_exit_code_is_one() {
+        let dir = std::env::temp_dir().join("mlcg-compare-mem-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.json");
+        std::fs::write(
+            &path,
+            r#"{"graphs": [{"name": "g1",
+                "streamed": {"seconds": 0.1, "peak_bytes": 1000000}}]}"#,
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        let cur_bloated = r#"{"graphs": [{"name": "g1",
+            "streamed": {"seconds": 0.1, "peak_bytes": 9000000}}]}"#;
+        assert_eq!(run_baseline_gate(p, cur_bloated, 0.25), 1);
     }
 
     #[test]

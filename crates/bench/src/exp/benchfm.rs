@@ -24,8 +24,10 @@ struct Entry {
     m: usize,
     full_cut: u64,
     full_secs: f64,
+    full_peak_bytes: u64,
     boundary_cut: u64,
     boundary_secs: f64,
+    boundary_peak_bytes: u64,
 }
 
 fn suite(ctx: &Ctx) -> Vec<(String, Csr)> {
@@ -65,14 +67,21 @@ pub fn run(ctx: &Ctx) -> i32 {
         });
         let (bpart, boundary_secs) =
             median_time(ctx.runs, || fm_uncoarsen_frac(&h, &cfg, 0.5, ctx.seed));
+        // Heap attribution: one untimed run per variant inside an
+        // allocator scope (timing loops are left unscoped).
+        let (_, full_mem) =
+            mlcg_par::mem::measure(|| fm_uncoarsen_frac_full_scan(&h, &cfg, 0.5, ctx.seed));
+        let (_, bnd_mem) = mlcg_par::mem::measure(|| fm_uncoarsen_frac(&h, &cfg, 0.5, ctx.seed));
         entries.push(Entry {
             name: name.clone(),
             n: g.n(),
             m: g.m(),
             full_cut: full.1,
             full_secs,
+            full_peak_bytes: full_mem.peak_bytes,
             boundary_cut: edge_cut(&g, &bpart),
             boundary_secs,
+            boundary_peak_bytes: bnd_mem.peak_bytes,
         });
         if ctx.trace_enabled() {
             let opts = CoarsenOptions {
@@ -92,8 +101,10 @@ pub fn run(ctx: &Ctx) -> i32 {
         "m",
         "full cut",
         "full s",
+        "full peak",
         "boundary cut",
         "boundary s",
+        "bnd peak",
         "speedup",
     ]);
     for e in &entries {
@@ -103,8 +114,10 @@ pub fn run(ctx: &Ctx) -> i32 {
             e.m.to_string(),
             e.full_cut.to_string(),
             secs(e.full_secs),
+            mlcg_par::mem::fmt_bytes(e.full_peak_bytes),
             e.boundary_cut.to_string(),
             secs(e.boundary_secs),
+            mlcg_par::mem::fmt_bytes(e.boundary_peak_bytes),
             format!("{:.2}x", e.full_secs / e.boundary_secs.max(1e-12)),
         ]);
     }
@@ -119,16 +132,22 @@ pub fn run(ctx: &Ctx) -> i32 {
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \
-             \"full_scan\": {{\"cut\": {}, \"refine_seconds\": {:.6}}}, \
-             \"boundary\": {{\"cut\": {}, \"refine_seconds\": {:.6}}}, \
+             \"full_scan\": {{\"cut\": {}, \"refine_seconds\": {:.6}, \
+             \"peak_bytes\": {}, \"bytes_per_edge\": {:.2}}}, \
+             \"boundary\": {{\"cut\": {}, \"refine_seconds\": {:.6}, \
+             \"peak_bytes\": {}, \"bytes_per_edge\": {:.2}}}, \
              \"speedup\": {:.3}}}{}\n",
             e.name,
             e.n,
             e.m,
             e.full_cut,
             e.full_secs,
+            e.full_peak_bytes,
+            e.full_peak_bytes as f64 / e.m.max(1) as f64,
             e.boundary_cut,
             e.boundary_secs,
+            e.boundary_peak_bytes,
+            e.boundary_peak_bytes as f64 / e.m.max(1) as f64,
             e.full_secs / e.boundary_secs.max(1e-12),
             if i + 1 < entries.len() { "," } else { "" }
         ));

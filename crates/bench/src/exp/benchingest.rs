@@ -16,7 +16,11 @@
 //! `spmv_u32` runs on the production (adaptive) matrix, `spmv_usize` on
 //! a copy with offsets forcibly widened to `usize`. Results go to
 //! `target/repro/BENCH_ingest.json`; `--baseline FILE` gates every
-//! `seconds` member like the fm/parref/kway benches.
+//! `seconds` member like the fm/parref/kway benches, plus the memory
+//! members (`peak_bytes`, `bytes_per_edge`, `aux_bytes_per_edge`)
+//! recorded from untimed allocator-scoped runs. The streamed build's
+//! measured peak heap is additionally asserted within 10% of the
+//! predictable staging+CSR budget.
 
 use crate::harness::{header, median_time, row, Ctx};
 use mlcg_graph::builder::{from_edges_with_mode, EDGE_ITEM_BYTES};
@@ -37,8 +41,10 @@ struct Entry {
     m: usize,
     inmem_secs: f64,
     inmem_aux_per_edge: f64,
+    inmem_peak_bytes: u64,
     streamed_secs: f64,
     streamed_aux_per_edge: f64,
+    streamed_peak_bytes: u64,
     chunks: u64,
     spmv_u32_secs: f64,
     spmv_usize_secs: f64,
@@ -135,6 +141,30 @@ pub fn run(ctx: &Ctx) -> i32 {
             "{name}: u32 offset mode must engage on every bench graph"
         );
 
+        // Heap attribution: one untimed run per variant inside an
+        // allocator scope (timing loops are left unscoped). The streamed
+        // build's peak must match the predictable budget — the chunk
+        // staging buffer plus the finished CSR — within 10%: the two-pass
+        // scatter arrays (wide degree scan + narrow cursors) are sized to
+        // land on that envelope, and a regression here means the builder
+        // grew a hidden copy.
+        let (_, inmem_mem) = mlcg_par::mem::measure(|| {
+            from_edges_with_mode(&ctx.host(), g.n(), &edges, MergeMode::Sum)
+        });
+        let (_, streamed_mem) = mlcg_par::mem::measure(|| {
+            let mut src = SliceSource::new(g.n(), &edges);
+            build_csr(&mut src, MergeMode::Sum, &opts).unwrap()
+        });
+        let expected = (stats.peak_staging_bytes + streamed.heap_bytes()) as f64;
+        let ratio = streamed_mem.peak_bytes as f64 / expected;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "{name}: streamed peak heap {} is {:.3}x the staging+CSR budget {}",
+            streamed_mem.peak_bytes,
+            ratio,
+            expected as u64
+        );
+
         let a32 = CsrMatrix::from_graph(&g);
         assert!(
             a32.row_ptr.is_u32(),
@@ -151,8 +181,10 @@ pub fn run(ctx: &Ctx) -> i32 {
             m,
             inmem_secs,
             inmem_aux_per_edge: (m * EDGE_ITEM_BYTES) as f64 / m.max(1) as f64,
+            inmem_peak_bytes: inmem_mem.peak_bytes,
             streamed_secs,
             streamed_aux_per_edge: stats.peak_staging_bytes as f64 / m.max(1) as f64,
+            streamed_peak_bytes: streamed_mem.peak_bytes,
             chunks: stats.chunks,
             spmv_u32_secs,
             spmv_usize_secs,
@@ -165,8 +197,10 @@ pub fn run(ctx: &Ctx) -> i32 {
         "m",
         "inmem s",
         "aux B/e",
+        "inmem peak",
         "streamed s",
         "aux B/e",
+        "str peak",
         "chunks",
         "spmv u32 s",
         "spmv usize s",
@@ -178,8 +212,10 @@ pub fn run(ctx: &Ctx) -> i32 {
             e.m.to_string(),
             format!("{:.4}", e.inmem_secs),
             format!("{:.1}", e.inmem_aux_per_edge),
+            mlcg_par::mem::fmt_bytes(e.inmem_peak_bytes),
             format!("{:.4}", e.streamed_secs),
             format!("{:.2}", e.streamed_aux_per_edge),
+            mlcg_par::mem::fmt_bytes(e.streamed_peak_bytes),
             e.chunks.to_string(),
             format!("{:.5}", e.spmv_u32_secs),
             format!("{:.5}", e.spmv_usize_secs),
@@ -198,8 +234,10 @@ pub fn run(ctx: &Ctx) -> i32 {
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \
-             \"inmem\": {{\"seconds\": {:.6}, \"aux_bytes_per_edge\": {:.2}}}, \
-             \"streamed\": {{\"seconds\": {:.6}, \"aux_bytes_per_edge\": {:.2}, \"chunks\": {}}}, \
+             \"inmem\": {{\"seconds\": {:.6}, \"aux_bytes_per_edge\": {:.2}, \
+             \"peak_bytes\": {}, \"bytes_per_edge\": {:.2}}}, \
+             \"streamed\": {{\"seconds\": {:.6}, \"aux_bytes_per_edge\": {:.2}, \
+             \"peak_bytes\": {}, \"bytes_per_edge\": {:.2}, \"chunks\": {}}}, \
              \"spmv_u32\": {{\"seconds\": {:.6}}}, \
              \"spmv_usize\": {{\"seconds\": {:.6}}}}}{}\n",
             e.name,
@@ -207,8 +245,12 @@ pub fn run(ctx: &Ctx) -> i32 {
             e.m,
             e.inmem_secs,
             e.inmem_aux_per_edge,
+            e.inmem_peak_bytes,
+            e.inmem_peak_bytes as f64 / e.m.max(1) as f64,
             e.streamed_secs,
             e.streamed_aux_per_edge,
+            e.streamed_peak_bytes,
+            e.streamed_peak_bytes as f64 / e.m.max(1) as f64,
             e.chunks,
             e.spmv_u32_secs,
             e.spmv_usize_secs,

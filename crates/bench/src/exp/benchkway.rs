@@ -51,9 +51,11 @@ struct Entry {
     rec_cut: u64,
     rec_imb: f64,
     rec_secs: f64,
+    rec_peak_bytes: u64,
     ref_cut: u64,
     ref_imb: f64,
     ref_secs: f64,
+    ref_peak_bytes: u64,
 }
 
 fn suite(ctx: &Ctx) -> Vec<(String, Csr)> {
@@ -129,6 +131,32 @@ pub fn run(ctx: &Ctx) -> i32 {
             );
             part
         });
+        // Heap attribution: one untimed run per variant inside an
+        // allocator scope (timing loops are left unscoped).
+        let (_, rec_mem) = mlcg_par::mem::measure(|| {
+            kway_partition_cfg(
+                &policy,
+                &g,
+                K,
+                &CoarsenOptions::default(),
+                &fm,
+                &recursive_cfg,
+                ctx.seed,
+                &TraceCollector::disabled(),
+            )
+        });
+        let (_, ref_mem) = mlcg_par::mem::measure(|| {
+            let mut part = rec.part.clone();
+            kway_direct_refine(
+                &policy,
+                &g,
+                &mut part,
+                K,
+                &refine_cfg,
+                &TraceCollector::disabled(),
+            );
+            part
+        });
         entries.push(Entry {
             name: name.clone(),
             n: g.n(),
@@ -136,9 +164,11 @@ pub fn run(ctx: &Ctx) -> i32 {
             rec_cut: rec.cut,
             rec_imb: rec.imbalance,
             rec_secs,
+            rec_peak_bytes: rec_mem.peak_bytes,
             ref_cut: edge_cut(&g, &ref_part),
             ref_imb: kway_imbalance(&g, &ref_part, K),
             ref_secs,
+            ref_peak_bytes: ref_mem.peak_bytes,
         });
         if ctx.trace_enabled() {
             let trace = ctx.trace_collector();
@@ -155,7 +185,8 @@ pub fn run(ctx: &Ctx) -> i32 {
     }
 
     header(&[
-        "graph", "n", "m", "rec cut", "rec imb", "rec s", "kway cut", "kway imb", "refine s",
+        "graph", "n", "m", "rec cut", "rec imb", "rec s", "rec peak", "kway cut", "kway imb",
+        "refine s", "ref peak",
     ]);
     for e in &entries {
         row(&[
@@ -165,9 +196,11 @@ pub fn run(ctx: &Ctx) -> i32 {
             e.rec_cut.to_string(),
             format!("{:.3}", e.rec_imb),
             secs(e.rec_secs),
+            mlcg_par::mem::fmt_bytes(e.rec_peak_bytes),
             e.ref_cut.to_string(),
             format!("{:.3}", e.ref_imb),
             secs(e.ref_secs),
+            mlcg_par::mem::fmt_bytes(e.ref_peak_bytes),
         ]);
     }
 
@@ -183,8 +216,10 @@ pub fn run(ctx: &Ctx) -> i32 {
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \
-             \"recursive\": {{\"cut\": {}, \"imbalance\": {:.4}, \"refine_seconds\": {:.6}}}, \
-             \"direct_refine\": {{\"cut\": {}, \"imbalance\": {:.4}, \"refine_seconds\": {:.6}}}, \
+             \"recursive\": {{\"cut\": {}, \"imbalance\": {:.4}, \"refine_seconds\": {:.6}, \
+             \"peak_bytes\": {}, \"bytes_per_edge\": {:.2}}}, \
+             \"direct_refine\": {{\"cut\": {}, \"imbalance\": {:.4}, \"refine_seconds\": {:.6}, \
+             \"peak_bytes\": {}, \"bytes_per_edge\": {:.2}}}, \
              \"cut_improvement\": {:.4}}}{}\n",
             e.name,
             e.n,
@@ -192,9 +227,13 @@ pub fn run(ctx: &Ctx) -> i32 {
             e.rec_cut,
             e.rec_imb,
             e.rec_secs,
+            e.rec_peak_bytes,
+            e.rec_peak_bytes as f64 / e.m.max(1) as f64,
             e.ref_cut,
             e.ref_imb,
             e.ref_secs,
+            e.ref_peak_bytes,
+            e.ref_peak_bytes as f64 / e.m.max(1) as f64,
             1.0 - e.ref_cut as f64 / e.rec_cut.max(1) as f64,
             if i + 1 < entries.len() { "," } else { "" }
         ));

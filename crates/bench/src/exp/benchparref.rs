@@ -56,8 +56,10 @@ struct Entry {
     m: usize,
     seq_cut: u64,
     seq_secs: f64,
+    seq_peak_bytes: u64,
     par_cut: u64,
     par_secs: f64,
+    par_peak_bytes: u64,
 }
 
 fn suite(ctx: &Ctx) -> Vec<(String, Csr)> {
@@ -123,14 +125,30 @@ pub fn run(ctx: &Ctx) -> i32 {
                 &TraceCollector::disabled(),
             )
         });
+        // Heap attribution: one untimed run per variant inside an
+        // allocator scope (timing loops are left unscoped).
+        let (_, seq_mem) = mlcg_par::mem::measure(|| fm_uncoarsen_frac(&h, &cfg, 0.5, ctx.seed));
+        let (_, par_mem) = mlcg_par::mem::measure(|| {
+            fm_uncoarsen_frac_hybrid(
+                &policy,
+                &h,
+                &cfg,
+                &parref,
+                0.5,
+                ctx.seed,
+                &TraceCollector::disabled(),
+            )
+        });
         entries.push(Entry {
             name: name.clone(),
             n: g.n(),
             m: g.m(),
             seq_cut: edge_cut(&g, &seq_part),
             seq_secs,
+            seq_peak_bytes: seq_mem.peak_bytes,
             par_cut: edge_cut(&g, &par_part),
             par_secs,
+            par_peak_bytes: par_mem.peak_bytes,
         });
         if ctx.trace_enabled() {
             let trace = ctx.trace_collector();
@@ -155,7 +173,8 @@ pub fn run(ctx: &Ctx) -> i32 {
     }
 
     header(&[
-        "graph", "n", "m", "seq cut", "seq s", "par cut", "par s", "speedup",
+        "graph", "n", "m", "seq cut", "seq s", "seq peak", "par cut", "par s", "par peak",
+        "speedup",
     ]);
     for e in &entries {
         row(&[
@@ -164,8 +183,10 @@ pub fn run(ctx: &Ctx) -> i32 {
             e.m.to_string(),
             e.seq_cut.to_string(),
             secs(e.seq_secs),
+            mlcg_par::mem::fmt_bytes(e.seq_peak_bytes),
             e.par_cut.to_string(),
             secs(e.par_secs),
+            mlcg_par::mem::fmt_bytes(e.par_peak_bytes),
             format!("{:.2}x", e.seq_secs / e.par_secs.max(1e-12)),
         ]);
     }
@@ -181,16 +202,22 @@ pub fn run(ctx: &Ctx) -> i32 {
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \
-             \"seq_boundary\": {{\"cut\": {}, \"refine_seconds\": {:.6}}}, \
-             \"par_coarse\": {{\"cut\": {}, \"refine_seconds\": {:.6}}}, \
+             \"seq_boundary\": {{\"cut\": {}, \"refine_seconds\": {:.6}, \
+             \"peak_bytes\": {}, \"bytes_per_edge\": {:.2}}}, \
+             \"par_coarse\": {{\"cut\": {}, \"refine_seconds\": {:.6}, \
+             \"peak_bytes\": {}, \"bytes_per_edge\": {:.2}}}, \
              \"speedup\": {:.3}}}{}\n",
             e.name,
             e.n,
             e.m,
             e.seq_cut,
             e.seq_secs,
+            e.seq_peak_bytes,
+            e.seq_peak_bytes as f64 / e.m.max(1) as f64,
             e.par_cut,
             e.par_secs,
+            e.par_peak_bytes,
+            e.par_peak_bytes as f64 / e.m.max(1) as f64,
             e.seq_secs / e.par_secs.max(1e-12),
             if i + 1 < entries.len() { "," } else { "" }
         ));

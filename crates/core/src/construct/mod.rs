@@ -144,6 +144,7 @@ pub fn construct_coarse_graph_traced(
     trace: &TraceCollector,
 ) -> Csr {
     debug_assert!(mapping.validate().is_ok());
+    let _mem = trace.heap_scope(|| "construct".to_string());
     let mut coarse = match opts.method {
         ConstructMethod::Sort => {
             vertex::construct(policy, g, mapping, vertex::Dedup::Sort, opts, trace)
@@ -151,7 +152,7 @@ pub fn construct_coarse_graph_traced(
         ConstructMethod::Hash => {
             vertex::construct(policy, g, mapping, vertex::Dedup::Hash, opts, trace)
         }
-        ConstructMethod::Spgemm => spgemm::construct(policy, g, mapping),
+        ConstructMethod::Spgemm => spgemm::construct_traced(policy, g, mapping, trace),
         ConstructMethod::GlobalSort => global_sort::construct(policy, g, mapping),
         ConstructMethod::Hybrid => {
             vertex::construct(policy, g, mapping, vertex::Dedup::Hybrid, opts, trace)

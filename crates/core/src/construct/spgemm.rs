@@ -4,16 +4,31 @@
 
 use crate::mapping::Mapping;
 use mlcg_graph::{Csr, Weight};
-use mlcg_par::ExecPolicy;
+use mlcg_par::{ExecPolicy, TraceCollector};
 use mlcg_sparse::{spgemm, transpose, CsrMatrix};
 
 /// Build the coarse graph through the `P·A·Pᵀ` triple product, dropping the
 /// diagonal (intra-aggregate weight).
 pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
+    construct_traced(policy, g, mapping, &TraceCollector::disabled())
+}
+
+/// [`construct`] with a trace sink: the two sparse products (the dominant
+/// transient of this strategy — `P·A` is as large as the fine matrix) are
+/// wrapped in a heap scope recorded as `mem/spgemm/{peak,net}_bytes`.
+pub fn construct_traced(
+    policy: &ExecPolicy,
+    g: &Csr,
+    mapping: &Mapping,
+    trace: &TraceCollector,
+) -> Csr {
+    let mem = trace.heap_scope(|| "spgemm".to_string());
     let a = CsrMatrix::from_graph(g);
     let p = CsrMatrix::prolongation(&mapping.map, mapping.n_coarse);
     let pa = spgemm(policy, &p, &a);
     let papt = spgemm(policy, &pa, &transpose(&p));
+    drop((pa, a, p));
+    drop(mem);
 
     // Convert back to an integer-weighted graph, dropping the diagonal.
     // Values are sums of integer fine weights, so rounding is exact.

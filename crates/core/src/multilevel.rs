@@ -210,6 +210,9 @@ impl Hierarchy {
 /// ```
 pub fn coarsen(policy: &ExecPolicy, g: &Csr, opts: &CoarsenOptions) -> Hierarchy {
     let trace = &opts.trace;
+    // Whole-hierarchy heap attribution: everything the build allocates
+    // (mappings, coarse graphs, workspaces) lands in `mem/coarsen/*`.
+    let mem = trace.heap_scope(|| "coarsen".to_string());
     let mut levels: Vec<Level> = Vec::new();
     let mut stats = CoarsenStats::default();
     let mut current = g.clone();
@@ -266,6 +269,9 @@ pub fn coarsen(policy: &ExecPolicy, g: &Csr, opts: &CoarsenOptions) -> Hierarchy
         });
         i += 1;
     }
+    // Close the heap scope before snapshotting so the report sees the
+    // `mem/coarsen/*` gauges.
+    drop(mem);
     Hierarchy {
         fine: g.clone(),
         levels,

@@ -15,10 +15,17 @@
 //! bit-identical to an in-memory build of the same edge multiset (the merge
 //! operators are commutative and associative, and every adjacency is sorted
 //! before merging, so chunk boundaries and scheduling cannot show through).
+//!
+//! The builder's transient footprint is kept close to the output graph's
+//! own size: scatter cursors and deduplicated-degree counts use `u32` words
+//! whenever the entry count fits (mirroring [`Offsets`]' width rule), and
+//! duplicate compaction runs in place instead of into a second copy of the
+//! adjacency. The heap-telemetry suite (`bench-ingest` with tracing)
+//! cross-checks the whole-build peak against `staging + Csr::heap_bytes()`.
 
-use crate::csr::{Csr, VId, Weight};
-use mlcg_par::atomic::as_atomic_usize;
-use mlcg_par::scan::exclusive_scan;
+use crate::csr::{Csr, Offsets, VId, Weight};
+use mlcg_par::atomic::{as_atomic_u32, as_atomic_usize};
+use mlcg_par::scan::{exclusive_scan, ScanElem};
 use mlcg_par::sort::insertion_sort_pairs;
 use mlcg_par::{parallel_for, ExecPolicy};
 use std::sync::atomic::Ordering;
@@ -75,37 +82,18 @@ pub enum MergeMode {
 /// in. `(u32, u32, u64)` packs to 16 bytes.
 pub const EDGE_ITEM_BYTES: usize = std::mem::size_of::<(VId, VId, Weight)>();
 
-/// Tracks the staging memory a build holds for raw edge items — the part of
-/// a build's footprint that the streaming path bounds by the chunk size.
-/// The O(n) count/cursor arrays and the output CSR itself are *not* staging:
-/// both paths need them and neither can avoid them.
-#[derive(Default, Debug)]
-pub struct StagingMeter {
-    cur: usize,
-    peak: usize,
-}
-
-impl StagingMeter {
-    /// Record `bytes` of live staging.
-    pub fn charge(&mut self, bytes: usize) {
-        self.cur += bytes;
-        self.peak = self.peak.max(self.cur);
-    }
-
-    /// Record that `bytes` of staging were released.
-    pub fn release(&mut self, bytes: usize) {
-        self.cur = self.cur.saturating_sub(bytes);
-    }
-
-    /// High-water mark of live staging bytes.
-    pub fn peak(&self) -> usize {
-        self.peak
-    }
+/// Scatter-phase per-vertex write cursors. The narrow arm is used whenever
+/// the total entry count fits in `u32` (the same rule [`Offsets`] applies),
+/// halving the cursor array — on a graph whose offsets narrow, the wide
+/// cursors would otherwise be the largest transient the builder holds.
+enum Cursors {
+    Narrow(Vec<u32>),
+    Wide(Vec<usize>),
 }
 
 enum Phase {
     Counting,
-    Scattering { cursors: Vec<usize> },
+    Scattering { cursors: Cursors },
 }
 
 /// Two-pass chunked CSR builder.
@@ -125,7 +113,6 @@ pub struct StreamCsrBuilder {
     adj: Vec<VId>,
     wgt: Vec<Weight>,
     phase: Phase,
-    staging: StagingMeter,
 }
 
 impl StreamCsrBuilder {
@@ -139,24 +126,7 @@ impl StreamCsrBuilder {
             adj: Vec::new(),
             wgt: Vec::new(),
             phase: Phase::Counting,
-            staging: StagingMeter::default(),
         }
-    }
-
-    /// Account staging bytes held by the caller (chunk buffers, edge
-    /// slices) against this build's high-water mark.
-    pub fn charge_staging(&mut self, bytes: usize) {
-        self.staging.charge(bytes);
-    }
-
-    /// Release previously charged staging bytes.
-    pub fn release_staging(&mut self, bytes: usize) {
-        self.staging.release(bytes);
-    }
-
-    /// High-water mark of staged edge bytes so far.
-    pub fn peak_staging_bytes(&self) -> usize {
-        self.staging.peak()
     }
 
     /// Pass 1: count the directed entries contributed by one edge chunk
@@ -198,7 +168,11 @@ impl StreamCsrBuilder {
         self.xadj[self.n] = total;
         self.adj = vec![0; total];
         self.wgt = vec![0; total];
-        let cursors = self.xadj[..self.n].to_vec();
+        let cursors = if total <= u32::MAX as usize {
+            Cursors::Narrow(self.xadj[..self.n].iter().map(|&x| x as u32).collect())
+        } else {
+            Cursors::Wide(self.xadj[..self.n].to_vec())
+        };
         self.phase = Phase::Scattering { cursors };
     }
 
@@ -209,154 +183,244 @@ impl StreamCsrBuilder {
         let Phase::Scattering { cursors } = &mut self.phase else {
             panic!("scatter_chunk before begin_scatter");
         };
-        let cur = as_atomic_usize(cursors);
-        let xadj_ref = &self.xadj;
+        let xadj = &self.xadj;
         let adj_base = self.adj.as_mut_ptr() as usize;
         let wgt_base = self.wgt.as_mut_ptr() as usize;
-        parallel_for(policy, chunk.len(), move |i| {
-            let (u, v, w) = chunk[i];
-            assert!(
-                (u as usize) < n && (v as usize) < n,
-                "edge endpoint out of range"
-            );
-            if u == v {
-                return;
+        // A narrow cursor cannot wrap: legitimate claims are bounded by the
+        // total (≤ u32::MAX by construction), and a torn source drives at
+        // most one out-of-bounds claim per racing thread before the bounds
+        // assert panics.
+        match cursors {
+            Cursors::Narrow(c) => {
+                let cur = as_atomic_u32(c);
+                scatter_with(policy, chunk, n, xadj, adj_base, wgt_base, |u| {
+                    cur[u].fetch_add(1, Ordering::Relaxed) as usize
+                });
             }
-            // SAFETY: cursor slots are globally unique (fetch_add), and the
-            // bounds asserts guarantee each claimed slot lies inside the
-            // vertex's counted segment — a source that yields more edges in
-            // pass 2 than pass 1 panics instead of writing out of bounds.
-            unsafe {
-                let a = adj_base as *mut VId;
-                let x = wgt_base as *mut Weight;
-                let pu = cur[u as usize].fetch_add(1, Ordering::Relaxed);
-                assert!(
-                    pu < xadj_ref[u as usize + 1],
-                    "edge source changed between passes (vertex {u} overfull)"
-                );
-                a.add(pu).write(v);
-                x.add(pu).write(w);
-                let pv = cur[v as usize].fetch_add(1, Ordering::Relaxed);
-                assert!(
-                    pv < xadj_ref[v as usize + 1],
-                    "edge source changed between passes (vertex {v} overfull)"
-                );
-                a.add(pv).write(u);
-                x.add(pv).write(w);
+            Cursors::Wide(c) => {
+                let cur = as_atomic_usize(c);
+                scatter_with(policy, chunk, n, xadj, adj_base, wgt_base, |u| {
+                    cur[u].fetch_add(1, Ordering::Relaxed)
+                });
             }
-        });
+        }
     }
 
     /// Sort each adjacency, merge duplicates according to the mode, compact
-    /// and produce the final [`Csr`] plus the staging high-water mark.
-    pub fn finish(self, policy: &ExecPolicy) -> (Csr, usize) {
+    /// in place and produce the final [`Csr`].
+    pub fn finish(self, policy: &ExecPolicy) -> Csr {
         let StreamCsrBuilder {
             n,
             mode,
             xadj,
-            mut adj,
-            mut wgt,
+            adj,
+            wgt,
             phase,
-            staging,
         } = self;
         let Phase::Scattering { cursors } = phase else {
             panic!("finish before begin_scatter");
         };
-        for u in 0..n {
-            assert!(
-                cursors[u] == xadj[u + 1],
-                "edge source changed between passes (vertex {u} underfull)"
-            );
+        match &cursors {
+            Cursors::Narrow(c) => {
+                for u in 0..n {
+                    assert!(
+                        c[u] as usize == xadj[u + 1],
+                        "edge source changed between passes (vertex {u} underfull)"
+                    );
+                }
+            }
+            Cursors::Wide(c) => {
+                for u in 0..n {
+                    assert!(
+                        c[u] == xadj[u + 1],
+                        "edge source changed between passes (vertex {u} underfull)"
+                    );
+                }
+            }
         }
         drop(cursors);
 
-        // Sort each adjacency and merge duplicates in place, recording the
-        // deduplicated degree.
-        let mut new_deg = vec![0usize; n + 1];
-        {
-            let adj_base = adj.as_mut_ptr() as usize;
-            let wgt_base = wgt.as_mut_ptr() as usize;
-            let deg_base = new_deg.as_mut_ptr() as usize;
-            let xadj_ref = &xadj;
-            parallel_for(policy, n, move |u| {
-                let s = xadj_ref[u];
-                let e = xadj_ref[u + 1];
-                // SAFETY: vertex segments are disjoint.
-                let (a, x) = unsafe {
-                    (
-                        std::slice::from_raw_parts_mut((adj_base as *mut VId).add(s), e - s),
-                        std::slice::from_raw_parts_mut((wgt_base as *mut Weight).add(s), e - s),
-                    )
-                };
-                sort_pairs(a, x);
-                let mut out = 0usize;
-                let mut i = 0usize;
-                while i < a.len() {
-                    let v = a[i];
-                    // Unit mode pins the weight outright so the result is
-                    // deterministic even if the input mixes weights.
-                    let mut w = if mode == MergeMode::Unit { 1 } else { x[i] };
-                    i += 1;
-                    while i < a.len() && a[i] == v {
-                        match mode {
-                            MergeMode::Sum => w += x[i],
-                            MergeMode::Max => w = w.max(x[i]),
-                            MergeMode::Unit => {}
-                        }
-                        i += 1;
-                    }
-                    a[out] = v;
-                    x[out] = w;
-                    out += 1;
-                }
-                unsafe {
-                    (deg_base as *mut usize).add(u).write(out);
-                }
-            });
+        // Deduplicated degrees (and the offsets scanned from them) are kept
+        // at the width the final graph will use, so the finish phase never
+        // materializes a full-width offset array that Offsets::from_usize
+        // would immediately discard.
+        let total = xadj[n];
+        if total <= u32::MAX as usize {
+            let (off, adj, wgt) = finish_arrays::<u32>(policy, n, xadj, adj, wgt, mode);
+            Csr::from_offsets(Offsets::U32(off), adj, wgt)
+        } else {
+            let (off, adj, wgt) = finish_arrays::<usize>(policy, n, xadj, adj, wgt, mode);
+            Csr::from_offsets(Offsets::from_usize(off), adj, wgt)
         }
-
-        // Compact into the final arrays.
-        let new_total = exclusive_scan(policy, &mut new_deg);
-        let mut fadj: Vec<VId> = vec![0; new_total];
-        let mut fwgt: Vec<Weight> = vec![0; new_total];
-        {
-            let fadj_base = fadj.as_mut_ptr() as usize;
-            let fwgt_base = fwgt.as_mut_ptr() as usize;
-            let (xadj_ref, deg_ref, adj_ref, wgt_ref) = (&xadj, &new_deg, &adj, &wgt);
-            parallel_for(policy, n, move |u| {
-                let src = xadj_ref[u];
-                let dst = deg_ref[u];
-                let len = deg_ref[u + 1] - dst;
-                // SAFETY: destination segments are disjoint.
-                unsafe {
-                    std::ptr::copy_nonoverlapping(
-                        adj_ref.as_ptr().add(src),
-                        (fadj_base as *mut VId).add(dst),
-                        len,
-                    );
-                    std::ptr::copy_nonoverlapping(
-                        wgt_ref.as_ptr().add(src),
-                        (fwgt_base as *mut Weight).add(dst),
-                        len,
-                    );
-                }
-            });
-        }
-        let mut fxadj = new_deg;
-        fxadj[n] = new_total;
-        (Csr::from_parts(fxadj, fadj, fwgt), staging.peak())
     }
+}
+
+/// Integer word used for deduplicated degrees/offsets — `u32` when the
+/// entry count fits, matching the final [`Offsets`] width.
+trait DegWord: ScanElem {
+    fn from_usize(x: usize) -> Self;
+    fn to_usize(self) -> usize;
+}
+
+impl DegWord for u32 {
+    fn from_usize(x: usize) -> Self {
+        x as u32
+    }
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+}
+
+impl DegWord for usize {
+    fn from_usize(x: usize) -> Self {
+        x
+    }
+    fn to_usize(self) -> usize {
+        self
+    }
+}
+
+/// Scatter one chunk through a width-specific `claim` (atomic fetch-add on
+/// the matching cursor array). Monomorphized per width — no per-edge
+/// dispatch.
+fn scatter_with(
+    policy: &ExecPolicy,
+    chunk: &[(VId, VId, Weight)],
+    n: usize,
+    xadj: &[usize],
+    adj_base: usize,
+    wgt_base: usize,
+    claim: impl Fn(usize) -> usize + Sync,
+) {
+    parallel_for(policy, chunk.len(), move |i| {
+        let (u, v, w) = chunk[i];
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge endpoint out of range"
+        );
+        if u == v {
+            return;
+        }
+        // SAFETY: cursor slots are globally unique (fetch_add), and the
+        // bounds asserts guarantee each claimed slot lies inside the
+        // vertex's counted segment — a source that yields more edges in
+        // pass 2 than pass 1 panics instead of writing out of bounds.
+        unsafe {
+            let a = adj_base as *mut VId;
+            let x = wgt_base as *mut Weight;
+            let pu = claim(u as usize);
+            assert!(
+                pu < xadj[u as usize + 1],
+                "edge source changed between passes (vertex {u} overfull)"
+            );
+            a.add(pu).write(v);
+            x.add(pu).write(w);
+            let pv = claim(v as usize);
+            assert!(
+                pv < xadj[v as usize + 1],
+                "edge source changed between passes (vertex {v} overfull)"
+            );
+            a.add(pv).write(u);
+            x.add(pv).write(w);
+        }
+    });
+}
+
+/// Sort/merge every adjacency in place and compact out the dropped
+/// duplicates, returning `(scanned offsets, adj, wgt)` with the offsets at
+/// width `D`.
+fn finish_arrays<D: DegWord>(
+    policy: &ExecPolicy,
+    n: usize,
+    xadj: Vec<usize>,
+    mut adj: Vec<VId>,
+    mut wgt: Vec<Weight>,
+    mode: MergeMode,
+) -> (Vec<D>, Vec<VId>, Vec<Weight>) {
+    let total = xadj[n];
+
+    // Sort each adjacency and merge duplicates in place, recording the
+    // deduplicated degree.
+    let mut new_deg: Vec<D> = vec![D::default(); n + 1];
+    {
+        let adj_base = adj.as_mut_ptr() as usize;
+        let wgt_base = wgt.as_mut_ptr() as usize;
+        let deg_base = new_deg.as_mut_ptr() as usize;
+        let xadj_ref = &xadj;
+        parallel_for(policy, n, move |u| {
+            let s = xadj_ref[u];
+            let e = xadj_ref[u + 1];
+            // SAFETY: vertex segments are disjoint.
+            let (a, x) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut((adj_base as *mut VId).add(s), e - s),
+                    std::slice::from_raw_parts_mut((wgt_base as *mut Weight).add(s), e - s),
+                )
+            };
+            sort_pairs(a, x);
+            let mut out = 0usize;
+            let mut i = 0usize;
+            while i < a.len() {
+                let v = a[i];
+                // Unit mode pins the weight outright so the result is
+                // deterministic even if the input mixes weights.
+                let mut w = if mode == MergeMode::Unit { 1 } else { x[i] };
+                i += 1;
+                while i < a.len() && a[i] == v {
+                    match mode {
+                        MergeMode::Sum => w += x[i],
+                        MergeMode::Max => w = w.max(x[i]),
+                        MergeMode::Unit => {}
+                    }
+                    i += 1;
+                }
+                a[out] = v;
+                x[out] = w;
+                out += 1;
+            }
+            unsafe {
+                (deg_base as *mut D).add(u).write(D::from_usize(out));
+            }
+        });
+    }
+
+    let new_total = exclusive_scan(policy, &mut new_deg).to_usize();
+    new_deg[n] = D::from_usize(new_total);
+
+    // Compact the surviving entries to the front — in place, so the build
+    // never holds a second copy of the adjacency. Every destination lies
+    // at-or-left-of its source, but a vertex's destination range can
+    // overlap an *earlier* vertex's source range, so the moves must run in
+    // vertex order: a parallel schedule could overwrite entries a lagging
+    // earlier vertex still has to read. The sweep is one bandwidth-bound
+    // pass and only runs when duplicates or self-loops were actually
+    // dropped.
+    if new_total < total {
+        for u in 0..n {
+            let src = xadj[u];
+            let dst = new_deg[u].to_usize();
+            let len = new_deg[u + 1].to_usize() - dst;
+            if len == 0 || dst == src {
+                continue;
+            }
+            adj.copy_within(src..src + len, dst);
+            wgt.copy_within(src..src + len, dst);
+        }
+        adj.truncate(new_total);
+        wgt.truncate(new_total);
+        adj.shrink_to_fit();
+        wgt.shrink_to_fit();
+    }
+    drop(xadj);
+    (new_deg, adj, wgt)
 }
 
 fn build(policy: &ExecPolicy, n: usize, edges: &[(VId, VId, Weight)], mode: MergeMode) -> Csr {
     let mut b = StreamCsrBuilder::new(n, mode);
-    // The whole edge list is staged at once — this is what the streaming
-    // path avoids.
-    b.charge_staging(edges.len() * EDGE_ITEM_BYTES);
     b.count_chunk(policy, edges);
     b.begin_scatter(policy);
     b.scatter_chunk(policy, edges);
-    b.finish(policy).0
+    b.finish(policy)
 }
 
 fn sort_pairs(a: &mut [VId], x: &mut [Weight]) {
@@ -448,7 +512,7 @@ mod tests {
             for c in edges.chunks(chunk).rev() {
                 b.scatter_chunk(&policy, c);
             }
-            let (g, _) = b.finish(&policy);
+            let g = b.finish(&policy);
             assert_eq!(g, whole, "chunk size {chunk}");
         }
     }
@@ -461,16 +525,6 @@ mod tests {
         b.count_chunk(&policy, &[(0, 1, 1)]);
         b.begin_scatter(&policy);
         b.scatter_chunk(&policy, &[(0, 1, 1), (1, 2, 1)]);
-    }
-
-    #[test]
-    fn staging_meter_tracks_peak() {
-        let mut m = StagingMeter::default();
-        m.charge(100);
-        m.charge(50);
-        m.release(100);
-        m.charge(20);
-        assert_eq!(m.peak(), 150);
     }
 
     #[test]

@@ -179,6 +179,43 @@ impl Csr {
         }
     }
 
+    /// Assemble a graph from a pre-built offset array (unit vertex weights).
+    ///
+    /// The builder uses this to hand over narrow offsets directly instead of
+    /// materializing a full-width `Vec<usize>` just to have
+    /// [`Offsets::from_usize`] throw it away. Callers must uphold the width
+    /// rule (`U32` iff every value fits) so structural equality keeps
+    /// working; the `debug_assert` checks it.
+    pub fn from_offsets(xadj: Offsets, adj: Vec<VId>, wgt: Vec<Weight>) -> Self {
+        debug_assert!(!xadj.is_empty(), "xadj must have n+1 entries");
+        debug_assert_eq!(xadj.last().unwrap(), adj.len());
+        debug_assert_eq!(adj.len(), wgt.len());
+        debug_assert!(
+            xadj.is_u32() || xadj.last().unwrap() > u32::MAX as usize,
+            "width rule violated: narrowable offsets stored wide"
+        );
+        let n = xadj.len() - 1;
+        let vwgt = vec![1; n];
+        Csr {
+            xadj,
+            adj,
+            wgt,
+            vwgt,
+        }
+    }
+
+    /// Exact heap bytes of the four CSR arrays (offsets, adjacency, edge
+    /// weights, vertex weights), assuming capacity equals length — true for
+    /// graphs produced by the builder and generators. This is the
+    /// denominator-free "resident graph size" the memory benchmarks report
+    /// bytes-per-edge against.
+    pub fn heap_bytes(&self) -> usize {
+        self.xadj.bytes()
+            + self.adj.len() * std::mem::size_of::<VId>()
+            + self.wgt.len() * std::mem::size_of::<Weight>()
+            + self.vwgt.len() * std::mem::size_of::<VWeight>()
+    }
+
     /// The empty graph.
     pub fn empty() -> Self {
         Csr {

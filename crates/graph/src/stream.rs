@@ -7,13 +7,14 @@
 //! reset, and pass 2 streams the same chunks through the scatter phase. At
 //! no point does more than one chunk of raw edges live in memory, so the
 //! auxiliary footprint of a build is `chunk_edges ×
-//! `[`EDGE_ITEM_BYTES`]` bytes regardless of the graph's total edge count.
+//! `[`crate::builder::EDGE_ITEM_BYTES`]` bytes regardless of the graph's
+//! total edge count.
 //!
 //! The result is bit-identical to handing the whole edge list to the
 //! in-memory builder: both run the same count/scatter/sort/merge phases,
 //! and the merge operators are chunking- and order-invariant.
 
-use crate::builder::{MergeMode, StreamCsrBuilder, EDGE_ITEM_BYTES};
+use crate::builder::{MergeMode, StreamCsrBuilder};
 use crate::csr::{Csr, VId, Weight};
 use mlcg_par::ExecPolicy;
 use std::io;
@@ -82,8 +83,14 @@ pub fn build_csr(
 ) -> io::Result<(Csr, IngestStats)> {
     assert!(opts.chunk_edges > 0, "chunk_edges must be positive");
     let mut b = StreamCsrBuilder::new(src.n(), mode);
-    let mut buf: Vec<(VId, VId, Weight)> = Vec::with_capacity(opts.chunk_edges);
-    b.charge_staging(opts.chunk_edges * EDGE_ITEM_BYTES);
+    // The chunk buffer is the build's only staging; its footprint is
+    // measured by the tracking allocator rather than computed, so the
+    // reported number is what the process actually held (sources never
+    // grow the buffer past its capacity — `next_chunk` is bounded by
+    // `max`, and the debug assert below catches an overfilling source).
+    let (mut buf, staging) =
+        mlcg_par::mem::measure(|| Vec::<(VId, VId, Weight)>::with_capacity(opts.chunk_edges));
+    let peak_staging_bytes = staging.peak_bytes as usize;
 
     let (mut edges_streamed, mut chunks) = (0u64, 0u64);
     src.reset()?;
@@ -111,7 +118,11 @@ pub fn build_csr(
         b.scatter_chunk(&opts.policy, &buf);
     }
 
-    let (g, peak_staging_bytes) = b.finish(&opts.policy);
+    // Release the staging buffer before the sort/merge/compact phase so the
+    // build's true high-water mark is the scatter arrays, not scatter plus a
+    // dead chunk buffer.
+    drop(buf);
+    let g = b.finish(&opts.policy);
     let stats = IngestStats {
         n: g.n(),
         m: g.m(),
@@ -162,7 +173,7 @@ impl EdgeSource for SliceSource<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::from_edges_with_mode;
+    use crate::builder::{from_edges_with_mode, EDGE_ITEM_BYTES};
 
     fn random_edges(n: usize, m: usize, seed: u64) -> Vec<(VId, VId, Weight)> {
         let mut rng = mlcg_par::rng::Xoshiro256pp::new(seed);

@@ -114,6 +114,37 @@ fn streamed_equals_in_memory_on_suite_graphs() {
     }
 }
 
+/// Cross-check of the allocator-backed staging meter: the streamed
+/// builder's measured peak heap must equal the predictable budget — the
+/// chunk staging buffer plus the finished CSR — within 10%, at several
+/// pinned chunkings. Serial policy so every allocation lands on the
+/// measuring thread's scope.
+#[test]
+fn streamed_peak_heap_matches_staging_plus_csr() {
+    let g = generators::grid2d(64, 64);
+    let edges = upper_edges(&g);
+    for chunk_edges in [256usize, 1024, 4096] {
+        let opts = IngestOptions {
+            chunk_edges,
+            policy: ExecPolicy::serial(),
+        };
+        let ((streamed, stats), mem) = mlcg_par::mem::measure(|| {
+            let mut src = SliceSource::new(g.n(), &edges);
+            build_csr(&mut src, MergeMode::Sum, &opts).unwrap()
+        });
+        assert_eq!(streamed, g, "chunk {chunk_edges}");
+        assert_eq!(stats.peak_staging_bytes, chunk_edges * EDGE_ITEM_BYTES);
+        let expected = (stats.peak_staging_bytes + streamed.heap_bytes()) as f64;
+        let ratio = mem.peak_bytes as f64 / expected;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "chunk {chunk_edges}: measured peak {} vs staging+CSR budget {} (ratio {ratio:.3})",
+            mem.peak_bytes,
+            expected as u64
+        );
+    }
+}
+
 #[test]
 fn streamed_equals_in_memory_on_random_multisets() {
     run_cases(20, 0x10_77, |gen| {

@@ -31,6 +31,7 @@
 
 pub mod atomic;
 pub mod exec;
+pub mod mem;
 pub mod perm;
 pub mod pool;
 pub mod profile;
@@ -50,6 +51,12 @@ pub use reduce::{
 };
 pub use timer::Timer;
 pub use trace::{TraceCollector, TraceConfig, TraceReport};
+
+/// Workspace-wide allocation-tracking allocator — every binary linking this
+/// crate gets heap telemetry (see [`mem`]). The untraced cost is a handful
+/// of relaxed atomics per allocation, gated in `bench_primitives`.
+#[global_allocator]
+static GLOBAL_ALLOC: mem::TrackingAllocator = mem::TrackingAllocator;
 
 use std::ops::Range;
 

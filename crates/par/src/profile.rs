@@ -91,6 +91,12 @@ pub struct DispatchRecord {
     /// Log2-bucketed chunk-duration histogram, merged over participants
     /// (microsecond buckets; see [`HIST_BUCKETS`]).
     pub chunk_hist: [u32; HIST_BUCKETS],
+    /// Net heap bytes charged to the dispatch on the dispatching thread
+    /// (lane 0's share of the work; pool workers are unattributed — see
+    /// [`crate::mem`]).
+    pub heap_delta_bytes: i64,
+    /// High-water mark of the dispatch's net heap above its entry point.
+    pub heap_peak_bytes: u64,
 }
 
 impl DispatchRecord {
@@ -279,9 +285,11 @@ impl SessionInner {
     /// single-lane dispatch.
     pub(crate) fn run_inline<R>(&self, op: &str, n: usize, f: impl FnOnce() -> R) -> R {
         let kernel = kernel_path(op);
+        let mem_scope = crate::mem::scope();
         let started = Instant::now();
         let out = f();
         let seconds = started.elapsed().as_secs_f64();
+        let heap = mem_scope.finish();
         let start_seconds = started.duration_since(self.epoch).as_secs_f64();
         let mut chunk_hist = [0u32; HIST_BUCKETS];
         chunk_hist[bucket_of_seconds(seconds)] = 1;
@@ -301,6 +309,8 @@ impl SessionInner {
                 wakeup_seconds: 0.0,
             }],
             chunk_hist,
+            heap_delta_bytes: heap.net_bytes,
+            heap_peak_bytes: heap.peak_bytes,
         });
         out
     }
@@ -318,9 +328,11 @@ impl SessionInner {
     ) {
         let kernel = kernel_path(op);
         let obs = Arc::new(DispatchObs::new(n, threads, self.epoch));
+        let mem_scope = crate::mem::scope();
         let started = Instant::now();
         crate::pool::global().dispatch_observed(threads, body, Some(Arc::clone(&obs)));
         let seconds = started.elapsed().as_secs_f64();
+        let heap = mem_scope.finish();
         let start_seconds = started.duration_since(self.epoch).as_secs_f64();
         let (lanes, chunk_hist) = obs.collect();
         self.trace.record_dispatch(DispatchRecord {
@@ -333,6 +345,8 @@ impl SessionInner {
             seconds,
             lanes,
             chunk_hist,
+            heap_delta_bytes: heap.net_bytes,
+            heap_peak_bytes: heap.peak_bytes,
         });
     }
 }
@@ -509,6 +523,8 @@ mod tests {
                 },
             ],
             chunk_hist: [0; HIST_BUCKETS],
+            heap_delta_bytes: 0,
+            heap_peak_bytes: 0,
         };
         assert!((rec.imbalance() - 1.0).abs() < 1e-12);
         assert_eq!(rec.items(), 100);

@@ -68,6 +68,23 @@ pub struct SpanRecord {
     pub start_seconds: f64,
     /// Span duration in seconds.
     pub seconds: f64,
+    /// Net heap bytes the span left behind (allocations minus frees charged
+    /// to it — see [`crate::mem`] for the attribution rules). Negative when
+    /// the span freed more than it allocated.
+    pub heap_delta_bytes: i64,
+    /// High-water mark of the span's net heap above its entry point.
+    pub heap_peak_bytes: u64,
+}
+
+/// One sample of process-wide live heap bytes, taken at span boundaries
+/// and profiled dispatches. These back the Chrome-trace memory counter
+/// track.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemSample {
+    /// Seconds from the collector's creation.
+    pub at_seconds: f64,
+    /// [`crate::mem::live_bytes`] at that moment.
+    pub live_bytes: u64,
 }
 
 /// One gauge observation.
@@ -100,6 +117,20 @@ struct State {
     gauges: Vec<GaugeRecord>,
     audits: Vec<AuditRecord>,
     dispatches: Vec<DispatchRecord>,
+    mem_samples: Vec<MemSample>,
+}
+
+/// Record the current live-heap level at instant `at` (used at span
+/// boundaries and dispatch completion so the memory counter track follows
+/// the pipeline's actual shape).
+fn push_mem_sample(inner: &Inner, at: Instant) {
+    let at_seconds = at.duration_since(inner.epoch).as_secs_f64();
+    let live_bytes = crate::mem::live_bytes() as u64;
+    let mut st = inner.state.lock().unwrap();
+    st.mem_samples.push(MemSample {
+        at_seconds,
+        live_bytes,
+    });
 }
 
 struct Inner {
@@ -193,10 +224,18 @@ impl TraceCollector {
     #[inline]
     pub fn span(&self, path: impl FnOnce() -> String) -> Span {
         match &self.inner {
-            Some(i) if i.trace_enabled => Span {
-                rec: Some((Arc::clone(i), path(), Instant::now())),
+            Some(i) if i.trace_enabled => {
+                let now = Instant::now();
+                push_mem_sample(i, now);
+                Span {
+                    rec: Some((Arc::clone(i), path(), now)),
+                    mem: Some(crate::mem::scope()),
+                }
+            }
+            _ => Span {
+                rec: None,
+                mem: None,
             },
-            _ => Span { rec: None },
         }
     }
 
@@ -205,13 +244,15 @@ impl TraceCollector {
     /// drivers that report phase seconds through their own result structs).
     #[inline]
     pub fn timed_span(&self, path: impl FnOnce() -> String) -> TimedSpan {
-        TimedSpan {
-            start: Instant::now(),
-            rec: match &self.inner {
-                Some(i) if i.trace_enabled => Some((Arc::clone(i), path())),
-                _ => None,
-            },
-        }
+        let start = Instant::now();
+        let (rec, mem) = match &self.inner {
+            Some(i) if i.trace_enabled => {
+                push_mem_sample(i, start);
+                (Some((Arc::clone(i), path())), Some(crate::mem::scope()))
+            }
+            _ => (None, None),
+        };
+        TimedSpan { start, rec, mem }
     }
 
     /// Add `delta` to the monotonically aggregated counter at `path`.
@@ -307,33 +348,79 @@ impl TraceCollector {
                 *st.counters
                     .entry(format!("dispatch/{}/items", rec.kernel))
                     .or_insert(0) += rec.items();
+                if rec.heap_peak_bytes > 0 {
+                    st.gauges.push(GaugeRecord {
+                        path: format!("mem/{}/peak_bytes", rec.kernel),
+                        value: rec.heap_peak_bytes as f64,
+                    });
+                }
+                st.mem_samples.push(MemSample {
+                    at_seconds: rec.start_seconds + rec.seconds,
+                    live_bytes: crate::mem::live_bytes() as u64,
+                });
                 st.dispatches.push(rec);
             }
         }
     }
 
-    /// Snapshot everything recorded so far.
+    /// Open a heap-attribution scope for a pipeline phase. When the
+    /// collector is recording, the guard opens a [`crate::mem`] scope and,
+    /// on drop, records `mem/<phase>/peak_bytes` and `mem/<phase>/net_bytes`
+    /// gauges from what the scope observed. On a disabled collector this is
+    /// one branch and nothing else. The path closure is only invoked when
+    /// recording.
+    #[inline]
+    pub fn heap_scope(&self, phase: impl FnOnce() -> String) -> HeapScope {
+        match &self.inner {
+            Some(i) if i.trace_enabled => HeapScope {
+                rec: Some((Arc::clone(i), phase(), crate::mem::scope())),
+            },
+            _ => HeapScope { rec: None },
+        }
+    }
+
+    /// Snapshot everything recorded so far. On a recording collector the
+    /// snapshot's gauges additionally carry `mem/live_bytes` and
+    /// `mem/peak_bytes` — the process-wide heap level and high-water mark at
+    /// the moment the report was taken.
     pub fn report(&self) -> TraceReport {
         match &self.inner {
             None => TraceReport::default(),
             Some(i) => {
                 let st = i.state.lock().unwrap();
-                TraceReport {
+                let mut rep = TraceReport {
                     spans: st.spans.clone(),
                     counters: st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
                     gauges: st.gauges.clone(),
                     audits: st.audits.clone(),
                     dispatches: st.dispatches.clone(),
+                    mem_samples: st.mem_samples.clone(),
+                };
+                drop(st);
+                if i.trace_enabled {
+                    rep.gauges.push(GaugeRecord {
+                        path: "mem/live_bytes".to_string(),
+                        value: crate::mem::live_bytes() as f64,
+                    });
+                    rep.gauges.push(GaugeRecord {
+                        path: "mem/peak_bytes".to_string(),
+                        value: crate::mem::peak_bytes() as f64,
+                    });
                 }
+                rep
             }
         }
     }
 }
 
 /// Guard for a recorded phase; see [`TraceCollector::span`].
+///
+/// Holds a [`crate::mem`] attribution scope while open, so it is not
+/// `Send`: a span must finish on the thread that opened it.
 #[must_use = "a span records on finish/drop; binding to _ ends it immediately"]
 pub struct Span {
     rec: Option<(Arc<Inner>, String, Instant)>,
+    mem: Option<crate::mem::ScopeGuard>,
 }
 
 impl Span {
@@ -343,14 +430,24 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        // Close the heap scope first so the record push below is charged to
+        // the enclosing scope, not to this span.
+        let heap = self.mem.take().map(|g| g.finish()).unwrap_or_default();
         if let Some((inner, path, started)) = self.rec.take() {
             let seconds = started.elapsed().as_secs_f64();
             let start_seconds = started.duration_since(inner.epoch).as_secs_f64();
+            let live_bytes = crate::mem::live_bytes() as u64;
             let mut st = inner.state.lock().unwrap();
             st.spans.push(SpanRecord {
                 path,
                 start_seconds,
                 seconds,
+                heap_delta_bytes: heap.net_bytes,
+                heap_peak_bytes: heap.peak_bytes,
+            });
+            st.mem_samples.push(MemSample {
+                at_seconds: start_seconds + seconds,
+                live_bytes,
             });
         }
     }
@@ -362,35 +459,67 @@ impl Drop for Span {
 pub struct TimedSpan {
     start: Instant,
     rec: Option<(Arc<Inner>, String)>,
+    mem: Option<crate::mem::ScopeGuard>,
 }
 
 impl TimedSpan {
     /// End the span, record it if tracing is on, and return elapsed seconds.
     pub fn finish(mut self) -> f64 {
         let seconds = self.start.elapsed().as_secs_f64();
+        self.record(seconds);
+        seconds
+    }
+
+    fn record(&mut self, seconds: f64) {
+        let heap = self.mem.take().map(|g| g.finish()).unwrap_or_default();
         if let Some((inner, path)) = self.rec.take() {
             let start_seconds = self.start.duration_since(inner.epoch).as_secs_f64();
+            let live_bytes = crate::mem::live_bytes() as u64;
             let mut st = inner.state.lock().unwrap();
             st.spans.push(SpanRecord {
                 path,
                 start_seconds,
                 seconds,
+                heap_delta_bytes: heap.net_bytes,
+                heap_peak_bytes: heap.peak_bytes,
+            });
+            st.mem_samples.push(MemSample {
+                at_seconds: start_seconds + seconds,
+                live_bytes,
             });
         }
-        seconds
     }
 }
 
 impl Drop for TimedSpan {
     fn drop(&mut self) {
-        if let Some((inner, path)) = self.rec.take() {
+        if self.rec.is_some() || self.mem.is_some() {
             let seconds = self.start.elapsed().as_secs_f64();
-            let start_seconds = self.start.duration_since(inner.epoch).as_secs_f64();
+            self.record(seconds);
+        }
+    }
+}
+
+/// Guard for a phase-level heap scope; see [`TraceCollector::heap_scope`].
+/// Not `Send` (the underlying [`crate::mem::ScopeGuard`] must close on its
+/// opening thread).
+#[must_use = "a heap scope records on drop; binding to _ ends it immediately"]
+pub struct HeapScope {
+    rec: Option<(Arc<Inner>, String, crate::mem::ScopeGuard)>,
+}
+
+impl Drop for HeapScope {
+    fn drop(&mut self) {
+        if let Some((inner, phase, guard)) = self.rec.take() {
+            let stats = guard.finish();
             let mut st = inner.state.lock().unwrap();
-            st.spans.push(SpanRecord {
-                path,
-                start_seconds,
-                seconds,
+            st.gauges.push(GaugeRecord {
+                path: format!("mem/{phase}/peak_bytes"),
+                value: stats.peak_bytes as f64,
+            });
+            st.gauges.push(GaugeRecord {
+                path: format!("mem/{phase}/net_bytes"),
+                value: stats.net_bytes as f64,
             });
         }
     }
@@ -409,6 +538,9 @@ pub struct TraceReport {
     pub audits: Vec<AuditRecord>,
     /// Profiled dispatches, in completion order (see [`crate::profile`]).
     pub dispatches: Vec<DispatchRecord>,
+    /// Live-heap samples taken at span boundaries and dispatch completions,
+    /// in recording order (timestamps need not be monotone across threads).
+    pub mem_samples: Vec<MemSample>,
 }
 
 impl TraceReport {
@@ -419,6 +551,7 @@ impl TraceReport {
             && self.gauges.is_empty()
             && self.audits.is_empty()
             && self.dispatches.is_empty()
+            && self.mem_samples.is_empty()
     }
 
     /// Total seconds of spans whose path equals `prefix` or starts with
@@ -486,10 +619,20 @@ impl TraceReport {
         for s in &self.spans {
             writeln!(
                 w,
-                r#"{{"type":"span","path":{},"start_seconds":{},"seconds":{}}}"#,
+                r#"{{"type":"span","path":{},"start_seconds":{},"seconds":{},"heap_delta_bytes":{},"heap_peak_bytes":{}}}"#,
                 json_str(&s.path),
                 json_f64(s.start_seconds),
-                json_f64(s.seconds)
+                json_f64(s.seconds),
+                s.heap_delta_bytes,
+                s.heap_peak_bytes
+            )?;
+        }
+        for m in &self.mem_samples {
+            writeln!(
+                w,
+                r#"{{"type":"mem","at_seconds":{},"live_bytes":{}}}"#,
+                json_f64(m.at_seconds),
+                m.live_bytes
             )?;
         }
         for (path, value) in &self.counters {
@@ -535,7 +678,7 @@ impl TraceReport {
             let hist: Vec<String> = d.chunk_hist.iter().map(|c| c.to_string()).collect();
             writeln!(
                 w,
-                r#"{{"type":"dispatch","kernel":{},"backend":{},"n":{},"chunk":{},"threads":{},"start_seconds":{},"seconds":{},"imbalance":{},"lanes":[{}],"chunk_hist_log2us":[{}]}}"#,
+                r#"{{"type":"dispatch","kernel":{},"backend":{},"n":{},"chunk":{},"threads":{},"start_seconds":{},"seconds":{},"imbalance":{},"heap_delta_bytes":{},"heap_peak_bytes":{},"lanes":[{}],"chunk_hist_log2us":[{}]}}"#,
                 json_str(&d.kernel),
                 json_str(d.backend),
                 d.n,
@@ -544,6 +687,8 @@ impl TraceReport {
                 json_f64(d.start_seconds),
                 json_f64(d.seconds),
                 json_f64(d.imbalance()),
+                d.heap_delta_bytes,
+                d.heap_peak_bytes,
                 lanes.join(","),
                 hist.join(",")
             )?;
@@ -565,32 +710,46 @@ impl TraceReport {
     pub fn render_tree(&self) -> String {
         let mut out = String::new();
         if !self.spans.is_empty() {
-            out.push_str("spans (path, calls, total seconds):\n");
+            out.push_str("spans (path, calls, total seconds, heap net/peak):\n");
             // Aggregate per full path, then roll subtree totals up into
             // every ancestor prefix so interior nodes get their own rows.
-            // (direct calls, direct seconds, subtree seconds) per node;
-            // BTreeMap order is lexicographic, which is tree order.
-            let mut nodes: BTreeMap<String, (usize, f64, f64)> = BTreeMap::new();
+            // (direct calls, direct seconds, subtree seconds, heap net sum,
+            // heap peak max) per node; BTreeMap order is lexicographic,
+            // which is tree order. Heap figures stay *direct* (no ancestor
+            // roll-up): span scopes are already inclusive of their nested
+            // children, so rolling up would double-count.
+            let mut nodes: BTreeMap<String, (usize, f64, f64, i64, u64)> = BTreeMap::new();
             for s in &self.spans {
                 let mut pos = 0;
                 while let Some(i) = s.path[pos..].find('/') {
                     let e = nodes
                         .entry(s.path[..pos + i].to_string())
-                        .or_insert((0, 0.0, 0.0));
+                        .or_insert((0, 0.0, 0.0, 0, 0));
                     e.2 += s.seconds;
                     pos += i + 1;
                 }
-                let e = nodes.entry(s.path.clone()).or_insert((0, 0.0, 0.0));
+                let e = nodes.entry(s.path.clone()).or_insert((0, 0.0, 0.0, 0, 0));
                 e.0 += 1;
                 e.1 += s.seconds;
                 e.2 += s.seconds;
+                e.3 += s.heap_delta_bytes;
+                e.4 = e.4.max(s.heap_peak_bytes);
             }
-            for (path, &(calls, _, total)) in &nodes {
+            for (path, &(calls, _, total, heap_net, heap_peak)) in &nodes {
                 let depth = path.matches('/').count();
                 let leaf = path.rsplit('/').next().unwrap_or(path);
                 let name = format!("{}{leaf}", "  ".repeat(depth));
+                let heap = if calls > 0 && (heap_net != 0 || heap_peak != 0) {
+                    format!(
+                        "  heap {} pk {}",
+                        crate::mem::fmt_bytes_signed(heap_net),
+                        crate::mem::fmt_bytes(heap_peak)
+                    )
+                } else {
+                    String::new()
+                };
                 if calls > 0 {
-                    out.push_str(&format!("  {name: <30} x{calls: <4} {total:.6}s\n"));
+                    out.push_str(&format!("  {name: <30} x{calls: <4} {total:.6}s{heap}\n"));
                 } else {
                     out.push_str(&format!("  {name: <30}       {total:.6}s\n"));
                 }
@@ -678,7 +837,11 @@ impl TraceReport {
     /// - `tid` 1.. (**worker `w`**) carry one `X` (complete) event per
     ///   profiled-dispatch lane, spanning that participant's busy window
     ///   with `chunks`/`items`/`backend`/`wakeup_us` in `args`;
-    /// - counters, gauges and audits appear as global instant (`i`) events.
+    /// - counters, gauges and audits appear as global instant (`i`) events;
+    /// - live-heap samples form a process-level `C` (counter) track named
+    ///   `heap/live_bytes`, and every profiled dispatch with heap
+    ///   attribution emits a `mem/<kernel>/peak_bytes` instant at its
+    ///   completion timestamp.
     ///
     /// Timestamps are integer microseconds from the collector's epoch.
     /// Events are emitted sorted by `(ts, kind)` with `B` before `E` at
@@ -745,11 +908,43 @@ impl TraceReport {
                 2,
                 dur,
                 format!(
-                    r#"{{"name":{},"cat":"span","ph":"E","ts":{},"pid":0,"tid":0}}"#,
+                    r#"{{"name":{},"cat":"span","ph":"E","ts":{},"pid":0,"tid":0,"args":{{"heap_delta_bytes":{},"heap_peak_bytes":{}}}}}"#,
                     json_str(&s.path),
-                    b + dur
+                    b + dur,
+                    s.heap_delta_bytes,
+                    s.heap_peak_bytes
                 ),
             ));
+        }
+        // Process-level memory counter track: live-heap samples render as a
+        // filled area chart in Perfetto / chrome://tracing.
+        for m in &self.mem_samples {
+            let ts = us(m.at_seconds);
+            events.push((
+                ts,
+                3,
+                0,
+                format!(
+                    r#"{{"name":"heap/live_bytes","cat":"mem","ph":"C","ts":{ts},"pid":0,"tid":0,"args":{{"bytes":{}}}}}"#,
+                    m.live_bytes
+                ),
+            ));
+        }
+        // Per-kernel heap high-water instants at each dispatch's completion.
+        for d in &self.dispatches {
+            if d.heap_peak_bytes > 0 {
+                let ts = us(d.start_seconds + d.seconds);
+                events.push((
+                    ts,
+                    3,
+                    0,
+                    format!(
+                        r#"{{"name":{},"cat":"mem","ph":"i","ts":{ts},"pid":0,"tid":0,"s":"p","args":{{"peak_bytes":{}}}}}"#,
+                        json_str(&format!("mem/{}/peak_bytes", d.kernel)),
+                        d.heap_peak_bytes
+                    ),
+                ));
+            }
         }
         for d in &self.dispatches {
             for (w, lane) in d.lanes.iter().enumerate() {
@@ -942,7 +1137,9 @@ mod tests {
         t.audit("construct/level0", "conservation", Ok(()));
         let text = t.report().to_jsonl_string();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4);
+        // 1 span + 2 mem samples (span open/close) + 1 counter + 1 gauge
+        // + 2 report-time mem gauges + 1 audit.
+        assert_eq!(lines.len(), 8);
         for line in &lines {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
             assert!(line.contains(r#""type":"#), "{line}");
@@ -951,6 +1148,9 @@ mod tests {
         assert!(text.contains(r#""type":"counter""#));
         assert!(text.contains(r#""type":"gauge""#));
         assert!(text.contains(r#""type":"audit""#));
+        assert!(text.contains(r#""type":"mem""#));
+        assert!(text.contains(r#""heap_peak_bytes":"#));
+        assert!(text.contains(r#""path":"mem/peak_bytes""#));
     }
 
     #[test]
@@ -1045,6 +1245,8 @@ mod tests {
                 },
             ],
             chunk_hist: [0; HIST_BUCKETS],
+            heap_delta_bytes: 512,
+            heap_peak_bytes: 2048,
         });
         let json = r.to_chrome_trace();
         assert!(json.starts_with("{\"traceEvents\":["));
@@ -1067,6 +1269,14 @@ mod tests {
         );
         assert!(json.contains(r#""cat":"counter""#));
         assert!(json.contains(r#""cat":"gauge""#));
+        assert!(
+            json.contains(r#""ph":"C""#),
+            "span boundaries must sample the memory counter track:\n{json}"
+        );
+        assert!(
+            json.contains(r#""name":"mem/par_for/hec_match/peak_bytes""#),
+            "dispatch heap peaks must emit per-kernel instants:\n{json}"
+        );
     }
 
     #[test]
@@ -1091,6 +1301,8 @@ mod tests {
                 wakeup_seconds: 0.0,
             }],
             chunk_hist: hist,
+            heap_delta_bytes: 0,
+            heap_peak_bytes: 0,
         });
         let tree = r.render_tree();
         assert!(tree.contains("par_blocks/scan/block_sums@device-sim"));

@@ -367,6 +367,8 @@ fn chrome_trace_export_is_schema_valid() {
     let mut begins = 0u64;
     let mut ends = 0u64;
     let mut lane_events = 0u64;
+    let mut mem_counter_events = 0u64;
+    let mut mem_counter_max = 0.0f64;
     let mut phases_seen = std::collections::HashSet::new();
     for ev in events {
         let ph = ev.get("ph").and_then(Json::as_str).expect("event phase");
@@ -401,6 +403,18 @@ fn chrome_trace_export_is_schema_valid() {
                     .expect("lane events carry wakeup_us");
                 assert!(wake >= 0.0);
             }
+            "C" => {
+                let name = ev.get("name").and_then(Json::as_str).expect("counter name");
+                assert_eq!(name, "heap/live_bytes", "only the memory counter track");
+                let bytes = ev
+                    .get("args")
+                    .and_then(|a| a.get("bytes"))
+                    .and_then(Json::as_f64)
+                    .expect("counter events carry args.bytes");
+                assert!(bytes >= 0.0);
+                mem_counter_events += 1;
+                mem_counter_max = mem_counter_max.max(bytes);
+            }
             "M" | "i" => {}
             other => panic!("unexpected phase {other:?}"),
         }
@@ -409,9 +423,25 @@ fn chrome_trace_export_is_schema_valid() {
     assert!(begins >= 2, "both spans must be exported");
     assert!(depth.values().all(|&d| d == 0), "every span must close");
     assert!(lane_events >= 2, "per-worker lanes must be exported");
-    for ph in ["M", "B", "E", "X", "i"] {
+    for ph in ["M", "B", "E", "X", "i", "C"] {
         assert!(phases_seen.contains(ph), "missing phase {ph:?}");
     }
+
+    // Memory counter track: at least one sample per span boundary (the two
+    // spans give four), timestamps already checked monotone above, and no
+    // live-heap sample can exceed the report's final process peak gauge.
+    assert!(
+        mem_counter_events >= 4,
+        "span boundaries must sample the memory counter track"
+    );
+    let peak = report
+        .gauge("mem/peak_bytes")
+        .expect("recording reports carry the mem/peak_bytes gauge");
+    assert!(
+        mem_counter_max <= peak,
+        "live samples ({mem_counter_max}) must not exceed the peak gauge ({peak})"
+    );
+    assert!(peak > 0.0);
 }
 
 #[test]

@@ -722,6 +722,7 @@ pub fn fm_uncoarsen_frac_hybrid(
     seed: u64,
     trace: &TraceCollector,
 ) -> Vec<u32> {
+    let _mem = trace.heap_scope(|| "fm".to_string());
     let coarse_cfg = cfg.with_vertex_slack();
     let coarsest = h.coarsest();
     let mut part = crate::ggg::greedy_graph_growing_frac(coarsest, seed, frac);

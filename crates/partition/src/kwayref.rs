@@ -1142,6 +1142,7 @@ pub fn kway_direct_refine(
     if n == 0 || k < 2 {
         return 0;
     }
+    let _mem = trace.heap_scope(|| "kwayref".to_string());
     let threshold = cfg.crossover_threshold(policy);
     if policy.backend != Backend::Serial && n >= threshold {
         let mut rounds_cfg = cfg.clone();

@@ -224,6 +224,7 @@ pub fn parallel_refine_rounds(
         };
     }
     let _kernel = profile::kernel("parref");
+    let _mem = trace.heap_scope(|| "parref".to_string());
     let bal = Balance::new(g, cfg.epsilon, vertex_slack, frac);
 
     let mut wpart = [0u64; 2];
@@ -684,6 +685,7 @@ pub fn rounds_then_polish(
     frac: f64,
     trace: &TraceCollector,
 ) -> u64 {
+    let _mem = trace.heap_scope(|| "parref/polish".to_string());
     let mut parref = ParRefConfig {
         epsilon: fm_cfg.epsilon,
         ..ParRefConfig::default()

@@ -110,9 +110,10 @@ pub fn fiedler_from(
     }
 }
 
-/// [`fiedler_vector`] with a trace sink: records a span named `phase` plus
-/// the `fiedler/power_iterations` counter. With a disabled collector this
-/// is exactly [`fiedler_vector`].
+/// [`fiedler_vector`] with a trace sink: records a span named `phase`, the
+/// `fiedler/power_iterations` counter, and a `mem/<phase>/{peak,net}_bytes`
+/// heap-gauge pair. With a disabled collector this is exactly
+/// [`fiedler_vector`].
 pub fn fiedler_vector_traced(
     policy: &ExecPolicy,
     g: &Csr,
@@ -122,10 +123,12 @@ pub fn fiedler_vector_traced(
     trace: &TraceCollector,
     phase: &str,
 ) -> PowerIterResult {
+    let mem = trace.heap_scope(|| phase.to_string());
     let span = trace.span(|| phase.to_string());
     let r = fiedler_vector(policy, g, tol, max_iters, seed);
     trace.counter_add("fiedler/power_iterations", r.iterations as u64);
     span.finish();
+    drop(mem);
     r
 }
 
@@ -139,10 +142,12 @@ pub fn fiedler_from_traced(
     trace: &TraceCollector,
     phase: &str,
 ) -> PowerIterResult {
+    let mem = trace.heap_scope(|| phase.to_string());
     let span = trace.span(|| phase.to_string());
     let r = fiedler_from(policy, g, x, tol, max_iters);
     trace.counter_add("fiedler/power_iterations", r.iterations as u64);
     span.finish();
+    drop(mem);
     r
 }
 
