@@ -66,10 +66,66 @@ fn main() {
         });
     }
 
+    agg_vwgt_contention();
     trace_overhead(n);
     profile_overhead(n);
     dispatch_latency();
     mem_overhead();
+}
+
+/// Before/after for `construct/agg_vwgt`: the retained atomic formulation
+/// (one `fetch_add` per fine vertex into the destination aggregate's slot)
+/// versus the sharded per-participant accumulation + merge that
+/// construction now uses. The star case collapses every vertex into ONE
+/// aggregate — the maximal-contention shape where the old path serializes
+/// all workers on a single cache line — while the grid case (HEC-style
+/// pairing, `n/2` aggregates) shows the spread-out regime where the merge
+/// reduction is pure overhead the budget rule must keep cheap.
+fn agg_vwgt_contention() {
+    use mlcg_coarsen::construct::{aggregate_vertex_weights_atomic, aggregate_vertex_weights_in};
+    use mlcg_coarsen::{ConstructWorkspace, Mapping};
+
+    let policy = ExecPolicy::host();
+    let star = generators::star(1 << 20);
+    let star_map = Mapping {
+        map: vec![0u32; star.n()],
+        n_coarse: 1,
+    };
+    let grid = generators::grid2d(512, 512);
+    let grid_map = Mapping {
+        map: (0..grid.n() as u32).map(|u| u / 2).collect(),
+        n_coarse: grid.n().div_ceil(2),
+    };
+
+    for (name, g, mapping) in [
+        ("star-1M", &star, &star_map),
+        ("grid-512", &grid, &grid_map),
+    ] {
+        let before = microbench(
+            "construct/agg_vwgt",
+            &format!("{name}-atomic"),
+            RUNS,
+            || aggregate_vertex_weights_atomic(&policy, g, mapping),
+        );
+        let mut ws = ConstructWorkspace::new();
+        let after = microbench(
+            "construct/agg_vwgt",
+            &format!("{name}-sharded"),
+            RUNS,
+            || aggregate_vertex_weights_in(&policy, g, mapping, &mut ws),
+        );
+        // Identity check while we're here: both formulations must agree.
+        assert_eq!(
+            aggregate_vertex_weights_atomic(&policy, g, mapping),
+            aggregate_vertex_weights_in(&policy, g, mapping, &mut ws),
+            "{name}: sharded aggregation diverged from the atomic baseline"
+        );
+        println!(
+            "construct/agg_vwgt/{name}: sharded/atomic ratio {:.4} (below 1.0 means the \
+             contention fix wins)",
+            after / before
+        );
+    }
 }
 
 /// Allocation round-trip through the tracking global allocator versus the

@@ -1,6 +1,7 @@
 //! One module per table/figure of the paper.
 
 pub mod ablate;
+pub mod benchcoarsen;
 pub mod benchfm;
 pub mod benchingest;
 pub mod benchkway;
@@ -19,7 +20,7 @@ pub mod trace;
 use crate::harness::Ctx;
 
 /// Every experiment name understood by the `repro` binary.
-pub const ALL: [&str; 18] = [
+pub const ALL: [&str; 19] = [
     "table1",
     "table2",
     "table3",
@@ -32,6 +33,7 @@ pub const ALL: [&str; 18] = [
     "fig3-mid",
     "fig3-right",
     "ablate-dedup",
+    "bench-coarsen",
     "bench-fm",
     "bench-ingest",
     "bench-kway",
@@ -93,6 +95,7 @@ pub fn run(name: &str, ctx: &Ctx) -> Option<i32> {
             ablate::run(ctx);
             0
         }
+        "bench-coarsen" => benchcoarsen::run(ctx),
         "bench-fm" => benchfm::run(ctx),
         "bench-ingest" => benchingest::run(ctx),
         "bench-kway" => benchkway::run(ctx),

@@ -11,11 +11,23 @@ pub fn run(ctx: &Ctx) {
     let policy = ctx.device();
     let corpus = ctx.corpus();
     if ctx.trace_enabled() {
-        // One profiled HEC coarsen on the largest corpus graph: the
-        // dispatch records carry per-kernel imbalance for the mapping,
-        // construction, and sort kernels, and the report renders as a
-        // Chrome trace with --trace-out.
-        if let Some(ng) = corpus.iter().max_by_key(|ng| ng.graph.n()) {
+        // Two profiled HEC coarsens: the largest corpus graph (mapping
+        // and sort kernels dominate; wide dispatches) and the densest one
+        // (Box125 stencils drive coarse rows past the hub-shard
+        // threshold, so construction's staged scatter + stitch kernels
+        // appear in the dispatch records). The reports render as Chrome
+        // traces with --trace-out (FILE and FILE-2.json).
+        let largest = corpus.iter().max_by_key(|ng| ng.graph.n());
+        let densest = corpus
+            .iter()
+            .max_by_key(|ng| ng.graph.adj().len() / ng.graph.n().max(1));
+        let mut profiled: Vec<&mlcg_graph::suite::NamedGraph> = Vec::new();
+        for ng in [largest, densest].into_iter().flatten() {
+            if !profiled.iter().any(|p| p.name == ng.name) {
+                profiled.push(ng);
+            }
+        }
+        for ng in profiled {
             let trace = ctx.trace_collector();
             {
                 let _p = mlcg_par::profile::install(&trace);

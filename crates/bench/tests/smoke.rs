@@ -43,6 +43,7 @@ fn all_experiment_names_are_known() {
                 "fig3-mid",
                 "fig3-right",
                 "ablate-dedup",
+                "bench-coarsen",
                 "bench-fm",
                 "bench-ingest",
                 "bench-kway",

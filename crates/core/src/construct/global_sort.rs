@@ -8,20 +8,43 @@ use mlcg_graph::{Csr, VId, Weight};
 use mlcg_par::atomic::as_atomic_usize;
 use mlcg_par::scan::exclusive_scan;
 use mlcg_par::sort::par_radix_sort_pairs;
-use mlcg_par::{parallel_for, profile, ExecPolicy};
+use mlcg_par::{parallel_for, profile, ExecPolicy, TraceCollector};
 use std::sync::atomic::Ordering;
 
+/// Level-reused scratch for the global-sort strategy: the packed triple
+/// arrays and head flags are the strategy's dominant transients (`2m'`
+/// entries each), so reusing their capacity across hierarchy levels
+/// removes the bulk of its per-level allocation. Contents never survive a
+/// call; only capacity does.
+#[derive(Default)]
+pub struct Scratch {
+    offsets: Vec<usize>,
+    keys: Vec<u64>,
+    vals: Vec<Weight>,
+    head: Vec<usize>,
+}
+
 /// Build the coarse graph by a global sort-and-reduce.
-pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
+pub fn construct(
+    policy: &ExecPolicy,
+    g: &Csr,
+    mapping: &Mapping,
+    trace: &TraceCollector,
+    ws: &mut Scratch,
+) -> Csr {
     let n = g.n();
     let nc = mapping.n_coarse;
     let map = &mapping.map;
     assert!(nc <= u32::MAX as usize);
     let _k = profile::kernel("gsort_construct");
+    // Two full-adjacency traversals: the per-vertex count and the pack.
+    trace.counter_add("construct/edges_scanned", 2 * g.adj().len() as u64);
 
     // Count inter-aggregate directed entries per fine vertex, then scatter
     // the packed triples.
-    let mut offsets = vec![0usize; n + 1];
+    let offsets = &mut ws.offsets;
+    offsets.clear();
+    offsets.resize(n + 1, 0);
     {
         let base = offsets.as_mut_ptr() as usize;
         parallel_for(policy, n, move |u| {
@@ -37,14 +60,18 @@ pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
             }
         });
     }
-    let total = exclusive_scan(policy, &mut offsets);
-    let mut keys: Vec<u64> = vec![0; total];
-    let mut vals: Vec<Weight> = vec![0; total];
+    let total = exclusive_scan(policy, offsets);
+    let keys = &mut ws.keys;
+    let vals = &mut ws.vals;
+    keys.clear();
+    keys.resize(total, 0);
+    vals.clear();
+    vals.resize(total, 0);
     {
         let _k = profile::kernel("pack");
         let k_base = keys.as_mut_ptr() as usize;
         let v_base = vals.as_mut_ptr() as usize;
-        let off = &offsets;
+        let off: &[usize] = offsets;
         parallel_for(policy, n, move |u| {
             let cu = map[u];
             let mut p = off[u];
@@ -64,14 +91,16 @@ pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
         });
     }
 
-    par_radix_sort_pairs(policy, &mut keys, &mut vals);
+    par_radix_sort_pairs(policy, keys, vals);
 
     // Head flags -> run index per entry -> unique-run count.
-    let mut head = vec![0usize; total + 1];
+    let head = &mut ws.head;
+    head.clear();
+    head.resize(total + 1, 0);
     {
         let _k = profile::kernel("head_flags");
         let base = head.as_mut_ptr() as usize;
-        let keys_ref = &keys;
+        let keys_ref: &[u64] = keys;
         parallel_for(policy, total, move |i| {
             let h = usize::from(i == 0 || keys_ref[i] != keys_ref[i - 1]);
             // SAFETY: disjoint writes per index.
@@ -83,7 +112,7 @@ pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
     // Inclusive scan: head[i] becomes (#heads in 0..=i), so the run index
     // of entry i is head[i] - 1.
     let m2 = mlcg_par::scan::inclusive_scan(policy, &mut head[..total]);
-    let run_of = head;
+    let run_of: &[usize] = head;
 
     // Reduce weights per run and record each run's key.
     let mut adj: Vec<u32> = vec![0; m2];
@@ -94,9 +123,9 @@ pub fn construct(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Csr {
         let adj_base = adj.as_mut_ptr() as usize;
         let wgt_at = mlcg_par::atomic::as_atomic_u64(&mut wgt);
         let rc = as_atomic_usize(&mut row_count[..nc]);
-        let (keys_ref, vals_ref, run_ref) = (&keys, &vals, &run_of);
+        let (keys_ref, vals_ref): (&[u64], &[Weight]) = (keys, vals);
         parallel_for(policy, total, move |i| {
-            let r = run_ref[i] - 1;
+            let r = run_of[i] - 1;
             wgt_at[r].fetch_add(vals_ref[i], Ordering::Relaxed);
             if i == 0 || keys_ref[i] != keys_ref[i - 1] {
                 let cu = (keys_ref[i] >> 32) as usize;
@@ -163,7 +192,13 @@ mod tests {
             map: vec![0, 0],
             n_coarse: 1,
         };
-        let c = construct(&ExecPolicy::serial(), &g, &mapping);
+        let c = construct(
+            &ExecPolicy::serial(),
+            &g,
+            &mapping,
+            &TraceCollector::disabled(),
+            &mut Scratch::default(),
+        );
         assert_eq!(c.n(), 1);
         assert_eq!(c.m(), 0);
     }

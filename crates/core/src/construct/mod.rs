@@ -15,17 +15,22 @@
 //! - [`ConstructMethod::GlobalSort`]: the global sort-and-reduce baseline
 //!   ([`global_sort`]).
 //!
-//! All strategies produce identical graphs (asserted by the test suite).
+//! All strategies produce identical graphs (asserted by the test suite),
+//! with or without a shared [`ConstructWorkspace`] — the `_in` entry
+//! points reuse one workspace across hierarchy levels so constructions
+//! after the first stop re-allocating their full scratch envelope.
 
 pub mod global_sort;
 pub mod spgemm;
 pub mod vertex;
 
 use crate::mapping::Mapping;
-use mlcg_graph::{Csr, VWeight};
-use mlcg_par::atomic::as_atomic_u64;
-use mlcg_par::{parallel_for, profile, ExecPolicy, TraceCollector};
+use mlcg_graph::{Csr, VId, VWeight, Weight};
+use mlcg_par::{
+    parallel_fold_chunks, parallel_for, parallel_for_chunks, profile, ExecPolicy, TraceCollector,
+};
 use std::sync::atomic::Ordering;
+use std::sync::Mutex;
 
 /// Which construction strategy to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -110,6 +115,54 @@ impl ConstructOptions {
     }
 }
 
+/// Level-reused scratch for coarse-graph construction.
+///
+/// One instance is threaded through the multilevel driver so every
+/// hierarchy level after the first reuses the previous level's arrays
+/// instead of re-allocating the full construction envelope (the heap
+/// telemetry of `mem/construct/peak_bytes` showed construction paying its
+/// peak again on every level). Lifetime rules:
+///
+/// - buffers are `clear()`+`resize()`d at every use, so a workspace can be
+///   shared across graphs of *any* size and across strategies — contents
+///   never survive a call, only capacity does;
+/// - capacity only grows; the driver drops the workspace with the
+///   hierarchy, so the high-water envelope is one level's, not one per
+///   level;
+/// - a workspace is `!Sync` by design (exclusive `&mut` access) — one per
+///   concurrent coarsening.
+///
+/// Narrow (`u32`) and wide (`usize`) counting buffers are kept separately
+/// because the vertex pipeline monomorphizes over the count width (the
+/// adjacency-fits-32-bits rule); only the set matching the current graph
+/// is touched per level.
+#[derive(Default)]
+pub struct ConstructWorkspace {
+    pub(crate) narrow: vertex::WordBufs<u32>,
+    pub(crate) wide: vertex::WordBufs<usize>,
+    /// Adjacency-slot coarse-id mirror for the skew-optimized path.
+    pub(crate) cmap: Vec<u32>,
+    /// Intermediate scattered adjacencies (Algorithm 6's `F`).
+    pub(crate) f: Vec<VId>,
+    /// Intermediate scattered weights (Algorithm 6's `X`).
+    pub(crate) x: Vec<Weight>,
+    /// Pooled per-participant dedup scratch (sort padding, hash arenas).
+    pub(crate) dedup_pool: Vec<vertex::DedupScratch>,
+    /// Pooled per-participant hub staging buffers.
+    pub(crate) stage_pool: Vec<vertex::ScatterStage>,
+    /// Pooled per-participant vertex-weight accumulators.
+    pub(crate) vwgt_pool: Vec<Vec<VWeight>>,
+    /// Global-sort strategy scratch (packed triples, head flags).
+    pub(crate) gsort: global_sort::Scratch,
+}
+
+impl ConstructWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Build the coarse graph. The mapping must be validated (contiguous
 /// labels) and the fine graph must satisfy the [`Csr`] invariants.
 ///
@@ -133,9 +186,21 @@ pub fn construct_coarse_graph(
     construct_coarse_graph_traced(policy, g, mapping, opts, &TraceCollector::disabled())
 }
 
+/// [`construct_coarse_graph`] reusing a caller-held [`ConstructWorkspace`].
+pub fn construct_coarse_graph_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    mapping: &Mapping,
+    opts: &ConstructOptions,
+    ws: &mut ConstructWorkspace,
+) -> Csr {
+    construct_coarse_graph_traced_in(policy, g, mapping, opts, &TraceCollector::disabled(), ws)
+}
+
 /// [`construct_coarse_graph`] with a trace sink: the vertex-centric paths
-/// report hash-probe collisions and edges scanned as pipeline counters.
-/// With a disabled collector this is exactly `construct_coarse_graph`.
+/// report hash-probe collisions and per-strategy edges scanned as pipeline
+/// counters. With a disabled collector this is exactly
+/// `construct_coarse_graph`.
 pub fn construct_coarse_graph_traced(
     policy: &ExecPolicy,
     g: &Csr,
@@ -143,33 +208,128 @@ pub fn construct_coarse_graph_traced(
     opts: &ConstructOptions,
     trace: &TraceCollector,
 ) -> Csr {
+    construct_coarse_graph_traced_in(
+        policy,
+        g,
+        mapping,
+        opts,
+        trace,
+        &mut ConstructWorkspace::new(),
+    )
+}
+
+/// The full-featured entry point: trace sink plus level-reused workspace.
+pub fn construct_coarse_graph_traced_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    mapping: &Mapping,
+    opts: &ConstructOptions,
+    trace: &TraceCollector,
+    ws: &mut ConstructWorkspace,
+) -> Csr {
     debug_assert!(mapping.validate().is_ok());
     let _mem = trace.heap_scope(|| "construct".to_string());
     let mut coarse = match opts.method {
         ConstructMethod::Sort => {
-            vertex::construct(policy, g, mapping, vertex::Dedup::Sort, opts, trace)
+            vertex::construct(policy, g, mapping, vertex::Dedup::Sort, opts, trace, ws)
         }
         ConstructMethod::Hash => {
-            vertex::construct(policy, g, mapping, vertex::Dedup::Hash, opts, trace)
+            vertex::construct(policy, g, mapping, vertex::Dedup::Hash, opts, trace, ws)
         }
         ConstructMethod::Spgemm => spgemm::construct_traced(policy, g, mapping, trace),
-        ConstructMethod::GlobalSort => global_sort::construct(policy, g, mapping),
+        ConstructMethod::GlobalSort => {
+            global_sort::construct(policy, g, mapping, trace, &mut ws.gsort)
+        }
         ConstructMethod::Hybrid => {
-            vertex::construct(policy, g, mapping, vertex::Dedup::Hybrid, opts, trace)
+            vertex::construct(policy, g, mapping, vertex::Dedup::Hybrid, opts, trace, ws)
         }
     };
-    // Every strategy reads the full fine adjacency at least once.
-    trace.counter_add("construct/edges_scanned", g.adj().len() as u64);
-    coarse.set_vwgt(aggregate_vertex_weights(policy, g, mapping));
+    coarse.set_vwgt(aggregate_vertex_weights_in(policy, g, mapping, ws));
     coarse
 }
 
 /// Coarse vertex weights: sums of member fine vertex weights.
 pub fn aggregate_vertex_weights(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -> Vec<VWeight> {
+    aggregate_vertex_weights_in(policy, g, mapping, &mut ConstructWorkspace::new())
+}
+
+/// [`aggregate_vertex_weights`] with pooled accumulators: per-participant
+/// dense accumulation merged by a parallel reduction over the coarse-id
+/// domain, so hub aggregates never serialize workers on one atomic slot.
+/// Falls back to [`aggregate_vertex_weights_atomic`] when the combined
+/// accumulator footprint would outgrow the pass (same budget rule as the
+/// construction counting passes).
+pub fn aggregate_vertex_weights_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    mapping: &Mapping,
+    ws: &mut ConstructWorkspace,
+) -> Vec<VWeight> {
+    let _k = profile::kernel("agg_vwgt");
+    let n = g.n();
+    let nc = mapping.n_coarse;
+    let map = &mapping.map;
+    let threads = policy.effective_threads(n);
+    if threads <= 1 || mlcg_par::pool::in_worker() {
+        let mut vwgt = vec![0u64; nc];
+        for u in 0..n {
+            vwgt[map[u] as usize] += g.vwgt()[u];
+        }
+        return vwgt;
+    }
+    if !vertex::use_histograms(threads, nc, n) {
+        return aggregate_vertex_weights_atomic(policy, g, mapping);
+    }
+    let mut vwgt = vec![0u64; nc];
+    let pool_m = Mutex::new(std::mem::take(&mut ws.vwgt_pool));
+    let parts = parallel_fold_chunks(
+        policy,
+        n,
+        || {
+            let mut h = pool_m.lock().unwrap().pop().unwrap_or_default();
+            h.clear();
+            h.resize(nc, 0);
+            h
+        },
+        |h, range| {
+            for u in range {
+                h[map[u] as usize] += g.vwgt()[u];
+            }
+        },
+    );
+    {
+        let base = vwgt.as_mut_ptr() as usize;
+        let parts_ref = &parts;
+        parallel_for_chunks(policy, nc, move |range| {
+            for c in range {
+                let mut s = 0u64;
+                for p in parts_ref {
+                    s += p[c];
+                }
+                // SAFETY: disjoint writes per coarse vertex.
+                unsafe { (base as *mut u64).add(c).write(s) };
+            }
+        });
+    }
+    let mut back = pool_m.into_inner().unwrap();
+    back.extend(parts);
+    ws.vwgt_pool = back;
+    vwgt
+}
+
+/// The pre-sharding formulation: one atomic `fetch_add` per fine vertex
+/// into the destination aggregate's slot. Retained as the fallback for
+/// huge `n_coarse × workers` products and as the contention baseline in
+/// the `bench_primitives` microbenchmarks.
+pub fn aggregate_vertex_weights_atomic(
+    policy: &ExecPolicy,
+    g: &Csr,
+    mapping: &Mapping,
+) -> Vec<VWeight> {
     let _k = profile::kernel("agg_vwgt");
     let mut vwgt = vec![0u64; mapping.n_coarse];
     {
-        let view = as_atomic_u64(&mut vwgt);
+        let view = mlcg_par::atomic::as_atomic_u64(&mut vwgt);
         let map = &mapping.map;
         parallel_for(policy, g.n(), |u| {
             view[map[u] as usize].fetch_add(g.vwgt()[u], Ordering::Relaxed);
@@ -192,16 +352,20 @@ pub fn intra_aggregate_weight(policy: &ExecPolicy, g: &Csr, mapping: &Mapping) -
     }) / 2
 }
 
-#[cfg(test)]
-pub(crate) mod testkit {
+/// Cross-strategy checking helpers, shared by the unit tests and the
+/// `construct_props` property suite (hence compiled unconditionally).
+#[doc(hidden)]
+pub mod testkit {
     use super::*;
     use crate::mapping::{find_mapping, MapMethod};
 
-    /// Construct with every method and assert they agree exactly and
-    /// satisfy conservation + CSR invariants.
-    pub fn cross_check(g: &Csr, mapping: &Mapping) {
-        let policy = ExecPolicy::serial();
-        let mut results = Vec::new();
+    /// Construct with every method × skew threshold × policy, both with a
+    /// fresh workspace and through one shared (level-reused) workspace,
+    /// and assert every result is bit-identical and satisfies
+    /// conservation + CSR invariants. Returns the reference graph.
+    pub fn cross_check_policies(g: &Csr, mapping: &Mapping, policies: &[ExecPolicy]) -> Csr {
+        let mut results: Vec<(String, Csr)> = Vec::new();
+        let mut ws = ConstructWorkspace::new();
         for method in ConstructMethod::ALL {
             // Exercise both the optimized and plain dedup paths.
             for threshold in [0.0, f64::INFINITY] {
@@ -209,23 +373,33 @@ pub(crate) mod testkit {
                     method,
                     degree_dedup_skew_threshold: threshold,
                 };
-                let c = construct_coarse_graph(&policy, g, mapping, &opts);
-                c.validate().unwrap_or_else(|e| {
-                    panic!("{:?} (thr {threshold}): invalid coarse graph: {e}", method)
-                });
-                assert_eq!(c.n(), mapping.n_coarse);
-                assert_eq!(
-                    c.total_edge_weight() + intra_aggregate_weight(&policy, g, mapping),
-                    g.total_edge_weight(),
-                    "{method:?}: weight not conserved"
-                );
-                assert_eq!(c.total_vwgt(), g.total_vwgt(), "{method:?}: vertex weight");
-                results.push((format!("{method:?}/{threshold}"), c));
+                for policy in policies {
+                    let name = format!("{method:?}/thr={threshold}/{policy}");
+                    let c = construct_coarse_graph(policy, g, mapping, &opts);
+                    let reused = construct_coarse_graph_in(policy, g, mapping, &opts, &mut ws);
+                    assert_eq!(c, reused, "{name}: workspace reuse changed the graph");
+                    c.validate()
+                        .unwrap_or_else(|e| panic!("{name}: invalid coarse graph: {e}"));
+                    assert_eq!(c.n(), mapping.n_coarse);
+                    assert_eq!(
+                        c.total_edge_weight() + intra_aggregate_weight(policy, g, mapping),
+                        g.total_edge_weight(),
+                        "{name}: weight not conserved"
+                    );
+                    assert_eq!(c.total_vwgt(), g.total_vwgt(), "{name}: vertex weight");
+                    results.push((name, c));
+                }
             }
         }
         for (name, c) in &results[1..] {
             assert_eq!(c, &results[0].1, "{name} disagrees with {}", results[0].0);
         }
+        results.swap_remove(0).1
+    }
+
+    /// [`cross_check_policies`] under the serial policy only.
+    pub fn cross_check(g: &Csr, mapping: &Mapping) {
+        cross_check_policies(g, mapping, &[ExecPolicy::serial()]);
     }
 
     /// A graph + mapping pair from a real mapping algorithm.

@@ -26,6 +26,10 @@ pub fn construct_traced(
     let a = CsrMatrix::from_graph(g);
     let p = CsrMatrix::prolongation(&mapping.map, mapping.n_coarse);
     let pa = spgemm(policy, &p, &a);
+    // Each product scans its right operand's rows once per phase
+    // (symbolic + numeric): 2·nnz(A) for P·A, then 2·nnz(P·A) for
+    // (P·A)·Pᵀ — this strategy reads strictly more than the adjacency.
+    trace.counter_add("construct/edges_scanned", 2 * (a.nnz() + pa.nnz()) as u64);
     let papt = spgemm(policy, &pa, &transpose(&p));
     drop((pa, a, p));
     drop(mem);

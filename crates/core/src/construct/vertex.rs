@@ -1,28 +1,49 @@
 //! Vertex-centric parallel coarse-graph construction — the paper's
-//! Algorithm 6.
+//! Algorithm 6, rebuilt around contention-free counting and scatter.
 //!
-//! Six steps: (1) estimate coarse-degree upper bounds `C'`; (2) count the
-//! adjacency entries each coarse vertex will receive, optionally keeping
-//! each undirected fine edge only at the endpoint whose aggregate has the
-//! *smaller* upper-bound degree (the degree-based deduplication
-//! optimization for skewed graphs — ties broken by aggregate identifier so
-//! the choice is consistent per aggregate pair); (3) prefix-sum the counts
-//! into offsets `R`; (4) scatter adjacencies and weights into the
-//! intermediate CSR arrays `F`/`X`; (5) deduplicate each coarse vertex's
-//! segment (`DedupWithWts`) by sorting (bitonic under the device-sim
-//! policy, pdq/insertion on the host) or by per-vertex hash tables; (6)
-//! assemble the final CSR — directly when both edge copies were kept, or
-//! via the transpose expansion (`GraphConsWithTrans`) when the
-//! optimization kept a single copy.
+//! Pipeline (numbering follows the paper):
+//! (1)+(2) *fused counting*: the bounds pass `C'` exists only to drive the
+//! degree-based deduplication tie-break, so when the skew optimization is
+//! off the pipeline runs a single counting traversal; when it is on, the
+//! bounds pass doubles as a gather of every adjacency slot's coarse id
+//! into `cmap`, so the count and scatter passes read coarse ids
+//! sequentially instead of re-chasing `map[adj[e]]`. Counting itself uses
+//! per-participant dense histograms merged by a parallel reduction
+//! ([`counted_pass`]) instead of global atomic `fetch_add`s — hub
+//! aggregates in skewed graphs no longer serialize every worker on one
+//! cache line. (3) prefix-scan the counts into offsets `R`. (4) scatter
+//! adjacencies and weights into `F`/`X`: ordinary rows bump a shared
+//! cursor as before, but *hub* rows (raw count ≥
+//! [`HUB_SHARD_MIN_ENTRIES`]) are staged per participant and stitched
+//! into disjoint sub-ranges afterwards, so no cursor is contended.
+//! (5) per-segment deduplication (sort / hash / hybrid) with pooled
+//! scratch. (6) assembly — direct, or via the transpose expansion when
+//! the optimization kept a single copy of each edge.
+//!
+//! Every count, offset, and cursor in the pipeline is bounded by the fine
+//! adjacency length, so the whole pipeline is monomorphized over
+//! [`CountWord`]: `u32` arrays whenever the adjacency fits 32 bits
+//! (mirroring the CSR [`Offsets`] width rule), halving counting traffic,
+//! and the scanned degrees become the output offsets without a widening
+//! copy.
+//!
+//! All level-lived scratch (`cprime`, `cnt`, cursors, `cmap`, `F`, `X`,
+//! histogram/dedup/staging pools) lives in
+//! [`ConstructWorkspace`](super::ConstructWorkspace) and is reused across
+//! hierarchy levels by the multilevel driver.
 
-use super::ConstructOptions;
+use super::{ConstructOptions, ConstructWorkspace};
 use crate::mapping::Mapping;
-use mlcg_graph::{Csr, VId, Weight};
-use mlcg_par::atomic::as_atomic_usize;
+use mlcg_graph::{Csr, Offsets, VId, Weight};
 use mlcg_par::scan::exclusive_scan;
 use mlcg_par::sort::seg_sort_pairs;
-use mlcg_par::{parallel_for, parallel_for_chunks, profile, ExecPolicy, TraceCollector};
-use std::sync::atomic::Ordering;
+use mlcg_par::{
+    parallel_fold_chunks, parallel_for, parallel_for_chunks, parallel_for_weighted, pool, profile,
+    ExecPolicy, TraceCollector,
+};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Per-vertex deduplication flavour (step 5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,12 +59,217 @@ pub enum Dedup {
 
 /// Segment length above which [`Dedup::Hybrid`] switches to hashing: long
 /// segments come from aggregates with many incident fine edges, exactly
-/// where the duplication factor grows.
-pub const HYBRID_HASH_CUTOFF: usize = 128;
+/// where the duplication factor grows. Chosen by a {32, 64, 128, 256,
+/// 512} sweep of median hybrid-construct time on rmat-15 LCC and
+/// grid-512 with SeqHec mappings — 256 was fastest on both families
+/// (rmat 0.0203 s vs 0.0223 s at the old 128; grid 0.0242 s vs 0.0283 s),
+/// and at 512 the dedup kernel's modal chunk duration doubled as long
+/// hub segments fell back to sorting. Methodology in DESIGN §8.
+pub const HYBRID_HASH_CUTOFF: usize = 256;
 
-/// Run Algorithm 6. The trace sink receives the `construct/hash_collisions`
-/// counter from the hash-dedup paths (aggregated per worker chunk, so the
-/// probing loop itself stays free of shared-state traffic).
+/// Raw (pre-dedup) row size at which a coarse vertex counts as a *hub*
+/// during the scatter: its entries are staged per participant and
+/// stitched into disjoint sub-ranges instead of contending on one atomic
+/// cursor. Rows this large dominate their chunk regardless, so the extra
+/// staging copy is noise next to the serialization it removes.
+pub const HUB_SHARD_MIN_ENTRIES: usize = 2048;
+
+/// Per-participant histograms are used for counting when the combined
+/// histogram footprint (`n_coarse × participants` words) stays within a
+/// small multiple of the traversal size itself; beyond that the memory
+/// (and the merge reduction) would outgrow the pass it serves, so
+/// counting falls back to atomics.
+pub(crate) fn use_histograms(threads: usize, nc: usize, n: usize) -> bool {
+    threads > 1 && nc.saturating_mul(threads) <= (4 * n).max(1 << 16)
+}
+
+/// Counting word for the pipeline's count/offset/cursor arrays: `u32`
+/// when the bounding quantity (the fine adjacency length) fits, `usize`
+/// otherwise — the same rule [`Offsets`] applies to CSR offsets.
+pub(crate) trait CountWord:
+    Copy + Default + Ord + Send + Sync + std::ops::AddAssign + mlcg_par::scan::ScanElem + 'static
+{
+    /// Atomic counterpart used by the cursor path and the count fallback.
+    type Atomic: Sync;
+    /// Reinterpret an exclusively borrowed slice as atomics.
+    fn as_atomic(s: &mut [Self]) -> &[Self::Atomic];
+    /// Relaxed fetch-add; returns the previous value.
+    fn fetch_add(a: &Self::Atomic, v: usize) -> usize;
+    fn from_usize(x: usize) -> Self;
+    fn to_usize(self) -> usize;
+    /// This width's buffer set inside the level-reused workspace.
+    fn bufs(ws: &mut ConstructWorkspace) -> &mut WordBufs<Self>;
+    /// Wrap a scanned offset vector as width-adaptive CSR offsets.
+    fn into_offsets(v: Vec<Self>) -> Offsets;
+}
+
+impl CountWord for u32 {
+    type Atomic = AtomicU32;
+    fn as_atomic(s: &mut [Self]) -> &[AtomicU32] {
+        mlcg_par::atomic::as_atomic_u32(s)
+    }
+    fn fetch_add(a: &AtomicU32, v: usize) -> usize {
+        a.fetch_add(v as u32, Ordering::Relaxed) as usize
+    }
+    fn from_usize(x: usize) -> Self {
+        x as u32
+    }
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+    fn bufs(ws: &mut ConstructWorkspace) -> &mut WordBufs<u32> {
+        &mut ws.narrow
+    }
+    fn into_offsets(v: Vec<u32>) -> Offsets {
+        Offsets::U32(v)
+    }
+}
+
+impl CountWord for usize {
+    type Atomic = AtomicUsize;
+    fn as_atomic(s: &mut [Self]) -> &[AtomicUsize] {
+        mlcg_par::atomic::as_atomic_usize(s)
+    }
+    fn fetch_add(a: &AtomicUsize, v: usize) -> usize {
+        a.fetch_add(v, Ordering::Relaxed)
+    }
+    fn from_usize(x: usize) -> Self {
+        x
+    }
+    fn to_usize(self) -> usize {
+        self
+    }
+    fn bufs(ws: &mut ConstructWorkspace) -> &mut WordBufs<usize> {
+        &mut ws.wide
+    }
+    fn into_offsets(v: Vec<usize>) -> Offsets {
+        Offsets::from_usize(v)
+    }
+}
+
+/// Per-width buffers of the level-reused workspace (see
+/// [`ConstructWorkspace`]). Buffers are `clear()`+`resize()`d per use, so
+/// capacity persists across levels.
+pub(crate) struct WordBufs<W> {
+    /// Step-1 coarse-degree upper bounds (skew path only).
+    pub(crate) cprime: Vec<W>,
+    /// Step-2 counts, scanned in place into the offsets `R` (`nc + 1`).
+    pub(crate) cnt: Vec<W>,
+    /// Scatter cursors for non-hub rows (and the transpose expansion).
+    pub(crate) cursors: Vec<W>,
+    /// Transpose-assembly kept-degree scratch.
+    pub(crate) deg: Vec<W>,
+    /// Per-participant counting histograms, reused across passes/levels.
+    pub(crate) hist_pool: Vec<Vec<W>>,
+}
+
+impl<W> Default for WordBufs<W> {
+    fn default() -> Self {
+        WordBufs {
+            cprime: Vec::new(),
+            cnt: Vec::new(),
+            cursors: Vec::new(),
+            deg: Vec::new(),
+            hist_pool: Vec::new(),
+        }
+    }
+}
+
+/// Pooled per-participant dedup scratch: sort padding buffers and the
+/// open-addressing arena, plus a locally accumulated collision count
+/// flushed once per pass (the probe loop stays free of shared traffic).
+#[derive(Default)]
+pub(crate) struct DedupScratch {
+    sk: Vec<u32>,
+    sv: Vec<Weight>,
+    table_k: Vec<u32>,
+    table_v: Vec<Weight>,
+    collisions: u64,
+}
+
+/// Per-participant staging for hub-sharded scatter: entries destined for
+/// hub rows (`(hub slot, coarse neighbor, weight)`), plus per-hub counts
+/// used to stitch disjoint sub-ranges afterwards.
+#[derive(Default)]
+pub(crate) struct ScatterStage {
+    entries: Vec<(u32, VId, Weight)>,
+    counts: Vec<usize>,
+}
+
+/// Parallel counting into `out[..nc]` (`out` is sized `nc + 1` so it can
+/// be prefix-scanned in place afterwards). `traverse` must call
+/// `bump(index, by)` for every counted entry of every position in its
+/// range. Strategy: direct writes when serial; per-participant dense
+/// histograms (pooled in `pool`) merged by a parallel reduction when the
+/// [`use_histograms`] budget allows; atomic `fetch_add` otherwise.
+fn counted_pass<W, T>(
+    policy: &ExecPolicy,
+    n: usize,
+    nc: usize,
+    out: &mut Vec<W>,
+    hist_pool: &mut Vec<Vec<W>>,
+    traverse: T,
+) where
+    W: CountWord,
+    T: Fn(&mut dyn FnMut(usize, usize), Range<usize>) + Sync,
+{
+    out.clear();
+    out.resize(nc + 1, W::default());
+    let threads = policy.effective_threads(n);
+    if threads <= 1 || pool::in_worker() {
+        let slice = &mut out[..];
+        let mut bump = |cu: usize, by: usize| slice[cu] += W::from_usize(by);
+        traverse(&mut bump, 0..n);
+        return;
+    }
+    if use_histograms(threads, nc, n) {
+        let pool_m = Mutex::new(std::mem::take(hist_pool));
+        let parts = parallel_fold_chunks(
+            policy,
+            n,
+            || {
+                let mut h = pool_m.lock().unwrap().pop().unwrap_or_default();
+                h.clear();
+                h.resize(nc, W::default());
+                h
+            },
+            |h, range| {
+                let hs: &mut [W] = h;
+                let mut bump = |cu: usize, by: usize| hs[cu] += W::from_usize(by);
+                traverse(&mut bump, range);
+            },
+        );
+        {
+            let out_base = out.as_mut_ptr() as usize;
+            let parts_ref = &parts;
+            parallel_for_chunks(policy, nc, move |range| {
+                for cu in range {
+                    let mut s = W::default();
+                    for p in parts_ref {
+                        s += p[cu];
+                    }
+                    // SAFETY: disjoint writes per coarse vertex.
+                    unsafe { (out_base as *mut W).add(cu).write(s) };
+                }
+            });
+        }
+        let mut back = pool_m.into_inner().unwrap();
+        back.extend(parts);
+        *hist_pool = back;
+    } else {
+        let view = W::as_atomic(&mut out[..nc]);
+        parallel_for_chunks(policy, n, |range| {
+            let mut bump = |cu: usize, by: usize| {
+                W::fetch_add(&view[cu], by);
+            };
+            traverse(&mut bump, range);
+        });
+    }
+}
+
+/// Run Algorithm 6. The trace sink receives `construct/hash_collisions`
+/// from the hash-dedup paths and the per-strategy `construct/edges_scanned`
+/// accounting; `ws` supplies (and receives back) the level-reused scratch.
 pub fn construct(
     policy: &ExecPolicy,
     g: &Csr,
@@ -51,137 +277,358 @@ pub fn construct(
     dedup: Dedup,
     opts: &ConstructOptions,
     trace: &TraceCollector,
+    ws: &mut ConstructWorkspace,
+) -> Csr {
+    // Counts, offsets, and cursors are all bounded by the fine adjacency
+    // length, so the narrow pipeline is exact whenever it fits 32 bits.
+    if g.adj().len() < u32::MAX as usize {
+        construct_impl::<u32>(policy, g, mapping, dedup, opts, trace, ws)
+    } else {
+        construct_impl::<usize>(policy, g, mapping, dedup, opts, trace, ws)
+    }
+}
+
+fn construct_impl<W: CountWord>(
+    policy: &ExecPolicy,
+    g: &Csr,
+    mapping: &Mapping,
+    dedup: Dedup,
+    opts: &ConstructOptions,
+    trace: &TraceCollector,
+    ws: &mut ConstructWorkspace,
 ) -> Csr {
     let n = g.n();
     let nc = mapping.n_coarse;
     let map = &mapping.map;
+    let adj = g.adj();
+    let wgt = g.wgt();
+    let xadj = g.offsets();
     let use_opt = g.skew_ratio() > opts.degree_dedup_skew_threshold;
     let _k = profile::kernel("construct");
 
-    // Step 1: coarse-degree upper bounds C'.
-    let mut cprime = vec![0usize; nc];
-    {
+    // The skew-optimized path traverses the full adjacency three times
+    // (fused bounds+gather, count, scatter); the plain path twice — the
+    // standalone bounds pass was fused away.
+    trace.counter_add(
+        "construct/edges_scanned",
+        (if use_opt { 3 } else { 2 }) * adj.len() as u64,
+    );
+
+    // Borrow the level-reused buffers for the duration of the build; they
+    // are restored before returning so later levels reuse the capacity.
+    let WordBufs {
+        mut cprime,
+        mut cnt,
+        mut cursors,
+        mut deg,
+        mut hist_pool,
+    } = std::mem::take(W::bufs(ws));
+    let mut cmap = std::mem::take(&mut ws.cmap);
+    let mut f = std::mem::take(&mut ws.f);
+    let mut x = std::mem::take(&mut ws.x);
+    let mut dedup_pool = std::mem::take(&mut ws.dedup_pool);
+    let mut stage_pool = std::mem::take(&mut ws.stage_pool);
+
+    // Steps 1+2, fused. Without the skew optimization the bounds pass is
+    // gone entirely (it existed only to drive `keep`). With it, the
+    // bounds pass also gathers each adjacency slot's coarse id into
+    // `cmap`, so the count and scatter passes below stream coarse ids
+    // sequentially instead of re-chasing two random indirections.
+    if use_opt {
         let _k = profile::kernel("bounds");
-        let view = as_atomic_usize(&mut cprime);
-        parallel_for(policy, n, |u| {
-            let cu = map[u] as usize;
-            for &v in g.neighbors(u as VId) {
-                if map[v as usize] as usize != cu {
-                    view[cu].fetch_add(1, Ordering::Relaxed);
+        cmap.clear();
+        cmap.resize(adj.len(), 0);
+        let cmap_base = cmap.as_mut_ptr() as usize;
+        counted_pass(
+            policy,
+            n,
+            nc,
+            &mut cprime,
+            &mut hist_pool,
+            |bump: &mut dyn FnMut(usize, usize), range: Range<usize>| {
+                for u in range {
+                    let cu = map[u] as usize;
+                    for e in xadj.range(u) {
+                        let cv = map[adj[e] as usize];
+                        // SAFETY: each adjacency slot has one owning row.
+                        unsafe { (cmap_base as *mut u32).add(e).write(cv) };
+                        if cv as usize != cu {
+                            bump(cu, 1);
+                        }
+                    }
                 }
-            }
-        });
+            },
+        );
     }
     // `keep`: with the optimization, store each fine edge only at the end
     // whose aggregate has the smaller estimated degree (aggregate-id ties).
-    let cprime_ref = &cprime;
+    let cprime_ref: &[W] = &cprime;
     let keep = move |cu: usize, cv: usize| -> bool {
         if !use_opt {
             return true;
         }
         (cprime_ref[cu], cu) < (cprime_ref[cv], cv)
     };
+    // Coarse id of the adjacency slot `e`: gathered on the opt path,
+    // mapped on the fly otherwise.
+    let cmap_ref: &[u32] = &cmap;
+    let cid = move |e: usize| -> usize {
+        if use_opt {
+            cmap_ref[e] as usize
+        } else {
+            map[adj[e] as usize] as usize
+        }
+    };
 
     // Step 2: kept-entry counts per coarse vertex.
-    let mut cnt = vec![0usize; nc + 1];
     {
         let _k = profile::kernel("count");
-        let view = as_atomic_usize(&mut cnt[..nc]);
-        parallel_for(policy, n, |u| {
-            let cu = map[u] as usize;
-            for &v in g.neighbors(u as VId) {
-                let cv = map[v as usize] as usize;
-                if cu != cv && keep(cu, cv) {
-                    view[cu].fetch_add(1, Ordering::Relaxed);
+        counted_pass(
+            policy,
+            n,
+            nc,
+            &mut cnt,
+            &mut hist_pool,
+            |bump: &mut dyn FnMut(usize, usize), range: Range<usize>| {
+                for u in range {
+                    let cu = map[u] as usize;
+                    for e in xadj.range(u) {
+                        let cv = cid(e);
+                        if cu != cv && keep(cu, cv) {
+                            bump(cu, 1);
+                        }
+                    }
+                }
+            },
+        );
+    }
+
+    // Hub detection on the raw counts, before the scan rewrites them into
+    // offsets. Sharding only matters when workers can actually collide.
+    let threads = policy.effective_threads(n);
+    let mut hubs: Vec<u32> = Vec::new();
+    if threads > 1 && !pool::in_worker() {
+        for (cu, c) in cnt.iter().enumerate().take(nc) {
+            if c.to_usize() >= HUB_SHARD_MIN_ENTRIES {
+                hubs.push(cu as u32);
+            }
+        }
+    }
+
+    // Step 3: offsets R (in place; `cnt` is the offsets from here on).
+    let total = exclusive_scan(policy, &mut cnt).to_usize();
+
+    // Step 4: scatter adjacencies and weights into F and X. Ordinary rows
+    // bump a shared cursor; hub rows are staged per participant.
+    f.clear();
+    f.resize(total, 0);
+    x.clear();
+    x.resize(total, 0);
+    let nhubs = hubs.len();
+    let stages: Vec<ScatterStage>;
+    {
+        let _k = profile::kernel("scatter");
+        cursors.clear();
+        cursors.extend_from_slice(&cnt[..nc]);
+        let cur = W::as_atomic(&mut cursors);
+        let f_base = f.as_mut_ptr() as usize;
+        let x_base = x.as_mut_ptr() as usize;
+        let hubs_ref: &[u32] = &hubs;
+        let pool_m = Mutex::new(std::mem::take(&mut stage_pool));
+        stages = parallel_fold_chunks(
+            policy,
+            n,
+            || {
+                let mut st = pool_m.lock().unwrap().pop().unwrap_or_default();
+                st.entries.clear();
+                st.counts.clear();
+                st.counts.resize(nhubs, 0);
+                st
+            },
+            |st, range| {
+                for u in range {
+                    let cu = map[u] as usize;
+                    match hubs_ref.binary_search(&(cu as u32)) {
+                        // Hub row: stage locally, stitched below.
+                        Ok(h) => {
+                            for e in xadj.range(u) {
+                                let cv = cid(e);
+                                if cu != cv && keep(cu, cv) {
+                                    st.entries.push((h as u32, cv as VId, wgt[e]));
+                                    st.counts[h] += 1;
+                                }
+                            }
+                        }
+                        // Ordinary row: bump the shared cursor.
+                        Err(_) => {
+                            for e in xadj.range(u) {
+                                let cv = cid(e);
+                                if cu != cv && keep(cu, cv) {
+                                    let l = W::fetch_add(&cur[cu], 1);
+                                    // SAFETY: cursor slots are globally unique.
+                                    unsafe {
+                                        (f_base as *mut VId).add(l).write(cv as VId);
+                                        (x_base as *mut Weight).add(l).write(wgt[e]);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+        );
+        stage_pool = pool_m.into_inner().unwrap();
+    }
+
+    // Stitch: copy each participant's staged hub entries into its own
+    // disjoint sub-range of the hub's row — the sub-ranges tile each row
+    // exactly, so there is not a single atomic in the pass.
+    if nhubs > 0 {
+        let _k = profile::kernel("stitch");
+        let nw = stages.len();
+        // starts[w * nhubs + h]: where participant w's entries for hub h
+        // land — r[hub] plus everything staged by earlier participants.
+        // The matrix is participants × hubs, tiny; computing it serially
+        // costs less than one dispatch.
+        let mut starts = vec![0usize; nw * nhubs];
+        for (h, &hub) in hubs.iter().enumerate() {
+            let mut at = cnt[hub as usize].to_usize();
+            for (w, st) in stages.iter().enumerate() {
+                starts[w * nhubs + h] = at;
+                at += st.counts[h];
+            }
+            debug_assert_eq!(
+                at,
+                cnt[hub as usize + 1].to_usize(),
+                "hub sub-ranges must tile the row exactly"
+            );
+        }
+        let total_staged: usize = stages.iter().map(|s| s.entries.len()).sum();
+        let f_base = f.as_mut_ptr() as usize;
+        let x_base = x.as_mut_ptr() as usize;
+        let stages_ref: &[ScatterStage] = &stages;
+        let starts_ref: &[usize] = &starts;
+        parallel_for_weighted(policy, total_staged, nw, move |w| {
+            let mut at: Vec<usize> = starts_ref[w * nhubs..(w + 1) * nhubs].to_vec();
+            for &(h, cv, wt) in &stages_ref[w].entries {
+                let p = at[h as usize];
+                at[h as usize] = p + 1;
+                // SAFETY: every (participant, hub) sub-range is disjoint.
+                unsafe {
+                    (f_base as *mut VId).add(p).write(cv);
+                    (x_base as *mut Weight).add(p).write(wt);
                 }
             }
         });
     }
-    // Step 3: offsets R.
-    let total = exclusive_scan(policy, &mut cnt);
-    let r = cnt; // nc + 1 offsets
-
-    // Step 4: scatter adjacencies and weights into F and X.
-    let mut f: Vec<u32> = vec![0; total];
-    let mut x: Vec<Weight> = vec![0; total];
-    {
-        let _k = profile::kernel("scatter");
-        let mut cursors = r[..nc].to_vec();
-        let cur = as_atomic_usize(&mut cursors);
-        let f_base = f.as_mut_ptr() as usize;
-        let x_base = x.as_mut_ptr() as usize;
-        parallel_for(policy, n, move |u| {
-            let cu = map[u] as usize;
-            for (v, w) in g.edges(u as VId) {
-                let cv = map[v as usize] as usize;
-                if cu != cv && keep(cu, cv) {
-                    let l = cur[cu].fetch_add(1, Ordering::Relaxed);
-                    // SAFETY: cursor slots are globally unique.
-                    unsafe {
-                        (f_base as *mut u32).add(l).write(cv as u32);
-                        (x_base as *mut Weight).add(l).write(w);
-                    }
-                }
-            }
-        });
+    for st in stages {
+        stage_pool.push(st);
     }
 
     // Step 5: per-coarse-vertex deduplication; deg[cu] = deduped count,
-    // with the survivors compacted to the front of each segment.
-    let mut deg = vec![0usize; nc + 1];
+    // with the survivors compacted to the front of each segment. The
+    // direct path's degrees become the output offsets, so they live in a
+    // fresh allocation; the transpose path's are workspace scratch.
+    let mut deg_out: Vec<W> = if use_opt {
+        Vec::new()
+    } else {
+        vec![W::default(); nc + 1]
+    };
+    if use_opt {
+        deg.clear();
+        deg.resize(nc + 1, W::default());
+    }
     {
+        let deg_slice: &mut [W] = if use_opt { &mut deg } else { &mut deg_out };
         let _k = profile::kernel("dedup");
         let f_base = f.as_mut_ptr() as usize;
         let x_base = x.as_mut_ptr() as usize;
-        let deg_base = deg.as_mut_ptr() as usize;
-        let r_ref = &r;
+        let deg_base = deg_slice.as_mut_ptr() as usize;
+        let r_ref: &[W] = &cnt;
         let device = policy.is_device();
-        parallel_for_chunks(policy, nc, move |range| {
-            // Reusable per-chunk scratch (bitonic padding / hash tables).
-            let mut sk: Vec<u32> = Vec::new();
-            let mut sv: Vec<Weight> = Vec::new();
-            let mut table_k: Vec<u32> = Vec::new();
-            let mut table_v: Vec<Weight> = Vec::new();
-            // Collisions are accumulated locally and flushed once per chunk
-            // so the probe loop has no shared-state traffic.
-            let mut collisions = 0u64;
-            for cu in range {
-                let (s, e) = (r_ref[cu], r_ref[cu + 1]);
-                // SAFETY: coarse-vertex segments are disjoint.
-                let (keys, vals) = unsafe {
-                    (
-                        std::slice::from_raw_parts_mut((f_base as *mut u32).add(s), e - s),
-                        std::slice::from_raw_parts_mut((x_base as *mut Weight).add(s), e - s),
-                    )
-                };
-                let k = match dedup {
-                    Dedup::Sort => dedup_sort(device, keys, vals, &mut sk, &mut sv),
-                    Dedup::Hash => {
-                        dedup_hash(keys, vals, &mut table_k, &mut table_v, &mut collisions)
-                    }
-                    Dedup::Hybrid => {
-                        if keys.len() > HYBRID_HASH_CUTOFF {
-                            dedup_hash(keys, vals, &mut table_k, &mut table_v, &mut collisions)
-                        } else {
-                            dedup_sort(device, keys, vals, &mut sk, &mut sv)
+        let pool_m = Mutex::new(std::mem::take(&mut dedup_pool));
+        let used = parallel_fold_chunks(
+            policy,
+            nc,
+            || pool_m.lock().unwrap().pop().unwrap_or_default(),
+            |sc: &mut DedupScratch, range| {
+                for cu in range {
+                    let (s, e) = (r_ref[cu].to_usize(), r_ref[cu + 1].to_usize());
+                    // SAFETY: coarse-vertex segments are disjoint.
+                    let (keys, vals) = unsafe {
+                        (
+                            std::slice::from_raw_parts_mut((f_base as *mut VId).add(s), e - s),
+                            std::slice::from_raw_parts_mut((x_base as *mut Weight).add(s), e - s),
+                        )
+                    };
+                    let k = match dedup {
+                        Dedup::Sort => dedup_sort(device, keys, vals, &mut sc.sk, &mut sc.sv),
+                        Dedup::Hash => dedup_hash(
+                            keys,
+                            vals,
+                            &mut sc.table_k,
+                            &mut sc.table_v,
+                            &mut sc.collisions,
+                        ),
+                        Dedup::Hybrid => {
+                            if keys.len() > HYBRID_HASH_CUTOFF {
+                                dedup_hash(
+                                    keys,
+                                    vals,
+                                    &mut sc.table_k,
+                                    &mut sc.table_v,
+                                    &mut sc.collisions,
+                                )
+                            } else {
+                                dedup_sort(device, keys, vals, &mut sc.sk, &mut sc.sv)
+                            }
                         }
-                    }
-                };
-                // SAFETY: one write per coarse vertex.
-                unsafe {
-                    (deg_base as *mut usize).add(cu).write(k);
+                    };
+                    // SAFETY: one write per coarse vertex.
+                    unsafe { (deg_base as *mut W).add(cu).write(W::from_usize(k)) };
                 }
-            }
-            trace.counter_add("construct/hash_collisions", collisions);
-        });
+            },
+        );
+        let mut coll = 0u64;
+        let mut back = pool_m.into_inner().unwrap();
+        for mut sc in used {
+            coll += sc.collisions;
+            sc.collisions = 0;
+            back.push(sc);
+        }
+        dedup_pool = back;
+        trace.counter_add("construct/hash_collisions", coll);
     }
 
     // Step 6: final assembly.
-    if use_opt {
-        assemble_with_transpose(policy, nc, &r, &f, &x, deg)
+    let result = if use_opt {
+        assemble_with_transpose::<W>(
+            policy,
+            nc,
+            &cnt,
+            &f,
+            &x,
+            &deg,
+            &mut cursors,
+            &mut hist_pool,
+            &mut dedup_pool,
+        )
     } else {
-        assemble_direct(policy, nc, &r, &f, &x, deg)
-    }
+        assemble_direct::<W>(policy, nc, &cnt, &f, &x, deg_out)
+    };
+
+    let bufs = W::bufs(ws);
+    bufs.cprime = cprime;
+    bufs.cnt = cnt;
+    bufs.cursors = cursors;
+    bufs.deg = deg;
+    bufs.hist_pool = hist_pool;
+    ws.cmap = cmap;
+    ws.f = f;
+    ws.x = x;
+    ws.dedup_pool = dedup_pool;
+    ws.stage_pool = stage_pool;
+    result
 }
 
 /// Sort the segment and merge equal-neighbor runs; returns the deduped
@@ -266,33 +713,33 @@ fn dedup_hash(
 }
 
 /// Both copies of every fine edge were kept: the deduped segments *are*
-/// the coarse rows; compact them.
-fn assemble_direct(
+/// the coarse rows; compact them. The scanned degrees become the output
+/// offsets without a widening copy (`U32` when the pipeline ran narrow).
+fn assemble_direct<W: CountWord>(
     policy: &ExecPolicy,
     nc: usize,
-    r: &[usize],
-    f: &[u32],
+    r: &[W],
+    f: &[VId],
     x: &[Weight],
-    mut deg: Vec<usize>,
+    mut deg: Vec<W>,
 ) -> Csr {
     let _k = profile::kernel("assemble");
-    let m2 = exclusive_scan(policy, &mut deg);
-    let xadj = deg;
-    let mut adj: Vec<u32> = vec![0; m2];
+    let m2 = exclusive_scan(policy, &mut deg).to_usize();
+    let mut adj: Vec<VId> = vec![0; m2];
     let mut wgt: Vec<Weight> = vec![0; m2];
     {
         let adj_base = adj.as_mut_ptr() as usize;
         let wgt_base = wgt.as_mut_ptr() as usize;
-        let xadj_ref = &xadj;
+        let deg_ref: &[W] = &deg;
         parallel_for(policy, nc, move |cu| {
-            let src = r[cu];
-            let dst = xadj_ref[cu];
-            let len = xadj_ref[cu + 1] - dst;
+            let src = r[cu].to_usize();
+            let dst = deg_ref[cu].to_usize();
+            let len = deg_ref[cu + 1].to_usize() - dst;
             // SAFETY: destination rows are disjoint.
             unsafe {
                 std::ptr::copy_nonoverlapping(
                     f.as_ptr().add(src),
-                    (adj_base as *mut u32).add(dst),
+                    (adj_base as *mut VId).add(dst),
                     len,
                 );
                 std::ptr::copy_nonoverlapping(
@@ -303,84 +750,101 @@ fn assemble_direct(
             }
         });
     }
-    Csr::from_parts(xadj, adj, wgt)
+    Csr::from_offsets(W::into_offsets(deg), adj, wgt)
 }
 
 /// The optimization kept each coarse edge exactly once; emit both `⟨u,v⟩`
-/// and `⟨v,u⟩` (`GraphConsWithTrans`), then sort each final row.
-fn assemble_with_transpose(
+/// and `⟨v,u⟩` (`GraphConsWithTrans`), then sort each final row. The
+/// both-direction count reuses the contention-free [`counted_pass`].
+#[allow(clippy::too_many_arguments)]
+fn assemble_with_transpose<W: CountWord>(
     policy: &ExecPolicy,
     nc: usize,
-    r: &[usize],
-    f: &[u32],
+    r: &[W],
+    f: &[VId],
     x: &[Weight],
-    deg: Vec<usize>,
+    deg: &[W],
+    cursors: &mut Vec<W>,
+    hist_pool: &mut Vec<Vec<W>>,
+    dedup_pool: &mut Vec<DedupScratch>,
 ) -> Csr {
     let _k = profile::kernel("assemble_t");
     // Count both directions.
-    let mut deg2 = vec![0usize; nc + 1];
-    {
-        let view = as_atomic_usize(&mut deg2[..nc]);
-        let deg_ref = &deg;
-        parallel_for(policy, nc, |cu| {
-            let s = r[cu];
-            let k = deg_ref[cu];
-            view[cu].fetch_add(k, Ordering::Relaxed);
-            for &cv in &f[s..s + k] {
-                view[cv as usize].fetch_add(1, Ordering::Relaxed);
+    let mut deg2: Vec<W> = Vec::new();
+    counted_pass(
+        policy,
+        nc,
+        nc,
+        &mut deg2,
+        hist_pool,
+        |bump: &mut dyn FnMut(usize, usize), range: Range<usize>| {
+            for cu in range {
+                let s = r[cu].to_usize();
+                let k = deg[cu].to_usize();
+                bump(cu, k);
+                for &cv in &f[s..s + k] {
+                    bump(cv as usize, 1);
+                }
             }
-        });
-    }
-    let m2 = exclusive_scan(policy, &mut deg2);
-    let xadj = deg2;
-    let mut adj: Vec<u32> = vec![0; m2];
+        },
+    );
+    let m2 = exclusive_scan(policy, &mut deg2).to_usize();
+    let mut adj: Vec<VId> = vec![0; m2];
     let mut wgt: Vec<Weight> = vec![0; m2];
     {
-        let mut cursors = xadj[..nc].to_vec();
-        let cur = as_atomic_usize(&mut cursors);
+        cursors.clear();
+        cursors.extend_from_slice(&deg2[..nc]);
+        let cur = W::as_atomic(cursors);
         let adj_base = adj.as_mut_ptr() as usize;
         let wgt_base = wgt.as_mut_ptr() as usize;
-        let deg_ref = &deg;
         parallel_for(policy, nc, move |cu| {
-            let s = r[cu];
-            let k = deg_ref[cu];
+            let s = r[cu].to_usize();
+            let k = deg[cu].to_usize();
             for i in 0..k {
                 let (cv, w) = (f[s + i] as usize, x[s + i]);
                 // SAFETY: cursor slots are globally unique.
                 unsafe {
-                    let p = cur[cu].fetch_add(1, Ordering::Relaxed);
-                    (adj_base as *mut u32).add(p).write(cv as u32);
+                    let p = W::fetch_add(&cur[cu], 1);
+                    (adj_base as *mut VId).add(p).write(cv as VId);
                     (wgt_base as *mut Weight).add(p).write(w);
-                    let q = cur[cv].fetch_add(1, Ordering::Relaxed);
-                    (adj_base as *mut u32).add(q).write(cu as u32);
+                    let q = W::fetch_add(&cur[cv], 1);
+                    (adj_base as *mut VId).add(q).write(cu as VId);
                     (wgt_base as *mut Weight).add(q).write(w);
                 }
             }
         });
     }
-    // Sort each final row (entries are unique by construction).
+    // Sort each final row (entries are unique by construction); the
+    // pooled dedup scratch supplies the padding buffers.
     {
         let adj_base = adj.as_mut_ptr() as usize;
         let wgt_base = wgt.as_mut_ptr() as usize;
-        let xadj_ref = &xadj;
+        let deg2_ref: &[W] = &deg2;
         let device = policy.is_device();
-        parallel_for_chunks(policy, nc, move |range| {
-            let mut sk: Vec<u32> = Vec::new();
-            let mut sv: Vec<Weight> = Vec::new();
-            for cu in range {
-                let (s, e) = (xadj_ref[cu], xadj_ref[cu + 1]);
-                // SAFETY: rows are disjoint.
-                let (keys, vals) = unsafe {
-                    (
-                        std::slice::from_raw_parts_mut((adj_base as *mut u32).add(s), e - s),
-                        std::slice::from_raw_parts_mut((wgt_base as *mut Weight).add(s), e - s),
-                    )
-                };
-                seg_sort_pairs(device, keys, vals, &mut sk, &mut sv);
-            }
-        });
+        let pool_m = Mutex::new(std::mem::take(dedup_pool));
+        let used = parallel_fold_chunks(
+            policy,
+            nc,
+            || pool_m.lock().unwrap().pop().unwrap_or_default(),
+            |sc: &mut DedupScratch, range| {
+                for cu in range {
+                    let (s, e) = (deg2_ref[cu].to_usize(), deg2_ref[cu + 1].to_usize());
+                    // SAFETY: rows are disjoint.
+                    let (keys, vals) = unsafe {
+                        (
+                            std::slice::from_raw_parts_mut((adj_base as *mut VId).add(s), e - s),
+                            std::slice::from_raw_parts_mut((wgt_base as *mut Weight).add(s), e - s),
+                        )
+                    };
+                    seg_sort_pairs(device, keys, vals, &mut sc.sk, &mut sc.sv);
+                }
+            },
+        );
+        let mut back = pool_m.into_inner().unwrap();
+        back.extend(used);
+        *dedup_pool = back;
     }
-    Csr::from_parts(xadj, adj, wgt)
+    Csr::from_offsets(W::into_offsets(deg2), adj, wgt)
 }
 
 #[cfg(test)]
@@ -398,7 +862,8 @@ mod tests {
         m
     }
 
-    /// Shadows `super::construct` with the untraced form the tests use.
+    /// Shadows `super::construct` with the untraced, fresh-workspace form
+    /// the tests use.
     fn construct(
         policy: &ExecPolicy,
         g: &Csr,
@@ -406,7 +871,15 @@ mod tests {
         dedup: Dedup,
         opts: &ConstructOptions,
     ) -> Csr {
-        super::construct(policy, g, mapping, dedup, opts, &TraceCollector::disabled())
+        super::construct(
+            policy,
+            g,
+            mapping,
+            dedup,
+            opts,
+            &TraceCollector::disabled(),
+            &mut ConstructWorkspace::new(),
+        )
     }
 
     #[test]
@@ -555,5 +1028,59 @@ mod tests {
         );
         assert_eq!(opt, plain);
         opt.validate().unwrap();
+    }
+
+    #[test]
+    fn hub_sharded_scatter_matches_serial() {
+        // A star big enough that the hub aggregate's raw count crosses
+        // HUB_SHARD_MIN_ENTRIES under every parallel policy, in both the
+        // plain (both copies) and skew-optimized (single copy) paths.
+        let n = 4 * HUB_SHARD_MIN_ENTRIES;
+        let g = gen::star(n);
+        let mapping = manual_mapping(
+            (0..n as u32)
+                .map(|u| if u == 0 { 0 } else { 1 + (u - 1) / 8 })
+                .collect(),
+        );
+        for threshold in [10.0, f64::INFINITY] {
+            let opts = ConstructOptions {
+                method: super::super::ConstructMethod::Sort,
+                degree_dedup_skew_threshold: threshold,
+            };
+            let serial = construct(&ExecPolicy::serial(), &g, &mapping, Dedup::Sort, &opts);
+            serial.validate().unwrap();
+            for policy in ExecPolicy::all_test_policies() {
+                for dedup in [Dedup::Sort, Dedup::Hash, Dedup::Hybrid] {
+                    let c = construct(&policy, &g, &mapping, dedup, &opts);
+                    assert_eq!(c, serial, "{policy} {dedup:?} thr={threshold}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        // Run two *different* graphs through one workspace, interleaved
+        // with fresh-workspace builds: reuse must never leak state.
+        let (g1, _) = mlcg_graph::cc::largest_component(&gen::rmat(9, 8, 0.57, 0.19, 0.19, 3));
+        let g2 = gen::grid2d(20, 20);
+        let mut ws = ConstructWorkspace::new();
+        for g in [&g1, &g2, &g1] {
+            let mapping = testkit::mapped(g, 7);
+            let opts = ConstructOptions::default();
+            for dedup in [Dedup::Sort, Dedup::Hash, Dedup::Hybrid] {
+                let fresh = construct(&ExecPolicy::host(), g, &mapping, dedup, &opts);
+                let reused = super::construct(
+                    &ExecPolicy::host(),
+                    g,
+                    &mapping,
+                    dedup,
+                    &opts,
+                    &TraceCollector::disabled(),
+                    &mut ws,
+                );
+                assert_eq!(fresh, reused, "{dedup:?}");
+            }
+        }
     }
 }

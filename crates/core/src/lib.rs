@@ -40,6 +40,9 @@ pub mod multilevel;
 
 pub use ace::{ace_coarsen, AceLevel, AceOptions};
 pub use audit::audit_hierarchy;
-pub use construct::{construct_coarse_graph, ConstructMethod, ConstructOptions};
+pub use construct::{
+    construct_coarse_graph, construct_coarse_graph_in, ConstructMethod, ConstructOptions,
+    ConstructWorkspace,
+};
 pub use mapping::{find_mapping, MapMethod, MapStats, Mapping};
 pub use multilevel::{coarsen, CoarsenOptions, CoarsenStats, Hierarchy, Level};

@@ -7,7 +7,7 @@
 //! stalled coarseners such as plain HEM on star-heavy graphs.
 
 use crate::audit::{audit_coarse_graph, audit_mapping};
-use crate::construct::{construct_coarse_graph_traced, ConstructOptions};
+use crate::construct::{construct_coarse_graph_traced_in, ConstructOptions, ConstructWorkspace};
 use crate::mapping::{find_mapping, MapMethod, MapStats, Mapping};
 use mlcg_graph::Csr;
 use mlcg_par::{ExecPolicy, TraceCollector, TraceReport};
@@ -216,6 +216,10 @@ pub fn coarsen(policy: &ExecPolicy, g: &Csr, opts: &CoarsenOptions) -> Hierarchy
     let mut levels: Vec<Level> = Vec::new();
     let mut stats = CoarsenStats::default();
     let mut current = g.clone();
+    // One construction workspace for the whole hierarchy: levels after the
+    // first reuse the previous level's scratch capacity instead of paying
+    // the full construction allocation envelope again.
+    let mut cws = ConstructWorkspace::new();
     let mut i = 0u64;
     while current.n() > opts.cutoff && levels.len() < opts.max_levels {
         let lvl = levels.len();
@@ -227,8 +231,14 @@ pub fn coarsen(policy: &ExecPolicy, g: &Csr, opts: &CoarsenOptions) -> Hierarchy
 
         let span = trace
             .timed_span(|| format!("construct/{}/level{lvl}", opts.construction.method.name()));
-        let coarse =
-            construct_coarse_graph_traced(policy, &current, &mapping, &opts.construction, trace);
+        let coarse = construct_coarse_graph_traced_in(
+            policy,
+            &current,
+            &mapping,
+            &opts.construction,
+            trace,
+            &mut cws,
+        );
         let t_con = span.finish();
         audit_coarse_graph(
             policy,

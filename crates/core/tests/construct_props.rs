@@ -1,0 +1,122 @@
+//! Property suite for coarse-graph construction: every strategy must be
+//! bit-identical across dedup flavours, skew thresholds, execution
+//! policies, and workspace reuse — on regular and hub-heavy families —
+//! while conserving weights and producing valid CSRs. Also pins the
+//! workspace's reason to exist: `mem/construct/peak_bytes` drops on
+//! hierarchy levels ≥ 1 when one [`ConstructWorkspace`] is reused.
+//!
+//! Runs in the `MLCG_SPIN_US=0` pure-park CI stress job, where every
+//! dispatch parks and wakes workers — the harshest schedule for the
+//! histogram-merge and stitch passes.
+
+use mlcg_coarsen::construct::testkit;
+use mlcg_coarsen::{
+    construct_coarse_graph_in, ConstructMethod, ConstructOptions, ConstructWorkspace, Mapping,
+};
+use mlcg_graph::generators as gen;
+use mlcg_graph::Csr;
+use mlcg_par::ExecPolicy;
+
+/// Hub alone, leaves in groups of 8: the coarse graph is again a star and
+/// aggregate 0 receives every scattered entry — the adversarial shape the
+/// hub-sharded scatter exists for.
+fn grouped_star_mapping(n: usize) -> Mapping {
+    let map: Vec<u32> = (0..n as u32)
+        .map(|u| if u == 0 { 0 } else { 1 + (u - 1) / 8 })
+        .collect();
+    let n_coarse = (*map.iter().max().unwrap() + 1) as usize;
+    let m = Mapping { map, n_coarse };
+    m.validate().unwrap();
+    m
+}
+
+fn families() -> Vec<(&'static str, Csr, Mapping)> {
+    let grid = gen::grid2d(32, 32);
+    let grid_map = testkit::mapped(&grid, 11);
+    let (rmat, _) = mlcg_graph::cc::largest_component(&gen::rmat(9, 8, 0.57, 0.19, 0.19, 5));
+    let rmat_map = testkit::mapped(&rmat, 13);
+    // Big enough that the hub aggregate's raw count crosses the shard
+    // threshold under every parallel policy, in both skew-path variants.
+    let star = gen::star(8192);
+    let star_map = grouped_star_mapping(8192);
+    vec![
+        ("grid-32x32", grid, grid_map),
+        ("rmat-9", rmat, rmat_map),
+        ("star-8192", star, star_map),
+    ]
+}
+
+#[test]
+fn all_methods_policies_and_workspace_reuse_bit_identical() {
+    let policies = ExecPolicy::all_test_policies();
+    for (name, g, mapping) in families() {
+        // cross_check_policies runs every method × threshold × policy,
+        // each both with a fresh workspace and through one shared
+        // workspace, and asserts bit-identity + conservation + validity.
+        let c = testkit::cross_check_policies(&g, &mapping, &policies);
+        assert_eq!(c.n(), mapping.n_coarse, "{name}");
+    }
+}
+
+#[test]
+fn two_consecutive_levels_through_one_workspace() {
+    // Drive two hierarchy levels through a single workspace (exactly what
+    // the multilevel driver does) and check each level against a
+    // fresh-workspace build, for every method, under a parallel policy.
+    let (g, _) = mlcg_graph::cc::largest_component(&gen::rmat(10, 8, 0.57, 0.19, 0.19, 7));
+    let policy = ExecPolicy::host();
+    for method in ConstructMethod::ALL {
+        let opts = ConstructOptions::with_method(method);
+        let mut ws = ConstructWorkspace::new();
+
+        let map0 = testkit::mapped(&g, 3);
+        let l1_fresh =
+            construct_coarse_graph_in(&policy, &g, &map0, &opts, &mut ConstructWorkspace::new());
+        let l1 = construct_coarse_graph_in(&policy, &g, &map0, &opts, &mut ws);
+        assert_eq!(l1, l1_fresh, "{method:?}: level 0");
+
+        let map1 = testkit::mapped(&l1, 4);
+        let l2_fresh =
+            construct_coarse_graph_in(&policy, &l1, &map1, &opts, &mut ConstructWorkspace::new());
+        let l2 = construct_coarse_graph_in(&policy, &l1, &map1, &opts, &mut ws);
+        assert_eq!(l2, l2_fresh, "{method:?}: level 1 through reused workspace");
+        l2.validate().unwrap();
+    }
+}
+
+#[test]
+fn workspace_reuse_drops_construct_peak_on_later_levels() {
+    // The workspace's acceptance criterion: constructing level 1 through
+    // the workspace that already built level 0 must allocate strictly less
+    // at peak than the same construction with a cold workspace, because
+    // the counting arrays, F/X, and the pooled scratch are already sized.
+    // Serial policy so the tracking allocator sees the full envelope
+    // (worker-thread allocations are attributed to the allocating thread).
+    let policy = ExecPolicy::serial();
+    let g = gen::grid2d(64, 64);
+    for method in [
+        ConstructMethod::Sort,
+        ConstructMethod::Hash,
+        ConstructMethod::GlobalSort,
+    ] {
+        let opts = ConstructOptions::with_method(method);
+        let mut ws = ConstructWorkspace::new();
+
+        let map0 = testkit::mapped(&g, 21);
+        let l1 = construct_coarse_graph_in(&policy, &g, &map0, &opts, &mut ws);
+        let map1 = testkit::mapped(&l1, 22);
+
+        let (_, fresh) = mlcg_par::mem::measure(|| {
+            construct_coarse_graph_in(&policy, &l1, &map1, &opts, &mut ConstructWorkspace::new())
+        });
+        let (_, reused) = mlcg_par::mem::measure(|| {
+            construct_coarse_graph_in(&policy, &l1, &map1, &opts, &mut ws)
+        });
+        assert!(
+            reused.peak_bytes < fresh.peak_bytes,
+            "{method:?}: reused workspace peak {} must be below cold-workspace peak {}",
+            reused.peak_bytes,
+            fresh.peak_bytes
+        );
+    }
+}

@@ -197,6 +197,146 @@ where
     }
 }
 
+/// Fold disjoint chunks of `0..n` into **per-participant** accumulators
+/// and return them for the caller to merge.
+///
+/// This is the contention-free counterpart of atomic histogramming: each
+/// team member creates one accumulator with `init` (typically a dense
+/// count array) and folds every chunk it claims into it, so the hot loop
+/// touches only thread-private memory. The caller merges the returned
+/// accumulators — usually with a [`parallel_for`] over the histogram
+/// domain. Unlike [`parallel_reduce`], which materializes one partial per
+/// *chunk*, this creates one accumulator per *participant* — the right
+/// shape when the accumulator itself is large (an `n_coarse`-sized count
+/// array must not be reallocated per chunk).
+///
+/// `init` runs on the participant's own thread (so allocations land
+/// there) and may be called for a participant that ends up claiming no
+/// chunks; such untouched accumulators are still returned. The fold order
+/// of chunks within an accumulator and the order of accumulators in the
+/// result are unspecified — merges must be commutative for deterministic
+/// output (integer sums are).
+///
+/// Under the profiler the dispatch is tagged `par_for`, composing with
+/// any [`profile::kernel`] labels the caller pushed.
+///
+/// ```
+/// use mlcg_par::{parallel_fold_chunks, ExecPolicy};
+///
+/// // Histogram of i % 5 without atomics.
+/// let parts = parallel_fold_chunks(
+///     &ExecPolicy::host(),
+///     10_000,
+///     || vec![0u32; 5],
+///     |h, r| {
+///         for i in r {
+///             h[i % 5] += 1;
+///         }
+///     },
+/// );
+/// let mut total = vec![0u32; 5];
+/// for p in parts {
+///     for (t, v) in total.iter_mut().zip(p) {
+///         *t += v;
+///     }
+/// }
+/// assert_eq!(total, vec![2000; 5]);
+/// ```
+pub fn parallel_fold_chunks<S, I, F>(policy: &ExecPolicy, n: usize, init: I, fold: F) -> Vec<S>
+where
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, Range<usize>) + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = policy.effective_threads(n);
+    if threads <= 1 || pool::in_worker() {
+        let run = || {
+            let mut s = init();
+            fold(&mut s, 0..n);
+            s
+        };
+        let s = if pool::in_worker() {
+            run()
+        } else {
+            match profile::session() {
+                None => run(),
+                Some(sess) => sess.run_inline("par_for", n, run),
+            }
+        };
+        return vec![s];
+    }
+    let chunk = policy.chunk_size(n, threads);
+    let out = std::sync::Mutex::new(Vec::with_capacity(threads));
+    let body = |_wid: usize, claim: &dyn Fn(usize) -> usize| {
+        let mut s = init();
+        loop {
+            let start = claim(chunk);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            fold(&mut s, start..end);
+        }
+        out.lock().unwrap().push(s);
+    };
+    match profile::session() {
+        None => pool::global().dispatch(threads, &body),
+        Some(s) => s.run_dispatch("par_for", policy.backend.name(), n, chunk, threads, &body),
+    }
+    out.into_inner().unwrap()
+}
+
+/// Run `f(i)` for every `i in 0..k` where each index is a *large*
+/// independent task, sizing the worker team by `items` — the amount of
+/// underlying work — rather than by the tiny task count.
+///
+/// The stitch/merge passes of sharded kernels iterate over a handful of
+/// per-worker partial results that each cover many elements; routing them
+/// through [`parallel_for`] would size the team by `k` and run the whole
+/// loop inline. Indices are claimed one at a time for dynamic balancing.
+/// Under the profiler the dispatch is tagged `par_for` (it is the same
+/// index-space shape, just weighted), composing with any
+/// [`profile::kernel`] labels.
+pub fn parallel_for_weighted<F>(policy: &ExecPolicy, items: usize, k: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if k == 0 {
+        return;
+    }
+    let threads = policy.effective_threads(items).min(k);
+    if threads <= 1 || pool::in_worker() {
+        let run = || {
+            for i in 0..k {
+                f(i);
+            }
+        };
+        if pool::in_worker() {
+            run();
+        } else {
+            match profile::session() {
+                None => run(),
+                Some(s) => s.run_inline("par_for", k, run),
+            }
+        }
+        return;
+    }
+    let body = |_wid: usize, claim: &dyn Fn(usize) -> usize| loop {
+        let i = claim(1);
+        if i >= k {
+            break;
+        }
+        f(i);
+    };
+    match profile::session() {
+        None => pool::global().dispatch(threads, &body),
+        Some(s) => s.run_dispatch("par_for", policy.backend.name(), k, 1, threads, &body),
+    }
+}
+
 /// Fill `dst` with copies of `value` in parallel.
 pub fn parallel_fill<T: Copy + Send + Sync>(policy: &ExecPolicy, dst: &mut [T], value: T) {
     let base = dst.as_mut_ptr() as usize;
@@ -279,6 +419,65 @@ mod tests {
             let src: Vec<u32> = (0..12_345).collect();
             parallel_copy(&policy, &mut v, &src);
             assert_eq!(v, src);
+        }
+    }
+
+    #[test]
+    fn fold_chunks_histograms_exactly() {
+        for policy in ExecPolicy::all_test_policies() {
+            let n = 40_123;
+            let parts = parallel_fold_chunks(
+                &policy,
+                n,
+                || vec![0u64; 7],
+                |h, r| {
+                    for i in r {
+                        h[i % 7] += 1;
+                    }
+                },
+            );
+            let mut total = vec![0u64; 7];
+            for p in &parts {
+                for (t, v) in total.iter_mut().zip(p) {
+                    *t += v;
+                }
+            }
+            let expect: Vec<u64> = (0..7).map(|k| ((n - k - 1) / 7 + 1) as u64).collect();
+            assert_eq!(total, expect, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn fold_chunks_zero_len_returns_nothing() {
+        for policy in ExecPolicy::all_test_policies() {
+            let parts =
+                parallel_fold_chunks(&policy, 0, || 0u32, |_, _| panic!("must not be called"));
+            assert!(parts.is_empty());
+        }
+    }
+
+    #[test]
+    fn fold_chunks_nested_runs_inline() {
+        let policy = ExecPolicy::host();
+        let total = AtomicUsize::new(0);
+        parallel_for(&policy, 16, |_| {
+            let parts = parallel_fold_chunks(&policy, 100, || 0usize, |s, r| *s += r.len());
+            assert_eq!(parts.iter().sum::<usize>(), 100);
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn for_weighted_visits_every_index_once() {
+        for policy in ExecPolicy::all_test_policies() {
+            let k = 13;
+            let hits: Vec<AtomicUsize> = (0..k).map(|_| AtomicUsize::new(0)).collect();
+            // items large enough to engage a real team under every policy.
+            parallel_for_weighted(&policy, 1 << 16, k, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         }
     }
 
