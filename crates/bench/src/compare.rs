@@ -446,7 +446,12 @@ pub fn compare_bench_fm(
 
 /// Memory members gated alongside a variant's timing when the baseline
 /// records them.
-const MEMORY_METRICS: [&str; 3] = ["peak_bytes", "bytes_per_edge", "aux_bytes_per_edge"];
+const MEMORY_METRICS: [&str; 4] = [
+    "peak_bytes",
+    "bytes_per_edge",
+    "bytes_per_vertex",
+    "aux_bytes_per_edge",
+];
 
 /// The timing number inside a variant object, with the key it was found
 /// under (`refine_seconds` for the refinement benches, `seconds` for

@@ -9,7 +9,7 @@ use std::path::PathBuf;
 /// Print the classification and write the H digraph as DOT.
 pub fn run(ctx: &Ctx) {
     let g = fig1_graph();
-    let (edges, h) = classify_heavy_edges(&g, ctx.seed);
+    let (edges, h) = classify_heavy_edges(&ctx.host(), &g, ctx.seed);
     println!("Fig 2 (left): heavy-edge classification in sequential HEC visit order");
     println!("{:>6} | {:>4} -> {:<4} | class", "visit", "u", "H[u]");
     let mut counts = [0usize; 3];

@@ -5,6 +5,7 @@ pub mod benchcoarsen;
 pub mod benchfm;
 pub mod benchingest;
 pub mod benchkway;
+pub mod benchmap;
 pub mod benchparref;
 pub mod extended;
 pub mod fig1;
@@ -20,7 +21,7 @@ pub mod trace;
 use crate::harness::Ctx;
 
 /// Every experiment name understood by the `repro` binary.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "table1",
     "table2",
     "table3",
@@ -37,6 +38,7 @@ pub const ALL: [&str; 19] = [
     "bench-fm",
     "bench-ingest",
     "bench-kway",
+    "bench-map",
     "bench-parref",
     "extended-methods",
     "trace",
@@ -99,6 +101,7 @@ pub fn run(name: &str, ctx: &Ctx) -> Option<i32> {
         "bench-fm" => benchfm::run(ctx),
         "bench-ingest" => benchingest::run(ctx),
         "bench-kway" => benchkway::run(ctx),
+        "bench-map" => benchmap::run(ctx),
         "bench-parref" => benchparref::run(ctx),
         "extended-methods" => {
             extended::run(ctx);

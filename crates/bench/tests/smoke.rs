@@ -47,6 +47,7 @@ fn all_experiment_names_are_known() {
                 "bench-fm",
                 "bench-ingest",
                 "bench-kway",
+                "bench-map",
                 "bench-parref",
                 "extended-methods",
                 "trace",

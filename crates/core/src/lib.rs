@@ -44,5 +44,5 @@ pub use construct::{
     construct_coarse_graph, construct_coarse_graph_in, ConstructMethod, ConstructOptions,
     ConstructWorkspace,
 };
-pub use mapping::{find_mapping, MapMethod, MapStats, Mapping};
+pub use mapping::{find_mapping, find_mapping_in, MapMethod, MapStats, MapWorkspace, Mapping};
 pub use multilevel::{coarsen, CoarsenOptions, CoarsenStats, Hierarchy, Level};

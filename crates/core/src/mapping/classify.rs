@@ -37,11 +37,19 @@ pub struct ClassifiedEdge {
 
 /// Replay sequential HEC and record each heavy edge's class; also returns
 /// the heavy-neighbor array (the Fig. 2-right digraph).
-pub fn classify_heavy_edges(g: &Csr, seed: u64) -> (Vec<ClassifiedEdge>, Vec<u32>) {
+///
+/// The replay itself is inherently sequential, but the heavy-neighbor scan
+/// and the visit permutation run under the caller's `policy` — both are
+/// deterministic across policies, so the classification is too (asserted
+/// by `identical_across_policies`).
+pub fn classify_heavy_edges(
+    policy: &ExecPolicy,
+    g: &Csr,
+    seed: u64,
+) -> (Vec<ClassifiedEdge>, Vec<u32>) {
     let n = g.n();
-    let serial = ExecPolicy::serial();
-    let h = heavy_neighbors(&serial, g);
-    let p = random_permutation(&serial, n, seed);
+    let h = heavy_neighbors(policy, g);
+    let p = random_permutation(policy, n, seed);
     let mut m = vec![UNMAPPED; n];
     let mut next = 0u32;
     let mut out = Vec::with_capacity(n);
@@ -72,7 +80,7 @@ mod tests {
     #[test]
     fn classes_cover_all_vertices() {
         let g = fig1_graph();
-        let (edges, h) = classify_heavy_edges(&g, 42);
+        let (edges, h) = classify_heavy_edges(&ExecPolicy::serial(), &g, 42);
         assert_eq!(edges.len(), g.n());
         assert_eq!(h.len(), g.n());
         // Every vertex appears exactly once as `u`.
@@ -87,7 +95,7 @@ mod tests {
     #[test]
     fn first_edge_is_create_and_counts_are_consistent() {
         let g = fig1_graph();
-        let (edges, _) = classify_heavy_edges(&g, 7);
+        let (edges, _) = classify_heavy_edges(&ExecPolicy::serial(), &g, 7);
         assert_eq!(
             edges[0].class,
             EdgeClass::Create,
@@ -113,7 +121,7 @@ mod tests {
         // Out-degree exactly one, and (our tie-break) no cycles longer
         // than 2.
         let g = fig1_graph();
-        let (_, h) = classify_heavy_edges(&g, 3);
+        let (_, h) = classify_heavy_edges(&ExecPolicy::serial(), &g, 3);
         for u in 0..g.n() {
             let mut slow = u;
             let mut fast = h[u] as usize;
@@ -137,12 +145,34 @@ mod tests {
     }
 
     #[test]
+    fn identical_across_policies() {
+        // Both inputs to the replay (heavy neighbors, permutation) are
+        // schedule-deterministic, so every policy yields the same
+        // classification bit for bit.
+        for g in [fig1_graph(), gen::grid2d(13, 11), gen::star(20)] {
+            let (ref_edges, ref_h) = classify_heavy_edges(&ExecPolicy::serial(), &g, 42);
+            for policy in ExecPolicy::all_test_policies() {
+                let (edges, h) = classify_heavy_edges(&policy, &g, 42);
+                assert_eq!(h, ref_h, "heavy array differs under {policy}");
+                assert_eq!(edges.len(), ref_edges.len());
+                for (a, b) in edges.iter().zip(&ref_edges) {
+                    assert_eq!(
+                        (a.u, a.v, a.class),
+                        (b.u, b.v, b.class),
+                        "classification differs under {policy}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn skip_edges_appear_on_stars() {
         // On a star, after the hub pairs with a leaf, later leaves inherit;
         // the hub's own edge (if visited later) is a skip.
         let g = gen::star(10);
         let mut saw_skip_or_inherit = false;
-        let (edges, _) = classify_heavy_edges(&g, 5);
+        let (edges, _) = classify_heavy_edges(&ExecPolicy::serial(), &g, 5);
         for e in &edges[1..] {
             if matches!(e.class, EdgeClass::Skip | EdgeClass::Inherit) {
                 saw_skip_or_inherit = true;

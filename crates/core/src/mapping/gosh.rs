@@ -14,13 +14,14 @@
 //! low-synchronization HEC3 phases ("less indirection, lower fine-grained
 //! synchronization, skips high-degree vertex adjacencies").
 
-use super::util::{heavy_neighbor_where, relabel};
+use super::util::{heavy_neighbor_where, prepare_premark, relabel_in, relabel_premarked_in};
+use super::workspace::MapWorkspace;
 use super::{MapStats, Mapping, UNMAPPED};
 use mlcg_graph::{Csr, VId};
 use mlcg_par::atomic::as_atomic_u32;
-use mlcg_par::perm::{invert_permutation, random_permutation};
+use mlcg_par::perm::{invert_permutation_in, random_permutation_in};
 use mlcg_par::rng::hash_index;
-use mlcg_par::{parallel_count, parallel_for, profile, ExecPolicy};
+use mlcg_par::{parallel_count, parallel_for, ExecPolicy};
 use std::sync::atomic::Ordering;
 
 /// Two vertices are both "high degree" when each exceeds this multiple of
@@ -47,6 +48,16 @@ fn priority(g: &Csr, seed: u64, u: usize) -> (usize, u64, usize) {
 
 /// GOSH coarsening (Algorithm 15 parallelization).
 pub fn gosh(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
+    gosh_in(policy, g, seed, &mut MapWorkspace::new())
+}
+
+/// [`gosh`] through a level-reused workspace.
+pub fn gosh_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    seed: u64,
+    ws: &mut MapWorkspace,
+) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
         return (
@@ -57,7 +68,6 @@ pub fn gosh(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             MapStats::default(),
         );
     }
-    let _k = profile::kernel("gosh");
     let tau = high_degree_threshold(g);
     let mut m = vec![UNMAPPED; n];
     let mut stats = MapStats::default();
@@ -70,9 +80,9 @@ pub fn gosh(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
         // Decisions read a round-start snapshot so concurrent (or earlier
         // sequential) center writes cannot promote their beaten neighbors.
         {
-            let snapshot = m.clone();
+            MapWorkspace::snapshot(&mut ws.snap, &m);
             let m_at = as_atomic_u32(&mut m);
-            let snap = &snapshot;
+            let snap = &ws.snap;
             parallel_for(policy, n, |u| {
                 if snap[u] != UNMAPPED {
                     return;
@@ -126,15 +136,25 @@ pub fn gosh(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
         }
         let after = parallel_count(policy, n, |u| m[u] == UNMAPPED);
         stats.passes += 1;
-        stats.resolved_per_pass.push(before - after);
+        stats.record_resolved(before - after);
         assert!(after < before || after == 0, "GOSH made no progress");
     }
-    (relabel(policy, m), stats)
+    (relabel_in(policy, m, ws), stats)
 }
 
 /// The new GOSH+HEC hybrid (Algorithm 16): weighted heavy neighbors with
 /// high-degree adjacencies skipped, executed via the HEC3 phases.
 pub fn gosh_hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
+    gosh_hec_in(policy, g, seed, &mut MapWorkspace::new())
+}
+
+/// [`gosh_hec`] through a level-reused workspace.
+pub fn gosh_hec_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    seed: u64,
+    ws: &mut MapWorkspace,
+) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
         return (
@@ -145,12 +165,11 @@ pub fn gosh_hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) 
             MapStats::default(),
         );
     }
-    let _k = profile::kernel("gosh_hec");
     let tau = high_degree_threshold(g);
     // Heavy neighbor, skipping high-degree/high-degree adjacencies.
-    let mut h = vec![UNMAPPED; n];
+    MapWorkspace::filled(&mut ws.heavy, n, UNMAPPED);
     {
-        let base = h.as_mut_ptr() as usize;
+        let base = ws.heavy.as_mut_ptr() as usize;
         parallel_for(policy, n, move |u| {
             let du = g.degree(u as VId);
             let pick = heavy_neighbor_where(g, u as VId, |v| !(du > tau && g.degree(v) > tau))
@@ -163,12 +182,15 @@ pub fn gosh_hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) 
         });
     }
     // HEC3-style phases over the filtered heavy array.
-    let p = random_permutation(policy, n, seed);
-    let pos = invert_permutation(policy, &p);
+    random_permutation_in(policy, n, seed, &mut ws.perm_keys, &mut ws.queue);
+    {
+        let (queue, pos) = (&ws.queue, &mut ws.pos);
+        invert_permutation_in(policy, queue, pos);
+    }
     let mut m = vec![UNMAPPED; n];
     {
         let base = m.as_mut_ptr() as usize;
-        let (h_ref, pos_ref) = (&h, &pos);
+        let (h_ref, pos_ref) = (&ws.heavy, &ws.pos);
         parallel_for(policy, n, move |u| {
             let v = h_ref[u] as usize;
             if h_ref[v] as usize == u {
@@ -182,7 +204,7 @@ pub fn gosh_hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) 
     }
     {
         let m_at = as_atomic_u32(&mut m);
-        let h_ref = &h;
+        let h_ref = &ws.heavy;
         parallel_for(policy, n, move |u| {
             let v = h_ref[u] as usize;
             if m_at[v].load(Ordering::Relaxed) == UNMAPPED {
@@ -196,9 +218,9 @@ pub fn gosh_hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) 
         });
     }
     {
-        let snapshot = m.clone();
+        MapWorkspace::snapshot(&mut ws.snap, &m);
         let base = m.as_mut_ptr() as usize;
-        let (h_ref, snap) = (&h, &snapshot);
+        let (h_ref, snap) = (&ws.heavy, &ws.snap);
         parallel_for(policy, n, move |u| {
             if snap[u] == UNMAPPED {
                 let root = snap[h_ref[u] as usize];
@@ -210,26 +232,32 @@ pub fn gosh_hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) 
             }
         });
     }
+    // Final pointer-jump sweep, with the relabel flag-mark fused in.
     {
-        let snapshot = m.clone();
+        MapWorkspace::snapshot(&mut ws.snap, &m);
+        prepare_premark(ws, n);
         let base = m.as_mut_ptr() as usize;
-        let snap = &snapshot;
+        let flag_base = ws.flag.as_mut_ptr() as usize;
+        let snap = &ws.snap;
         parallel_for(policy, n, move |u| {
             let mut r = snap[u] as usize;
             while snap[r] as usize != r {
                 r = snap[snap[r] as usize] as usize;
             }
-            // SAFETY: disjoint writes.
+            // SAFETY: disjoint label writes per index; flag writes are
+            // idempotent (racing threads all write 1).
             unsafe {
                 (base as *mut u32).add(u).write(r as u32);
+                (flag_base as *mut u32).add(r).write(1);
             }
         });
     }
     (
-        relabel(policy, m),
+        relabel_premarked_in(policy, m, ws),
         MapStats {
             passes: 4,
             resolved_per_pass: vec![n],
+            resolved_overflow: 0,
         },
     )
 }

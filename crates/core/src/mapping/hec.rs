@@ -19,11 +19,13 @@
 //! are gathered into `R` and the loop repeats; the paper reports ≥99 % of
 //! vertices settle within two passes, a statistic [`MapStats`] reproduces.
 
-use super::util::{heavy_neighbors, relabel};
+use super::util::{heavy_neighbors_in, relabel_in};
+use super::workspace::MapWorkspace;
 use super::{MapStats, Mapping, UNMAPPED};
 use mlcg_graph::Csr;
 use mlcg_par::atomic::as_atomic_u32;
-use mlcg_par::perm::random_permutation;
+use mlcg_par::filter::filter_indices_in;
+use mlcg_par::perm::random_permutation_in;
 use mlcg_par::{parallel_for, profile, ExecPolicy};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -32,6 +34,16 @@ const FREE: u32 = u32::MAX;
 
 /// Run parallel HEC. Requires a connected graph with `n ≥ 1`.
 pub fn hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
+    hec_in(policy, g, seed, &mut MapWorkspace::new())
+}
+
+/// [`hec`] through a level-reused workspace.
+pub fn hec_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    seed: u64,
+    ws: &mut MapWorkspace,
+) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
         return (
@@ -42,31 +54,30 @@ pub fn hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             MapStats::default(),
         );
     }
-    let _k = profile::kernel("hec");
-    let h = heavy_neighbors(policy, g);
+    heavy_neighbors_in(policy, g, &mut ws.heavy);
     debug_assert!(
-        h.iter().all(|&x| x != UNMAPPED),
+        ws.heavy.iter().all(|&x| x != UNMAPPED),
         "graph must have no isolated vertices"
     );
 
     let mut m = vec![UNMAPPED; n];
-    let mut c = vec![FREE; n];
+    MapWorkspace::filled(&mut ws.own, n, FREE);
     let next_id = AtomicU32::new(0);
     let mut stats = MapStats::default();
 
-    let mut queue = random_permutation(policy, n, seed);
+    random_permutation_in(policy, n, seed, &mut ws.perm_keys, &mut ws.queue);
     // The pass loop of Algorithm 4 (line 29). Termination: every pass
     // resolves at least the smaller endpoint of the heaviest pending mutual
     // pair; the cap is a defensive bound never reached in practice.
     let max_passes = 64 + 2 * n;
-    while !queue.is_empty() && stats.passes < max_passes {
-        let before = queue.len();
+    while !ws.queue.is_empty() && stats.passes < max_passes {
+        let before = ws.queue.len();
         {
             let _k = profile::kernel("hec_match");
             let m_at = as_atomic_u32(&mut m);
-            let c_at = as_atomic_u32(&mut c);
-            let h_ref = &h;
-            let q_ref = &queue;
+            let c_at = as_atomic_u32(&mut ws.own);
+            let h_ref = &ws.heavy;
+            let q_ref = &ws.queue;
             let next = &next_id;
             parallel_for(policy, q_ref.len(), move |i| {
                 let u = q_ref[i];
@@ -114,12 +125,21 @@ pub fn hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
                 }
             });
         }
-        queue.retain(|&u| m[u as usize] == UNMAPPED);
+        // Parallel, order-stable requeue of the unresolved (bit-identical
+        // to the old sequential `retain`).
+        filter_indices_in(
+            policy,
+            &ws.queue,
+            |u| m[u as usize] == UNMAPPED,
+            &mut ws.fcounts,
+            &mut ws.qscratch,
+        );
+        std::mem::swap(&mut ws.queue, &mut ws.qscratch);
         stats.passes += 1;
-        stats.resolved_per_pass.push(before - queue.len());
+        stats.record_resolved(before - ws.queue.len());
     }
     assert!(
-        queue.is_empty(),
+        ws.queue.is_empty(),
         "HEC failed to converge within {max_passes} passes"
     );
 
@@ -127,7 +147,7 @@ pub fn hec(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     // Labels are already contiguous (atomic counter), but relabel defends
     // against the (unobserved) case of allocated-but-unused ids.
     debug_assert!(m.iter().all(|&x| (x as usize) < n_coarse));
-    let mapping = relabel(policy, m);
+    let mapping = relabel_in(policy, m, ws);
     (mapping, stats)
 }
 
@@ -186,7 +206,7 @@ mod tests {
         let (g, _) = mlcg_graph::cc::largest_component(&gen::rmat(11, 8, 0.57, 0.19, 0.19, 3));
         for policy in ExecPolicy::all_test_policies() {
             let (_, stats) = hec(&policy, &g, 5);
-            let total: usize = stats.resolved_per_pass.iter().sum();
+            let total = stats.resolved_total();
             let first_two: usize = stats.resolved_per_pass.iter().take(2).sum();
             assert!(
                 first_two as f64 >= 0.95 * total as f64,

@@ -17,17 +17,33 @@
 //! Root/representative selection is randomized through the permutation `P`
 //! (mutual pairs keep the endpoint that appears *earlier* in `P`), matching
 //! the `O[·]` indirection in the paper's pseudocode.
+//!
+//! Both variants end with a full sweep that writes every final raw label,
+//! so the relabel flag-mark pass is *fused* into that sweep (an idempotent
+//! `flag[label] = 1` alongside the label write) and the relabel runs in
+//! its premarked form — one fewer O(n) traversal per level.
 
-use super::util::{heavy_neighbors, relabel};
+use super::util::{heavy_neighbors_in, prepare_premark, relabel_premarked_in};
+use super::workspace::MapWorkspace;
 use super::{MapStats, Mapping, UNMAPPED};
 use mlcg_graph::Csr;
 use mlcg_par::atomic::as_atomic_u32;
-use mlcg_par::perm::{invert_permutation, random_permutation};
-use mlcg_par::{parallel_for, profile, ExecPolicy};
+use mlcg_par::perm::{invert_permutation_in, random_permutation_in};
+use mlcg_par::{parallel_for, ExecPolicy};
 use std::sync::atomic::Ordering;
 
 /// HEC3 — Algorithm 5.
 pub fn hec3(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
+    hec3_in(policy, g, seed, &mut MapWorkspace::new())
+}
+
+/// [`hec3`] through a level-reused workspace.
+pub fn hec3_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    seed: u64,
+    ws: &mut MapWorkspace,
+) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
         return (
@@ -38,10 +54,13 @@ pub fn hec3(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             MapStats::default(),
         );
     }
-    let _k = profile::kernel("hec3");
-    let h = heavy_neighbors(policy, g);
-    let p = random_permutation(policy, n, seed);
-    let pos = invert_permutation(policy, &p); // pos[u] = random priority of u
+    heavy_neighbors_in(policy, g, &mut ws.heavy);
+    random_permutation_in(policy, n, seed, &mut ws.perm_keys, &mut ws.queue);
+    // pos[u] = random priority of u.
+    {
+        let (queue, pos) = (&ws.queue, &mut ws.pos);
+        invert_permutation_in(policy, queue, pos);
+    }
 
     let mut m = vec![UNMAPPED; n];
 
@@ -49,7 +68,7 @@ pub fn hec3(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     // endpoint with the smaller random position as representative.
     {
         let base = m.as_mut_ptr() as usize;
-        let (h_ref, pos_ref) = (&h, &pos);
+        let (h_ref, pos_ref) = (&ws.heavy, &ws.pos);
         parallel_for(policy, n, move |u| {
             let v = h_ref[u] as usize;
             if h_ref[v] as usize == u {
@@ -65,7 +84,7 @@ pub fn hec3(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     // notes the plain-read guard skips unnecessary random atomic writes.
     {
         let m_at = as_atomic_u32(&mut m);
-        let h_ref = &h;
+        let h_ref = &ws.heavy;
         parallel_for(policy, n, move |u| {
             let v = h_ref[u] as usize;
             if m_at[v].load(Ordering::Relaxed) == UNMAPPED {
@@ -80,9 +99,9 @@ pub fn hec3(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     }
     // Phase 3 (lines 13-16): everyone else joins its heavy target.
     {
-        let snapshot = m.clone();
+        MapWorkspace::snapshot(&mut ws.snap, &m);
         let base = m.as_mut_ptr() as usize;
-        let (h_ref, snap) = (&h, &snapshot);
+        let (h_ref, snap) = (&ws.heavy, &ws.snap);
         parallel_for(policy, n, move |u| {
             if snap[u] == UNMAPPED {
                 let v = h_ref[u] as usize;
@@ -96,11 +115,14 @@ pub fn hec3(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             }
         });
     }
-    // Phase 4 (lines 17-21): pointer jumping to the aggregate root.
+    // Phase 4 (lines 17-21): pointer jumping to the aggregate root, with
+    // the relabel flag-mark fused into the same sweep.
     {
-        let snapshot = m.clone();
+        MapWorkspace::snapshot(&mut ws.snap, &m);
+        prepare_premark(ws, n);
         let base = m.as_mut_ptr() as usize;
-        let snap = &snapshot;
+        let flag_base = ws.flag.as_mut_ptr() as usize;
+        let snap = &ws.snap;
         parallel_for(policy, n, move |u| {
             let mut r = snap[u] as usize;
             let mut hops = 0;
@@ -109,18 +131,21 @@ pub fn hec3(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
                 hops += 1;
                 debug_assert!(hops <= snap.len(), "pointer-jump cycle");
             }
-            // SAFETY: disjoint writes per index.
+            // SAFETY: disjoint label writes per index; flag writes are
+            // idempotent (racing threads all write 1).
             unsafe {
                 (base as *mut u32).add(u).write(r as u32);
+                (flag_base as *mut u32).add(r).write(1);
             }
         });
     }
-    let mapping = relabel(policy, m); // FindUniqAndRelabel (line 22)
+    let mapping = relabel_premarked_in(policy, m, ws); // FindUniqAndRelabel (line 22)
     (
         mapping,
         MapStats {
             passes: 4,
             resolved_per_pass: vec![n],
+            resolved_overflow: 0,
         },
     )
 }
@@ -134,6 +159,16 @@ pub fn hec3(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
 ///   two orientations of a mutual heavy pair agree on one id without
 ///   detecting the cycle; every non-target joins its target's label.
 pub fn hec2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
+    hec2_in(policy, g, seed, &mut MapWorkspace::new())
+}
+
+/// [`hec2`] through a level-reused workspace.
+pub fn hec2_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    seed: u64,
+    ws: &mut MapWorkspace,
+) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
         return (
@@ -144,15 +179,14 @@ pub fn hec2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             MapStats::default(),
         );
     }
-    let _k = profile::kernel("hec2");
-    let h = heavy_neighbors(policy, g);
-    let p = random_permutation(policy, n, seed);
+    heavy_neighbors_in(policy, g, &mut ws.heavy);
+    random_permutation_in(policy, n, seed, &mut ws.perm_keys, &mut ws.queue);
     // X[v] = winning proposer, chosen in permutation order for the serial
     // policy (first CAS wins under parallel policies).
-    let mut x = vec![UNMAPPED; n];
+    MapWorkspace::filled(&mut ws.own, n, UNMAPPED);
     {
-        let x_at = as_atomic_u32(&mut x);
-        let (h_ref, p_ref) = (&h, &p);
+        let x_at = as_atomic_u32(&mut ws.own);
+        let (h_ref, p_ref) = (&ws.heavy, &ws.queue);
         parallel_for(policy, n, move |i| {
             let u = p_ref[i];
             let _ = x_at[h_ref[u as usize] as usize].compare_exchange(
@@ -163,11 +197,14 @@ pub fn hec2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             );
         });
     }
-    // Y: targets take min(v, winner); non-targets take their target's label.
+    // Y: targets take min(v, winner); non-targets take their target's
+    // label. This full sweep also carries the fused relabel flag-mark.
     let mut y = vec![UNMAPPED; n];
     {
+        prepare_premark(ws, n);
         let base = y.as_mut_ptr() as usize;
-        let (h_ref, x_ref) = (&h, &x);
+        let flag_base = ws.flag.as_mut_ptr() as usize;
+        let (h_ref, x_ref) = (&ws.heavy, &ws.own);
         let label_of_target = |v: usize| v.min(x_ref[v] as usize) as u32;
         parallel_for(policy, n, move |u| {
             let label = if x_ref[u] != UNMAPPED {
@@ -176,18 +213,21 @@ pub fn hec2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
                 // u's heavy target is a target by construction.
                 label_of_target(h_ref[u] as usize)
             };
-            // SAFETY: disjoint writes per index.
+            // SAFETY: disjoint label writes per index; flag writes are
+            // idempotent.
             unsafe {
                 (base as *mut u32).add(u).write(label);
+                (flag_base as *mut u32).add(label as usize).write(1);
             }
         });
     }
-    let mapping = relabel(policy, y);
+    let mapping = relabel_premarked_in(policy, y, ws);
     (
         mapping,
         MapStats {
             passes: 2,
             resolved_per_pass: vec![n],
+            resolved_overflow: 0,
         },
     )
 }

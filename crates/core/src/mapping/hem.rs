@@ -8,11 +8,13 @@
 //! singletons, which is exactly the *stalling* phenomenon two-hop matching
 //! (see [`super::twohop`]) exists to mitigate.
 
-use super::util::{heavy_neighbor_where, relabel};
+use super::util::{heavy_neighbor_where, relabel_in};
+use super::workspace::MapWorkspace;
 use super::{MapStats, Mapping, UNMAPPED};
 use mlcg_graph::{Csr, VId};
 use mlcg_par::atomic::as_atomic_u32;
-use mlcg_par::perm::random_permutation;
+use mlcg_par::filter::filter_indices_in;
+use mlcg_par::perm::random_permutation_in;
 use mlcg_par::{parallel_for, profile, ExecPolicy};
 use std::sync::atomic::Ordering;
 
@@ -21,33 +23,52 @@ const FREE: u32 = u32::MAX;
 /// Parallel HEM. Returns raw (pre-relabel) matching in `M` plus stats.
 /// Unmatched vertices become singleton aggregates.
 pub fn hem(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
-    let (raw, stats) = hem_raw(policy, g, seed);
-    (relabel(policy, finalize_singletons(raw)), stats)
+    hem_in(policy, g, seed, &mut MapWorkspace::new())
+}
+
+/// [`hem`] through a level-reused workspace.
+pub fn hem_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    seed: u64,
+    ws: &mut MapWorkspace,
+) -> (Mapping, MapStats) {
+    let (raw, stats) = hem_raw_in(policy, g, seed, ws);
+    (relabel_in(policy, finalize_singletons(raw), ws), stats)
 }
 
 /// The matching phase shared with two-hop coarsening: returns `M` where
 /// matched vertices carry the *smaller endpoint's id* as a raw label and
 /// unmatched vertices remain [`UNMAPPED`].
 pub fn hem_raw(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Vec<u32>, MapStats) {
+    hem_raw_in(policy, g, seed, &mut MapWorkspace::new())
+}
+
+/// [`hem_raw`] through a level-reused workspace.
+pub fn hem_raw_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    seed: u64,
+    ws: &mut MapWorkspace,
+) -> (Vec<u32>, MapStats) {
     let n = g.n();
     let mut m = vec![UNMAPPED; n];
     if n <= 1 {
         return (m, MapStats::default());
     }
-    let _k = profile::kernel("hem");
     let mut stats = MapStats::default();
-    let mut queue = random_permutation(policy, n, seed);
-    let mut c = vec![FREE; n];
+    random_permutation_in(policy, n, seed, &mut ws.perm_keys, &mut ws.queue);
+    MapWorkspace::filled(&mut ws.own, n, FREE);
     // Each pass recomputes heavy-unmatched neighbors, then claims pairs.
     // Passes stop when no additional match lands (the stall point).
     loop {
-        let before_unmatched = queue.len();
-        let mut h = vec![UNMAPPED; n];
+        let before_unmatched = ws.queue.len();
+        MapWorkspace::filled(&mut ws.heavy, n, UNMAPPED);
         {
             let _k = profile::kernel("heavy_scan");
-            let base = h.as_mut_ptr() as usize;
+            let base = ws.heavy.as_mut_ptr() as usize;
             let m_ref = &m;
-            let q_ref = &queue;
+            let q_ref = &ws.queue;
             parallel_for(policy, q_ref.len(), move |i| {
                 let u = q_ref[i];
                 let best = heavy_neighbor_where(g, u as VId, |v| m_ref[v as usize] == UNMAPPED);
@@ -62,8 +83,8 @@ pub fn hem_raw(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Vec<u32>, MapStats) 
         {
             let _k = profile::kernel("hem_match");
             let m_at = as_atomic_u32(&mut m);
-            let c_at = as_atomic_u32(&mut c);
-            let (h_ref, q_ref) = (&h, &queue);
+            let c_at = as_atomic_u32(&mut ws.own);
+            let (h_ref, q_ref) = (&ws.heavy, &ws.queue);
             parallel_for(policy, q_ref.len(), move |i| {
                 let u = q_ref[i];
                 let v = h_ref[u as usize];
@@ -94,15 +115,22 @@ pub fn hem_raw(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Vec<u32>, MapStats) 
                 }
             });
         }
-        queue.retain(|&u| m[u as usize] == UNMAPPED);
+        filter_indices_in(
+            policy,
+            &ws.queue,
+            |u| m[u as usize] == UNMAPPED,
+            &mut ws.fcounts,
+            &mut ws.qscratch,
+        );
+        std::mem::swap(&mut ws.queue, &mut ws.qscratch);
         stats.passes += 1;
-        stats.resolved_per_pass.push(before_unmatched - queue.len());
-        if queue.is_empty() || before_unmatched == queue.len() {
+        stats.record_resolved(before_unmatched - ws.queue.len());
+        if ws.queue.is_empty() || before_unmatched == ws.queue.len() {
             break;
         }
         // Reset ownership of the still-unmatched for the next pass.
-        for &u in &queue {
-            c[u as usize] = FREE;
+        for &u in &ws.queue {
+            ws.own[u as usize] = FREE;
         }
     }
     (m, stats)

@@ -8,11 +8,12 @@
 //! root at distance one, and the remainder through a mapped neighbor
 //! (distance two) — maximality guarantees two sweeps suffice.
 
-use super::util::relabel;
+use super::util::relabel_in;
+use super::workspace::MapWorkspace;
 use super::{MapStats, Mapping, UNMAPPED};
 use mlcg_graph::{Csr, VId};
 use mlcg_par::rng::hash_index;
-use mlcg_par::{parallel_count, parallel_for, profile, ExecPolicy};
+use mlcg_par::{parallel_count, parallel_for, ExecPolicy};
 
 const UNDECIDED: u32 = 0;
 const IN_MIS: u32 = 1;
@@ -20,6 +21,16 @@ const REMOVED: u32 = 2;
 
 /// MIS(2) coarsening.
 pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
+    mis2_in(policy, g, seed, &mut MapWorkspace::new())
+}
+
+/// [`mis2`] through a level-reused workspace.
+pub fn mis2_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    seed: u64,
+    ws: &mut MapWorkspace,
+) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
         return (
@@ -30,26 +41,33 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             MapStats::default(),
         );
     }
-    let _k = profile::kernel("mis2");
     let mut stats = MapStats::default();
     // Unique random priorities: (hash, id) packed into u64 (id in the low
     // bits breaks hash collisions).
-    let prio: Vec<u64> = (0..n)
-        .map(|u| (hash_index(seed, u as u64) & !0xFFFF_FFFF) | u as u64)
-        .collect();
-    let mut state = vec![UNDECIDED; n];
+    ws.prio.clear();
+    ws.prio
+        .extend((0..n).map(|u| (hash_index(seed, u as u64) & !0xFFFF_FFFF) | u as u64));
+    // `own` doubles as the MIS state array here.
+    MapWorkspace::filled(&mut ws.own, n, UNDECIDED);
 
-    let mut t1 = vec![0u64; n];
-    let mut t2 = vec![0u64; n];
+    // Both propagation arrays and the near flags are fully rewritten every
+    // round, so a single capacity-reusing resize suffices.
+    ws.t1.clear();
+    ws.t1.resize(n, 0);
+    ws.t2.clear();
+    ws.t2.resize(n, 0);
+    ws.near.clear();
+    ws.near.resize(n, 0);
     loop {
+        let state = &ws.own;
         let undecided = parallel_count(policy, n, |u| state[u] == UNDECIDED);
         if undecided == 0 {
             break;
         }
         // Sweep 1: t1[u] = max undecided priority within distance 1 of u.
         {
-            let base = t1.as_mut_ptr() as usize;
-            let (state_ref, prio_ref) = (&state, &prio);
+            let base = ws.t1.as_mut_ptr() as usize;
+            let (state_ref, prio_ref) = (&ws.own, &ws.prio);
             parallel_for(policy, n, move |u| {
                 let mut best = if state_ref[u] == UNDECIDED {
                     prio_ref[u]
@@ -70,8 +88,8 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
         // Sweep 2: t2[u] = max of t1 within distance 1 => max undecided
         // priority within distance 2.
         {
-            let base = t2.as_mut_ptr() as usize;
-            let t1_ref = &t1;
+            let base = ws.t2.as_mut_ptr() as usize;
+            let t1_ref = &ws.t1;
             parallel_for(policy, n, move |u| {
                 let mut best = t1_ref[u];
                 for &v in g.neighbors(u as VId) {
@@ -85,8 +103,8 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
         }
         // Select: undecided local distance-2 maxima join the MIS.
         {
-            let base = state.as_mut_ptr() as usize;
-            let (state_ref, prio_ref, t2_ref) = (&state, &prio, &t2);
+            let base = ws.own.as_mut_ptr() as usize;
+            let (state_ref, prio_ref, t2_ref) = (&ws.own, &ws.prio, &ws.t2);
             parallel_for(policy, n, move |u| {
                 if state_ref[u] == UNDECIDED && prio_ref[u] == t2_ref[u] {
                     // SAFETY: disjoint writes (only u's own slot).
@@ -98,10 +116,9 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
         }
         // Remove everything within distance 2 of a (new) MIS vertex, via
         // two flag propagations.
-        let mut near = vec![0u8; n];
         {
-            let base = near.as_mut_ptr() as usize;
-            let state_ref = &state;
+            let base = ws.near.as_mut_ptr() as usize;
+            let state_ref = &ws.own;
             parallel_for(policy, n, move |u| {
                 let hit = state_ref[u] == IN_MIS
                     || g.neighbors(u as VId)
@@ -114,8 +131,8 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             });
         }
         {
-            let base = state.as_mut_ptr() as usize;
-            let (state_ref, near_ref) = (&state, &near);
+            let base = ws.own.as_mut_ptr() as usize;
+            let (state_ref, near_ref) = (&ws.own, &ws.near);
             parallel_for(policy, n, move |u| {
                 if state_ref[u] == UNDECIDED
                     && (near_ref[u] == 1
@@ -131,8 +148,9 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             });
         }
         stats.passes += 1;
+        let state = &ws.own;
         let now_undecided = parallel_count(policy, n, |u| state[u] == UNDECIDED);
-        stats.resolved_per_pass.push(undecided - now_undecided);
+        stats.record_resolved(undecided - now_undecided);
         assert!(now_undecided < undecided, "MIS(2) made no progress");
     }
 
@@ -140,7 +158,7 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     let mut m = vec![UNMAPPED; n];
     {
         let base = m.as_mut_ptr() as usize;
-        let state_ref = &state;
+        let state_ref = &ws.own;
         parallel_for(policy, n, move |u| {
             if state_ref[u] == IN_MIS {
                 // SAFETY: disjoint writes.
@@ -152,9 +170,9 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     }
     {
         // Distance-1: attach to the highest-priority adjacent root.
-        let snapshot = m.clone();
+        MapWorkspace::snapshot(&mut ws.snap, &m);
         let base = m.as_mut_ptr() as usize;
-        let (snap, prio_ref, state_ref) = (&snapshot, &prio, &state);
+        let (snap, prio_ref, state_ref) = (&ws.snap, &ws.prio, &ws.own);
         parallel_for(policy, n, move |u| {
             if snap[u] != UNMAPPED {
                 return;
@@ -183,10 +201,10 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
         if remaining == 0 {
             break;
         }
-        let snapshot = m.clone();
+        MapWorkspace::snapshot(&mut ws.snap, &m);
         {
             let base = m.as_mut_ptr() as usize;
-            let snap = &snapshot;
+            let snap = &ws.snap;
             parallel_for(policy, n, move |u| {
                 if snap[u] != UNMAPPED {
                     return;
@@ -209,7 +227,7 @@ pub fn mis2(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             "MIS(2) aggregation stalled (disconnected input?)"
         );
     }
-    (relabel(policy, m), stats)
+    (relabel_in(policy, m, ws), stats)
 }
 
 #[cfg(test)]

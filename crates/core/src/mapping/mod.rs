@@ -11,9 +11,12 @@ pub mod seq;
 pub mod suitor;
 pub mod twohop;
 pub mod util;
+pub mod workspace;
+
+pub use workspace::MapWorkspace;
 
 use mlcg_graph::Csr;
-use mlcg_par::ExecPolicy;
+use mlcg_par::{profile, ExecPolicy};
 
 /// Sentinel for "not yet mapped" (the paper's `M[u] = 0`).
 pub const UNMAPPED: u32 = u32::MAX;
@@ -71,8 +74,35 @@ impl Mapping {
 pub struct MapStats {
     /// Passes executed (Algorithm 4 loops until the work queue drains).
     pub passes: usize,
-    /// Vertices resolved in each pass (HEC-family only).
+    /// Vertices resolved in each of the first
+    /// [`MapStats::RESOLVED_PASS_CAP`] passes (HEC-family only). The pass
+    /// loop is bounded only defensively (`64 + 2n`), so the vector is
+    /// capacity-bounded; later passes accumulate into
+    /// [`MapStats::resolved_overflow`].
     pub resolved_per_pass: Vec<usize>,
+    /// Vertices resolved in passes beyond the per-pass cap.
+    pub resolved_overflow: usize,
+}
+
+impl MapStats {
+    /// Upper bound on `resolved_per_pass.len()`. The paper reports ≥99 %
+    /// of vertices settle within two passes; 32 entries keep every
+    /// observed run exact while bounding the allocation.
+    pub const RESOLVED_PASS_CAP: usize = 32;
+
+    /// Record one pass's resolved count, respecting the cap.
+    pub fn record_resolved(&mut self, resolved: usize) {
+        if self.resolved_per_pass.len() < Self::RESOLVED_PASS_CAP {
+            self.resolved_per_pass.push(resolved);
+        } else {
+            self.resolved_overflow += resolved;
+        }
+    }
+
+    /// Total vertices resolved across all passes (including overflow).
+    pub fn resolved_total(&self) -> usize {
+        self.resolved_per_pass.iter().sum::<usize>() + self.resolved_overflow
+    }
 }
 
 /// Which mapping algorithm to run. See the crate docs for the table of
@@ -173,18 +203,38 @@ pub fn find_mapping(
     method: MapMethod,
     seed: u64,
 ) -> (Mapping, MapStats) {
+    find_mapping_in(policy, g, method, seed, &mut MapWorkspace::new())
+}
+
+/// [`find_mapping`] through a caller-owned [`MapWorkspace`]: the
+/// allocation-free form the multilevel driver uses, so levels after the
+/// first reuse the previous level's scratch capacity. Results are
+/// bit-identical to the fresh-workspace form (pinned by
+/// `mapping_props.rs`).
+///
+/// All mapping kernels run under the `map` profiler label, so dispatches
+/// show up as `par_for/map/<phase>` in Chrome traces — mirroring
+/// construction's `par_for/construct/<phase>` scheme.
+pub fn find_mapping_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    method: MapMethod,
+    seed: u64,
+    ws: &mut MapWorkspace,
+) -> (Mapping, MapStats) {
+    let _k = profile::kernel("map");
     match method {
-        MapMethod::Hec => hec::hec(policy, g, seed),
-        MapMethod::Hec2 => hec23::hec2(policy, g, seed),
-        MapMethod::Hec3 => hec23::hec3(policy, g, seed),
-        MapMethod::Hem => hem::hem(policy, g, seed),
-        MapMethod::MtMetis => twohop::mtmetis(policy, g, seed),
-        MapMethod::Gosh => gosh::gosh(policy, g, seed),
-        MapMethod::GoshHec => gosh::gosh_hec(policy, g, seed),
-        MapMethod::Mis2 => mis2::mis2(policy, g, seed),
-        MapMethod::Suitor => suitor::suitor(policy, g, seed),
-        MapMethod::SeqHec => seq::seq_hec(g, seed),
-        MapMethod::SeqHem => seq::seq_hem(g, seed),
+        MapMethod::Hec => hec::hec_in(policy, g, seed, ws),
+        MapMethod::Hec2 => hec23::hec2_in(policy, g, seed, ws),
+        MapMethod::Hec3 => hec23::hec3_in(policy, g, seed, ws),
+        MapMethod::Hem => hem::hem_in(policy, g, seed, ws),
+        MapMethod::MtMetis => twohop::mtmetis_in(policy, g, seed, ws),
+        MapMethod::Gosh => gosh::gosh_in(policy, g, seed, ws),
+        MapMethod::GoshHec => gosh::gosh_hec_in(policy, g, seed, ws),
+        MapMethod::Mis2 => mis2::mis2_in(policy, g, seed, ws),
+        MapMethod::Suitor => suitor::suitor_in(policy, g, seed, ws),
+        MapMethod::SeqHec => seq::seq_hec_in(g, seed, ws),
+        MapMethod::SeqHem => seq::seq_hem_in(g, seed, ws),
     }
 }
 

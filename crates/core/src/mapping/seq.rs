@@ -2,22 +2,28 @@
 //! HEC (Algorithm 3). These define the semantics the parallelizations
 //! relax, and serve as test oracles for aggregate-structure invariants.
 
-use super::util::relabel;
+use super::util::relabel_in;
+use super::workspace::MapWorkspace;
 use super::{MapStats, Mapping, UNMAPPED};
 use mlcg_graph::{Csr, VId};
-use mlcg_par::perm::random_permutation;
+use mlcg_par::perm::random_permutation_in;
 use mlcg_par::ExecPolicy;
 
 /// Sequential Heavy Edge Matching (Algorithm 2): visit vertices in random
 /// order; an unmatched vertex pairs with its heaviest *unmatched* neighbor,
 /// or becomes a singleton.
 pub fn seq_hem(g: &Csr, seed: u64) -> (Mapping, MapStats) {
+    seq_hem_in(g, seed, &mut MapWorkspace::new())
+}
+
+/// [`seq_hem`] through a level-reused workspace.
+pub fn seq_hem_in(g: &Csr, seed: u64, ws: &mut MapWorkspace) -> (Mapping, MapStats) {
     let n = g.n();
     let serial = ExecPolicy::serial();
-    let p = random_permutation(&serial, n, seed);
+    random_permutation_in(&serial, n, seed, &mut ws.perm_keys, &mut ws.queue);
     let mut m = vec![UNMAPPED; n];
     let mut next = 0u32;
-    for &u in &p {
+    for &u in &ws.queue {
         if m[u as usize] != UNMAPPED {
             continue;
         }
@@ -41,6 +47,7 @@ pub fn seq_hem(g: &Csr, seed: u64) -> (Mapping, MapStats) {
         MapStats {
             passes: 1,
             resolved_per_pass: vec![n],
+            resolved_overflow: 0,
         },
     )
 }
@@ -50,6 +57,12 @@ pub fn seq_hem(g: &Csr, seed: u64) -> (Mapping, MapStats) {
 /// creating it if the neighbor is also unmapped. Requires a connected graph
 /// (every vertex has a heaviest neighbor).
 pub fn seq_hec(g: &Csr, seed: u64) -> (Mapping, MapStats) {
+    seq_hec_in(g, seed, &mut MapWorkspace::new())
+}
+
+/// [`seq_hec`] through a level-reused workspace (the membership scratch
+/// array lives in `ws.own`; only `raw` escapes into the relabel).
+pub fn seq_hec_in(g: &Csr, seed: u64, ws: &mut MapWorkspace) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
         return (
@@ -61,10 +74,11 @@ pub fn seq_hec(g: &Csr, seed: u64) -> (Mapping, MapStats) {
         );
     }
     let serial = ExecPolicy::serial();
-    let p = random_permutation(&serial, n, seed);
-    let mut m = vec![UNMAPPED; n];
+    random_permutation_in(&serial, n, seed, &mut ws.perm_keys, &mut ws.queue);
+    MapWorkspace::filled(&mut ws.own, n, UNMAPPED);
     let mut raw = vec![UNMAPPED; n]; // labels are representative vertex ids
-    for &u in &p {
+    let (m, order) = (&mut ws.own, &ws.queue);
+    for &u in order {
         if m[u as usize] != UNMAPPED {
             continue;
         }
@@ -84,12 +98,13 @@ pub fn seq_hec(g: &Csr, seed: u64) -> (Mapping, MapStats) {
         m[u as usize] = m[x as usize];
         raw[u as usize] = m[x as usize];
     }
-    let mapping = relabel(&serial, raw);
+    let mapping = relabel_in(&serial, raw, ws);
     (
         mapping,
         MapStats {
             passes: 1,
             resolved_per_pass: vec![n],
+            resolved_overflow: 0,
         },
     )
 }

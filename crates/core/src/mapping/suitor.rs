@@ -15,10 +15,11 @@
 //! (like HEM).
 
 use super::hem::finalize_singletons;
-use super::util::relabel;
+use super::util::{relabel, relabel_in};
+use super::workspace::MapWorkspace;
 use super::{MapStats, Mapping, UNMAPPED};
 use mlcg_graph::{Csr, VId};
-use mlcg_par::perm::random_permutation;
+use mlcg_par::perm::{random_permutation, random_permutation_in};
 use mlcg_par::rng::hash_index;
 use mlcg_par::ExecPolicy;
 
@@ -36,6 +37,18 @@ fn edge_prio(seed: u64, u: u32, v: u32) -> u64 {
 
 /// Suitor-based matching coarsening.
 pub fn suitor(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
+    suitor_in(policy, g, seed, &mut MapWorkspace::new())
+}
+
+/// [`suitor`] through a level-reused workspace: the suitor array lives in
+/// `ws.own`, the (weight, priority) offer keys are split across the two
+/// u64 scratch arrays, and the permutation doubles as the work stack.
+pub fn suitor_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    seed: u64,
+    ws: &mut MapWorkspace,
+) -> (Mapping, MapStats) {
     let n = g.n();
     if n <= 1 {
         return (
@@ -46,13 +59,19 @@ pub fn suitor(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
             MapStats::default(),
         );
     }
-    // suitor[v] = current best proposer of v; offer[v] = its
-    // (weight, priority) key.
-    let mut suitor_of: Vec<u32> = vec![UNMAPPED; n];
-    let mut offer: Vec<(u64, u64)> = vec![(0, 0); n];
+    // suitor_of[v] = current best proposer of v; (t1[v], t2[v]) = its
+    // (weight, priority) offer key, compared lexicographically.
+    MapWorkspace::filled(&mut ws.own, n, UNMAPPED);
+    ws.t1.clear();
+    ws.t1.resize(n, 0);
+    ws.t2.clear();
+    ws.t2.resize(n, 0);
+    let (suitor_of, offer_w, offer_p) = (&mut ws.own, &mut ws.t1, &mut ws.t2);
 
-    let order = random_permutation(policy, n, seed);
-    let mut stack: Vec<u32> = order.to_vec();
+    // The random visit order is consumed stack-wise, so generate it
+    // straight into the queue buffer and pop in place.
+    random_permutation_in(policy, n, seed, &mut ws.perm_keys, &mut ws.queue);
+    let stack = &mut ws.queue;
     let mut steps = 0usize;
     while let Some(u) = stack.pop() {
         steps += 1;
@@ -65,7 +84,7 @@ pub fn suitor(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
         let mut best: Option<(u64, u64, u32)> = None;
         for (v, w) in g.edges(u as VId) {
             let key = (w, edge_prio(seed, u, v));
-            if key > offer[v as usize] {
+            if key > (offer_w[v as usize], offer_p[v as usize]) {
                 let cand = (key.0, key.1, v);
                 match best {
                     Some(b) if b >= cand => {}
@@ -76,7 +95,8 @@ pub fn suitor(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
         if let Some((w, ep, v)) = best {
             let dislodged = suitor_of[v as usize];
             suitor_of[v as usize] = u;
-            offer[v as usize] = (w, ep);
+            offer_w[v as usize] = w;
+            offer_p[v as usize] = ep;
             if dislodged != UNMAPPED {
                 stack.push(dislodged); // must propose elsewhere
             }
@@ -86,19 +106,20 @@ pub fn suitor(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     // Mutual suitors form the matching.
     let mut m = vec![UNMAPPED; n];
     for v in 0..n as u32 {
-        let u = suitor_of[v as usize];
-        if u != UNMAPPED && suitor_of[u as usize] == v && m[v as usize] == UNMAPPED {
+        let u = ws.own[v as usize];
+        if u != UNMAPPED && ws.own[u as usize] == v && m[v as usize] == UNMAPPED {
             let label = u.min(v);
             m[u as usize] = label;
             m[v as usize] = label;
         }
     }
-    let mapping = relabel(policy, finalize_singletons(m));
+    let mapping = relabel_in(policy, finalize_singletons(m), ws);
     (
         mapping,
         MapStats {
             passes: 1,
             resolved_per_pass: vec![n],
+            resolved_overflow: 0,
         },
     )
 }
@@ -191,6 +212,7 @@ pub fn b_suitor(policy: &ExecPolicy, g: &Csr, b: usize, seed: u64) -> (Mapping, 
         MapStats {
             passes: 1,
             resolved_per_pass: vec![n],
+            resolved_overflow: 0,
         },
     )
 }

@@ -13,11 +13,13 @@
 //! Each later class runs only if the previous classes left the unmatched
 //! ratio above the threshold, mirroring mt-Metis.
 
-use super::hem::{finalize_singletons, hem_raw};
-use super::util::relabel;
+use super::hem::{finalize_singletons, hem_raw_in};
+use super::util::relabel_in;
+use super::workspace::MapWorkspace;
 use super::{MapStats, Mapping, UNMAPPED};
 use mlcg_graph::{Csr, VId};
 use mlcg_par::atomic::as_atomic_u32;
+use mlcg_par::filter::filter_range_in;
 use mlcg_par::rng::mix;
 use mlcg_par::sort::par_radix_sort_pairs;
 use mlcg_par::{parallel_count, parallel_for, profile, ExecPolicy};
@@ -59,6 +61,16 @@ pub fn mtmetis(policy: &ExecPolicy, g: &Csr, seed: u64) -> (Mapping, MapStats) {
     mtmetis_with(policy, g, seed, &TwoHopConfig::default())
 }
 
+/// [`mtmetis`] through a level-reused workspace.
+pub fn mtmetis_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    seed: u64,
+    ws: &mut MapWorkspace,
+) -> (Mapping, MapStats) {
+    mtmetis_with_in(policy, g, seed, &TwoHopConfig::default(), ws)
+}
+
 /// [`mtmetis`] with explicit thresholds.
 pub fn mtmetis_with(
     policy: &ExecPolicy,
@@ -66,24 +78,35 @@ pub fn mtmetis_with(
     seed: u64,
     cfg: &TwoHopConfig,
 ) -> (Mapping, MapStats) {
+    mtmetis_with_in(policy, g, seed, cfg, &mut MapWorkspace::new())
+}
+
+/// [`mtmetis_with`] through a level-reused workspace.
+pub fn mtmetis_with_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    seed: u64,
+    cfg: &TwoHopConfig,
+    ws: &mut MapWorkspace,
+) -> (Mapping, MapStats) {
     let n = g.n();
-    let (mut raw, mut stats) = hem_raw(policy, g, seed);
+    let (mut raw, mut stats) = hem_raw_in(policy, g, seed, ws);
     if n > 1 {
         let unmatched = |m: &[u32]| parallel_count(policy, n, |u| m[u] == UNMAPPED);
         if unmatched(&raw) as f64 > cfg.unmatched_ratio * n as f64 {
             match_leaves(policy, g, &mut raw);
             stats.passes += 1;
             if unmatched(&raw) as f64 > cfg.unmatched_ratio * n as f64 {
-                match_twins_capped(policy, g, &mut raw, cfg.twin_degree_cap);
+                match_twins_capped_in(policy, g, &mut raw, cfg.twin_degree_cap, ws);
                 stats.passes += 1;
                 if unmatched(&raw) as f64 > cfg.unmatched_ratio * n as f64 {
-                    match_relatives_capped(policy, g, &mut raw, cfg.relative_degree_cap);
+                    match_relatives_capped_in(policy, g, &mut raw, cfg.relative_degree_cap, ws);
                     stats.passes += 1;
                 }
             }
         }
     }
-    (relabel(policy, finalize_singletons(raw)), stats)
+    (relabel_in(policy, finalize_singletons(raw), ws), stats)
 }
 
 /// Pair unmatched degree-1 vertices that hang off the same vertex
@@ -122,18 +145,38 @@ pub fn match_twins(policy: &ExecPolicy, g: &Csr, m: &mut [u32]) {
 
 /// [`match_twins`] with an explicit degree cap.
 pub fn match_twins_capped(policy: &ExecPolicy, g: &Csr, m: &mut [u32], cap: usize) {
+    match_twins_capped_in(policy, g, m, cap, &mut MapWorkspace::new())
+}
+
+/// [`match_twins_capped`] through a level-reused workspace: the candidate
+/// list is gathered with a parallel compaction into `ws.qscratch` and the
+/// adjacency hashes live in `ws.perm_keys`.
+pub(crate) fn match_twins_capped_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    m: &mut [u32],
+    cap: usize,
+    ws: &mut MapWorkspace,
+) {
     let _k = profile::kernel("twins");
     let n = g.n();
-    let mut candidates: Vec<u32> = (0..n as u32)
-        .filter(|&u| m[u as usize] == UNMAPPED && (2..=cap).contains(&g.degree(u)))
-        .collect();
+    filter_range_in(
+        policy,
+        n,
+        |u| m[u as usize] == UNMAPPED && (2..=cap).contains(&g.degree(u)),
+        &mut ws.fcounts,
+        &mut ws.qscratch,
+    );
+    let candidates = &mut ws.qscratch;
     if candidates.len() < 2 {
         return;
     }
-    let mut keys: Vec<u64> = vec![0; candidates.len()];
+    let keys = &mut ws.perm_keys;
+    keys.clear();
+    keys.resize(candidates.len(), 0);
     {
         let base = keys.as_mut_ptr() as usize;
-        let cand = &candidates;
+        let cand = &*candidates;
         parallel_for(policy, cand.len(), move |i| {
             let u = cand[i];
             let mut acc = 0xcbf29ce484222325u64 ^ g.degree(u) as u64;
@@ -146,7 +189,7 @@ pub fn match_twins_capped(policy: &ExecPolicy, g: &Csr, m: &mut [u32], cap: usiz
             }
         });
     }
-    par_radix_sort_pairs(policy, &mut keys, &mut candidates);
+    par_radix_sort_pairs(policy, keys, candidates);
     // Sequential pairing within equal-hash runs (runs are tiny).
     let mut i = 0;
     while i < candidates.len() {
@@ -189,10 +232,21 @@ pub fn match_relatives(policy: &ExecPolicy, g: &Csr, m: &mut [u32]) {
 
 /// [`match_relatives`] with an explicit intermediary degree cap.
 pub fn match_relatives_capped(policy: &ExecPolicy, g: &Csr, m: &mut [u32], cap: usize) {
+    match_relatives_capped_in(policy, g, m, cap, &mut MapWorkspace::new())
+}
+
+/// [`match_relatives_capped`] with the claim array pooled in `ws.own`.
+pub(crate) fn match_relatives_capped_in(
+    policy: &ExecPolicy,
+    g: &Csr,
+    m: &mut [u32],
+    cap: usize,
+    ws: &mut MapWorkspace,
+) {
     let _k = profile::kernel("relatives");
     let n = g.n();
-    let mut c = vec![FREE; n];
-    let c_at = as_atomic_u32(&mut c);
+    MapWorkspace::filled(&mut ws.own, n, FREE);
+    let c_at = as_atomic_u32(&mut ws.own);
     let m_at = as_atomic_u32(m);
     parallel_for(policy, n, |h| {
         if g.degree(h as VId) > cap {

@@ -8,7 +8,7 @@
 
 use crate::audit::{audit_coarse_graph, audit_mapping};
 use crate::construct::{construct_coarse_graph_traced_in, ConstructOptions, ConstructWorkspace};
-use crate::mapping::{find_mapping, MapMethod, MapStats, Mapping};
+use crate::mapping::{find_mapping_in, MapMethod, MapStats, MapWorkspace, Mapping};
 use mlcg_graph::Csr;
 use mlcg_par::{ExecPolicy, TraceCollector, TraceReport};
 
@@ -220,12 +220,19 @@ pub fn coarsen(policy: &ExecPolicy, g: &Csr, opts: &CoarsenOptions) -> Hierarchy
     // first reuse the previous level's scratch capacity instead of paying
     // the full construction allocation envelope again.
     let mut cws = ConstructWorkspace::new();
+    // Same deal for the mapping phase: one workspace, reused every level.
+    let mut mws = MapWorkspace::new();
     let mut i = 0u64;
     while current.n() > opts.cutoff && levels.len() < opts.max_levels {
         let lvl = levels.len();
         let span = trace.timed_span(|| format!("mapping/{}/level{lvl}", opts.method.name()));
-        let (mapping, map_stats) =
-            find_mapping(policy, &current, opts.method, opts.seed.wrapping_add(i));
+        let (mapping, map_stats) = find_mapping_in(
+            policy,
+            &current,
+            opts.method,
+            opts.seed.wrapping_add(i),
+            &mut mws,
+        );
         let t_map = span.finish();
         audit_mapping(trace, &format!("mapping/level{lvl}"), current.n(), &mapping);
 
@@ -255,8 +262,19 @@ pub fn coarsen(policy: &ExecPolicy, g: &Csr, opts: &CoarsenOptions) -> Hierarchy
             // HEC-family pass loop resolved after its first pass.
             trace.counter_add("mapping/edges_scanned", current.adj().len() as u64);
             trace.counter_add("mapping/passes", map_stats.passes as u64);
-            let rematched: usize = map_stats.resolved_per_pass.iter().skip(1).sum();
+            let first = map_stats.resolved_per_pass.first().copied().unwrap_or(0);
+            let rematched = map_stats.resolved_total().saturating_sub(first);
             trace.counter_add("mapping/conflicts_rematched", rematched as u64);
+            // Per-level series for the mapping phase: pass count and the
+            // work-queue length entering pass 2 (0 for single-pass methods).
+            let method = opts.method.name();
+            trace.gauge(|| format!("map/{method}/passes"), map_stats.passes as f64);
+            let queue_len = if map_stats.resolved_per_pass.is_empty() {
+                0
+            } else {
+                current.n().saturating_sub(first)
+            };
+            trace.gauge(|| format!("map/{method}/queue_len"), queue_len as f64);
             record_level_gauges(trace, lvl, &current, &mapping, &coarse);
         }
 

@@ -31,6 +31,7 @@
 
 pub mod atomic;
 pub mod exec;
+pub mod filter;
 pub mod mem;
 pub mod perm;
 pub mod pool;

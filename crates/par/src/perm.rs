@@ -9,26 +9,44 @@ use std::sync::atomic::Ordering;
 
 /// A uniformly random permutation of `0..n` (as `u32` labels).
 pub fn random_permutation(policy: &ExecPolicy, n: usize, seed: u64) -> Vec<u32> {
+    let mut keys = Vec::new();
+    let mut out = Vec::new();
+    random_permutation_in(policy, n, seed, &mut keys, &mut out);
+    out
+}
+
+/// [`random_permutation`] into caller-owned buffers: `keys` is sort
+/// scratch, `out` receives the permutation. Both keep their capacity, so a
+/// level loop pays the generation allocations once.
+pub fn random_permutation_in(
+    policy: &ExecPolicy,
+    n: usize,
+    seed: u64,
+    keys: &mut Vec<u64>,
+    out: &mut Vec<u32>,
+) {
     assert!(
         n <= u32::MAX as usize,
         "random_permutation: n exceeds u32 range"
     );
     let _k = profile::kernel("gen_perm");
-    let mut keys: Vec<u64> = vec![0; n];
+    keys.clear();
+    keys.resize(n, 0);
     {
         let _k = profile::kernel("keys");
         let base = keys.as_mut_ptr() as usize;
         parallel_for(policy, n, move |i| {
-            // SAFETY: index-disjoint writes into the freshly allocated buffer.
+            // SAFETY: index-disjoint writes.
             unsafe {
                 (base as *mut u64).add(i).write(hash_index(seed, i as u64));
             }
         });
     }
-    let mut vals: Vec<u32> = vec![0; n];
+    out.clear();
+    out.resize(n, 0);
     {
         let _k = profile::kernel("ids");
-        let base = vals.as_mut_ptr() as usize;
+        let base = out.as_mut_ptr() as usize;
         parallel_for(policy, n, move |i| {
             // SAFETY: index-disjoint writes.
             unsafe {
@@ -36,22 +54,28 @@ pub fn random_permutation(policy: &ExecPolicy, n: usize, seed: u64) -> Vec<u32> 
             }
         });
     }
-    par_radix_sort_pairs(policy, &mut keys, &mut vals);
-    vals
+    par_radix_sort_pairs(policy, keys, out);
 }
 
 /// Inverse of a permutation: `out[p[i]] = i`.
 pub fn invert_permutation(policy: &ExecPolicy, p: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    invert_permutation_in(policy, p, &mut out);
+    out
+}
+
+/// [`invert_permutation`] into a caller-owned buffer.
+pub fn invert_permutation_in(policy: &ExecPolicy, p: &[u32], out: &mut Vec<u32>) {
     let _k = profile::kernel("invert_perm");
     let n = p.len();
-    let mut out = vec![0u32; n];
+    out.clear();
+    out.resize(n, 0);
     {
-        let view = crate::atomic::as_atomic_u32(&mut out);
+        let view = crate::atomic::as_atomic_u32(out);
         parallel_for(policy, n, |i| {
             view[p[i] as usize].store(i as u32, Ordering::Relaxed);
         });
     }
-    out
 }
 
 #[cfg(test)]
